@@ -1,0 +1,7 @@
+"""E9 — baseline comparison (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e9_baseline_comparison(benchmark):
+    run_experiment_benchmark(benchmark, "E9", "e9_baselines.csv")

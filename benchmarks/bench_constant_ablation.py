@@ -1,0 +1,7 @@
+"""ABL1 — calibration ablation (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_abl1_constant_cliffs(benchmark):
+    run_experiment_benchmark(benchmark, "ABL1", "abl1_constants.csv")

@@ -1,0 +1,67 @@
+"""PERF — engine throughput: exact agent-level vs vectorized simulation.
+
+Not a paper experiment, but the measurement that justifies the
+two-engine design: the exact engine costs O(n*h) per round, the
+vectorized engines O(n) per *phase*.  These micro-benchmarks record both
+so regressions in the hot paths are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import Population, PopulationConfig, PullEngine
+from repro.noise import NoiseMatrix
+from repro.protocols import (
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+    SFSchedule,
+    SourceFilterProtocol,
+)
+from repro.types import SourceCounts
+
+
+@pytest.mark.parametrize("n,h", [(256, 4), (1024, 16)])
+def test_perf_exact_engine_round(benchmark, n, h):
+    """Cost of 10 exact-engine rounds (display, sample, corrupt, receive)."""
+    config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=h)
+    population = Population(config, rng=np.random.default_rng(0))
+    noise = NoiseMatrix.uniform(0.2, 2)
+    schedule = SFSchedule.from_config(config, 0.2, m=10 * h)
+    engine = PullEngine(population, noise)
+
+    def ten_rounds():
+        protocol = SourceFilterProtocol(schedule)
+        return engine.run(protocol, max_rounds=10, rng=np.random.default_rng(1))
+
+    result = benchmark(ten_rounds)
+    assert result.rounds_executed == 10
+
+
+@pytest.mark.parametrize("n", [1024, 8192])
+def test_perf_fast_sf_full_run(benchmark, n):
+    """Cost of a complete SF execution at h = n (phase-at-a-time)."""
+    config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=n)
+    engine = FastSourceFilter(config, 0.2)
+    result = benchmark(lambda: engine.run(rng=0))
+    assert result.converged
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_perf_fast_ssf_full_run(benchmark, n):
+    """Cost of a complete SSF execution at h = n (gap-batched)."""
+    config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=n)
+
+    def run():
+        return FastSelfStabilizingSourceFilter(config, 0.1).run(rng=0)
+
+    result = benchmark(run)
+    assert result.converged
+
+
+def test_perf_noise_corrupt_million(benchmark):
+    """Channel throughput: corrupting 1M binary messages."""
+    noise = NoiseMatrix.uniform(0.2, 2)
+    rng = np.random.default_rng(0)
+    messages = rng.integers(0, 2, size=1_000_000)
+    out = benchmark(lambda: noise.corrupt(messages, rng))
+    assert out.shape == messages.shape

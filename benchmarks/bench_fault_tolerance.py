@@ -1,0 +1,7 @@
+"""EXT2 — fault tolerance (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_ext2_fault_tolerance(benchmark):
+    run_experiment_benchmark(benchmark, "EXT2", "ext2_faults.csv")

@@ -1,0 +1,32 @@
+"""FIG1 — reproduce Figure 1 (delegates to repro.experiments)."""
+
+import numpy as np
+
+from repro.experiments import get_experiment
+from repro.noise import reduction_delta
+
+from .conftest import emit_table
+
+
+def test_fig1_regenerate(benchmark):
+    outcome = benchmark(lambda: get_experiment("FIG1").run(scale="full"))
+    emit_table(
+        outcome.rows,
+        title=f"{outcome.experiment_id}: {outcome.title}",
+        filename="fig1_noise_function.csv",
+    )
+    print("\n".join(f"  [{'PASS' if c.passed else 'FAIL'}] {c.name}"
+                    for c in outcome.checks))
+    assert outcome.passed, outcome.render()
+
+
+def test_fig1_claim15_continuity(benchmark):
+    """f has no jumps on a fine grid (Claim 15's continuity, d = 4)."""
+
+    def finely_sampled():
+        deltas = np.linspace(1e-6, 0.25 - 1e-6, 4000)
+        return np.array([reduction_delta(float(x), 4) for x in deltas])
+
+    values = benchmark(finely_sampled)
+    gaps = np.abs(np.diff(values))
+    assert gaps.max() < 1e-3

@@ -1,0 +1,7 @@
+"""EXT1 — k-ary plurality extension (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_ext1_kary_plurality(benchmark):
+    run_experiment_benchmark(benchmark, "EXT1", "ext1_kary.csv")

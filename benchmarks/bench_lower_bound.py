@@ -1,0 +1,7 @@
+"""E6 — lower-bound tightness (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e6_upper_tracks_lower_bound(benchmark):
+    run_experiment_benchmark(benchmark, "E6", "e6_lower_bound.csv")

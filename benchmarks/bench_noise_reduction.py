@@ -1,0 +1,29 @@
+"""E8 — artificial-noise reduction (delegates to repro.experiments),
+plus micro-benchmarks of the construction and simulation hot paths."""
+
+import numpy as np
+
+from repro.noise import NoiseMatrix, noise_reduction
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e8_reduction_correctness(benchmark):
+    run_experiment_benchmark(benchmark, "E8", "e8_noise_reduction.csv")
+
+
+def test_e8_reduction_construction_cost(benchmark):
+    """Micro-benchmark: building P for a d=4 channel is microseconds."""
+    noise = NoiseMatrix.random_upper_bounded(0.15, 4, np.random.default_rng(1))
+    red = benchmark(lambda: noise_reduction(noise, delta=0.15))
+    assert red.effective.is_uniform(red.delta_prime)
+
+
+def test_e8_simulation_throughput(benchmark):
+    """Micro-benchmark: per-message cost of applying artificial noise."""
+    noise = NoiseMatrix.random_upper_bounded(0.15, 4, np.random.default_rng(2))
+    red = noise_reduction(noise, delta=0.15)
+    rng = np.random.default_rng(3)
+    observed = rng.integers(0, 4, size=100_000)
+    out = benchmark(lambda: red.simulate_observations(observed, rng))
+    assert out.shape == observed.shape

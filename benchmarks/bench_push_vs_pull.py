@@ -1,0 +1,7 @@
+"""E7 — PUSH/PULL exponential separation (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e7_exponential_separation(benchmark):
+    run_experiment_benchmark(benchmark, "E7", "e7_push_vs_pull.csv")

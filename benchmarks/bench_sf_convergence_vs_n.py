@@ -1,0 +1,7 @@
+"""E1 — Theorem 4 at h = n (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e1_sf_logarithmic_at_full_observation(benchmark):
+    run_experiment_benchmark(benchmark, "E1", "e1_sf_vs_n.csv")

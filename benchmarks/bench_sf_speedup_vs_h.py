@@ -1,0 +1,7 @@
+"""E2 — linear speedup in h (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e2_linear_speedup_in_h(benchmark):
+    run_experiment_benchmark(benchmark, "E2", "e2_sf_vs_h.csv")

@@ -1,0 +1,7 @@
+"""ABL2 — SF design ablations (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_abl2_design_ablations(benchmark):
+    run_experiment_benchmark(benchmark, "ABL2", "abl2_design.csv")

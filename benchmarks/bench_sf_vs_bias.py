@@ -1,0 +1,7 @@
+"""E4 — bias dependence and plurality (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e4_bias_and_conflicting_sources(benchmark):
+    run_experiment_benchmark(benchmark, "E4", "e4_sf_vs_bias.csv")

@@ -1,0 +1,7 @@
+"""E3 — noise dependence (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e3_noise_dependence(benchmark):
+    run_experiment_benchmark(benchmark, "E3", "e3_sf_vs_delta.csv")

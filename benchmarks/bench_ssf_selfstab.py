@@ -1,0 +1,7 @@
+"""E5 — SSF self-stabilization (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e5_self_stabilization(benchmark):
+    run_experiment_benchmark(benchmark, "E5", "e5_ssf_selfstab.csv")

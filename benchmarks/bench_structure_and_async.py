@@ -1,0 +1,7 @@
+"""ABL3 — structure and scheduling ablations (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_abl3_framing_ablations(benchmark):
+    run_experiment_benchmark(benchmark, "ABL3", "abl3_framing.csv")

@@ -1,0 +1,7 @@
+"""E10 — weak-opinion quality (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_e10_weak_opinion_quality(benchmark):
+    run_experiment_benchmark(benchmark, "E10", "e10_weak_opinion.csv")

@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it
+prints a paper-prediction vs measured table (visible with ``pytest -s``,
+and always written as CSV under ``benchmarks/results/``) and asserts the
+paper's *shape* claim — scaling exponent, ordering, crossover — rather
+than absolute round counts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.analysis import format_table, write_csv
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(
+    rows: List[Dict[str, object]],
+    title: str,
+    filename: str,
+    columns: Sequence[str] = (),
+) -> None:
+    """Print a reproduction table and persist it as CSV."""
+    text = format_table(rows, columns=columns, title=title)
+    print("\n" + text)
+    write_csv(rows, RESULTS_DIR / filename, columns=columns)
+
+
+@pytest.fixture
+def emit():
+    """Fixture handle on :func:`emit_table`."""
+    return emit_table
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str, filename: str):
+    """Standard wrapper: benchmark a full-scale experiment, emit its
+    table and checks, and fail the test if any shape check failed."""
+    from repro.experiments import get_experiment
+
+    experiment = get_experiment(experiment_id)
+    outcome = benchmark.pedantic(
+        lambda: experiment.run(scale="full"), rounds=1, iterations=1
+    )
+    emit_table(
+        outcome.rows,
+        title=f"{outcome.experiment_id}: {outcome.title}"
+        + (f"  [{outcome.notes}]" if outcome.notes else ""),
+        filename=filename,
+    )
+    for check in outcome.checks:
+        mark = "PASS" if check.passed else "FAIL"
+        suffix = f"  ({check.detail})" if check.detail else ""
+        print(f"  [{mark}] {check.name}{suffix}")
+    assert outcome.passed, outcome.render()
+    return outcome

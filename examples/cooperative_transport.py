@@ -1,0 +1,55 @@
+"""Crazy-ant cooperative transport: one informed ant steers the group.
+
+Reproduces the paper's motivating scenario (Sections 1.1 and 3): a group
+of carriers senses the load's net force — a noisy PULL(n) observation of
+the group tendency — and a tiny informed minority must steer everyone
+towards the nest.  Prints the load's trajectory through the protocol's
+stages and sweeps the group size to show alignment time grows only
+logarithmically.
+
+Run:  python examples/cooperative_transport.py
+"""
+
+import numpy as np
+
+from repro.apps import CooperativeTransport
+
+
+def ascii_trajectory(positions: np.ndarray, width: int = 60) -> str:
+    """Render the load's 1-d trajectory as a small ASCII strip chart."""
+    lo, hi = positions.min(), positions.max()
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    samples = np.linspace(0, len(positions) - 1, 12).astype(int)
+    for index in samples:
+        offset = int((positions[index] - lo) / span * (width - 1))
+        lines.append(f"round {index:>5} |" + " " * offset + "*")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("One informed ant among 512 carriers, sensing noise delta=0.2\n")
+    sim = CooperativeTransport(num_carriers=512, num_informed=1, delta=0.2)
+    result = sim.run(rng=0)
+    print(ascii_trajectory(result.positions))
+    print(
+        f"\naligned={result.aligned}  "
+        f"decision epochs to full alignment={result.epochs_to_alignment}  "
+        f"final displacement={result.positions[-1]:+.0f}\n"
+    )
+
+    print("Group-size sweep (informed=2, delta=0.2):")
+    print(f"{'carriers':>9} {'rounds':>7} {'aligned':>8}")
+    for n in (128, 256, 512, 1024, 2048):
+        sim = CooperativeTransport(num_carriers=n, num_informed=2, delta=0.2)
+        result = sim.run(rng=1)
+        print(f"{n:>9} {len(result.velocities):>7} {str(result.aligned):>8}")
+    print(
+        "\nRounds grow like log(n): sensing the whole group makes steering "
+        "fast even as the group grows — the answer to the question raised "
+        "in Gelblum et al. (2015)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Flock alignment: how visual range buys alignment speed.
+
+The paper's Section 1.5 lists flocks, schools and bat groups as natural
+noisy-PULL systems with *large sample sizes*.  This example runs a flock
+of 1024 birds with 3 informed leaders and sweeps the visual range
+(how many flockmates each bird scans per decision epoch), showing the
+polarization build-up and the headline 1/h alignment-time law.
+
+Run:  python examples/flocking.py
+"""
+
+from repro.analysis import bar_chart, line_plot
+from repro.apps import FlockConsensus, visual_range_sweep
+
+
+def main() -> None:
+    flock = FlockConsensus(flock_size=1024, num_leaders=3, delta=0.15)
+    result = flock.run(rng=0)
+    print(
+        line_plot(
+            result.polarization,
+            title=(
+                "goal-ward polarization through the protocol stages "
+                "(1024 birds, 3 leaders, full visual range)"
+            ),
+            y_label="polarization",
+            height=8,
+        )
+    )
+    print(f"aligned={result.aligned} in {result.rounds} decision epochs\n")
+
+    ranges = [1, 8, 64, 512, 1024]
+    rows = visual_range_sweep(1024, ranges=ranges, num_leaders=3, rng=1)
+    print(
+        bar_chart(
+            [str(r["visual_range"]) for r in rows],
+            [r["rounds"] for r in rows],
+            title="alignment epochs vs visual range h (log bars would be flat x16 steps):",
+        )
+    )
+    print(
+        "\nScanning more flockmates per epoch buys a linear speedup — the "
+        "paper's answer to why large-sample sensing suffices for fast "
+        "leadership in flocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

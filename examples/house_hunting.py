@@ -1,0 +1,53 @@
+"""House-hunting with conflicting scouts: plurality consensus in action.
+
+Temnothorax-style site selection (paper, Section 3): scouts assess two
+candidate nests with noisy first-hand evaluations and become *conflicting
+sources*; the colony then spreads the scouts' plurality preference with
+the Source Filter protocol.  The example sweeps the assessment quality
+gap and reports how often the colony unanimously picks the truly better
+site — factoring the error into "scouts were wrong" vs "spreading failed".
+
+Run:  python examples/house_hunting.py
+"""
+
+import numpy as np
+
+from repro.apps import HouseHunting
+
+
+def main() -> None:
+    colony, scouts, trials = 512, 15, 30
+    print(
+        f"Colony of {colony} ants, {scouts} scouts, two candidate sites, "
+        f"{trials} episodes per gap\n"
+    )
+    print(f"{'gap':>5} {'picked better':>14} {'scout plurality right':>22} "
+          f"{'spreading unanimous':>20}")
+    for gap in (0.25, 0.5, 1.0, 2.0):
+        picked_better = plurality_right = unanimous = 0
+        for seed in range(trials):
+            hh = HouseHunting(
+                colony_size=colony,
+                num_scouts=scouts,
+                quality_gap=gap,
+                delta=0.15,
+            )
+            result = hh.run(rng=seed)
+            unanimous += result.colony_unanimous
+            plurality_right += result.scouts_for_better > result.scouts_for_worse
+            picked_better += result.chosen_site == result.better_site
+        print(
+            f"{gap:>5} {picked_better:>10}/{trials} "
+            f"{plurality_right:>17}/{trials} {unanimous:>15}/{trials}"
+        )
+
+    print(
+        "\nSpreading is essentially always unanimous and faithful to the "
+        "scouts' plurality — residual error comes from the scouts' own "
+        "noisy assessments, exactly the paper's two-phase reading of "
+        "house-hunting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: spread one bit from a single source through noisy PULL(n).
+
+Runs the paper's headline scenario — every agent observes the whole
+population each round through a delta-uniform binary channel — and shows
+the Source Filter protocol converging in O(log n)-order rounds, then
+contrasts it with the h = 1 pairwise regime where the Omega(n) lower
+bound bites.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FastSourceFilter,
+    PopulationConfig,
+    SourceCounts,
+    lower_bound_rounds,
+    sf_upper_bound_rounds,
+)
+
+
+def main() -> None:
+    n, delta = 4096, 0.2
+
+    print(f"Population: n={n}, one source, noise delta={delta}\n")
+
+    for h in (n, int(n**0.5), 1):
+        config = PopulationConfig(n=n, sources=SourceCounts(s0=0, s1=1), h=h)
+        protocol = FastSourceFilter(config, delta)
+        result = protocol.run(rng=0)
+        bound = lower_bound_rounds(n, h, 1, delta)
+        upper = sf_upper_bound_rounds(config, delta)
+        print(
+            f"h={h:>5}: converged={result.converged}  "
+            f"rounds={result.total_rounds:>8}  "
+            f"weak-opinion accuracy={result.weak_fraction_correct:.3f}  "
+            f"[theory: lower ~{bound:,.0f}, upper ~{upper:,.0f}]"
+        )
+
+    print(
+        "\nThe round count drops linearly in the sample size h — the paper's "
+        "headline: a larger sample size compensates for the lack of "
+        "communication structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Structure vs mixing: what the loss of a stable network costs.
+
+The paper's opening contrast, measured: on a *stable* communication
+graph an agent can stare at one informed neighbour and majority-decode
+its bit — noise is beaten by redundancy, and the rumor floods in
+O(diameter x log n) rounds.  Strip the structure away (well-mixed noisy
+PULL(1)) and the Theorem 3 lower bound forces Omega(n) rounds.  The same
+sweep also shows SSF running with no synchronous clock at all.
+
+Run:  python examples/structure_vs_mixing.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.model import (
+    AsyncPullEngine,
+    Population,
+    PopulationConfig,
+    StableFlooding,
+    build_graph,
+)
+from repro.noise import NoiseMatrix
+from repro.protocols import (
+    AsyncSelfStabilizingSourceFilter,
+    FastSourceFilter,
+    SSFSchedule,
+)
+from repro.types import SourceCounts
+
+DELTA = 0.2
+
+
+def main() -> None:
+    rows = []
+    for n in (256, 1024, 4096):
+        for kind in ("path", "regular"):
+            graph = build_graph(kind, n, degree=4, rng=n)
+            flooding = StableFlooding(graph, delta=DELTA)
+            result = flooding.run([0], rng=np.random.default_rng(n))
+            rows.append(
+                {
+                    "n": n,
+                    "network": f"stable {kind}",
+                    "rounds": result.rounds,
+                    "spread_ok": result.converged,
+                }
+            )
+        config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=1)
+        rows.append(
+            {
+                "n": n,
+                "network": "well-mixed PULL(1)",
+                "rounds": FastSourceFilter(config, DELTA).schedule.total_rounds,
+                "spread_ok": True,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"one-bit spreading, delta={DELTA}: stable graphs vs the "
+                "well-mixed noisy PULL model"
+            ),
+        )
+    )
+    print(
+        "\nRedundancy on a stable expander beats the well-mixed model by "
+        "orders of magnitude.  A stable *path* pays its Theta(n) diameter "
+        "and ends up on the well-mixed scale — structure helps exactly as "
+        "much as it shortens information paths.  That interplay is the "
+        "paper's subject.\n"
+    )
+
+    # Bonus: SSF without any clock (random sequential activation).
+    config = PopulationConfig(n=96, sources=SourceCounts(0, 2), h=48)
+    schedule = SSFSchedule.from_config(config, 0.05)
+    population = Population(config, rng=np.random.default_rng(0))
+    protocol = AsyncSelfStabilizingSourceFilter(schedule)
+    engine = AsyncPullEngine(population, NoiseMatrix.uniform(0.05, 4))
+    result = engine.run(
+        protocol,
+        max_activations=96 * 12 * schedule.epoch_rounds,
+        rng=np.random.default_rng(1),
+        consensus_patience=96 * schedule.epoch_rounds,
+    )
+    print(
+        f"asynchronous SSF (no global clock): converged={result.converged} "
+        f"after ~{result.consensus_parallel_rounds:.0f} parallel-round "
+        "equivalents — the buffer is the only clock an agent needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""repro — Fast and Robust Information Spreading in the Noisy PULL Model.
+
+A production-quality reproduction of arXiv:2411.02560 (PODC 2025 brief
+announcement) by D'Archivio, Korman, Natale and Vacus: the noisy PULL(h)
+communication substrate, the Source Filter (SF) and Self-stabilizing
+Source Filter (SSF) protocols, the Section 4 artificial-noise reduction,
+the lower/upper bound theory, baseline dynamics, and a benchmark harness
+regenerating every figure and theorem-prediction of the paper.
+
+Quickstart
+----------
+>>> from repro import PopulationConfig, SourceCounts, FastSourceFilter
+>>> config = PopulationConfig(n=1024, sources=SourceCounts(s0=0, s1=1), h=1024)
+>>> result = FastSourceFilter(config, noise=0.2).run(rng=0)
+>>> result.converged
+True
+"""
+
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    NoiseMatrixError,
+    NotStochasticError,
+    ProtocolError,
+    ReproError,
+    SingularMatrixError,
+)
+from .types import Role, SourceCounts
+from .noise import (
+    NoiseMatrix,
+    NoiseReduction,
+    artificial_noise_matrix,
+    noise_reduction,
+    reduction_delta,
+)
+from .model import (
+    AdversarialInitializer,
+    Population,
+    PopulationConfig,
+    PullEngine,
+    PullProtocol,
+    PushEngine,
+    PushProtocol,
+    RandomStateAdversary,
+    SimulationResult,
+    TargetedAdversary,
+)
+from .protocols import (
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+    SFSchedule,
+    SSFSchedule,
+    SelfStabilizingSourceFilterProtocol,
+    SourceFilterProtocol,
+    sf_sample_budget,
+    ssf_sample_budget,
+)
+from .baselines import (
+    ClassicCopySpreading,
+    KnownSourceOracle,
+    NoisyMajorityDynamics,
+    NoisyVoterModel,
+    PushSpreadingProtocol,
+    UndecidedStateDynamics,
+)
+from .theory import (
+    lower_bound_rounds,
+    sf_upper_bound_rounds,
+    ssf_upper_bound_rounds,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversarialInitializer",
+    "ClassicCopySpreading",
+    "ConfigurationError",
+    "ConvergenceError",
+    "FastSelfStabilizingSourceFilter",
+    "FastSourceFilter",
+    "KnownSourceOracle",
+    "NoiseMatrix",
+    "NoiseMatrixError",
+    "NoiseReduction",
+    "NoisyMajorityDynamics",
+    "NoisyVoterModel",
+    "NotStochasticError",
+    "Population",
+    "PopulationConfig",
+    "ProtocolError",
+    "PullEngine",
+    "PullProtocol",
+    "PushEngine",
+    "PushProtocol",
+    "PushSpreadingProtocol",
+    "RandomStateAdversary",
+    "ReproError",
+    "Role",
+    "SFSchedule",
+    "SSFSchedule",
+    "SelfStabilizingSourceFilterProtocol",
+    "SimulationResult",
+    "SingularMatrixError",
+    "SourceCounts",
+    "SourceFilterProtocol",
+    "TargetedAdversary",
+    "UndecidedStateDynamics",
+    "artificial_noise_matrix",
+    "lower_bound_rounds",
+    "noise_reduction",
+    "reduction_delta",
+    "sf_sample_budget",
+    "sf_upper_bound_rounds",
+    "ssf_sample_budget",
+    "ssf_upper_bound_rounds",
+]

@@ -1,0 +1,142 @@
+"""Dependency-free ASCII plotting for CLI output and examples.
+
+The library deliberately avoids a plotting dependency; for quick visual
+inspection of convergence traces and sweeps, these terminal renderers
+are enough: a line plot (x implicit), a scatter for (x, y) pairs with
+optional log axes, and a horizontal bar chart.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["line_plot", "scatter_plot", "bar_chart"]
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(int(position * cells), cells - 1)
+
+
+def line_plot(
+    values: Sequence[float],
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a single series against its index as an ASCII chart."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot plot an empty series")
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        hi = lo + 1.0
+    # Downsample/upsample onto `width` columns.
+    columns = []
+    for col in range(width):
+        index = int(col * (len(data) - 1) / max(width - 1, 1))
+        columns.append(data[index])
+    grid = [[" "] * width for _ in range(height)]
+    for col, value in enumerate(columns):
+        row = height - 1 - _scale(value, lo, hi, height)
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        label = ""
+        if index == 0:
+            label = f"{hi:.3g}"
+        elif index == height - 1:
+            label = f"{lo:.3g}"
+        lines.append(f"{label:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    footer = f"{'':>10} 0{'':>{max(width - len(str(len(data))) - 2, 0)}}{len(data) - 1}"
+    lines.append(footer)
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[Tuple[float, float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render (x, y) pairs; optional log axes for scaling plots."""
+    if not points:
+        raise ValueError("cannot plot an empty point set")
+
+    def tx(x: float) -> float:
+        if log_x:
+            if x <= 0:
+                raise ValueError("log_x requires positive x values")
+            return math.log10(x)
+        return x
+
+    def ty(y: float) -> float:
+        if log_y:
+            if y <= 0:
+                raise ValueError("log_y requires positive y values")
+            return math.log10(y)
+        return y
+
+    xs = [tx(x) for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        grid[row][col] = "o"
+    lines = []
+    if title:
+        lines.append(title)
+    raw_ys = [y for _, y in points]
+    top, bottom = max(raw_ys), min(raw_ys)
+    for index, row in enumerate(grid):
+        label = ""
+        if index == 0:
+            label = f"{top:.3g}"
+        elif index == height - 1:
+            label = f"{bottom:.3g}"
+        lines.append(f"{label:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    raw_xs = [x for x, _ in points]
+    lines.append(f"{'':>10} {min(raw_xs):.3g} ... {max(raw_xs):.3g}"
+                 f"{'  (log x)' if log_x else ''}{'  (log y)' if log_y else ''}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render labeled horizontal bars (linear scale, zero-anchored)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("cannot chart an empty series")
+    top = max(max(values), 0.0)
+    if top == 0:
+        top = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        cells = int(round(max(value, 0.0) / top * width))
+        lines.append(
+            f"{str(label):>{label_width}} |{'#' * cells:<{width}} {value:g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Trace analytics: extracting convergence structure from opinion traces.
+
+The observers (:class:`~repro.model.observers.OpinionTrace`) and the
+fast engines produce per-round/-stage fraction-correct traces; these
+helpers turn them into the quantities experiments report: hitting
+times, the stable consensus point, time-averaged correctness, and
+metastable plateaus (the voter/USD signature under noise).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "hitting_time",
+    "stable_consensus_index",
+    "time_average",
+    "plateaus",
+]
+
+
+def _as_trace(trace: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(list(trace), dtype=float)
+    if arr.size == 0:
+        raise ValueError("trace must be non-empty")
+    if arr.min() < -1e-12 or arr.max() > 1.0 + 1e-12:
+        raise ValueError("trace values must lie in [0, 1]")
+    return arr
+
+
+def hitting_time(trace: Sequence[float], threshold: float = 1.0) -> Optional[int]:
+    """First index at which the trace reaches ``threshold`` (None: never)."""
+    arr = _as_trace(trace)
+    hits = np.flatnonzero(arr >= threshold - 1e-12)
+    return int(hits[0]) if hits.size else None
+
+
+def stable_consensus_index(
+    trace: Sequence[float], threshold: float = 1.0
+) -> Optional[int]:
+    """Start of the final unbroken run at/above ``threshold``.
+
+    ``None`` when the last entry is below the threshold (consensus did
+    not hold to the end).
+    """
+    arr = _as_trace(trace)
+    if arr[-1] < threshold - 1e-12:
+        return None
+    below = np.flatnonzero(arr < threshold - 1e-12)
+    return int(below[-1] + 1) if below.size else 0
+
+
+def time_average(trace: Sequence[float], tail: Optional[int] = None) -> float:
+    """Mean correctness over the whole trace, or its last ``tail`` entries.
+
+    The tail average is the right summary for dynamics that reach a
+    noisy equilibrium instead of consensus (voter, USD).
+    """
+    arr = _as_trace(trace)
+    if tail is not None:
+        if tail < 1:
+            raise ValueError(f"tail must be positive, got {tail}")
+        arr = arr[-tail:]
+    return float(arr.mean())
+
+
+def plateaus(
+    trace: Sequence[float],
+    flatness: float = 0.02,
+    min_length: int = 5,
+) -> List[Tuple[int, int, float]]:
+    """Maximal runs where the trace stays within ``±flatness`` of its
+    run-mean — metastable plateaus.
+
+    Returns ``(start, end_exclusive, level)`` triples of length at least
+    ``min_length``.  A noisy-voter trace shows one long plateau near its
+    stall fixed point; an SF boosting trace shows none below 1.
+    """
+    arr = _as_trace(trace)
+    if min_length < 2:
+        raise ValueError(f"min_length must be >= 2, got {min_length}")
+    out: List[Tuple[int, int, float]] = []
+    start = 0
+    while start < arr.size:
+        end = start + 1
+        lo = hi = arr[start]
+        while end < arr.size:
+            lo = min(lo, arr[end])
+            hi = max(hi, arr[end])
+            if hi - lo > 2 * flatness:
+                break
+            end += 1
+        if end - start >= min_length:
+            out.append((start, end, float(arr[start:end].mean())))
+            start = end
+        else:
+            start += 1
+    return out

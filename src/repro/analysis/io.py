@@ -1,0 +1,52 @@
+"""CSV and JSON export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, Sequence, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_csv(
+    rows: Sequence[Dict[str, object]], path: PathLike, columns: Sequence[str] = ()
+) -> pathlib.Path:
+    """Write table rows to a CSV file, creating parent directories."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if columns:
+        fieldnames = list(columns)
+    else:
+        fieldnames = []
+        for row in rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_json(data: object, path: PathLike) -> pathlib.Path:
+    """Write any JSON-serializable object, creating parent directories."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True, default=_coerce)
+    return path
+
+
+def _coerce(value: object) -> object:
+    """Fallback serializer for numpy scalars and arrays."""
+    import numpy as np
+
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value)!r}")

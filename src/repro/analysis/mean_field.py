@@ -1,0 +1,157 @@
+"""Mean-field (deterministic) recursions for the library's dynamics.
+
+For large n the expected one-round evolution of the fraction of
+1-opinions is a deterministic map; iterating it gives the mean-field
+trajectory that the stochastic simulation fluctuates around by
+O(1/sqrt(n)).  These recursions serve three purposes:
+
+* cheap sanity oracles for the simulators (tests compare trajectories);
+* fixed-point analysis — e.g. the noisy voter's stall point, which
+  explains *why* the baselines in E9 cannot reach consensus;
+* the boosting-phase drift map, the paper's Lemma 33 in expectation.
+
+All maps take and return the fraction ``x`` of agents (including
+sources, which are pinned) holding opinion 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List
+
+from ..model.config import PopulationConfig
+from .stats import fit_loglog_slope  # noqa: F401  (re-exported convenience)
+
+__all__ = [
+    "MeanFieldTrajectory",
+    "voter_map",
+    "voter_fixed_point",
+    "majority_map",
+    "boosting_map",
+    "iterate_map",
+]
+
+
+@dataclasses.dataclass
+class MeanFieldTrajectory:
+    """A deterministic trajectory of the 1-opinion fraction."""
+
+    fractions: List[float]
+
+    @property
+    def final(self) -> float:
+        """Last value of the trajectory."""
+        return self.fractions[-1]
+
+    def rounds_to_reach(self, threshold: float) -> int:
+        """First index with fraction >= threshold (-1 if never)."""
+        for index, value in enumerate(self.fractions):
+            if value >= threshold:
+                return index
+        return -1
+
+
+def _observe_one(x: float, delta: float) -> float:
+    """P(a noisy observation reads 1) when a fraction x displays 1."""
+    return delta + x * (1.0 - 2.0 * delta)
+
+
+def voter_map(config: PopulationConfig, delta: float) -> Callable[[float], float]:
+    """One voter round in expectation.
+
+    Zealots are pinned: the updatable mass is ``1 - z`` with z the source
+    fraction; each updatable agent independently becomes 1 with
+    probability ``q(x) = delta + x(1-2delta)``.
+    """
+    z1 = config.s1 / config.n
+    z0 = config.s0 / config.n
+    free = 1.0 - z0 - z1
+
+    def step(x: float) -> float:
+        q = _observe_one(x, delta)
+        return z1 + free * q
+
+    return step
+
+
+def voter_fixed_point(config: PopulationConfig, delta: float) -> float:
+    """The noisy zealot voter's stall point (exact solution of x = F(x)).
+
+    Solving ``x = z1 + (1-z)(delta + x(1-2delta))`` gives a unique fixed
+    point; with constant delta it sits near 1/2 + O(s/(delta*n)) — far
+    from consensus, which is the quantitative content of E9's voter row.
+    """
+    z1 = config.s1 / config.n
+    z = (config.s0 + config.s1) / config.n
+    free = 1.0 - z
+    a = free * (1.0 - 2.0 * delta)
+    b = z1 + free * delta
+    if a >= 1.0:
+        raise ValueError("degenerate voter map (no noise, no zealots)")
+    return b / (1.0 - a)
+
+
+def majority_map(
+    config: PopulationConfig, delta: float
+) -> Callable[[float], float]:
+    """One round of majority-of-h in expectation.
+
+    Each updatable agent adopts 1 with probability
+    ``P(Binomial(h, q(x)) > h/2) (+ half the tie mass)``.
+    """
+    from ..theory.probability import exact_majority_success
+
+    z1 = config.s1 / config.n
+    z0 = config.s0 / config.n
+    free = 1.0 - z0 - z1
+    h = config.h
+
+    def step(x: float) -> float:
+        q = _observe_one(x, delta)
+        theta = max(min(q - 0.5, 0.5), -0.5)
+        p_one = exact_majority_success(theta, h)
+        return z1 + free * p_one
+
+    return step
+
+
+def boosting_map(
+    n: int, delta: float, window: int
+) -> Callable[[float], float]:
+    """SF's Majority-Boosting sub-phase drift (Lemma 33 in expectation).
+
+    Everyone — sources included — displays and updates, so there is no
+    pinned mass; each agent's new opinion is the majority of ``window``
+    noisy observations.
+    """
+    from ..theory.probability import exact_majority_success
+
+    def step(x: float) -> float:
+        q = _observe_one(x, delta)
+        theta = max(min(q - 0.5, 0.5), -0.5)
+        return exact_majority_success(theta, window)
+
+    return step
+
+
+def iterate_map(
+    step: Callable[[float], float],
+    initial: float,
+    rounds: int,
+    tolerance: float = 0.0,
+) -> MeanFieldTrajectory:
+    """Iterate a one-round map; stop early once |x' - x| <= tolerance."""
+    if not 0.0 <= initial <= 1.0:
+        raise ValueError(f"initial fraction must lie in [0, 1], got {initial}")
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    values = [initial]
+    x = initial
+    for _ in range(rounds):
+        nxt = step(x)
+        values.append(nxt)
+        if tolerance > 0 and math.isclose(nxt, x, abs_tol=tolerance):
+            break
+        x = nxt
+    return MeanFieldTrajectory(fractions=values)

@@ -1,0 +1,114 @@
+"""Sequential hypothesis testing for w.h.p. claims (Wald's SPRT).
+
+Validating "converges w.h.p." with a fixed trial count wastes work: easy
+configurations are obvious after a handful of successes, hard ones need
+many trials.  Wald's Sequential Probability Ratio Test decides between
+
+    H1: success probability >= p1   (the protocol works)
+    H0: success probability <= p0   (it doesn't)
+
+with error probabilities ``alpha`` (accepting H1 under H0) and ``beta``
+(accepting H0 under H1), using on average far fewer trials than the
+equivalent fixed-size test.  ``sequential_success_test`` runs the
+boundary bookkeeping; ``adaptive_trials`` drives a trial callable until
+a decision (or a trial cap).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..rng import generator_stream
+
+__all__ = ["SPRT", "SPRTDecision", "adaptive_trials"]
+
+
+@dataclasses.dataclass
+class SPRTDecision:
+    """Outcome of a sequential test run."""
+
+    decision: Optional[str]  # "accept" (H1), "reject" (H0) or None (cap hit)
+    trials: int
+    successes: int
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical success rate over the trials consumed."""
+        return self.successes / self.trials if self.trials else 0.0
+
+
+class SPRT:
+    """Wald's sequential probability ratio test for a Bernoulli rate.
+
+    Parameters
+    ----------
+    p0, p1:
+        The indifference boundaries: reject when the rate looks ``<= p0``,
+        accept when it looks ``>= p1``.  Requires ``p0 < p1``.
+    alpha, beta:
+        Target error probabilities (false accept / false reject).
+    """
+
+    def __init__(
+        self, p0: float, p1: float, alpha: float = 0.01, beta: float = 0.01
+    ) -> None:
+        if not 0.0 < p0 < p1 < 1.0:
+            raise ValueError(f"need 0 < p0 < p1 < 1, got p0={p0}, p1={p1}")
+        if not (0.0 < alpha < 1.0 and 0.0 < beta < 1.0):
+            raise ValueError("alpha and beta must lie in (0, 1)")
+        self.p0, self.p1 = p0, p1
+        self.upper = math.log((1.0 - beta) / alpha)
+        self.lower = math.log(beta / (1.0 - alpha))
+        self._step_success = math.log(p1 / p0)
+        self._step_failure = math.log((1.0 - p1) / (1.0 - p0))
+        self.log_ratio = 0.0
+
+    def update(self, success: bool) -> Optional[str]:
+        """Feed one Bernoulli observation; return the decision if reached."""
+        self.log_ratio += self._step_success if success else self._step_failure
+        if self.log_ratio >= self.upper:
+            return "accept"
+        if self.log_ratio <= self.lower:
+            return "reject"
+        return None
+
+    def reset(self) -> None:
+        """Restart the test."""
+        self.log_ratio = 0.0
+
+
+def adaptive_trials(
+    run_one: Callable[[np.random.Generator], bool],
+    p0: float = 0.5,
+    p1: float = 0.95,
+    alpha: float = 0.01,
+    beta: float = 0.01,
+    max_trials: int = 1000,
+    seed: Optional[int] = None,
+) -> SPRTDecision:
+    """Run trials until the SPRT decides (or ``max_trials`` is hit).
+
+    ``run_one`` receives a fresh independent generator per trial and
+    returns whether the trial succeeded.
+    """
+    if max_trials < 1:
+        raise ValueError(f"max_trials must be positive, got {max_trials}")
+    test = SPRT(p0, p1, alpha, beta)
+    successes = 0
+    trials = 0
+    for generator in generator_stream(seed):
+        if trials >= max_trials:
+            return SPRTDecision(decision=None, trials=trials, successes=successes)
+        outcome = bool(run_one(generator))
+        trials += 1
+        successes += outcome
+        decision = test.update(outcome)
+        if decision is not None:
+            return SPRTDecision(
+                decision=decision, trials=trials, successes=successes
+            )
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,69 @@
+"""Parameter sweeps: the workhorse behind every benchmark table."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .trials import TrialStats, repeat_trials
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One grid point of a sweep: the parameters and the trial aggregate."""
+
+    params: Dict[str, object]
+    stats: TrialStats
+
+    def row(self) -> Dict[str, object]:
+        """Flatten parameters + summary statistics into one table row."""
+        out = dict(self.params)
+        out.update(self.stats.summary())
+        return out
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """All points of one sweep, in grid order."""
+
+    points: List[SweepPoint]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Table rows, one per grid point."""
+        return [point.row() for point in self.points]
+
+    def column(self, key: str) -> List[object]:
+        """Extract one column across all rows (missing keys become None)."""
+        return [row.get(key) for row in self.rows()]
+
+    def medians(self) -> List[Optional[float]]:
+        """Median measurement per point."""
+        return [point.stats.median for point in self.points]
+
+
+def run_sweep(
+    grid: Iterable[Dict[str, object]],
+    make_runner: Callable[[Dict[str, object]], Callable[[np.random.Generator], object]],
+    trials: int,
+    seed: Optional[int] = None,
+    success: Callable[[object], bool] = None,
+    measure: Callable[[object], float] = None,
+) -> SweepResult:
+    """Run ``trials`` independent trials at every grid point.
+
+    ``make_runner(params)`` builds the single-trial callable for a grid
+    point (so expensive per-point setup — schedules, configs — happens
+    once, outside the trial loop).  Seeds are derived per point from
+    ``seed`` so points are independent yet reproducible.
+    """
+    points: List[SweepPoint] = []
+    for index, params in enumerate(grid):
+        runner = make_runner(params)
+        point_seed = None if seed is None else hash((seed, index)) % (2**63)
+        stats = repeat_trials(
+            runner, trials=trials, seed=point_seed, success=success, measure=measure
+        )
+        points.append(SweepPoint(params=dict(params), stats=stats))
+    return SweepResult(points=points)

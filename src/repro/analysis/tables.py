@@ -1,0 +1,75 @@
+"""Plain-text and markdown table rendering for benchmark output.
+
+The benchmark harness prints paper-prediction vs measured rows; these
+helpers keep that output aligned and diff-friendly without pulling in any
+plotting or rich-text dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _normalize(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> List[str]:
+    if columns:
+        return list(columns)
+    seen: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] = (),
+    precision: int = 4,
+    title: str = None,
+) -> str:
+    """Render rows as an aligned, fixed-width text table."""
+    cols = _normalize(rows, columns)
+    header = [str(c) for c in cols]
+    body = [[_format_cell(row.get(c), precision) for c in cols] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(cols))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] = (),
+    precision: int = 4,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    cols = _normalize(rows, columns)
+    header = "| " + " | ".join(str(c) for c in cols) + " |"
+    divider = "|" + "|".join("---" for _ in cols) + "|"
+    lines = [header, divider]
+    for row in rows:
+        cells = [_format_cell(row.get(c), precision) for c in cols]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Repeated independent trials of a stochastic experiment."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..rng import spawn_generators
+from .stats import bootstrap_ci, median_and_iqr, wilson_interval
+
+
+@dataclasses.dataclass
+class TrialStats:
+    """Aggregate over independent trials of one configuration.
+
+    ``values`` holds the per-trial measurement (convergence round, say)
+    for *successful* trials only; ``successes``/``trials`` count
+    convergence outcomes.
+    """
+
+    trials: int
+    successes: int
+    values: List[float]
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of converged trials."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    def success_interval(self, confidence: float = 0.95):
+        """Wilson interval on the success rate."""
+        return wilson_interval(self.successes, self.trials, confidence)
+
+    @property
+    def median(self) -> Optional[float]:
+        """Median measurement over successful trials (None if none)."""
+        if not self.values:
+            return None
+        return median_and_iqr(self.values)[0]
+
+    def summary(self) -> dict:
+        """A plain-dict summary suitable for tables and JSON export."""
+        out = {
+            "trials": self.trials,
+            "successes": self.successes,
+            "success_rate": self.success_rate,
+        }
+        if self.values:
+            med, q25, q75 = median_and_iqr(self.values)
+            out.update({"median": med, "q25": q25, "q75": q75})
+            point, low, high = bootstrap_ci(self.values)
+            out.update({"ci_low": low, "ci_high": high})
+        return out
+
+
+def repeat_trials(
+    run_one: Callable[[np.random.Generator], "object"],
+    trials: int,
+    seed: Optional[int] = None,
+    success: Callable[["object"], bool] = None,
+    measure: Callable[["object"], float] = None,
+) -> TrialStats:
+    """Run ``run_one`` on ``trials`` independent generators and aggregate.
+
+    Parameters
+    ----------
+    run_one:
+        Called once per trial with a fresh independent generator; returns
+        any result object.
+    success:
+        Predicate extracting convergence from a result; defaults to the
+        result's ``converged`` attribute.
+    measure:
+        Extracts the per-trial measurement for successful trials; defaults
+        to ``consensus_round`` when present, else ``rounds_executed``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if success is None:
+        success = lambda r: bool(getattr(r, "converged"))  # noqa: E731
+    if measure is None:
+
+        def measure(result: "object") -> float:
+            value = getattr(result, "consensus_round", None)
+            if value is None:
+                value = getattr(result, "rounds_executed", None)
+            if value is None:
+                value = getattr(result, "total_rounds")
+            return float(value)
+
+    successes = 0
+    values: List[float] = []
+    for generator in spawn_generators(seed, trials):
+        result = run_one(generator)
+        if success(result):
+            successes += 1
+            values.append(measure(result))
+    return TrialStats(trials=trials, successes=successes, values=values)

@@ -1,0 +1,33 @@
+"""Domain applications built on the public API.
+
+Three scenarios from the paper's introduction and discussion sections:
+
+* :mod:`cooperative_transport` — crazy-ant cooperative transport
+  (Sections 1.1 and 3): carriers sense the load's noisy net force, which
+  is exactly a noisy PULL(n) observation of the population tendency.
+* :mod:`house_hunting` — Temnothorax house-hunting (Section 3): noisy
+  site assessment creates *conflicting* sources; the colony must converge
+  on the plurality preference.
+* :mod:`zealot_network` — zealot consensus: head-to-head comparison of
+  SF/SSF against the zealot voter model.
+"""
+
+from .cooperative_transport import CooperativeTransport, TransportResult
+from .house_hunting import HouseHunting, HouseHuntingResult
+from .zealot_network import ZealotComparison, compare_zealot_dynamics
+from .flocking import FlockConsensus, FlockResult, visual_range_sweep
+from .sensor_network import SensorNetwork, SensorNetworkResult
+
+__all__ = [
+    "SensorNetwork",
+    "SensorNetworkResult",
+    "CooperativeTransport",
+    "FlockConsensus",
+    "FlockResult",
+    "HouseHunting",
+    "HouseHuntingResult",
+    "TransportResult",
+    "ZealotComparison",
+    "compare_zealot_dynamics",
+    "visual_range_sweep",
+]

@@ -1,0 +1,138 @@
+"""Temnothorax house-hunting as a conflicting-sources instance.
+
+Section 3 interprets house-hunting through the paper's lens: scout ants
+gather *first-hand*, noisy assessments of candidate nest sites (creating
+sources whose preferences may conflict), and the colony then needs a
+quorum/majority mechanism to converge on the plurality preference.
+
+We model the two-candidate case: ``num_scouts`` scouts each evaluate both
+sites with Gaussian assessment noise and become a source preferring the
+site they judged better.  The colony then runs SF (or SSF) to spread the
+scouts' plurality opinion to everyone.  The end-to-end success
+probability factors exactly as the paper suggests: P(plurality of scouts
+is right) * P(spreading converges to the plurality).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model.config import PopulationConfig
+from ..protocols.sf_fast import FastSourceFilter
+from ..protocols.ssf_fast import FastSelfStabilizingSourceFilter
+from ..types import RngLike, SourceCounts, as_generator
+
+
+@dataclasses.dataclass
+class HouseHuntingResult:
+    """Outcome of one house-hunting episode.
+
+    Attributes
+    ----------
+    chosen_site:
+        Site the colony converged on (0 or 1), or None without consensus.
+    better_site:
+        Ground-truth better site (always 1 by construction).
+    scouts_for_better / scouts_for_worse:
+        How the scouts' assessments split.
+    colony_unanimous:
+        Whether spreading reached full consensus.
+    spreading_rounds:
+        Round horizon the spreading protocol used.
+    """
+
+    chosen_site: Optional[int]
+    better_site: int
+    scouts_for_better: int
+    scouts_for_worse: int
+    colony_unanimous: bool
+    spreading_rounds: int
+
+
+class HouseHunting:
+    """Two-site selection with noisy scout assessments + SF/SSF spreading.
+
+    Parameters
+    ----------
+    colony_size:
+        Total number of ants ``n``.
+    num_scouts:
+        Ants that assess the sites first-hand and become sources.
+    quality_gap:
+        True quality difference between the sites, in units of the
+        assessment noise's standard deviation.
+    delta:
+        Communication noise during spreading.
+    protocol:
+        ``"sf"`` (synchronized colony) or ``"ssf"`` (self-stabilizing).
+    """
+
+    def __init__(
+        self,
+        colony_size: int,
+        num_scouts: int,
+        quality_gap: float = 1.0,
+        delta: float = 0.15,
+        protocol: str = "sf",
+    ) -> None:
+        if num_scouts < 1 or num_scouts > colony_size // 4:
+            raise ConfigurationError(
+                "num_scouts must be between 1 and colony_size/4 (Eq. 18)"
+            )
+        if quality_gap < 0:
+            raise ConfigurationError("quality_gap must be non-negative")
+        if protocol not in ("sf", "ssf"):
+            raise ConfigurationError(f"protocol must be 'sf' or 'ssf', got {protocol}")
+        self.colony_size = colony_size
+        self.num_scouts = num_scouts
+        self.quality_gap = quality_gap
+        self.delta = delta
+        self.protocol = protocol
+
+    def assess_sites(self, rng: RngLike = None) -> SourceCounts:
+        """Scouts evaluate both sites; returns the preference split.
+
+        Scout ``j`` estimates site qualities ``q + eps`` with independent
+        standard-Gaussian errors and prefers the higher estimate; site 1
+        is better by ``quality_gap``.
+        """
+        generator = as_generator(rng)
+        estimates_0 = generator.normal(0.0, 1.0, size=self.num_scouts)
+        estimates_1 = generator.normal(self.quality_gap, 1.0, size=self.num_scouts)
+        prefers_1 = int(np.sum(estimates_1 > estimates_0))
+        return SourceCounts(s0=self.num_scouts - prefers_1, s1=prefers_1)
+
+    def run(self, rng: RngLike = None) -> HouseHuntingResult:
+        """One full episode: assessment, then spreading, then the verdict."""
+        generator = as_generator(rng)
+        scouts = self.assess_sites(generator)
+        if scouts.bias == 0:
+            # A split jury: re-assess (real colonies keep scouting too).
+            scouts = SourceCounts(s0=scouts.s0 - 1, s1=scouts.s1 + 1)
+        config = PopulationConfig(
+            n=self.colony_size, sources=scouts, h=self.colony_size
+        )
+        if self.protocol == "sf":
+            run = FastSourceFilter(config, self.delta).run(generator)
+            rounds = run.total_rounds
+            opinions = run.final_opinions
+        else:
+            engine = FastSelfStabilizingSourceFilter(config, self.delta)
+            run = engine.run(rng=generator)
+            rounds = run.rounds_executed
+            opinions = run.final_opinions
+
+        unanimous = bool(np.all(opinions == opinions[0]))
+        chosen = int(opinions[0]) if unanimous else None
+        return HouseHuntingResult(
+            chosen_site=chosen,
+            better_site=1,
+            scouts_for_better=scouts.s1,
+            scouts_for_worse=scouts.s0,
+            colony_unanimous=unanimous,
+            spreading_rounds=rounds,
+        )

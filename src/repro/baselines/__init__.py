@@ -1,0 +1,40 @@
+"""Baseline dynamics the paper compares against or builds upon.
+
+All baselines run under the same noisy PULL(h)/PUSH(h) substrates as the
+paper's protocols:
+
+* :class:`NoisyVoterModel` — the voter model with zealot sources
+  (Mobilia et al. [41]; the crazy-ant comparator of [12]).
+* :class:`NoisyMajorityDynamics` — every round, adopt the majority of the
+  ``h`` noisy samples.
+* :class:`ClassicCopySpreading` — the classical rumor-spreading rule
+  (copy from an informed agent, [16]); its informed-tag is corrupted by
+  noise, demonstrating why naive tagging fails in noisy PULL.
+* :class:`UndecidedStateDynamics` — the three-state USD dynamics with
+  zealots, under noise.
+* :class:`PushSpreadingProtocol` — staged-amplification spreading in the
+  noisy PUSH(h) model ([18]-style), the O(log n) side of the PUSH/PULL
+  exponential separation.
+* :class:`KnownSourceOracle` — a non-implementable reference that can
+  identify which samples came from sources; lower-bound companion.
+"""
+
+from .base import DynamicsResult
+from .voter import NoisyVoterModel
+from .majority import NoisyMajorityDynamics
+from .three_majority import ThreeMajorityDynamics
+from .copy_spreading import ClassicCopySpreading
+from .undecided import UndecidedStateDynamics
+from .push_spreading import PushSpreadingProtocol
+from .oracle import KnownSourceOracle
+
+__all__ = [
+    "ClassicCopySpreading",
+    "DynamicsResult",
+    "KnownSourceOracle",
+    "NoisyMajorityDynamics",
+    "NoisyVoterModel",
+    "PushSpreadingProtocol",
+    "ThreeMajorityDynamics",
+    "UndecidedStateDynamics",
+]

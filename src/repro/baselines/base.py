@@ -1,0 +1,74 @@
+"""Shared result type and helpers for the baseline dynamics.
+
+Baselines with zealot sources cannot flip a wrong-preference zealot, so
+the paper's strict convergence notion (every agent, sources included) is
+unattainable for them whenever ``s0 > 0``.  :class:`DynamicsResult`
+therefore reports both the strict notion and the weaker
+*non-zealot consensus* so comparisons against SF/SSF stay honest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class DynamicsResult:
+    """Outcome of one baseline run.
+
+    Attributes
+    ----------
+    converged:
+        Every *updatable* agent (non-zealot) held the correct opinion at
+        the end of the run.
+    strict_converged:
+        Every agent — zealots included — held the correct opinion (the
+        paper's Definition 2; unattainable for zealot baselines when a
+        minority source exists).
+    consensus_round:
+        First round from which non-zealot consensus held to the end.
+    rounds_executed:
+        Total simulated rounds.
+    final_opinions:
+        Opinion vector at the end.
+    trace:
+        Per-round fraction of agents (all agents) holding the correct
+        opinion, when tracing was requested.
+    """
+
+    converged: bool
+    strict_converged: bool
+    consensus_round: Optional[int]
+    rounds_executed: int
+    final_opinions: np.ndarray
+    trace: List[float] = dataclasses.field(default_factory=list)
+
+
+def observe_probability(k: int, n: int, delta: float) -> float:
+    """P(a noisy binary PULL observation shows 1) when ``k`` agents display 1."""
+    return delta + (k / n) * (1.0 - 2.0 * delta)
+
+
+class ConsensusMonitor:
+    """Incrementally tracks the start of the final consensus streak."""
+
+    def __init__(self) -> None:
+        self.consensus_start: Optional[int] = None
+
+    def update(self, round_index: int, unanimous: bool) -> None:
+        """Record whether non-zealot consensus held after ``round_index``."""
+        if unanimous:
+            if self.consensus_start is None:
+                self.consensus_start = round_index
+        else:
+            self.consensus_start = None
+
+    def stable_for(self, round_index: int, patience: int) -> bool:
+        """True when consensus has held for more than ``patience`` rounds."""
+        return (
+            self.consensus_start is not None
+            and round_index - self.consensus_start >= patience
+        )

@@ -1,0 +1,136 @@
+"""Staged-amplification spreading in the noisy PUSH(h) model.
+
+A simplified version of the Feinerman–Haeupler–Korman protocol [18],
+sufficient to exhibit the paper's exponential PUSH/PULL separation
+(Section 1.5): in noisy PUSH, *intent* is reliable even though content is
+not, so informed agents can grow the informed set by a constant factor
+per stage while receivers denoise content by majority vote over the
+repetitions within a stage.
+
+Protocol (parameters: repetitions ``R`` per stage):
+
+* Stage ``j`` lasts ``R`` rounds.  Every informed agent pushes its bit to
+  ``h`` random agents in every round of the stage.
+* At stage end, an uninformed agent that received at least one message
+  adopts the majority bit of the messages it received during the stage
+  and becomes informed.  (Receiving *something* is reliable; the bit is
+  denoised by the majority over ~R*(informed/n)*h expected receipts once
+  the informed set is large, and by sheer redundancy early on.)
+* Once everyone is informed the protocol keeps running a refresh stage in
+  which all agents push and everyone re-adopts the majority — this
+  corrects stragglers that adopted a corrupted bit.
+
+Runs in ``O(R * log n)`` rounds and converges w.h.p. for moderate
+``delta``, versus the Omega(n) PULL(1) lower bound — experiment E7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.population import Population
+from ..model.push_engine import SILENT, PushProtocol
+from ..types import RngLike, as_generator
+
+
+class PushSpreadingProtocol(PushProtocol):
+    """[18]-style staged spreading for :class:`~repro.model.push_engine.PushEngine`.
+
+    Parameters
+    ----------
+    repetitions:
+        Rounds per stage.  Defaults (None) to
+        ``ceil(3 * log(n) / (1 - 2*delta)^2)`` at reset time — enough
+        redundancy for the per-stage majority vote to denoise w.h.p., so
+        the refresh stages drive the population to full unanimity.
+    delta:
+        Noise level used only for the default repetitions formula.
+    """
+
+    alphabet_size = 2
+
+    def __init__(
+        self,
+        repetitions: int = None,
+        delta: float = 0.2,
+        max_stages: int = None,
+    ) -> None:
+        if repetitions is not None and repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        if not 0.0 <= delta < 0.5:
+            raise ValueError(f"delta must lie in [0, 0.5), got {delta}")
+        self.repetitions = repetitions
+        self.delta = delta
+        self.max_stages = max_stages
+        self._population: Population = None
+        self._rng: np.random.Generator = None
+        self._informed: np.ndarray = None
+        self._bits: np.ndarray = None
+        self._stage_counts: np.ndarray = None  # (n, 2) receipts this stage
+
+    # ------------------------------------------------------------------
+    def reset(self, population: Population, rng: RngLike = None) -> None:
+        self._population = population
+        self._rng = as_generator(rng)
+        if self.repetitions is None:
+            import math
+
+            self.repetitions = max(
+                int(math.ceil(3.0 * math.log(population.n) / (1.0 - 2.0 * self.delta) ** 2)),
+                1,
+            )
+        n = population.n
+        self._informed = population.is_source.copy()
+        self._bits = np.where(
+            population.preferences >= 0, population.preferences, 0
+        ).astype(np.int8)
+        # Uninformed agents hold a random provisional opinion until informed.
+        uninformed = ~self._informed
+        self._bits[uninformed] = self._rng.integers(
+            0, 2, size=int(uninformed.sum())
+        ).astype(np.int8)
+        self._stage_counts = np.zeros((n, 2), dtype=np.int64)
+
+    def pushes(self, round_index: int) -> np.ndarray:
+        out = np.full(self._population.n, SILENT, dtype=np.int64)
+        out[self._informed] = self._bits[self._informed]
+        return out
+
+    def receive(
+        self, round_index: int, receivers: np.ndarray, symbols: np.ndarray
+    ) -> None:
+        if receivers.size:
+            np.add.at(self._stage_counts, (receivers, symbols), 1)
+        if (round_index + 1) % self.repetitions == 0:
+            self._end_stage()
+
+    def _end_stage(self) -> None:
+        counts = self._stage_counts
+        total = counts.sum(axis=1)
+        heard = total > 0
+        majority_1 = counts[:, 1] * 2 > total
+        ties = counts[:, 1] * 2 == total
+        new_bits = np.where(majority_1, 1, 0).astype(np.int8)
+        if ties.any():
+            coin = self._rng.integers(0, 2, size=int(ties.sum())).astype(np.int8)
+            new_bits[ties] = coin
+        # Sources never change their bit; everyone else adopts the stage
+        # majority when they heard anything (refresh included).
+        adopt = heard & ~self._population.is_source
+        self._bits[adopt] = new_bits[adopt]
+        self._informed |= heard
+        self._stage_counts[:] = 0
+
+    # ------------------------------------------------------------------
+    def opinions(self) -> np.ndarray:
+        return self._bits
+
+    def finished(self, round_index: int) -> bool:
+        if self.max_stages is None:
+            return False
+        return round_index >= self.max_stages * self.repetitions
+
+    @property
+    def informed_fraction(self) -> float:
+        """Fraction of agents currently informed."""
+        return float(np.mean(self._informed))

@@ -1,0 +1,83 @@
+"""The 3-majority dynamics with zealots under noise.
+
+A classic of the consensus-dynamics literature (see the survey [47]):
+every round each agent samples **three** agents and adopts the majority
+opinion among them.  It converges to an existing majority in
+O(log n) rounds in the noiseless complete model — but like every blind
+amplifier it converges to whatever the *initial* majority is, and under
+observation noise its drift towards the few sources is again O(s/n) per
+round.  Included for the E9-style comparisons; also exercises the
+``h = 3`` corner of the model.
+
+Vectorized exactness: each agent's three noisy samples are i.i.d.
+Bernoulli(q) with ``q = delta + (k/n)(1-2delta)``; majority-of-3 adopts
+1 with probability ``q^3 + 3 q^2 (1-q)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..model.config import PopulationConfig
+from ..types import RngLike, as_generator
+from .base import ConsensusMonitor, DynamicsResult, observe_probability
+
+
+class ThreeMajorityDynamics:
+    """Majority-of-3-samples dynamics with zealot sources."""
+
+    def __init__(self, config: PopulationConfig, delta: float) -> None:
+        if not 0.0 <= delta <= 0.5:
+            raise ValueError(f"delta must lie in [0, 0.5], got {delta}")
+        self.config = config
+        self.delta = delta
+
+    def run(
+        self,
+        max_rounds: int,
+        rng: RngLike = None,
+        stop_on_consensus: bool = True,
+        patience: int = 0,
+        record_trace: bool = False,
+    ) -> DynamicsResult:
+        """Simulate up to ``max_rounds`` rounds."""
+        generator = as_generator(rng)
+        cfg = self.config
+        n, s0, s1 = cfg.n, cfg.s0, cfg.s1
+        correct = cfg.correct_opinion
+        num_free = n - s0 - s1
+
+        free = generator.integers(0, 2, size=num_free).astype(np.int8)
+        monitor = ConsensusMonitor()
+        trace: List[float] = []
+        t = 0
+        for t in range(max_rounds):
+            k = s1 + int(np.sum(free == 1))
+            q = observe_probability(k, n, self.delta)
+            p_adopt_one = q**3 + 3.0 * q * q * (1.0 - q)
+            free = (generator.random(num_free) < p_adopt_one).astype(np.int8)
+            unanimous = bool(np.all(free == correct))
+            monitor.update(t, unanimous)
+            if record_trace:
+                num_correct = int(np.sum(free == correct)) + (
+                    s1 if correct == 1 else s0
+                )
+                trace.append(num_correct / n)
+            if stop_on_consensus and monitor.stable_for(t, patience):
+                break
+
+        final = np.concatenate(
+            [np.zeros(s0, dtype=np.int8), np.ones(s1, dtype=np.int8), free]
+        )
+        converged = bool(np.all(free == correct))
+        strict = converged and (s0 == 0 if correct == 1 else s1 == 0)
+        return DynamicsResult(
+            converged=converged,
+            strict_converged=strict,
+            consensus_round=monitor.consensus_start if converged else None,
+            rounds_executed=t + 1,
+            final_opinions=final,
+            trace=trace,
+        )

@@ -1,0 +1,100 @@
+"""Undecided-state dynamics (USD) with zealots under noise.
+
+The three-state consensus dynamics studied in population protocols
+[33, 35]: agents are in state 0, 1 or *undecided*.  On observing an
+opinionated sample with the opposite opinion an agent becomes undecided;
+an undecided agent adopts the first opinionated sample it sees.  Zealot
+sources always display (and keep) their preference.
+
+Messages live on a 3-letter alphabet {0, 1, undecided} corrupted by a
+``delta``-uniform channel.  USD amplifies an existing majority extremely
+fast but — like the voter model — extracts the *sources'* signal only at
+an O(s/n)-per-round drift, so it does not beat the Omega(n) barrier
+either; with noise it additionally stalls at a noisy-equilibrium mix.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..model.config import PopulationConfig
+from ..types import RngLike, as_generator
+from .base import ConsensusMonitor, DynamicsResult
+
+#: Third symbol: the undecided tag.
+UNDECIDED = 2
+
+
+class UndecidedStateDynamics:
+    """USD with zealots over a noisy 3-letter PULL channel (one sample/round)."""
+
+    def __init__(self, config: PopulationConfig, delta: float) -> None:
+        if not 0.0 <= delta <= 1.0 / 3.0:
+            raise ValueError(f"delta must lie in [0, 1/3], got {delta}")
+        self.config = config
+        self.delta = delta
+
+    def run(
+        self,
+        max_rounds: int,
+        rng: RngLike = None,
+        stop_on_consensus: bool = True,
+        patience: int = 0,
+        record_trace: bool = False,
+    ) -> DynamicsResult:
+        """Simulate up to ``max_rounds`` rounds."""
+        generator = as_generator(rng)
+        cfg = self.config
+        n, s0, s1 = cfg.n, cfg.s0, cfg.s1
+        correct = cfg.correct_opinion
+        num_free = n - s0 - s1
+
+        # Free agents start opinionated at random (0/1).
+        free = generator.integers(0, 2, size=num_free).astype(np.int8)
+        monitor = ConsensusMonitor()
+        trace: List[float] = []
+        t = 0
+        for t in range(max_rounds):
+            counts = np.array(
+                [
+                    s0 + int(np.sum(free == 0)),
+                    s1 + int(np.sum(free == 1)),
+                    int(np.sum(free == UNDECIDED)),
+                ],
+                dtype=float,
+            )
+            q = self.delta + (counts / n) * (1.0 - 3.0 * self.delta)
+            observed = generator.choice(3, size=num_free, p=q / q.sum())
+            new = free.copy()
+            # Opinionated agent seeing the opposite opinion -> undecided.
+            opinionated = free != UNDECIDED
+            clash = opinionated & (observed != UNDECIDED) & (observed != free)
+            new[clash] = UNDECIDED
+            # Undecided agent seeing an opinion -> adopt it.
+            adopt = (free == UNDECIDED) & (observed != UNDECIDED)
+            new[adopt] = observed[adopt].astype(np.int8)
+            free = new
+
+            unanimous = bool(np.all(free == correct))
+            monitor.update(t, unanimous)
+            if record_trace:
+                num_correct = int(np.sum(free == correct)) + (s1 if correct == 1 else s0)
+                trace.append(num_correct / n)
+            if stop_on_consensus and monitor.stable_for(t, patience):
+                break
+
+        final = np.concatenate(
+            [np.zeros(s0, dtype=np.int8), np.ones(s1, dtype=np.int8), free]
+        )
+        converged = bool(np.all(free == correct))
+        strict = converged and (s0 == 0 if correct == 1 else s1 == 0)
+        return DynamicsResult(
+            converged=converged,
+            strict_converged=strict,
+            consensus_round=monitor.consensus_start if converged else None,
+            rounds_executed=t + 1,
+            final_opinions=final,
+            trace=trace,
+        )

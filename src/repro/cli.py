@@ -1,0 +1,342 @@
+"""Command-line interface: ``repro-spreading``.
+
+Subcommands
+-----------
+``run``       simulate one SF/SSF/baseline instance and print the outcome
+``sweep``     sweep ``n`` for one protocol and print a scaling table
+``figure1``   print the Figure 1 series f(delta) for d in {2, 4}
+``reduce``    build the Theorem 8 artificial-noise matrix for a random
+              delta-upper-bounded channel and print the pieces
+``regime``    classify an instance per Section 2.3 (which analysis regime,
+              which Eq. 19 term dominates, is the lower bound informative)
+``transport`` run the crazy-ant cooperative-transport scenario and render
+              the load trajectory
+``experiment`` run one (or all) of the paper-reproduction experiments
+              (FIG1, E1..E10) at quick or full scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.tables import format_table
+from .analysis.trials import repeat_trials
+from .baselines import NoisyMajorityDynamics, NoisyVoterModel
+from .model.config import PopulationConfig
+from .noise import NoiseMatrix, noise_reduction, reduction_delta
+from .protocols import FastSelfStabilizingSourceFilter, FastSourceFilter
+from .theory import lower_bound_rounds, sf_upper_bound_rounds
+from .types import SourceCounts
+
+
+def _add_population_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=1024, help="population size")
+    parser.add_argument("--s0", type=int, default=0, help="sources preferring 0")
+    parser.add_argument("--s1", type=int, default=1, help="sources preferring 1")
+    parser.add_argument(
+        "--h", type=int, default=None, help="sample size per round (default: n)"
+    )
+    parser.add_argument("--delta", type=float, default=0.2, help="uniform noise level")
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+
+
+def _config(args: argparse.Namespace) -> PopulationConfig:
+    h = args.h if args.h is not None else args.n
+    return PopulationConfig(
+        n=args.n, sources=SourceCounts(s0=args.s0, s1=args.s1), h=h
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config(args)
+    rng = np.random.default_rng(args.seed)
+    if args.protocol == "sf":
+        result = FastSourceFilter(config, args.delta).run(rng)
+        print(
+            f"SF: converged={result.converged} rounds={result.total_rounds} "
+            f"weak_fraction_correct={result.weak_fraction_correct:.4f}"
+        )
+    elif args.protocol == "ssf":
+        result = FastSelfStabilizingSourceFilter(config, args.delta).run(rng=rng)
+        print(
+            f"SSF: converged={result.converged} rounds={result.rounds_executed} "
+            f"consensus_round={result.consensus_round}"
+        )
+    elif args.protocol == "voter":
+        budget = max(int(8 * config.n * math.log(config.n)), 100)
+        result = NoisyVoterModel(config, args.delta).run(budget, rng=rng)
+        print(
+            f"voter: converged={result.converged} rounds={result.rounds_executed} "
+            f"consensus_round={result.consensus_round}"
+        )
+    else:
+        budget = max(int(8 * config.n * math.log(config.n)), 100)
+        result = NoisyMajorityDynamics(config, args.delta).run(budget, rng=rng)
+        print(
+            f"majority: converged={result.converged} rounds={result.rounds_executed} "
+            f"consensus_round={result.consensus_round}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for exponent in range(args.min_exp, args.max_exp + 1):
+        n = 2**exponent
+        h = n if args.h is None else args.h
+        config = PopulationConfig(
+            n=n, sources=SourceCounts(s0=args.s0, s1=args.s1), h=h
+        )
+
+        def run_one(rng: np.random.Generator, config=config):
+            if args.protocol == "sf":
+                return FastSourceFilter(config, args.delta).run(rng)
+            return FastSelfStabilizingSourceFilter(config, args.delta).run(rng=rng)
+
+        def measure(result: object) -> float:
+            value = getattr(result, "total_rounds", None)
+            if value is None:
+                value = result.rounds_executed
+            return float(value)
+
+        stats = repeat_trials(run_one, trials=args.trials, seed=args.seed, measure=measure)
+        rows.append(
+            {
+                "n": n,
+                "success_rate": stats.success_rate,
+                "median_rounds": stats.median,
+                "lower_bound": lower_bound_rounds(
+                    n, h, max(abs(args.s1 - args.s0), 1), args.delta
+                ),
+                "upper_bound": sf_upper_bound_rounds(config, args.delta),
+            }
+        )
+    print(format_table(rows, title=f"{args.protocol} scaling sweep (delta={args.delta})"))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    rows = []
+    deltas = np.linspace(0.0, 0.499, args.points)
+    for delta in deltas:
+        row = {"delta": float(delta)}
+        for d in (2, 4):
+            if delta < 1.0 / d:
+                row[f"f(delta) d={d}"] = reduction_delta(float(delta), d)
+            else:
+                row[f"f(delta) d={d}"] = None
+        rows.append(row)
+    print(format_table(rows, title="Figure 1: f(delta) for d in {2, 4}"))
+    return 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    noise = NoiseMatrix.random_upper_bounded(args.delta, args.d, rng)
+    reduction = noise_reduction(noise)
+    print(f"original N (delta-upper-bounded, delta={reduction.delta:.4f}):")
+    print(np.array2string(noise.matrix, precision=4))
+    print(f"artificial P = N^-1 T:")
+    print(np.array2string(reduction.artificial.matrix, precision=4))
+    print(
+        f"effective T = N P is {reduction.delta_prime:.4f}-uniform:"
+    )
+    print(np.array2string(reduction.effective.matrix, precision=4))
+    return 0
+
+
+def _cmd_regime(args: argparse.Namespace) -> int:
+    from .analysis import bar_chart
+    from .theory import regime_report
+
+    config = _config(args)
+    report = regime_report(config, args.delta)
+    print(
+        f"instance: n={config.n}, s0={config.s0}, s1={config.s1}, "
+        f"h={config.h}, delta={args.delta}"
+    )
+    print(report.describe())
+    terms = report.budget_terms
+    print()
+    print(bar_chart(list(terms), list(terms.values()),
+                    title="Eq. (19) budget terms (unit constant):"))
+    return 0
+
+
+def _cmd_transport(args: argparse.Namespace) -> int:
+    from .analysis import line_plot
+    from .apps import CooperativeTransport
+
+    sim = CooperativeTransport(
+        num_carriers=args.n,
+        num_informed=args.informed,
+        delta=args.delta,
+    )
+    result = sim.run(rng=args.seed)
+    print(
+        line_plot(
+            list(result.positions),
+            title=(
+                f"load position over {len(result.velocities)} rounds "
+                f"({args.informed} informed of {args.n} carriers)"
+            ),
+            y_label="displacement towards nest",
+        )
+    )
+    print(
+        f"aligned={result.aligned}  epochs_to_alignment="
+        f"{result.epochs_to_alignment}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .analysis import write_json
+    from .experiments import all_experiments, get_experiment
+
+    if args.id.lower() == "all":
+        experiments = all_experiments()
+    else:
+        experiments = [get_experiment(args.id)]
+    failed = 0
+    outcomes = []
+    for experiment in experiments:
+        outcome = experiment.run(scale=args.scale, seed=args.seed)
+        print(outcome.render())
+        print()
+        failed += not outcome.passed
+        outcomes.append(outcome.to_dict())
+    if args.json:
+        path = write_json(
+            outcomes if len(outcomes) > 1 else outcomes[0], args.json
+        )
+        print(f"wrote {path}")
+    if failed:
+        print(f"{failed} experiment(s) FAILED")
+        return 1
+    print(f"all {len(experiments)} experiment(s) passed")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .experiments import run_suite
+
+    result = run_suite(scale=args.scale, seed=args.seed, only=args.only)
+    print(result.render_summary())
+    if args.save:
+        directory = result.save(args.save)
+        print(f"wrote per-experiment JSON/CSV to {directory}")
+    if not result.passed:
+        print(f"FAILED: {', '.join(result.failures)}")
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import instance_report
+
+    config = _config(args)
+    print(instance_report(config, args.delta, trials=args.trials, seed=args.seed))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-spreading",
+        description="Noisy PULL information spreading (arXiv:2411.02560 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one instance")
+    _add_population_args(run)
+    run.add_argument(
+        "--protocol",
+        choices=("sf", "ssf", "voter", "majority"),
+        default="sf",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="scaling sweep over n = 2^k")
+    _add_population_args(sweep)
+    sweep.add_argument("--protocol", choices=("sf", "ssf"), default="sf")
+    sweep.add_argument("--min-exp", type=int, default=8)
+    sweep.add_argument("--max-exp", type=int, default=12)
+    sweep.add_argument("--trials", type=int, default=5)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    figure1 = sub.add_parser("figure1", help="print the Figure 1 series")
+    figure1.add_argument("--points", type=int, default=21)
+    figure1.set_defaults(func=_cmd_figure1)
+
+    reduce_cmd = sub.add_parser("reduce", help="demo the Theorem 8 reduction")
+    reduce_cmd.add_argument("--d", type=int, default=4, help="alphabet size")
+    reduce_cmd.add_argument("--delta", type=float, default=0.15)
+    reduce_cmd.add_argument("--seed", type=int, default=0)
+    reduce_cmd.set_defaults(func=_cmd_reduce)
+
+    regime = sub.add_parser("regime", help="classify an instance (Section 2.3)")
+    _add_population_args(regime)
+    regime.set_defaults(func=_cmd_regime)
+
+    transport = sub.add_parser(
+        "transport", help="crazy-ant cooperative transport demo"
+    )
+    transport.add_argument("--n", type=int, default=512, help="carriers")
+    transport.add_argument("--informed", type=int, default=1)
+    transport.add_argument("--delta", type=float, default=0.2)
+    transport.add_argument("--seed", type=int, default=0)
+    transport.set_defaults(func=_cmd_transport)
+
+    experiment = sub.add_parser(
+        "experiment", help="run paper-reproduction experiments"
+    )
+    experiment.add_argument(
+        "id", help="experiment id (FIG1, E1..E10) or 'all'"
+    )
+    experiment.add_argument("--scale", choices=("quick", "full"), default="quick")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--json", default=None, help="also write outcome(s) to this JSON file"
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    suite = sub.add_parser(
+        "suite", help="run the experiment suite and print a summary table"
+    )
+    suite.add_argument("--scale", choices=("quick", "full"), default="quick")
+    suite.add_argument("--seed", type=int, default=0)
+    suite.add_argument(
+        "--only", nargs="*", default=None, help="experiment ids to include"
+    )
+    suite.add_argument(
+        "--save", default=None, help="directory for per-experiment JSON/CSV"
+    )
+    suite.set_defaults(func=_cmd_suite)
+
+    report = sub.add_parser(
+        "report", help="full markdown report for one instance"
+    )
+    _add_population_args(report)
+    report.add_argument(
+        "--trials", type=int, default=0, help="also measure over this many runs"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends raised by
+numpy, for instance) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or population configuration is invalid.
+
+    Raised, for example, when the number of sources exceeds the paper's
+    standing assumption ``s0, s1 <= n/4`` (Eq. 18), or when a sample size
+    ``h`` is not a positive integer.
+    """
+
+
+class NoiseMatrixError(ReproError, ValueError):
+    """A noise matrix violates a structural requirement.
+
+    Covers non-stochastic rows, values outside ``[0, 1]``, a ``delta``
+    outside the admissible range ``[0, 1/|Sigma|)``, and matrices that are
+    not delta-upper-bounded where the caller requires it.
+    """
+
+
+class NotStochasticError(NoiseMatrixError):
+    """A matrix expected to be (row-)stochastic is not."""
+
+
+class SingularMatrixError(NoiseMatrixError):
+    """A noise matrix could not be inverted.
+
+    For delta-upper-bounded matrices with ``delta < 1/d`` this should never
+    happen (Corollary 14 of the paper proves invertibility); seeing this
+    error therefore indicates the input was not actually upper bounded.
+    """
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A protocol was driven incorrectly.
+
+    For instance calling ``observe`` before the protocol was reset, or
+    feeding it a message outside its communication alphabet.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A simulation failed to converge within its round budget."""
+
+    def __init__(self, message: str, rounds_used: int) -> None:
+        super().__init__(message)
+        self.rounds_used = rounds_used

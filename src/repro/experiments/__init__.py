@@ -1,0 +1,42 @@
+"""First-class experiment definitions (the reproduction's heart).
+
+Every experiment from DESIGN.md's index is a reusable object: it runs at
+a chosen scale (``quick`` for CI, ``full`` for the benchmark harness),
+returns its reproduction table plus machine-checked *shape assertions*
+(the paper's qualitative claims), and renders itself.  The CLI
+(``repro-spreading experiment``) and the pytest-benchmark harness are
+both thin wrappers over this package.
+"""
+
+from .base import CheckResult, Experiment, ExperimentOutcome
+from .registry import all_experiments, get_experiment, register
+from .suite import SuiteResult, run_suite
+
+# Importing the modules registers the experiments.
+from . import fig1  # noqa: F401
+from . import e1_convergence_vs_n  # noqa: F401
+from . import e2_speedup_vs_h  # noqa: F401
+from . import e3_noise_dependence  # noqa: F401
+from . import e4_bias  # noqa: F401
+from . import e5_self_stabilization  # noqa: F401
+from . import e6_lower_bound  # noqa: F401
+from . import e7_push_vs_pull  # noqa: F401
+from . import e8_noise_reduction  # noqa: F401
+from . import e9_baselines  # noqa: F401
+from . import e10_weak_opinion  # noqa: F401
+from . import abl1_constants  # noqa: F401
+from . import abl2_design  # noqa: F401
+from . import abl3_framing  # noqa: F401
+from . import ext1_kary  # noqa: F401
+from . import ext2_faults  # noqa: F401
+
+__all__ = [
+    "CheckResult",
+    "Experiment",
+    "ExperimentOutcome",
+    "SuiteResult",
+    "all_experiments",
+    "get_experiment",
+    "register",
+    "run_suite",
+]

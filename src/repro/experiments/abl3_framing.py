@@ -1,0 +1,144 @@
+"""ABL3 — framing ablations: stable structure, and the clock."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import fit_loglog_slope
+from ..model import (
+    AsyncPullEngine,
+    Population,
+    PopulationConfig,
+    StableFlooding,
+    build_graph,
+)
+from ..noise import NoiseMatrix
+from ..protocols import (
+    AsyncSelfStabilizingSourceFilter,
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+    SSFSchedule,
+)
+from ..types import SourceCounts
+from .base import CheckResult, Experiment, ExperimentOutcome
+from .registry import register
+
+DELTA = 0.2
+
+
+@register
+class FramingAblation(Experiment):
+    """Stable-expander flooding vs well-mixed PULL(1); async vs sync SSF."""
+
+    experiment_id = "ABL3"
+    title = "structure and scheduling ablations"
+    claim = (
+        "Stable topologies denoise by redundancy (intro's claim): "
+        "expander flooding is polylog while well-mixed PULL(1) is "
+        "near-linear.  SSF pays only constants for losing the clock."
+    )
+
+    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+        self._validate_scale(scale)
+        sizes = [256, 1024, 4096] if scale == "full" else [256, 1024]
+        rows = []
+
+        # (a) structure.
+        structure_points = []
+        for n in sizes:
+            flooding = StableFlooding(
+                build_graph("regular", n, degree=4, rng=seed + n), delta=DELTA
+            )
+            structured = flooding.run([0], rng=np.random.default_rng(seed + n))
+            config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=1)
+            well_mixed = FastSourceFilter(config, DELTA)
+            structure_points.append(
+                (n, structured, well_mixed.schedule.total_rounds)
+            )
+            rows.append(
+                {
+                    "ablation": "structure",
+                    "n": n,
+                    "stable_rounds": structured.rounds,
+                    "well_mixed_rounds": well_mixed.schedule.total_rounds,
+                    "ok": structured.converged,
+                }
+            )
+
+        stable_slope, _, _ = fit_loglog_slope(
+            [n for n, _, _ in structure_points],
+            [s.rounds for _, s, _ in structure_points],
+        )
+        mixed_slope, _, _ = fit_loglog_slope(
+            [n for n, _, _ in structure_points],
+            [w for _, _, w in structure_points],
+        )
+
+        # (b) scheduling.
+        async_ok = True
+        async_pairs = (
+            [(48, 24), (96, 48)] if scale == "full" else [(48, 24)]
+        )
+        for n, h in async_pairs:
+            config = PopulationConfig(n=n, sources=SourceCounts(0, 2), h=h)
+            schedule = SSFSchedule.from_config(config, 0.05)
+            sync = FastSelfStabilizingSourceFilter(
+                config, 0.05, schedule=schedule
+            ).run(rng=seed + n)
+            population = Population(config, rng=np.random.default_rng(seed + n))
+            protocol = AsyncSelfStabilizingSourceFilter(schedule)
+            engine = AsyncPullEngine(population, NoiseMatrix.uniform(0.05, 4))
+            asynchronous = engine.run(
+                protocol,
+                max_activations=n * 12 * schedule.epoch_rounds,
+                rng=np.random.default_rng(seed + n + 1),
+                consensus_patience=n * schedule.epoch_rounds,
+            )
+            pair_ok = sync.converged and asynchronous.converged
+            ratio = None
+            if pair_ok:
+                ratio = asynchronous.consensus_parallel_rounds / max(
+                    sync.consensus_round, 1
+                )
+                pair_ok = 0.2 < ratio < 5.0
+            async_ok &= pair_ok
+            rows.append(
+                {
+                    "ablation": "scheduling",
+                    "n": n,
+                    "stable_rounds": sync.consensus_round,
+                    "well_mixed_rounds": round(
+                        asynchronous.consensus_parallel_rounds or -1, 1
+                    ),
+                    "ok": pair_ok,
+                }
+            )
+
+        checks = [
+            CheckResult(
+                "stable flooding converges everywhere",
+                all(r["ok"] for r in rows if r["ablation"] == "structure"),
+            ),
+            CheckResult(
+                "polylog (stable) vs near-linear (well-mixed) slopes",
+                # Narrow quick grids (4x in n) weaken the slope estimates;
+                # the full grid spans 16x and separates cleanly.
+                stable_slope < 0.5
+                and mixed_slope > (0.8 if scale == "full" else 0.6),
+                f"stable={stable_slope:.3f}, mixed={mixed_slope:.3f}",
+            ),
+            CheckResult(
+                "async SSF within constants of sync (parallel rounds)",
+                async_ok,
+            ),
+        ]
+        return self._outcome(
+            rows,
+            checks,
+            notes=(
+                "structure rows: stable_rounds = expander flooding, "
+                "well_mixed_rounds = PULL(1) SF horizon; scheduling rows: "
+                "stable_rounds = sync consensus round, well_mixed_rounds = "
+                "async parallel-round equivalents"
+            ),
+        )

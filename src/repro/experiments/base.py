@@ -1,0 +1,107 @@
+"""Experiment framework: outcomes, checks, and the Experiment base class."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, List
+
+from ..analysis import format_table
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """One machine-checked shape assertion.
+
+    ``name`` states the paper claim being checked; ``detail`` records the
+    measured quantity so failures are diagnosable from the rendered
+    outcome alone.
+    """
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclasses.dataclass
+class ExperimentOutcome:
+    """Everything one experiment run produced."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]]
+    checks: List[CheckResult]
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """All shape checks passed."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        """The checks that did not pass."""
+        return [check for check in self.checks if not check.passed]
+
+    def render(self) -> str:
+        """Human-readable report: table + per-check verdicts."""
+        lines = [format_table(self.rows, title=f"{self.experiment_id}: {self.title}")]
+        if self.notes:
+            lines.append(self.notes)
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            suffix = f"  ({check.detail})" if check.detail else ""
+            lines.append(f"  [{mark}] {check.name}{suffix}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (see ``analysis.write_json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "notes": self.notes,
+            "passed": self.passed,
+            "rows": self.rows,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+        }
+
+
+class Experiment(abc.ABC):
+    """One reproducible experiment from the DESIGN.md index.
+
+    Subclasses set ``experiment_id``, ``title`` and ``claim`` and
+    implement :meth:`run`.  ``scale`` is either ``"quick"`` (seconds,
+    CI-friendly, smaller grids) or ``"full"`` (the benchmark-harness
+    grids recorded in EXPERIMENTS.md).
+    """
+
+    experiment_id: str = "?"
+    title: str = ""
+    claim: str = ""
+
+    @abc.abstractmethod
+    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+        """Execute the experiment and return its outcome."""
+
+    def _outcome(
+        self,
+        rows: List[Dict[str, object]],
+        checks: List[CheckResult],
+        notes: str = "",
+    ) -> ExperimentOutcome:
+        return ExperimentOutcome(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            rows=rows,
+            checks=checks,
+            notes=notes,
+        )
+
+    @staticmethod
+    def _validate_scale(scale: str) -> str:
+        if scale not in ("quick", "full"):
+            raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+        return scale

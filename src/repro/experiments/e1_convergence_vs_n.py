@@ -1,0 +1,76 @@
+"""E1 — Theorem 4's remark: SF at h = n spreads in O(log n) rounds."""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis import fit_loglog_slope, repeat_trials
+from ..model.config import PopulationConfig
+from ..protocols import FastSourceFilter
+from ..theory import sf_upper_bound_rounds
+from ..types import SourceCounts
+from .base import CheckResult, Experiment, ExperimentOutcome
+from .registry import register
+
+DELTA = 0.2
+
+
+@register
+class ConvergenceVsN(Experiment):
+    """SF round counts against n at full observation (h = n)."""
+
+    experiment_id = "E1"
+    title = "SF at h=n: O(log n) spreading (Theorem 4 remark)"
+    claim = (
+        "With h = n, constant noise and bias, information spreading "
+        "completes in O(log n) rounds w.h.p."
+    )
+
+    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+        self._validate_scale(scale)
+        sizes = (
+            [256, 512, 1024, 2048, 4096, 8192]
+            if scale == "full"
+            else [256, 1024, 4096]
+        )
+        trials = 10 if scale == "full" else 5
+        rows = []
+        for n in sizes:
+            config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=n)
+            engine = FastSourceFilter(config, DELTA)
+            stats = repeat_trials(
+                lambda g: engine.run(g), trials=trials, seed=seed + n
+            )
+            rows.append(
+                {
+                    "n": n,
+                    "rounds": engine.schedule.total_rounds,
+                    "rounds_per_log_n": engine.schedule.total_rounds / math.log(n),
+                    "success_rate": stats.success_rate,
+                    "theory_upper_shape": round(
+                        sf_upper_bound_rounds(config, DELTA), 1
+                    ),
+                }
+            )
+
+        slope, _, _ = fit_loglog_slope(
+            [r["n"] for r in rows], [r["rounds"] for r in rows]
+        )
+        ratios = [r["rounds_per_log_n"] for r in rows]
+        checks = [
+            CheckResult(
+                "w.h.p. convergence at every size",
+                all(r["success_rate"] == 1.0 for r in rows),
+            ),
+            CheckResult(
+                "sublinear growth (log-log slope < 0.4)",
+                slope < 0.4,
+                f"slope={slope:.3f}",
+            ),
+            CheckResult(
+                "rounds/log(n) bounded (logarithmic shape)",
+                max(ratios) / min(ratios) < 4.0,
+                f"band ratio={max(ratios) / min(ratios):.2f}",
+            ),
+        ]
+        return self._outcome(rows, checks, notes=f"delta={DELTA}, s=1, h=n")

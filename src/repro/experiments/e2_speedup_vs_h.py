@@ -1,0 +1,74 @@
+"""E2 — Theorem 4: linear acceleration in the sample size h."""
+
+from __future__ import annotations
+
+from ..analysis import fit_loglog_slope, repeat_trials
+from ..model.config import PopulationConfig
+from ..protocols import FastSourceFilter
+from ..theory import lower_bound_rounds
+from ..types import SourceCounts
+from .base import CheckResult, Experiment, ExperimentOutcome
+from .registry import register
+
+DELTA = 0.2
+
+
+@register
+class SpeedupVsH(Experiment):
+    """SF round counts against h at fixed n."""
+
+    experiment_id = "E2"
+    title = "SF speedup vs sample size h (Theorem 4)"
+    claim = "T = O(B/h + log n): linear speedup until the log-n floor."
+
+    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+        self._validate_scale(scale)
+        n = 4096 if scale == "full" else 1024
+        hs = (
+            [1, 4, 16, 64, 256, 1024, 4096]
+            if scale == "full"
+            else [1, 16, 256, 1024]
+        )
+        trials = 6 if scale == "full" else 3
+        rows = []
+        for h in hs:
+            config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=h)
+            engine = FastSourceFilter(config, DELTA)
+            stats = repeat_trials(
+                lambda g: engine.run(g), trials=trials, seed=seed + h
+            )
+            rows.append(
+                {
+                    "h": h,
+                    "rounds": engine.schedule.total_rounds,
+                    "success_rate": stats.success_rate,
+                    "lower_bound_shape": round(
+                        lower_bound_rounds(n, h, 1, DELTA), 1
+                    ),
+                }
+            )
+        base = rows[0]["rounds"]
+        for row in rows:
+            row["speedup_vs_h1"] = round(base / row["rounds"], 1)
+
+        pre_floor = [r for r in rows if r["h"] <= n // 16]
+        slope, _, _ = fit_loglog_slope(
+            [r["h"] for r in pre_floor], [r["rounds"] for r in pre_floor]
+        )
+        rounds = [r["rounds"] for r in rows]
+        checks = [
+            CheckResult(
+                "w.h.p. convergence at every h",
+                all(r["success_rate"] == 1.0 for r in rows),
+            ),
+            CheckResult(
+                "pre-floor log-log slope ~ -1 (linear speedup)",
+                -1.1 < slope < -0.8,
+                f"slope={slope:.3f}",
+            ),
+            CheckResult(
+                "rounds monotone non-increasing in h",
+                all(b <= a for a, b in zip(rounds, rounds[1:])),
+            ),
+        ]
+        return self._outcome(rows, checks, notes=f"n={n}, delta={DELTA}, s=1")

@@ -1,0 +1,135 @@
+"""E9 — baseline comparison: who actually solves noisy spreading?"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..baselines import (
+    ClassicCopySpreading,
+    KnownSourceOracle,
+    NoisyMajorityDynamics,
+    NoisyVoterModel,
+    ThreeMajorityDynamics,
+    UndecidedStateDynamics,
+)
+from ..model.config import PopulationConfig
+from ..protocols import FastSelfStabilizingSourceFilter, FastSourceFilter
+from ..types import SourceCounts
+from .base import CheckResult, Experiment, ExperimentOutcome
+from .registry import register
+
+DELTA = 0.15
+
+
+@register
+class BaselineComparison(Experiment):
+    """Every dynamics in the library on one fixed instance."""
+
+    experiment_id = "E9"
+    title = "dynamics comparison on one instance"
+    claim = (
+        "Only source-filtering + majority boosting is both fast and "
+        "robust; tag-copying, voter drift and blind majority all fail "
+        "under constant noise."
+    )
+
+    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+        self._validate_scale(scale)
+        # Quick scale still needs >= 8 trials: the majority-dynamics check
+        # asserts a ~50/50 outcome rate, which is too coin-flippy below that.
+        n = 1024 if scale == "full" else 256
+        trials = 10 if scale == "full" else 8
+        config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=n)
+        budget = int(4 * n * math.log(n))
+        rows = []
+
+        def record(name, runner):
+            converged, rounds_list, accuracy = 0, [], []
+            for t in range(trials):
+                result = runner(seed + t)
+                converged += bool(result.converged)
+                value = getattr(result, "consensus_round", None)
+                if value is None:
+                    value = getattr(
+                        result,
+                        "total_rounds",
+                        getattr(result, "rounds_executed", budget),
+                    )
+                rounds_list.append(value)
+                accuracy.append(float(np.mean(result.final_opinions == 1)))
+            rows.append(
+                {
+                    "dynamics": name,
+                    "converged": f"{converged}/{trials}",
+                    "median_rounds": sorted(rounds_list)[trials // 2],
+                    "mean_accuracy": round(float(np.mean(accuracy)), 3),
+                }
+            )
+
+        record("SF", lambda s: FastSourceFilter(config, DELTA).run(rng=s))
+        record(
+            "SSF",
+            lambda s: FastSelfStabilizingSourceFilter(config, DELTA).run(rng=s),
+        )
+        record(
+            "voter+zealots",
+            lambda s: NoisyVoterModel(config, DELTA).run(budget, rng=s),
+        )
+        record(
+            "majority(h)",
+            lambda s: NoisyMajorityDynamics(config, DELTA).run(budget, rng=s),
+        )
+        record(
+            "3-majority",
+            lambda s: ThreeMajorityDynamics(config, DELTA).run(budget, rng=s),
+        )
+        record(
+            "copy-spreading",
+            lambda s: ClassicCopySpreading(config, DELTA).run(
+                2000, rng=s, stop_on_consensus=False
+            ),
+        )
+        record(
+            "USD+zealots",
+            lambda s: UndecidedStateDynamics(config, DELTA).run(budget, rng=s),
+        )
+        record(
+            "oracle(known sources)",
+            lambda s: KnownSourceOracle(config, DELTA).run(budget, rng=s),
+        )
+
+        by_name = {r["dynamics"]: r for r in rows}
+        all_trials = f"{trials}/{trials}"
+        checks = [
+            CheckResult(
+                "SF, SSF and the oracle converge w.h.p.",
+                all(
+                    by_name[k]["converged"] == all_trials
+                    for k in ("SF", "SSF", "oracle(known sources)")
+                ),
+            ),
+            CheckResult(
+                "voter, 3-majority and USD stall under constant noise",
+                by_name["voter+zealots"]["mean_accuracy"] < 0.95
+                and by_name["3-majority"]["converged"] == f"0/{trials}"
+                and by_name["USD+zealots"]["mean_accuracy"] < 0.95,
+            ),
+            CheckResult(
+                "tag-based copy spreading is poisoned (~coin accuracy)",
+                by_name["copy-spreading"]["mean_accuracy"] < 0.75,
+            ),
+            CheckResult(
+                "blind majority locks onto the random initial majority",
+                # Expected ~50% correct; few-trial quick runs can swing
+                # to 7/8, so the band widens with smaller trial counts.
+                (0.2 if scale == "full" else 0.05)
+                < by_name["majority(h)"]["mean_accuracy"]
+                < (0.8 if scale == "full" else 0.95),
+                f"accuracy={by_name['majority(h)']['mean_accuracy']}",
+            ),
+        ]
+        return self._outcome(
+            rows, checks, notes=f"n={n}, single source, delta={DELTA}, h=n"
+        )

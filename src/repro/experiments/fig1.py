@@ -1,0 +1,59 @@
+"""FIG1 — regenerate Figure 1: the reduction function f(delta)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..noise import reduction_delta
+from .base import CheckResult, Experiment, ExperimentOutcome
+from .registry import register
+
+
+@register
+class Figure1(Experiment):
+    """The paper's only figure: f(delta) for two alphabet sizes."""
+
+    experiment_id = "FIG1"
+    title = "f(delta) for d in {2, 4} (paper Figure 1)"
+    claim = (
+        "f is continuous and increasing with f(0)=0 and f(delta) < 1/d "
+        "(Claim 15); for d=2 it is the identity."
+    )
+
+    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+        self._validate_scale(scale)
+        points = 26 if scale == "full" else 11
+        rows = []
+        for delta in np.linspace(0.0, 0.499, points):
+            row = {"delta": float(delta)}
+            for d in (2, 4):
+                row[f"f_d{d}"] = (
+                    reduction_delta(float(delta), d) if delta < 1.0 / d else None
+                )
+            rows.append(row)
+
+        checks = []
+        identity_ok = all(
+            abs(r["f_d2"] - r["delta"]) < 1e-9
+            for r in rows
+            if r["f_d2"] is not None
+        )
+        checks.append(
+            CheckResult("d=2 series is the identity f(delta)=delta", identity_ok)
+        )
+        d4 = [(r["delta"], r["f_d4"]) for r in rows if r["f_d4"] is not None]
+        values = [v for _, v in d4]
+        checks.append(
+            CheckResult(
+                "d=4 series increasing from 0",
+                d4[0][1] == 0.0
+                and all(b > a for a, b in zip(values, values[1:])),
+            )
+        )
+        checks.append(
+            CheckResult(
+                "d=4 series strictly above identity, below 1/4 (Claim 15)",
+                all(v > x and v < 0.25 for x, v in d4[1:]),
+            )
+        )
+        return self._outcome(rows, checks)

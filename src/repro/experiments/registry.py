@@ -1,0 +1,33 @@
+"""Registry of experiments, keyed by experiment id."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import Experiment
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(cls: Type[Experiment]) -> Type[Experiment]:
+    """Class decorator: instantiate and index an experiment by its id."""
+    instance = cls()
+    key = instance.experiment_id.upper()
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate experiment id {key!r}")
+    _REGISTRY[key] = instance
+    return cls
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment (case-insensitive id)."""
+    key = experiment_id.upper()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[key]
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments in id order."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]

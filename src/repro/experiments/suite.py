@@ -1,0 +1,79 @@
+"""Run the whole experiment suite programmatically."""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from ..analysis import format_table, write_csv, write_json
+from .base import ExperimentOutcome
+from .registry import all_experiments
+
+__all__ = ["SuiteResult", "run_suite"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclasses.dataclass
+class SuiteResult:
+    """Outcomes of every experiment plus a one-row-per-experiment summary."""
+
+    outcomes: List[ExperimentOutcome]
+
+    @property
+    def passed(self) -> bool:
+        """Every experiment's every check passed."""
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> List[str]:
+        """Ids of experiments with failing checks."""
+        return [o.experiment_id for o in self.outcomes if not o.passed]
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per experiment: id, title, check tally."""
+        rows = []
+        for outcome in self.outcomes:
+            rows.append(
+                {
+                    "id": outcome.experiment_id,
+                    "title": outcome.title,
+                    "checks": f"{sum(c.passed for c in outcome.checks)}"
+                    f"/{len(outcome.checks)}",
+                    "passed": outcome.passed,
+                }
+            )
+        return rows
+
+    def render_summary(self) -> str:
+        """The summary as an aligned text table."""
+        return format_table(self.summary_rows(), title="Experiment suite summary")
+
+    def save(self, directory: PathLike) -> pathlib.Path:
+        """Persist every outcome (JSON) + per-experiment CSVs + summary."""
+        directory = pathlib.Path(directory)
+        for outcome in self.outcomes:
+            write_json(
+                outcome.to_dict(), directory / f"{outcome.experiment_id}.json"
+            )
+            write_csv(outcome.rows, directory / f"{outcome.experiment_id}.csv")
+        write_csv(self.summary_rows(), directory / "summary.csv")
+        return directory
+
+
+def run_suite(
+    scale: str = "quick",
+    seed: int = 0,
+    only: Optional[List[str]] = None,
+) -> SuiteResult:
+    """Run all (or the ``only``-listed) experiments at one scale."""
+    experiments = all_experiments()
+    if only is not None:
+        wanted = {token.upper() for token in only}
+        experiments = [e for e in experiments if e.experiment_id in wanted]
+        missing = wanted - {e.experiment_id for e in experiments}
+        if missing:
+            raise KeyError(f"unknown experiment ids: {sorted(missing)}")
+    outcomes = [e.run(scale=scale, seed=seed) for e in experiments]
+    return SuiteResult(outcomes=outcomes)

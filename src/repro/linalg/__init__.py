@@ -1,0 +1,41 @@
+"""Stochastic-matrix linear algebra (Section 4 of the paper).
+
+This subpackage implements the definitions and results the paper's
+noise-reduction machinery rests on:
+
+* Definition 9 — (weakly-)stochastic matrices;
+* Definition 10 — the operator infinity-norm;
+* Definition 1 — delta-lower-bounded / delta-upper-bounded / delta-uniform
+  matrices;
+* Lemma 13 / Corollary 14 — invertibility of delta-upper-bounded matrices
+  with ``norm(N^-1) <= (d-1)/(1-d*delta)``.
+"""
+
+from .stochastic import (
+    classify_delta_upper,
+    infinity_norm,
+    is_delta_lower_bounded,
+    is_delta_uniform,
+    is_delta_upper_bounded,
+    is_square,
+    is_stochastic,
+    is_weakly_stochastic,
+    minimal_upper_delta,
+    validate_stochastic,
+)
+from .inversion import invert_noise_matrix, inverse_norm_bound
+
+__all__ = [
+    "classify_delta_upper",
+    "infinity_norm",
+    "inverse_norm_bound",
+    "invert_noise_matrix",
+    "is_delta_lower_bounded",
+    "is_delta_uniform",
+    "is_delta_upper_bounded",
+    "is_square",
+    "is_stochastic",
+    "is_weakly_stochastic",
+    "minimal_upper_delta",
+    "validate_stochastic",
+]

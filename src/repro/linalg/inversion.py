@@ -1,0 +1,76 @@
+"""Inversion of delta-upper-bounded noise matrices (Lemma 13, Corollary 14).
+
+Corollary 14 of the paper proves that every delta-upper-bounded matrix of
+dimension ``d`` with ``delta < 1/d`` is invertible and that the operator
+infinity-norm of the inverse is at most ``(d-1)/(1-d*delta)``.  The
+functions here expose that guarantee: :func:`invert_noise_matrix` inverts
+and *checks* the bound, turning a silent numerical surprise into a loud
+:class:`~repro.exceptions.SingularMatrixError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SingularMatrixError
+from .stochastic import (
+    infinity_norm,
+    is_delta_upper_bounded,
+    validate_stochastic,
+)
+
+
+def inverse_norm_bound(dimension: int, delta: float) -> float:
+    """The Corollary 14 bound ``(d-1)/(1 - d*delta)`` on ``norm(N^-1)``.
+
+    For ``d == 1`` the only stochastic matrix is ``[[1]]`` whose inverse has
+    norm 1; the formula's numerator would be 0, so we special-case it.
+    """
+    if dimension < 1:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if not 0.0 <= delta < 1.0 / dimension:
+        raise ValueError(
+            f"delta must lie in [0, 1/d) = [0, {1.0 / dimension}), got {delta}"
+        )
+    if dimension == 1:
+        return 1.0
+    return (dimension - 1) / (1.0 - dimension * delta)
+
+
+def invert_noise_matrix(
+    matrix: np.ndarray, delta: float, atol: float = 1e-9
+) -> np.ndarray:
+    """Invert a delta-upper-bounded stochastic matrix.
+
+    Validates the hypotheses of Corollary 14 before inverting, and verifies
+    afterwards that the computed inverse respects the corollary's norm
+    bound (with a generous numerical slack).  The returned inverse is
+    weakly-stochastic (Claim 12) but in general *not* stochastic — it may
+    have negative entries.
+    """
+    array = validate_stochastic(matrix, atol=atol)
+    d = array.shape[0]
+    if not 0.0 <= delta < 1.0 / d:
+        raise ValueError(f"delta must lie in [0, 1/d), got {delta} for d={d}")
+    if not is_delta_upper_bounded(array, delta, atol=atol):
+        raise SingularMatrixError(
+            f"matrix is not {delta}-upper-bounded; Corollary 14 does not apply"
+        )
+    try:
+        inverse = np.linalg.inv(array)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - Corollary 14
+        raise SingularMatrixError(
+            "numerically singular matrix despite delta-upper-boundedness; "
+            "this contradicts Corollary 14 and indicates corrupt input"
+        ) from exc
+
+    bound = inverse_norm_bound(d, delta)
+    observed = infinity_norm(inverse)
+    # Allow 0.1% slack: the bound is exact mathematics, the inverse is
+    # floating point.
+    if observed > bound * (1.0 + 1e-3) + atol:
+        raise SingularMatrixError(
+            f"inverse norm {observed:.6g} exceeds the Corollary 14 bound "
+            f"{bound:.6g}; the input matrix is not {delta}-upper-bounded"
+        )
+    return inverse

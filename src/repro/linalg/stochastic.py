@@ -1,0 +1,143 @@
+"""Predicates and measurements on (noise) matrices.
+
+Terminology follows the paper:
+
+* *weakly-stochastic* (Definition 9): every row sums to 1; entries may be
+  negative.
+* *stochastic*: weakly-stochastic with non-negative entries.
+* *delta-lower-bounded* (Definition 1): every entry is ``>= delta``.
+* *delta-upper-bounded* (Definition 1, Eq. 1): diagonal entries are
+  ``>= 1 - (d-1)*delta`` and off-diagonal entries are ``<= delta``.
+* *delta-uniform*: equality holds in both of the above.
+
+All predicates take an absolute tolerance ``atol`` because the matrices in
+question are routinely products of floating-point computations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import NotStochasticError
+
+#: Default absolute tolerance for floating-point matrix predicates.
+DEFAULT_ATOL = 1e-9
+
+
+def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {array.shape}")
+    return array
+
+
+def is_square(matrix: np.ndarray) -> bool:
+    """Return ``True`` when ``matrix`` is square."""
+    array = _as_matrix(matrix)
+    return array.shape[0] == array.shape[1]
+
+
+def is_weakly_stochastic(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Check Definition 9: every row sums to 1 (entries may be negative)."""
+    array = _as_matrix(matrix)
+    return bool(np.allclose(array.sum(axis=1), 1.0, atol=atol))
+
+
+def is_stochastic(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Check Definition 9: row sums are 1 and all entries are non-negative."""
+    array = _as_matrix(matrix)
+    return bool(np.all(array >= -atol)) and is_weakly_stochastic(array, atol)
+
+
+def validate_stochastic(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> np.ndarray:
+    """Return ``matrix`` as a float array, raising if it is not stochastic."""
+    array = _as_matrix(matrix)
+    if not is_square(array):
+        raise NotStochasticError(f"noise matrix must be square, got shape {array.shape}")
+    if not is_stochastic(array, atol):
+        raise NotStochasticError(
+            "matrix is not stochastic: row sums "
+            f"{array.sum(axis=1)!r}, min entry {array.min()!r}"
+        )
+    return array
+
+
+def infinity_norm(matrix: np.ndarray) -> float:
+    """Operator infinity-norm (Definition 10 / Eq. 4): max absolute row sum."""
+    array = _as_matrix(matrix)
+    return float(np.abs(array).sum(axis=1).max())
+
+
+def is_delta_lower_bounded(
+    matrix: np.ndarray, delta: float, atol: float = DEFAULT_ATOL
+) -> bool:
+    """Check Definition 1: every entry is at least ``delta``."""
+    array = _as_matrix(matrix)
+    return bool(np.all(array >= delta - atol))
+
+
+def is_delta_upper_bounded(
+    matrix: np.ndarray, delta: float, atol: float = DEFAULT_ATOL
+) -> bool:
+    """Check Definition 1 / Eq. (1).
+
+    Diagonal entries must satisfy ``N[i, i] >= 1 - (d-1)*delta`` and
+    off-diagonal entries ``N[i, j] <= delta``.
+    """
+    array = _as_matrix(matrix)
+    if not is_square(array):
+        return False
+    d = array.shape[0]
+    diag_ok = bool(np.all(np.diag(array) >= 1.0 - (d - 1) * delta - atol))
+    off = array[~np.eye(d, dtype=bool)]
+    off_ok = bool(np.all(off <= delta + atol))
+    return diag_ok and off_ok
+
+
+def is_delta_uniform(
+    matrix: np.ndarray, delta: float, atol: float = DEFAULT_ATOL
+) -> bool:
+    """Check Definition 1: diagonal ``1 - (d-1)*delta``, off-diagonal ``delta``."""
+    array = _as_matrix(matrix)
+    if not is_square(array):
+        return False
+    d = array.shape[0]
+    expected = np.full((d, d), delta)
+    np.fill_diagonal(expected, 1.0 - (d - 1) * delta)
+    return bool(np.allclose(array, expected, atol=atol))
+
+
+def minimal_upper_delta(matrix: np.ndarray) -> Optional[float]:
+    """Smallest ``delta`` for which ``matrix`` is delta-upper-bounded.
+
+    The constraints of Eq. (1) are monotone in ``delta``, so the minimal
+    admissible value is ``max(max off-diagonal entry,
+    (1 - min diagonal entry)/(d-1))``.  Returns ``None`` when no
+    ``delta < 1/d`` works (the matrix is too noisy for the paper's
+    machinery — the inverse-norm bound of Corollary 14 degenerates).
+    """
+    array = _as_matrix(matrix)
+    if not is_square(array):
+        raise ValueError("matrix must be square")
+    d = array.shape[0]
+    if d == 1:
+        return 0.0
+    off_max = float(array[~np.eye(d, dtype=bool)].max()) if d > 1 else 0.0
+    diag_min = float(np.diag(array).min())
+    delta = max(off_max, (1.0 - diag_min) / (d - 1), 0.0)
+    if delta >= 1.0 / d:
+        return None
+    return delta
+
+
+def classify_delta_upper(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> float:
+    """Like :func:`minimal_upper_delta` but raises when classification fails."""
+    delta = minimal_upper_delta(matrix)
+    if delta is None:
+        raise NotStochasticError(
+            "matrix is not delta-upper-bounded for any delta < 1/d; "
+            "the paper's reduction (Theorem 8) does not apply"
+        )
+    return delta

@@ -1,0 +1,42 @@
+"""The noisy PULL(h) substrate (Section 1.3) and the noisy PUSH(h) variant.
+
+The engine here is the *exact* simulation: every round, every agent's
+``h`` samples are drawn as explicit indices and every observation passes
+through the noise channel individually.  The vectorized protocol engines
+in :mod:`repro.protocols` shortcut this using exchangeability but are
+distributionally identical; cross-validation tests enforce that.
+"""
+
+from .config import PopulationConfig
+from .population import Population
+from .sampling import sample_indices, sample_observation_counts
+from .engine import PullEngine, PullProtocol, RoundRecord, SimulationResult
+from .push_engine import PushEngine, PushProtocol
+from .async_engine import AsyncPullEngine, AsyncPullProtocol, AsyncSimulationResult
+from .adversary import AdversarialInitializer, RandomStateAdversary, TargetedAdversary
+from .observers import ConsensusTracker, OpinionTrace
+from .structured import FloodingResult, StableFlooding, build_graph
+
+__all__ = [
+    "AsyncPullEngine",
+    "AsyncPullProtocol",
+    "AsyncSimulationResult",
+    "FloodingResult",
+    "StableFlooding",
+    "build_graph",
+    "AdversarialInitializer",
+    "ConsensusTracker",
+    "OpinionTrace",
+    "Population",
+    "PopulationConfig",
+    "PullEngine",
+    "PullProtocol",
+    "PushEngine",
+    "PushProtocol",
+    "RandomStateAdversary",
+    "RoundRecord",
+    "SimulationResult",
+    "TargetedAdversary",
+    "sample_indices",
+    "sample_observation_counts",
+]

@@ -1,0 +1,120 @@
+"""Self-stabilization adversaries (Section 1.3, self-stabilizing setting).
+
+At (unknown) time 0 the adversary may set the internal state of every
+agent arbitrarily: fake buffered samples, corrupted counters, arbitrary
+opinions.  It may *not* corrupt who is a source, source preferences, or
+the agents' knowledge of ``n`` and the noise matrix.
+
+Adversaries operate on protocols implementing the duck-typed contract of
+self-stabilizing protocols (currently the SSF implementations):
+
+* ``memory_capacity`` — the parameter ``m``;
+* ``install_state(opinions, weak_opinions, memory_counts)`` — overwrite
+  the corruptible state; ``memory_counts`` is ``(n, d)`` with row sums in
+  ``[0, m]`` (each agent's buffered message tallies; differing sums model
+  desynchronized update rounds).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..exceptions import ProtocolError
+from ..types import RngLike, as_generator
+from .population import Population
+
+
+def _require_self_stabilizing(protocol: object) -> None:
+    for attr in ("memory_capacity", "install_state"):
+        if not hasattr(protocol, attr):
+            raise ProtocolError(
+                f"{type(protocol).__name__} does not expose '{attr}'; only "
+                "self-stabilizing protocols can be adversarially initialized"
+            )
+
+
+class AdversarialInitializer(abc.ABC):
+    """Base class for adversarial state initializers."""
+
+    @abc.abstractmethod
+    def apply(self, protocol: object, population: Population, rng: RngLike = None) -> None:
+        """Overwrite the protocol's corruptible state in place."""
+
+
+class RandomStateAdversary(AdversarialInitializer):
+    """Fully random corruption.
+
+    Opinions and weak opinions are i.i.d. fair coins; each agent's memory
+    holds a uniformly random number of fake messages (desynchronizing
+    update rounds) with uniformly random symbol tallies.
+    """
+
+    def apply(self, protocol: object, population: Population, rng: RngLike = None) -> None:
+        _require_self_stabilizing(protocol)
+        generator = as_generator(rng)
+        n = population.n
+        m = int(protocol.memory_capacity)
+        d = getattr(protocol, "alphabet_size", 4)
+        opinions = generator.integers(0, 2, size=n).astype(np.int8)
+        weak = generator.integers(0, 2, size=n).astype(np.int8)
+        fills = generator.integers(0, m, size=n)
+        memory = np.zeros((n, d), dtype=np.int64)
+        for sigma in range(d - 1):
+            remaining = fills - memory.sum(axis=1)
+            memory[:, sigma] = (generator.random(n) * (remaining + 1)).astype(np.int64)
+        memory[:, d - 1] = fills - memory.sum(axis=1)
+        protocol.install_state(opinions, weak, memory)
+
+
+class TargetedAdversary(AdversarialInitializer):
+    """Worst-case corruption towards the *incorrect* opinion.
+
+    Every agent starts convinced of the wrong opinion, and every memory is
+    pre-loaded with ``m - 1`` fake messages unanimously supporting it and
+    tagged as coming from sources.  This is the hardest start the paper's
+    adversary can produce against SSF: the very first update of each agent
+    is computed almost entirely from adversarial evidence.
+    """
+
+    def apply(self, protocol: object, population: Population, rng: RngLike = None) -> None:
+        _require_self_stabilizing(protocol)
+        wrong = 1 - population.correct_opinion
+        n = population.n
+        m = int(protocol.memory_capacity)
+        d = getattr(protocol, "alphabet_size", 4)
+        opinions = np.full(n, wrong, dtype=np.int8)
+        weak = np.full(n, wrong, dtype=np.int8)
+        memory = np.zeros((n, d), dtype=np.int64)
+        # SSF symbol encoding: 2 * first_bit + second_bit; the fake
+        # messages claim "I am a source and my preference is `wrong`".
+        fake_symbol = 2 + wrong if d == 4 else wrong
+        memory[:, fake_symbol] = max(m - 1, 0)
+        protocol.install_state(opinions, weak, memory)
+
+
+class DesynchronizingAdversary(AdversarialInitializer):
+    """Corruption aimed purely at clocks: staggered memory fill levels.
+
+    Opinions are left random but memories get strictly staggered fill
+    levels, maximally desynchronizing the agents' update rounds — the
+    failure mode that breaks the (non-self-stabilizing) SF protocol.
+    Fake buffered messages are neutral (uniform over the alphabet).
+    """
+
+    def apply(self, protocol: object, population: Population, rng: RngLike = None) -> None:
+        _require_self_stabilizing(protocol)
+        generator = as_generator(rng)
+        n = population.n
+        m = int(protocol.memory_capacity)
+        d = getattr(protocol, "alphabet_size", 4)
+        opinions = generator.integers(0, 2, size=n).astype(np.int8)
+        weak = generator.integers(0, 2, size=n).astype(np.int8)
+        fills = (np.arange(n) * m // max(n, 1)).astype(np.int64)
+        memory = np.zeros((n, d), dtype=np.int64)
+        base = fills // d
+        for sigma in range(d):
+            memory[:, sigma] = base
+        memory[:, 0] += fills - memory.sum(axis=1)
+        protocol.install_state(opinions, weak, memory)

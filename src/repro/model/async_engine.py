@@ -1,0 +1,146 @@
+"""Asynchronous (random sequential) activation — an extension.
+
+The paper's model is synchronous: all agents act in lock-step rounds.
+Population-protocol-style systems are usually *asynchronous*: at each
+step one agent, chosen uniformly at random, wakes up, samples ``h``
+agents, and updates.  ``n`` activations correspond to one parallel
+round in expectation.
+
+SF cannot run here (its phases presume a shared clock — the very
+assumption SSF removes), but SSF can, unchanged: each agent's buffer is
+its own clock.  The engine below drives any :class:`AsyncPullProtocol`
+under random sequential activation; time is reported both in activations
+and in parallel-round equivalents (activations / n).
+
+The exactness shortcut of the synchronous fast engines does not apply —
+displays may change after every activation — so this engine is
+index-level, like :class:`~repro.model.engine.PullEngine`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ProtocolError
+from ..noise import NoiseMatrix
+from ..types import RngLike, as_generator
+from .population import Population
+
+
+class AsyncPullProtocol(abc.ABC):
+    """Interface for protocols under random sequential activation."""
+
+    alphabet_size: int = 4
+
+    @abc.abstractmethod
+    def reset(self, population: Population, rng: RngLike = None) -> None:
+        """(Re-)initialize all per-agent state."""
+
+    @abc.abstractmethod
+    def display_of(self, agent: int) -> int:
+        """Message agent ``agent`` currently displays."""
+
+    @abc.abstractmethod
+    def activate(self, agent: int, observations: np.ndarray) -> None:
+        """Agent ``agent`` wakes, receives ``h`` noisy symbols, updates."""
+
+    @abc.abstractmethod
+    def opinions(self) -> np.ndarray:
+        """Current opinion vector, ``(n,)`` ints in {0, 1}."""
+
+
+@dataclasses.dataclass
+class AsyncSimulationResult:
+    """Outcome of one asynchronous run."""
+
+    converged: bool
+    consensus_activation: Optional[int]
+    activations_executed: int
+    final_opinions: np.ndarray
+
+    @property
+    def consensus_parallel_rounds(self) -> Optional[float]:
+        """Consensus time in parallel-round equivalents (activations/n)."""
+        if self.consensus_activation is None:
+            return None
+        return self.consensus_activation / len(self.final_opinions)
+
+
+class AsyncPullEngine:
+    """Random-sequential-activation driver for noisy PULL(h)."""
+
+    def __init__(self, population: Population, noise: NoiseMatrix) -> None:
+        self.population = population
+        self.noise = noise
+
+    def run(
+        self,
+        protocol: AsyncPullProtocol,
+        max_activations: int,
+        rng: RngLike = None,
+        stop_on_consensus: bool = True,
+        consensus_patience: int = 0,
+        check_every: int = None,
+    ) -> AsyncSimulationResult:
+        """Simulate up to ``max_activations`` single-agent steps.
+
+        Consensus is checked every ``check_every`` activations (default:
+        ``n``, i.e. once per expected parallel round) to keep the check
+        cost amortized.
+        """
+        if protocol.alphabet_size != self.noise.size:
+            raise ProtocolError(
+                f"protocol alphabet size {protocol.alphabet_size} does not "
+                f"match noise matrix size {self.noise.size}"
+            )
+        generator = as_generator(rng)
+        population = self.population
+        n, h = population.n, population.h
+        protocol.reset(population, generator)
+        correct = population.correct_opinion
+        if check_every is None:
+            check_every = n
+
+        # Pre-draw activation order and samples in blocks for speed.
+        block = max(check_every, 1)
+        consensus_start: Optional[int] = None
+        executed = 0
+        while executed < max_activations:
+            todo = min(block, max_activations - executed)
+            actors = generator.integers(0, n, size=todo)
+            samples = generator.integers(0, n, size=(todo, h))
+            for i in range(todo):
+                agent = int(actors[i])
+                displayed = np.fromiter(
+                    (protocol.display_of(int(j)) for j in samples[i]),
+                    dtype=np.int64,
+                    count=h,
+                )
+                observed = self.noise.corrupt(displayed, generator)
+                protocol.activate(agent, observed)
+            executed += todo
+
+            if correct is not None:
+                if bool(np.all(protocol.opinions() == correct)):
+                    if consensus_start is None:
+                        consensus_start = executed
+                    if (
+                        stop_on_consensus
+                        and executed - consensus_start >= consensus_patience
+                    ):
+                        break
+                else:
+                    consensus_start = None
+
+        final = np.asarray(protocol.opinions()).copy()
+        converged = correct is not None and bool(np.all(final == correct))
+        return AsyncSimulationResult(
+            converged=converged,
+            consensus_activation=consensus_start if converged else None,
+            activations_executed=executed,
+            final_opinions=final,
+        )

@@ -1,0 +1,105 @@
+"""Population and model configuration with the paper's standing assumptions."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from ..types import Opinion, SourceCounts
+
+
+@dataclasses.dataclass(frozen=True)
+class PopulationConfig:
+    """Parameters of a noisy PULL(h) population.
+
+    Attributes
+    ----------
+    n:
+        Total number of agents (sources included).
+    sources:
+        Number of sources preferring 0 and 1.  The paper's standing
+        assumptions are enforced: ``s0, s1 <= n/4`` (Eq. 18) and bias
+        ``s = |s1 - s0| >= 1`` (Section 1.3), unless
+        ``allow_zero_bias=True`` (useful for exploring the undefined
+        regime in experiments).
+    h:
+        Sample size per round (``1 <= h``; ``h`` may exceed ``n`` since
+        sampling is with replacement, but the paper's interesting range is
+        ``h <= n``).
+    allow_zero_bias:
+        Permit ``s0 == s1`` populations (no correct opinion defined).
+    """
+
+    n: int
+    sources: SourceCounts
+    h: int = 1
+    allow_zero_bias: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"population size must be >= 2, got {self.n}")
+        if self.h < 1:
+            raise ConfigurationError(f"sample size h must be >= 1, got {self.h}")
+        s0, s1 = self.sources.s0, self.sources.s1
+        if s0 + s1 == 0:
+            raise ConfigurationError("at least one source agent is required")
+        if s0 + s1 > self.n:
+            raise ConfigurationError(
+                f"{s0 + s1} sources cannot fit in a population of {self.n}"
+            )
+        if s0 > self.n / 4 or s1 > self.n / 4:
+            raise ConfigurationError(
+                f"the paper assumes s0, s1 <= n/4 (Eq. 18); got s0={s0}, s1={s1}, "
+                f"n={self.n}"
+            )
+        if self.sources.bias < 1 and not self.allow_zero_bias:
+            raise ConfigurationError(
+                "bias s = |s1 - s0| must be >= 1 (Section 1.3); pass "
+                "allow_zero_bias=True to explore the undefined regime"
+            )
+
+    # Convenience accessors -------------------------------------------------
+    @property
+    def s0(self) -> int:
+        """Sources preferring opinion 0."""
+        return self.sources.s0
+
+    @property
+    def s1(self) -> int:
+        """Sources preferring opinion 1."""
+        return self.sources.s1
+
+    @property
+    def bias(self) -> int:
+        """The bias ``s = |s1 - s0|``."""
+        return self.sources.bias
+
+    @property
+    def num_sources(self) -> int:
+        """Total sources ``s0 + s1``."""
+        return self.sources.total
+
+    @property
+    def num_non_sources(self) -> int:
+        """Agents that are not sources."""
+        return self.n - self.sources.total
+
+    @property
+    def correct_opinion(self) -> Optional[Opinion]:
+        """Majority source preference, or ``None`` when the bias is zero."""
+        if self.sources.bias == 0:
+            return None
+        return self.sources.correct_opinion
+
+    @classmethod
+    def single_source(cls, n: int, h: int = 1, opinion: Opinion = 1) -> "PopulationConfig":
+        """The canonical one-source instance (``s = 1``)."""
+        if opinion not in (0, 1):
+            raise ConfigurationError(f"opinion must be 0 or 1, got {opinion}")
+        counts = SourceCounts(s0=0, s1=1) if opinion == 1 else SourceCounts(s0=1, s1=0)
+        return cls(n=n, sources=counts, h=h)
+
+    def with_h(self, h: int) -> "PopulationConfig":
+        """A copy of this configuration with a different sample size."""
+        return dataclasses.replace(self, h=h)

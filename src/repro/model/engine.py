@@ -1,0 +1,214 @@
+"""The exact round-based noisy PULL(h) engine.
+
+Every round performs the four model steps of Section 1.3 literally:
+
+1. each agent chooses a message to display (``protocol.displays``);
+2. each agent samples ``h`` agents uniformly at random with replacement;
+3. each observation traverses the noise channel independently;
+4. agents update opinion and internal state (``protocol.receive``).
+
+Protocols are implemented as *vectorized agent collections*: one object
+holds the per-agent state arrays of the whole population and updates them
+with numpy operations.  This is still the exact per-agent model — every
+agent's samples are explicit indices — only the Python-level loop over
+agents is absent.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ProtocolError
+from ..types import RngLike, as_generator
+from .population import Population
+from .sampling import sample_indices
+
+
+class PullProtocol(abc.ABC):
+    """Interface a protocol must implement to run on :class:`PullEngine`.
+
+    Lifecycle: ``reset`` once, then alternate ``displays`` / ``receive``
+    once per round.  ``opinions`` may be read at any time after ``reset``.
+    """
+
+    #: Size of the communication alphabet Sigma (symbols ``0..d-1``).
+    alphabet_size: int = 2
+
+    @abc.abstractmethod
+    def reset(self, population: Population, rng: RngLike = None) -> None:
+        """(Re-)initialize all per-agent state for ``population``."""
+
+    @abc.abstractmethod
+    def displays(self, round_index: int) -> np.ndarray:
+        """Message each agent displays this round — ``(n,)`` ints in Sigma."""
+
+    @abc.abstractmethod
+    def receive(self, round_index: int, observations: np.ndarray) -> None:
+        """Process the round's noisy observations — ``(n, h)`` ints in Sigma."""
+
+    @abc.abstractmethod
+    def opinions(self) -> np.ndarray:
+        """Current opinion vector, ``(n,)`` ints in {0, 1}."""
+
+    def finished(self, round_index: int) -> bool:
+        """True when the protocol has a fixed horizon and it has passed."""
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRecord:
+    """Per-round metrics captured when tracing is enabled."""
+
+    round_index: int
+    fraction_correct: float
+    num_correct: int
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Outcome of one engine run.
+
+    Attributes
+    ----------
+    converged:
+        Whether the run ended with every agent holding the correct opinion.
+    consensus_round:
+        First round index (0-based, counted *after* the round's updates)
+        at which all agents held the correct opinion and kept holding it
+        through the end of the run; ``None`` if never.
+    rounds_executed:
+        Total rounds simulated.
+    final_opinions:
+        Opinion vector at the end of the run.
+    trace:
+        Per-round records (empty unless tracing was requested).
+    """
+
+    converged: bool
+    consensus_round: Optional[int]
+    rounds_executed: int
+    final_opinions: np.ndarray
+    trace: List[RoundRecord] = dataclasses.field(default_factory=list)
+
+
+class PullEngine:
+    """Drives a :class:`PullProtocol` over a population under a noise channel.
+
+    ``noise`` may be a fixed :class:`~repro.noise.NoiseMatrix` or a
+    :class:`~repro.noise.dynamic.NoiseSchedule` (anything exposing
+    ``size`` and ``matrix_at(round_index)``) for time-varying channels.
+    """
+
+    def __init__(self, population: Population, noise) -> None:
+        self.population = population
+        self.noise = noise
+        self._matrix_at = getattr(noise, "matrix_at", None)
+
+    def run(
+        self,
+        protocol: PullProtocol,
+        max_rounds: int,
+        rng: RngLike = None,
+        stop_on_consensus: bool = False,
+        consensus_patience: int = 0,
+        record_trace: bool = False,
+        observers: Sequence["object"] = (),
+        skip_reset: bool = False,
+        churn_rate: float = 0.0,
+    ) -> SimulationResult:
+        """Simulate up to ``max_rounds`` rounds.
+
+        Parameters
+        ----------
+        stop_on_consensus:
+            Stop once consensus has held for ``consensus_patience + 1``
+            consecutive rounds.  When False, the run lasts ``max_rounds``
+            rounds (or until ``protocol.finished``).
+        consensus_patience:
+            Extra consecutive all-correct rounds demanded before an early
+            stop — guards against protocols that pass through consensus
+            transiently.
+        skip_reset:
+            Do not call ``protocol.reset`` — used by the self-stabilization
+            experiments, where the adversary has already installed a
+            corrupted state.
+        observers:
+            Objects with an ``observe(round_index, opinions)`` method,
+            invoked after each round's updates.
+        churn_rate:
+            Extension: at the start of each round every agent is
+            independently *replaced* (its protocol state reinitialized
+            via ``protocol.reset_agents``) with this probability —
+            modelling population turnover.  Requires a protocol exposing
+            ``reset_agents(indices, rng)``.
+        """
+        if not 0.0 <= churn_rate < 1.0:
+            raise ProtocolError(f"churn_rate must lie in [0, 1), got {churn_rate}")
+        if churn_rate > 0.0 and not hasattr(protocol, "reset_agents"):
+            raise ProtocolError(
+                f"{type(protocol).__name__} does not support churn "
+                "(no reset_agents method)"
+            )
+        if protocol.alphabet_size != self.noise.size:
+            raise ProtocolError(
+                f"protocol alphabet size {protocol.alphabet_size} does not match "
+                f"noise matrix size {self.noise.size}"
+            )
+        generator = as_generator(rng)
+        population = self.population
+        if not skip_reset:
+            protocol.reset(population, generator)
+
+        correct = population.correct_opinion
+        trace: List[RoundRecord] = []
+        consensus_start: Optional[int] = None
+        streak = 0
+
+        t = 0
+        for t in range(max_rounds):
+            if protocol.finished(t):
+                t -= 1
+                break
+            if churn_rate > 0.0:
+                churned = np.flatnonzero(
+                    generator.random(population.n) < churn_rate
+                )
+                if churned.size:
+                    protocol.reset_agents(churned, generator)
+            displayed = protocol.displays(t)
+            sampled = sample_indices(population.n, population.n, population.h, generator)
+            channel = self._matrix_at(t) if self._matrix_at else self.noise
+            observations = channel.corrupt(displayed[sampled], generator)
+            protocol.receive(t, observations)
+
+            opinions = protocol.opinions()
+            if correct is not None:
+                all_correct = bool(np.all(opinions == correct))
+                if all_correct:
+                    if consensus_start is None:
+                        consensus_start = t
+                    streak += 1
+                else:
+                    consensus_start = None
+                    streak = 0
+                if record_trace:
+                    num_correct = int(np.sum(opinions == correct))
+                    trace.append(RoundRecord(t, num_correct / population.n, num_correct))
+                if stop_on_consensus and streak >= consensus_patience + 1:
+                    break
+            for observer in observers:
+                observer.observe(t, opinions)
+
+        final = protocol.opinions()
+        converged = correct is not None and bool(np.all(final == correct))
+        return SimulationResult(
+            converged=converged,
+            consensus_round=consensus_start if converged else None,
+            rounds_executed=t + 1,
+            final_opinions=np.asarray(final).copy(),
+            trace=trace,
+        )

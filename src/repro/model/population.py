@@ -1,0 +1,125 @@
+"""Population state: roles, preferences and opinions.
+
+The population separates what the adversary *cannot* touch (who is a
+source and what it prefers — Section 1.3's self-stabilizing setting) from
+what it can (opinions and protocol-internal state, which live inside the
+protocol objects).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import Opinion, RngLike, Role, as_generator
+from .config import PopulationConfig
+
+
+class Population:
+    """Materialized agent roles for one simulation.
+
+    Source agents occupy the first ``s0 + s1`` indices by construction
+    (indices are an analysis device only — the agents themselves are
+    anonymous, see Algorithm 2's closing remark), optionally shuffled.
+
+    Attributes
+    ----------
+    config:
+        The generating :class:`PopulationConfig`.
+    roles:
+        ``(n,)`` array of :class:`~repro.types.Role` values.
+    preferences:
+        ``(n,)`` array; source preference for sources, ``-1`` for
+        non-sources.
+    """
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        rng: RngLike = None,
+        shuffle: bool = True,
+    ) -> None:
+        self.config = config
+        n, s0, s1 = config.n, config.s0, config.s1
+        roles = np.full(n, int(Role.NON_SOURCE), dtype=np.int8)
+        roles[:s0] = int(Role.SOURCE_0)
+        roles[s0 : s0 + s1] = int(Role.SOURCE_1)
+        if shuffle:
+            as_generator(rng).shuffle(roles)
+        self.roles = roles
+        self.roles.flags.writeable = False
+        preferences = np.full(n, -1, dtype=np.int8)
+        preferences[roles == int(Role.SOURCE_0)] = 0
+        preferences[roles == int(Role.SOURCE_1)] = 1
+        self.preferences = preferences
+        self.preferences.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self.config.n
+
+    @property
+    def h(self) -> int:
+        """Per-round sample size."""
+        return self.config.h
+
+    @property
+    def is_source(self) -> np.ndarray:
+        """Boolean mask of source agents."""
+        return self.roles != int(Role.NON_SOURCE)
+
+    @property
+    def source_indices(self) -> np.ndarray:
+        """Indices of all source agents."""
+        return np.flatnonzero(self.is_source)
+
+    @property
+    def non_source_indices(self) -> np.ndarray:
+        """Indices of all non-source agents."""
+        return np.flatnonzero(~self.is_source)
+
+    @property
+    def correct_opinion(self) -> Optional[Opinion]:
+        """Majority source preference (``None`` for zero bias)."""
+        return self.config.correct_opinion
+
+    # ------------------------------------------------------------------
+    def initial_opinions(self, rng: RngLike = None) -> np.ndarray:
+        """Fresh opinion vector: sources hold their preference, others random.
+
+        The paper does not constrain non-source initial opinions (they are
+        overwritten before mattering in both protocols); uniform random is
+        the neutral choice and also the worst case for baselines.
+        """
+        generator = as_generator(rng)
+        opinions = generator.integers(0, 2, size=self.n).astype(np.int8)
+        mask = self.is_source
+        opinions[mask] = self.preferences[mask]
+        return opinions
+
+    def consensus_reached(self, opinions: np.ndarray) -> bool:
+        """True when *every* agent (sources included) holds the correct opinion."""
+        correct = self.correct_opinion
+        if correct is None:
+            raise ConfigurationError("consensus is undefined for zero-bias populations")
+        ops = np.asarray(opinions)
+        if ops.shape != (self.n,):
+            raise ValueError(f"opinions must have shape ({self.n},), got {ops.shape}")
+        return bool(np.all(ops == correct))
+
+    def fraction_correct(self, opinions: np.ndarray) -> float:
+        """Fraction of agents currently holding the correct opinion."""
+        correct = self.correct_opinion
+        if correct is None:
+            raise ConfigurationError("correctness is undefined for zero-bias populations")
+        return float(np.mean(np.asarray(opinions) == correct))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Population(n={self.n}, s0={self.config.s0}, s1={self.config.s1}, "
+            f"h={self.h})"
+        )

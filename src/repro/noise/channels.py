@@ -1,0 +1,54 @@
+"""Functional helpers for applying noise to message arrays.
+
+These are thin conveniences over :class:`~repro.noise.matrix.NoiseMatrix`
+used where a one-off call reads better than constructing an object, plus
+the exchangeability identity the vectorized engines rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..types import RngLike
+from .matrix import NoiseMatrix
+
+__all__ = ["apply_noise", "observation_distribution"]
+
+
+def apply_noise(
+    messages: np.ndarray,
+    noise: Union[NoiseMatrix, float],
+    rng: RngLike = None,
+    size: int = 2,
+) -> np.ndarray:
+    """Corrupt ``messages`` through ``noise``.
+
+    ``noise`` may be a :class:`NoiseMatrix` or a float, in which case the
+    ``delta``-uniform matrix over an alphabet of ``size`` letters is used.
+    """
+    if not isinstance(noise, NoiseMatrix):
+        noise = NoiseMatrix.uniform(float(noise), size)
+    return noise.corrupt(messages, rng)
+
+
+def observation_distribution(
+    display_counts: np.ndarray, noise: NoiseMatrix
+) -> np.ndarray:
+    """Distribution of a single noisy PULL observation.
+
+    Given ``display_counts[sigma]`` = number of agents currently displaying
+    ``sigma`` (summing to ``n``), an agent sampling one agent uniformly at
+    random with replacement and receiving its message through ``noise``
+    observes symbol ``sigma'`` with probability ``(counts/n) @ N``.
+
+    This identity is what makes the vectorized engines *exact*: given the
+    global display counts, the ``h`` observations of each agent are i.i.d.
+    draws from this distribution, independent across agents.
+    """
+    counts = np.asarray(display_counts, dtype=float)
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("display counts must sum to a positive population size")
+    return noise.observation_probabilities(counts / total)

@@ -1,0 +1,88 @@
+"""Time-varying noise schedules (extension).
+
+The paper's channel is fixed.  Real sensing noise drifts — with
+temperature, crowding, distance.  A :class:`NoiseSchedule` maps a round
+index to a :class:`NoiseMatrix`; the exact PULL engine accepts one in
+place of a fixed matrix.  The robustness statement worth having (and
+tested): if every per-round channel is ``delta_max``-upper-bounded, a
+protocol scheduled for ``delta_max`` (after the Section 4 reduction)
+keeps its guarantees — drift within the envelope only *helps*, because
+less noise means more informative observations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..exceptions import NoiseMatrixError
+from .matrix import NoiseMatrix
+
+__all__ = ["NoiseSchedule", "constant_schedule", "drifting_uniform_schedule"]
+
+
+class NoiseSchedule:
+    """A per-round channel: ``matrix_at(t)`` returns round ``t``'s matrix.
+
+    All matrices must share one alphabet size.  ``envelope_delta`` is
+    the smallest level for which *every* scheduled matrix is
+    delta-upper-bounded — the value to size budgets with.
+    """
+
+    def __init__(
+        self,
+        provider: Callable[[int], NoiseMatrix],
+        size: int,
+        envelope_delta: float,
+    ) -> None:
+        if size < 2:
+            raise NoiseMatrixError(f"alphabet size must be >= 2, got {size}")
+        if not 0.0 <= envelope_delta < 1.0 / size:
+            raise NoiseMatrixError(
+                f"envelope delta must lie in [0, 1/{size}), got {envelope_delta}"
+            )
+        self._provider = provider
+        self.size = size
+        self.envelope_delta = envelope_delta
+
+    def matrix_at(self, round_index: int) -> NoiseMatrix:
+        """The channel in force during round ``round_index``."""
+        matrix = self._provider(round_index)
+        if matrix.size != self.size:
+            raise NoiseMatrixError(
+                f"scheduled matrix at round {round_index} has size "
+                f"{matrix.size}, expected {self.size}"
+            )
+        return matrix
+
+
+def constant_schedule(noise: NoiseMatrix) -> NoiseSchedule:
+    """Wrap a fixed matrix as a (degenerate) schedule."""
+    delta = noise.upper_delta
+    if delta is None:
+        raise NoiseMatrixError("matrix is not delta-upper-bounded for any delta")
+    return NoiseSchedule(lambda t: noise, noise.size, delta)
+
+
+def drifting_uniform_schedule(
+    deltas: Sequence[float], period: int = 1, size: int = 2
+) -> NoiseSchedule:
+    """Cycle through uniform noise levels, holding each for ``period`` rounds.
+
+    ``deltas`` is the cycle of levels; the envelope is their maximum.
+    A sinusoidal or random-walk drift discretizes naturally onto this.
+    """
+    if not deltas:
+        raise NoiseMatrixError("at least one delta is required")
+    if period < 1:
+        raise NoiseMatrixError(f"period must be positive, got {period}")
+    matrices: List[NoiseMatrix] = [NoiseMatrix.uniform(d, size) for d in deltas]
+    envelope = max(deltas)
+    if envelope >= 1.0 / size:
+        raise NoiseMatrixError(
+            f"all deltas must stay below 1/{size}; envelope {envelope}"
+        )
+
+    def provider(t: int) -> NoiseMatrix:
+        return matrices[(t // period) % len(matrices)]
+
+    return NoiseSchedule(provider, size, envelope)

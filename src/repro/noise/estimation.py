@@ -1,0 +1,127 @@
+"""Noise-channel estimation (extension).
+
+The paper assumes every agent *knows* the noise matrix N (it is needed
+both to size the budgets and to build the Section 4 artificial noise).
+In a deployed system N must be estimated.  This module provides the
+standard calibration estimator: given paired (displayed, observed)
+symbols — e.g. from a calibration phase where agents display known
+probe sequences — estimate N row-wise by empirical frequencies, with
+per-entry Wilson confidence half-widths, and decide how many probes are
+needed before the downstream machinery (delta classification, the
+Theorem 8 reduction) is safe to run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import NoiseMatrixError
+from .matrix import NoiseMatrix
+
+__all__ = ["ChannelEstimate", "estimate_noise_matrix", "probes_needed"]
+
+
+@dataclasses.dataclass
+class ChannelEstimate:
+    """An estimated noise matrix with uncertainty.
+
+    Attributes
+    ----------
+    matrix:
+        Row-normalized empirical frequencies (a valid stochastic matrix
+        whenever every row received at least one probe).
+    counts:
+        Raw (displayed, observed) co-occurrence counts.
+    half_widths:
+        95% normal-approximation half-widths per entry.
+    """
+
+    matrix: np.ndarray
+    counts: np.ndarray
+    half_widths: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Alphabet size."""
+        return self.matrix.shape[0]
+
+    def as_noise_matrix(self) -> NoiseMatrix:
+        """Validated :class:`NoiseMatrix` view of the estimate."""
+        return NoiseMatrix(self.matrix)
+
+    @property
+    def worst_half_width(self) -> float:
+        """Largest per-entry uncertainty — the safety gate."""
+        return float(self.half_widths.max())
+
+    def upper_delta_interval(self) -> Optional[tuple]:
+        """Conservative (low, high) interval for the upper-bounding delta.
+
+        ``None`` when even the optimistic end is not < 1/d.
+        """
+        noise = self.as_noise_matrix()
+        point = noise.upper_delta
+        if point is None:
+            return None
+        low = max(point - self.worst_half_width, 0.0)
+        high = point + self.worst_half_width
+        if high >= 1.0 / self.size:
+            return None
+        return (low, high)
+
+
+def estimate_noise_matrix(
+    displayed: np.ndarray, observed: np.ndarray, alphabet_size: int
+) -> ChannelEstimate:
+    """Row-wise empirical estimate of N from calibration pairs.
+
+    Parameters
+    ----------
+    displayed / observed:
+        Equal-length integer arrays of probe symbols before and after the
+        channel.
+    alphabet_size:
+        d = |Sigma|; every symbol must lie in ``[0, d)`` and every row
+        must be probed at least once.
+    """
+    displayed = np.asarray(displayed)
+    observed = np.asarray(observed)
+    if displayed.shape != observed.shape or displayed.ndim != 1:
+        raise NoiseMatrixError("displayed/observed must be equal-length 1-d arrays")
+    if displayed.size == 0:
+        raise NoiseMatrixError("at least one calibration pair is required")
+    d = alphabet_size
+    for arr, name in ((displayed, "displayed"), (observed, "observed")):
+        if arr.min() < 0 or arr.max() >= d:
+            raise NoiseMatrixError(f"{name} symbols must lie in [0, {d})")
+
+    counts = np.zeros((d, d), dtype=np.int64)
+    np.add.at(counts, (displayed, observed), 1)
+    row_totals = counts.sum(axis=1)
+    if (row_totals == 0).any():
+        missing = np.flatnonzero(row_totals == 0).tolist()
+        raise NoiseMatrixError(
+            f"no calibration probes displayed symbols {missing}; every row "
+            "of N needs at least one probe"
+        )
+    matrix = counts / row_totals[:, None]
+    # 95% normal half-width per entry: 1.96 * sqrt(p(1-p)/n_row).
+    with np.errstate(invalid="ignore"):
+        half = 1.96 * np.sqrt(matrix * (1.0 - matrix) / row_totals[:, None])
+    return ChannelEstimate(matrix=matrix, counts=counts, half_widths=half)
+
+
+def probes_needed(target_half_width: float, confidence_z: float = 1.96) -> int:
+    """Probes per row so every entry's half-width is below the target.
+
+    Worst case is p = 1/2: ``n >= (z / (2*target))^2``.
+    """
+    if not 0.0 < target_half_width < 0.5:
+        raise NoiseMatrixError(
+            f"target half-width must lie in (0, 0.5), got {target_half_width}"
+        )
+    return int(math.ceil((confidence_z / (2.0 * target_half_width)) ** 2))

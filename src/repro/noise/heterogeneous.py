@@ -1,0 +1,78 @@
+"""Per-receiver (heterogeneous) binary noise — an extension.
+
+The paper's channel is identical for everyone.  Real sensors differ:
+some agents hear more clearly than others.  This channel gives each
+*receiving* agent its own flip probability ``deltas[i]``; structurally
+it quacks like a :class:`~repro.noise.matrix.NoiseMatrix` for the exact
+engine (``size`` + ``corrupt``), with ``corrupt`` interpreting the
+*rows* of its 2-d input as receivers — which is exactly the shape the
+engine passes (``observations[i]`` are agent i's samples).
+
+The useful guarantee (tested): if every ``deltas[i] <= delta_max``, a
+protocol scheduled for ``delta_max`` keeps converging — heterogeneity
+below the envelope only sharpens some agents' observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import NoiseMatrixError
+from ..types import RngLike, as_generator
+
+__all__ = ["HeterogeneousBinaryNoise"]
+
+
+class HeterogeneousBinaryNoise:
+    """Binary symmetric channel with a per-receiver flip probability."""
+
+    size = 2
+
+    def __init__(self, deltas: np.ndarray) -> None:
+        arr = np.asarray(deltas, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise NoiseMatrixError("deltas must be a non-empty 1-d array")
+        if arr.min() < 0.0 or arr.max() > 0.5:
+            raise NoiseMatrixError(
+                f"per-receiver deltas must lie in [0, 0.5], got range "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        self.deltas = arr.copy()
+        self.deltas.flags.writeable = False
+
+    @property
+    def envelope_delta(self) -> float:
+        """The worst (largest) per-receiver noise level."""
+        return float(self.deltas.max())
+
+    @classmethod
+    def uniform_random(
+        cls, n: int, low: float, high: float, rng: RngLike = None
+    ) -> "HeterogeneousBinaryNoise":
+        """Deltas drawn i.i.d. uniform in ``[low, high]``."""
+        if not 0.0 <= low <= high <= 0.5:
+            raise NoiseMatrixError("need 0 <= low <= high <= 0.5")
+        generator = as_generator(rng)
+        return cls(generator.uniform(low, high, size=n))
+
+    def corrupt(self, messages: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Flip each message with its *receiver's* probability.
+
+        ``messages`` must be 2-d with one row per receiver, and the row
+        count must match ``len(deltas)`` — the exact engine's layout.
+        1-d input is treated as a single receiver-0 batch (useful in
+        tests).
+        """
+        generator = as_generator(rng)
+        arr = np.asarray(messages)
+        if arr.size and (arr.min() < 0 or arr.max() > 1):
+            raise NoiseMatrixError("messages must be binary")
+        if arr.ndim == 1:
+            flips = generator.random(arr.shape) < self.deltas[0]
+            return np.where(flips, 1 - arr, arr).astype(np.int64)
+        if arr.ndim != 2 or arr.shape[0] != self.deltas.size:
+            raise NoiseMatrixError(
+                f"expected ({self.deltas.size}, h) messages, got {arr.shape}"
+            )
+        flips = generator.random(arr.shape) < self.deltas[:, None]
+        return np.where(flips, 1 - arr, arr).astype(np.int64)

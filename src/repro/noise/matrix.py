@@ -1,0 +1,221 @@
+"""Validated noise matrices over finite message alphabets.
+
+A *noise matrix* (Section 1.3, item 3 of the model) is a row-stochastic
+matrix ``N`` indexed by the communication alphabet ``Sigma``: when an agent
+samples another agent displaying message ``sigma``, it observes ``sigma'``
+with probability ``N[sigma, sigma']``, independently across observations.
+
+Messages are represented as integers ``0 .. d-1``.  The SF protocol uses
+``d = 2`` (messages are opinions); the SSF protocol uses ``d = 4`` with
+message ``2*first_bit + second_bit``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import NoiseMatrixError
+from ..linalg import (
+    is_delta_lower_bounded,
+    is_delta_uniform,
+    is_delta_upper_bounded,
+    minimal_upper_delta,
+    validate_stochastic,
+)
+from ..types import RngLike, as_generator
+
+
+class NoiseMatrix:
+    """A validated stochastic noise matrix with sampling helpers.
+
+    Parameters
+    ----------
+    matrix:
+        A ``d x d`` row-stochastic matrix.  Row = displayed message,
+        column = observed message.
+
+    Notes
+    -----
+    Instances are immutable: the wrapped array has ``writeable = False``.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        array = validate_stochastic(matrix)
+        array = array.copy()
+        array.flags.writeable = False
+        self._matrix = array
+        self._cumulative = np.cumsum(array, axis=1)
+        # Guard against cumulative rounding: the last column must be 1 so
+        # that searchsorted never falls off the end.
+        self._cumulative[:, -1] = 1.0
+        self._cumulative.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, delta: float, size: int = 2) -> "NoiseMatrix":
+        """The delta-uniform matrix of Definition 1.
+
+        Diagonal entries ``1 - (d-1)*delta``, off-diagonal entries
+        ``delta``.  Requires ``0 <= delta <= 1/d``.
+        """
+        if size < 2:
+            raise NoiseMatrixError(f"alphabet size must be >= 2, got {size}")
+        if not 0.0 <= delta <= 1.0 / size:
+            raise NoiseMatrixError(
+                f"uniform noise requires delta in [0, 1/{size}], got {delta}"
+            )
+        matrix = np.full((size, size), delta, dtype=float)
+        np.fill_diagonal(matrix, 1.0 - (size - 1) * delta)
+        return cls(matrix)
+
+    @classmethod
+    def binary_symmetric(cls, delta: float) -> "NoiseMatrix":
+        """The binary symmetric channel: a 2-letter delta-uniform matrix."""
+        return cls.uniform(delta, size=2)
+
+    @classmethod
+    def identity(cls, size: int = 2) -> "NoiseMatrix":
+        """The noiseless channel (delta = 0)."""
+        return cls(np.eye(size))
+
+    @classmethod
+    def random_upper_bounded(
+        cls, delta: float, size: int, rng: RngLike = None
+    ) -> "NoiseMatrix":
+        """A random delta-upper-bounded stochastic matrix.
+
+        Each row is sampled by drawing off-diagonal entries uniformly in
+        ``[0, delta]`` and putting the remaining mass on the diagonal; the
+        construction guarantees Eq. (1) holds.  Used by property tests and
+        the noise-reduction benchmark (experiment E8).
+        """
+        if size < 2:
+            raise NoiseMatrixError(f"alphabet size must be >= 2, got {size}")
+        if not 0.0 <= delta < 1.0 / size:
+            raise NoiseMatrixError(
+                f"delta-upper-bounded noise requires delta in [0, 1/{size}), got {delta}"
+            )
+        generator = as_generator(rng)
+        matrix = generator.uniform(0.0, delta, size=(size, size))
+        np.fill_diagonal(matrix, 0.0)
+        np.fill_diagonal(matrix, 1.0 - matrix.sum(axis=1))
+        return cls(matrix)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying (read-only) stochastic matrix."""
+        return self._matrix
+
+    @property
+    def size(self) -> int:
+        """Alphabet size ``d = |Sigma|``."""
+        return self._matrix.shape[0]
+
+    def is_uniform(self, delta: Optional[float] = None, atol: float = 1e-9) -> bool:
+        """Check delta-uniformity; infers ``delta`` from the matrix if omitted."""
+        if delta is None:
+            delta = float(self._matrix[0, 1]) if self.size > 1 else 0.0
+        return is_delta_uniform(self._matrix, delta, atol=atol)
+
+    def is_upper_bounded(self, delta: float, atol: float = 1e-9) -> bool:
+        """Check delta-upper-boundedness (Definition 1 / Eq. 1)."""
+        return is_delta_upper_bounded(self._matrix, delta, atol=atol)
+
+    def is_lower_bounded(self, delta: float, atol: float = 1e-9) -> bool:
+        """Check delta-lower-boundedness (Definition 1)."""
+        return is_delta_lower_bounded(self._matrix, delta, atol=atol)
+
+    @property
+    def upper_delta(self) -> Optional[float]:
+        """Minimal ``delta < 1/d`` such that the matrix is upper bounded.
+
+        ``None`` when the matrix is too noisy to be delta-upper-bounded.
+        """
+        return minimal_upper_delta(self._matrix)
+
+    @property
+    def uniform_delta(self) -> float:
+        """For a uniform matrix, its off-diagonal ``delta``.
+
+        Raises :class:`NoiseMatrixError` when the matrix is not uniform.
+        """
+        delta = float(self._matrix[0, 1]) if self.size > 1 else 0.0
+        if not self.is_uniform(delta):
+            raise NoiseMatrixError("matrix is not delta-uniform")
+        return delta
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def corrupt(self, messages: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Apply the channel independently to an array of messages.
+
+        ``messages`` is an integer array of displayed symbols (any shape);
+        the result has the same shape and holds the observed symbols.  The
+        implementation draws one uniform variate per message and inverts
+        the per-row CDF — O(len * log d) with no Python-level loop over
+        messages.
+        """
+        generator = as_generator(rng)
+        symbols = np.asarray(messages)
+        if symbols.size == 0:
+            return symbols.copy()
+        if symbols.min() < 0 or symbols.max() >= self.size:
+            raise NoiseMatrixError(
+                f"messages must lie in [0, {self.size}), got range "
+                f"[{symbols.min()}, {symbols.max()}]"
+            )
+        flat = symbols.ravel()
+        uniforms = generator.random(flat.shape[0])
+        cdf_rows = self._cumulative[flat]  # (k, d)
+        # searchsorted per row: count thresholds strictly below the variate.
+        observed = (cdf_rows < uniforms[:, None]).sum(axis=1)
+        return observed.reshape(symbols.shape).astype(np.int64)
+
+    def observation_probabilities(self, display_distribution: np.ndarray) -> np.ndarray:
+        """Distribution of a single noisy observation.
+
+        Given the population's display distribution ``p`` (``p[sigma]`` =
+        fraction of agents currently displaying ``sigma``), a uniformly
+        sampled noisy observation is distributed as ``p @ N``.
+        """
+        p = np.asarray(display_distribution, dtype=float)
+        if p.shape != (self.size,):
+            raise NoiseMatrixError(
+                f"display distribution must have shape ({self.size},), got {p.shape}"
+            )
+        if not np.isclose(p.sum(), 1.0, atol=1e-9) or p.min() < -1e-12:
+            raise NoiseMatrixError("display distribution must be a probability vector")
+        out = p @ self._matrix
+        # Clip away negative rounding dust and renormalize exactly.
+        out = np.clip(out, 0.0, None)
+        return out / out.sum()
+
+    def compose(self, other: "NoiseMatrix") -> "NoiseMatrix":
+        """The channel 'self then other' (matrix product ``self @ other``)."""
+        if other.size != self.size:
+            raise NoiseMatrixError(
+                f"cannot compose channels of sizes {self.size} and {other.size}"
+            )
+        return NoiseMatrix(self._matrix @ other.matrix)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NoiseMatrix(size={self.size}, upper_delta={self.upper_delta})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NoiseMatrix):
+            return NotImplemented
+        return self.size == other.size and bool(
+            np.allclose(self._matrix, other.matrix)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.size, self._matrix.tobytes()))

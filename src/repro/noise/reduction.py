@@ -1,0 +1,137 @@
+"""Artificial-noise reduction: Definition 7, Proposition 16, Theorem 8.
+
+The paper's protocols are analysed under *uniform* noise.  To run them
+under an arbitrary delta-upper-bounded noise matrix ``N``, each agent
+post-processes every received message through an *artificial* stochastic
+channel ``P`` chosen so that the composition ``T = N @ P`` is
+delta'-uniform with ``delta' = f(delta)``:
+
+    f(delta) = ( d  +  (1/(d-1)^2) * (1 - d*delta)/delta )^(-1)      (Def. 7)
+
+with ``f(0) = 0``.  Proposition 16 shows ``P := N^-1 @ T`` is stochastic,
+and Theorem 8 shows the simulation is distribution-preserving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..exceptions import NoiseMatrixError
+from ..linalg import invert_noise_matrix
+from ..types import RngLike
+from .matrix import NoiseMatrix
+
+__all__ = [
+    "reduction_delta",
+    "artificial_noise_matrix",
+    "NoiseReduction",
+    "noise_reduction",
+]
+
+
+def reduction_delta(delta: float, size: int) -> float:
+    """Definition 7's function ``f``: uniform noise level after reduction.
+
+    ``f`` is continuous and increasing on ``[0, 1/d)`` with
+    ``f(delta) < 1/d`` (Claim 15), so the reduced channel always remains
+    within the admissible uniform-noise range.
+    """
+    d = size
+    if d < 2:
+        raise NoiseMatrixError(f"alphabet size must be >= 2, got {d}")
+    if not 0.0 <= delta < 1.0 / d:
+        raise NoiseMatrixError(
+            f"delta must lie in [0, 1/{d}) for the reduction, got {delta}"
+        )
+    if delta == 0.0:
+        return 0.0
+    return 1.0 / (d + (1.0 / (d - 1) ** 2) * ((1.0 - d * delta) / delta))
+
+
+def artificial_noise_matrix(noise: NoiseMatrix, delta: float) -> NoiseMatrix:
+    """Proposition 16: the stochastic matrix ``P = N^-1 @ T``.
+
+    ``T`` is the ``f(delta)``-uniform matrix on the same alphabet.  The
+    product is provably stochastic; we still validate (NoiseMatrix does)
+    so floating-point violations surface immediately.
+    """
+    if not noise.is_upper_bounded(delta):
+        raise NoiseMatrixError(
+            f"noise matrix is not {delta}-upper-bounded; "
+            "Proposition 16 requires upper-boundedness"
+        )
+    d = noise.size
+    delta_prime = reduction_delta(delta, d)
+    target = NoiseMatrix.uniform(delta_prime, d)
+    inverse = invert_noise_matrix(noise.matrix, delta)
+    product = inverse @ target.matrix
+    # Floating-point dust can make provably-zero entries slightly negative.
+    product = np.where(np.abs(product) < 1e-12, np.abs(product), product)
+    return NoiseMatrix(product)
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseReduction:
+    """The full Theorem 8 package for one noise matrix.
+
+    Attributes
+    ----------
+    original:
+        The physical channel ``N`` (delta-upper-bounded).
+    delta:
+        The certificate ``delta`` for which ``N`` is upper bounded.
+    artificial:
+        The agent-side post-processing channel ``P``.
+    effective:
+        The composed channel ``T = N @ P`` — ``delta_prime``-uniform.
+    delta_prime:
+        ``f(delta)``, the uniform noise level of ``effective``.
+    """
+
+    original: NoiseMatrix
+    delta: float
+    artificial: NoiseMatrix
+    effective: NoiseMatrix
+    delta_prime: float
+
+    def simulate_observations(
+        self, observed: np.ndarray, rng: RngLike = None
+    ) -> np.ndarray:
+        """Definition 6: post-process messages received under ``N``.
+
+        ``observed`` are symbols that already traversed the physical
+        channel; the output is distributed exactly as if the symbols had
+        traversed the uniform channel ``T`` instead (Theorem 8).
+        """
+        return self.artificial.corrupt(observed, rng)
+
+
+def noise_reduction(noise: NoiseMatrix, delta: float = None) -> NoiseReduction:
+    """Build the Theorem 8 reduction for ``noise``.
+
+    When ``delta`` is omitted it is inferred as the minimal upper-bounding
+    value (which yields the smallest — best — ``delta_prime``).
+    """
+    if delta is None:
+        delta = noise.upper_delta
+        if delta is None:
+            raise NoiseMatrixError(
+                "noise matrix is not delta-upper-bounded for any delta < 1/d"
+            )
+    artificial = artificial_noise_matrix(noise, delta)
+    effective = noise.compose(artificial)
+    delta_prime = reduction_delta(delta, noise.size)
+    if not effective.is_uniform(delta_prime, atol=1e-7):
+        raise NoiseMatrixError(
+            "composed channel is not f(delta)-uniform; this contradicts "
+            "Proposition 16 and indicates numerically corrupt input"
+        )
+    return NoiseReduction(
+        original=noise,
+        delta=float(delta),
+        artificial=artificial,
+        effective=effective,
+        delta_prime=delta_prime,
+    )

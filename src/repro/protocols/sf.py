@@ -1,0 +1,156 @@
+"""Source Filter (SF) — Algorithm 1 of the paper, agent level.
+
+Three stages:
+
+* **Phase 0** (``ceil(m/h)`` rounds): sources display their preference,
+  non-sources display 0; everyone counts observed 1s (``Counter1``).
+* **Phase 1** (same duration): non-sources display 1; everyone counts
+  observed 0s (``Counter0``).
+* **Weak opinion**: ``1{Counter1 > Counter0}``, ties broken by a fair
+  coin.  The 0s of Phase 0 and the 1s of Phase 1 are ignored.
+* **Majority Boosting**: ``10*log n`` sub-phases of at least
+  ``w = 100/(1-2*delta)^2`` observations each, plus one final sub-phase of
+  at least ``m`` observations; at each sub-phase end every agent adopts
+  the majority of the messages it gathered during the sub-phase (coin on
+  ties).  Everyone — sources included — displays its current opinion.
+
+The protocol assumes simultaneous wake-up: all agents share the round
+counter, which is exactly what the engine provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ProtocolError
+from ..model.engine import PullProtocol
+from ..model.population import Population
+from ..types import RngLike, as_generator
+from .parameters import SFSchedule
+
+
+class SourceFilterProtocol(PullProtocol):
+    """Agent-level SF, runnable on :class:`~repro.model.engine.PullEngine`.
+
+    Parameters
+    ----------
+    schedule:
+        The resolved round plan (see :class:`SFSchedule`).
+    """
+
+    alphabet_size = 2
+
+    def __init__(self, schedule: SFSchedule) -> None:
+        self.schedule = schedule
+        self._population: Population = None
+        self._rng: np.random.Generator = None
+        self._counter0: np.ndarray = None
+        self._counter1: np.ndarray = None
+        self._opinions: np.ndarray = None
+        self._weak_opinions: np.ndarray = None
+        self._boost_counts_1: np.ndarray = None
+        self._boost_total: int = 0
+        self._subphases_done: int = 0
+
+    # ------------------------------------------------------------------
+    def reset(self, population: Population, rng: RngLike = None) -> None:
+        if population.h != self.schedule.h:
+            raise ProtocolError(
+                f"schedule was built for h={self.schedule.h}, population has "
+                f"h={population.h}"
+            )
+        self._population = population
+        self._rng = as_generator(rng)
+        n = population.n
+        self._counter0 = np.zeros(n, dtype=np.int64)
+        self._counter1 = np.zeros(n, dtype=np.int64)
+        self._opinions = population.initial_opinions(self._rng)
+        self._weak_opinions = None
+        self._boost_counts_1 = np.zeros(n, dtype=np.int64)
+        self._boost_total = 0
+        self._subphases_done = 0
+
+    def _require_reset(self) -> None:
+        if self._population is None:
+            raise ProtocolError("protocol must be reset before use")
+
+    # ------------------------------------------------------------------
+    def displays(self, round_index: int) -> np.ndarray:
+        self._require_reset()
+        schedule = self.schedule
+        stage = schedule.phase_of(round_index)
+        pop = self._population
+        if stage == "phase0":
+            out = np.zeros(pop.n, dtype=np.int64)
+        elif stage == "phase1":
+            out = np.ones(pop.n, dtype=np.int64)
+        elif stage == "boosting":
+            return self._opinions.astype(np.int64)
+        else:
+            raise ProtocolError(f"round {round_index} is past the SF horizon")
+        mask = pop.is_source
+        out[mask] = pop.preferences[mask]
+        return out
+
+    def receive(self, round_index: int, observations: np.ndarray) -> None:
+        self._require_reset()
+        schedule = self.schedule
+        stage = schedule.phase_of(round_index)
+        obs = np.asarray(observations)
+        if stage == "phase0":
+            self._counter1 += (obs == 1).sum(axis=1)
+        elif stage == "phase1":
+            self._counter0 += (obs == 0).sum(axis=1)
+            if round_index == 2 * schedule.phase_rounds - 1:
+                self._commit_weak_opinions()
+        elif stage == "boosting":
+            self._boost_counts_1 += (obs == 1).sum(axis=1)
+            self._boost_total += obs.shape[1]
+            self._maybe_end_subphase(round_index)
+        else:
+            raise ProtocolError(f"round {round_index} is past the SF horizon")
+
+    def _commit_weak_opinions(self) -> None:
+        """End of Phase 1: Y_hat = 1{Counter1 > Counter0}, coin on ties."""
+        n = self._population.n
+        ties = self._counter1 == self._counter0
+        weak = (self._counter1 > self._counter0).astype(np.int8)
+        if ties.any():
+            weak[ties] = self._rng.integers(0, 2, size=int(ties.sum())).astype(np.int8)
+        self._weak_opinions = weak
+        self._opinions = weak.copy()
+
+    def _maybe_end_subphase(self, round_index: int) -> None:
+        schedule = self.schedule
+        boost_start = 2 * schedule.phase_rounds
+        local = round_index - boost_start + 1  # rounds completed in boosting
+        short_total = schedule.subphase_rounds * schedule.num_subphases
+        if local <= short_total:
+            ends_now = local % schedule.subphase_rounds == 0
+        else:
+            ends_now = local == short_total + schedule.final_rounds
+        if not ends_now:
+            return
+        total = self._boost_total
+        count1 = self._boost_counts_1
+        new = np.where(2 * count1 > total, 1, 0).astype(np.int8)
+        ties = 2 * count1 == total
+        if ties.any():
+            new[ties] = self._rng.integers(0, 2, size=int(ties.sum())).astype(np.int8)
+        self._opinions = new
+        self._boost_counts_1[:] = 0
+        self._boost_total = 0
+        self._subphases_done += 1
+
+    # ------------------------------------------------------------------
+    def opinions(self) -> np.ndarray:
+        self._require_reset()
+        return self._opinions
+
+    @property
+    def weak_opinions(self) -> np.ndarray:
+        """Weak opinions committed at the end of Phase 1 (``None`` before)."""
+        return self._weak_opinions
+
+    def finished(self, round_index: int) -> bool:
+        return round_index >= self.schedule.total_rounds

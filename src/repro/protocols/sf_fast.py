@@ -1,0 +1,200 @@
+"""Vectorized Source Filter engine.
+
+Exploits two exactness facts to simulate whole phases at once:
+
+* Within Phase 0 (resp. Phase 1, resp. one boosting sub-phase) the
+  displayed messages never change, so each agent's per-phase tally of
+  observed symbols is ``Binomial(rounds * h, q)`` with
+  ``q = (k/n)(1-delta) + (1-k/n) delta`` where ``k`` is the number of
+  agents displaying the counted symbol — the exact model distribution,
+  independent across agents (exchangeability).
+* Weak opinions depend only on the agent's own samples, noise and coin
+  (Lemma 28), so they may be drawn i.i.d.
+
+The result is an SF simulation whose cost is ``O(n * num_subphases)``
+regardless of ``h`` or the round count, making the paper's whole
+``(n, h, delta, s)`` evaluation grid laptop-feasible.  Statistical
+equivalence with the agent-level implementation is enforced by
+``tests/test_cross_validation.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model.config import PopulationConfig
+from ..noise import NoiseMatrix
+from ..types import RngLike, as_generator
+from .parameters import SFSchedule
+
+
+def _uniform_delta(noise: Union[float, NoiseMatrix]) -> float:
+    """Extract the uniform noise level for the binary alphabet."""
+    if isinstance(noise, NoiseMatrix):
+        if noise.size != 2:
+            raise ConfigurationError("SF uses the binary alphabet (|Sigma| = 2)")
+        return noise.uniform_delta
+    delta = float(noise)
+    if not 0.0 <= delta <= 0.5:
+        raise ConfigurationError(f"uniform delta must lie in [0, 0.5], got {delta}")
+    return delta
+
+
+def observe_one_probability(k_displaying: int, n: int, delta: float) -> float:
+    """P(one noisy observation equals the counted symbol).
+
+    ``k_displaying`` agents display the symbol; a uniform sample hits one
+    of them with probability ``k/n`` and the binary symmetric channel
+    keeps/flips with probabilities ``1-delta`` / ``delta``.
+    """
+    frac = k_displaying / n
+    return frac * (1.0 - delta) + (1.0 - frac) * delta
+
+
+@dataclasses.dataclass
+class SFRunResult:
+    """Outcome of one fast-SF execution.
+
+    Attributes
+    ----------
+    converged:
+        All agents ended on the correct opinion.
+    total_rounds:
+        Rounds the schedule occupies (SF has a fixed horizon).
+    weak_opinions:
+        Weak opinion vector committed at the end of Phase 1.
+    weak_fraction_correct:
+        Fraction of weak opinions equal to the correct opinion.
+    final_opinions:
+        Opinions after the final boosting sub-phase.
+    boost_trace:
+        Fraction of correct opinions after each boosting sub-phase
+        (including the final one).
+    """
+
+    converged: bool
+    total_rounds: int
+    weak_opinions: np.ndarray
+    weak_fraction_correct: float
+    final_opinions: np.ndarray
+    boost_trace: List[float]
+
+
+class FastSourceFilter:
+    """Phase-at-a-time SF simulator under uniform binary noise.
+
+    Parameters
+    ----------
+    config:
+        Population parameters (``n``, sources, ``h``).
+    noise:
+        Uniform noise level ``delta`` (float) or a uniform 2x2
+        :class:`NoiseMatrix`.  For non-uniform physical noise, apply
+        :func:`repro.noise.noise_reduction` first and pass
+        ``reduction.delta_prime``.
+    schedule:
+        Optional pre-built :class:`SFSchedule`; by default Eq. (19) with
+        the calibrated constant.
+    """
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        noise: Union[float, NoiseMatrix],
+        schedule: Optional[SFSchedule] = None,
+        constant: Optional[float] = None,
+        sample_loss: float = 0.0,
+    ) -> None:
+        self.config = config
+        self.delta = _uniform_delta(noise)
+        if not 0.0 <= sample_loss < 1.0:
+            raise ConfigurationError(
+                f"sample_loss must lie in [0, 1), got {sample_loss}"
+            )
+        self.sample_loss = sample_loss
+        if schedule is None:
+            kwargs = {} if constant is None else {"constant": constant}
+            schedule = SFSchedule.from_config(config, self.delta, **kwargs)
+        self.schedule = schedule
+
+    # ------------------------------------------------------------------
+    def draw_weak_opinions(self, rng: RngLike = None) -> np.ndarray:
+        """Draw the i.i.d. weak-opinion vector (end of Phase 1).
+
+        Counter1 counts 1s while sources display preferences and
+        non-sources display 0 (so ``k = s1``); Counter0 counts 0s while
+        non-sources display 1 (so ``k = s0``).
+        """
+        generator = as_generator(rng)
+        cfg, sched = self.config, self.schedule
+        samples = sched.phase_rounds * sched.h
+        keep = 1.0 - self.sample_loss
+        # Fault injection (extension): each observation is independently
+        # lost with probability sample_loss, so the count of counted
+        # symbols among attempted samples is Binomial(samples, keep * q).
+        q1 = keep * observe_one_probability(cfg.s1, cfg.n, self.delta)
+        q0 = keep * observe_one_probability(cfg.s0, cfg.n, self.delta)
+        counter1 = generator.binomial(samples, q1, size=cfg.n)
+        counter0 = generator.binomial(samples, q0, size=cfg.n)
+        weak = (counter1 > counter0).astype(np.int8)
+        ties = counter1 == counter0
+        if ties.any():
+            weak[ties] = generator.integers(0, 2, size=int(ties.sum())).astype(np.int8)
+        return weak
+
+    def boost_step(
+        self, opinions: np.ndarray, window: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """One majority sub-phase: everyone displays, gathers, takes majority."""
+        generator = as_generator(rng)
+        n = self.config.n
+        k = int(np.sum(opinions == 1))
+        q = observe_one_probability(k, n, self.delta)
+        if self.sample_loss > 0.0:
+            # Lost observations shrink each agent's window; the majority
+            # is over the messages actually received.
+            kept = generator.binomial(window, 1.0 - self.sample_loss, size=n)
+            counts = generator.binomial(kept, q)
+            new = np.where(2 * counts > kept, 1, 0).astype(np.int8)
+            ties = 2 * counts == kept
+        else:
+            counts = generator.binomial(window, q, size=n)
+            new = np.where(2 * counts > window, 1, 0).astype(np.int8)
+            ties = 2 * counts == window
+        if ties.any():
+            new[ties] = generator.integers(0, 2, size=int(ties.sum())).astype(np.int8)
+        return new
+
+    def run(self, rng: RngLike = None) -> SFRunResult:
+        """Execute one full SF run and report the outcome."""
+        generator = as_generator(rng)
+        cfg, sched = self.config, self.schedule
+        correct = cfg.correct_opinion
+        weak = self.draw_weak_opinions(generator)
+        weak_fraction = float(np.mean(weak == correct)) if correct is not None else 0.5
+
+        opinions = weak.copy()
+        trace: List[float] = []
+        short_window = sched.subphase_rounds * sched.h
+        for _ in range(sched.num_subphases):
+            opinions = self.boost_step(opinions, short_window, generator)
+            if correct is not None:
+                trace.append(float(np.mean(opinions == correct)))
+        final_window = sched.final_rounds * sched.h
+        opinions = self.boost_step(opinions, final_window, generator)
+        if correct is not None:
+            trace.append(float(np.mean(opinions == correct)))
+
+        converged = correct is not None and bool(np.all(opinions == correct))
+        return SFRunResult(
+            converged=converged,
+            total_rounds=sched.total_rounds,
+            weak_opinions=weak,
+            weak_fraction_correct=weak_fraction,
+            final_opinions=opinions,
+            boost_trace=trace,
+        )

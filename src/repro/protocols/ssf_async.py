@@ -1,0 +1,118 @@
+"""SSF under asynchronous activation (extension).
+
+Algorithm 2 never uses the round counter — each agent's buffer is its
+own clock — so SSF transfers verbatim to the random-sequential model:
+when an agent is activated it samples ``h`` agents, banks the noisy
+messages, and flushes/updates once the buffer reaches ``m``.  The only
+semantic difference is *throughput*: an agent is activated once per
+``n`` steps in expectation, so wall-clock convergence is measured in
+activations/n (parallel-round equivalents).
+
+This demonstrates the robustness claim behind the self-stabilizing
+design: not only arbitrary initial states, but also the removal of the
+synchronous scheduler itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ProtocolError
+from ..model.async_engine import AsyncPullProtocol
+from ..model.population import Population
+from ..types import RngLike, as_generator
+from .parameters import SSFSchedule
+from .ssf import (
+    SYMBOL_NONSOURCE_1,
+    SYMBOL_SOURCE_0,
+    SYMBOL_SOURCE_1,
+    majority_with_ties,
+)
+
+
+class AsyncSelfStabilizingSourceFilter(AsyncPullProtocol):
+    """Algorithm 2 on the asynchronous engine."""
+
+    alphabet_size = 4
+
+    def __init__(self, schedule: SSFSchedule) -> None:
+        self.schedule = schedule
+        self._population: Population = None
+        self._rng: np.random.Generator = None
+        self._memory: np.ndarray = None
+        self._fill: np.ndarray = None
+        self._weak: np.ndarray = None
+        self._opinions: np.ndarray = None
+
+    @property
+    def memory_capacity(self) -> int:
+        """The buffer size parameter ``m``."""
+        return self.schedule.m
+
+    def reset(self, population: Population, rng: RngLike = None) -> None:
+        self._population = population
+        self._rng = as_generator(rng)
+        n = population.n
+        self._memory = np.zeros((n, 4), dtype=np.int64)
+        self._fill = np.zeros(n, dtype=np.int64)
+        opinions = self._rng.integers(0, 2, size=n).astype(np.int8)
+        mask = population.is_source
+        opinions[mask] = population.preferences[mask]
+        self._opinions = opinions
+        self._weak = opinions.copy()
+
+    def install_state(
+        self,
+        opinions: np.ndarray,
+        weak_opinions: np.ndarray,
+        memory_counts: np.ndarray,
+    ) -> None:
+        """Adversarial initialization (same contract as the sync SSF)."""
+        if self._population is None:
+            raise ProtocolError("protocol must be reset before corruption")
+        n = self._population.n
+        memory = np.asarray(memory_counts, dtype=np.int64)
+        if memory.shape != (n, 4) or memory.sum(axis=1).max() > self.memory_capacity:
+            raise ProtocolError("adversarial memories must hold <= m messages")
+        self._opinions = np.asarray(opinions, dtype=np.int8).copy()
+        self._weak = np.asarray(weak_opinions, dtype=np.int8).copy()
+        self._memory = memory.copy()
+        self._fill = memory.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    def display_of(self, agent: int) -> int:
+        pop = self._population
+        if pop.is_source[agent]:
+            return 2 + int(pop.preferences[agent])
+        return int(self._weak[agent])
+
+    def activate(self, agent: int, observations: np.ndarray) -> None:
+        counts = np.bincount(observations, minlength=4)
+        self._memory[agent] += counts
+        self._fill[agent] += observations.shape[0]
+        if self._fill[agent] < self.memory_capacity:
+            return
+        mem = self._memory[agent]
+        rng = self._rng
+        new_weak = majority_with_ties(
+            np.array([mem[SYMBOL_SOURCE_1]]),
+            np.array([mem[SYMBOL_SOURCE_0]]),
+            rng,
+        )[0]
+        ones = mem[SYMBOL_NONSOURCE_1] + mem[SYMBOL_SOURCE_1]
+        zeros = mem[0] + mem[SYMBOL_SOURCE_0]
+        new_opinion = majority_with_ties(
+            np.array([ones]), np.array([zeros]), rng
+        )[0]
+        self._weak[agent] = new_weak
+        self._opinions[agent] = new_opinion
+        self._memory[agent] = 0
+        self._fill[agent] = 0
+
+    def opinions(self) -> np.ndarray:
+        return self._opinions
+
+    @property
+    def weak_opinions(self) -> np.ndarray:
+        """Current weak-opinion vector."""
+        return self._weak

@@ -1,0 +1,294 @@
+"""Vectorized Self-stabilizing Source Filter engine.
+
+Exactness argument: within any window of rounds during which *no agent
+flushes its buffer*, the displayed messages are constant, so each agent's
+added symbol tallies over a window of ``g`` rounds are exactly
+``Multinomial(g*h, q)`` with ``q = delta + (counts/n)*(1-4*delta)``
+(uniform 4-letter channel), i.i.d. across agents.  The engine therefore
+advances in *gaps*: it jumps straight to the next update event, draws one
+multinomial per agent for the whole gap, applies the due updates, and
+repeats.  With synchronized buffers (clean start, or the targeted
+adversary) a full epoch is a single batch; with adversarially staggered
+buffers gaps shrink towards one round and the engine gracefully degrades
+to the per-round cost — still exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model.config import PopulationConfig
+from ..noise import NoiseMatrix
+from ..types import RngLike, as_generator
+from .parameters import SSFSchedule
+from .ssf import (
+    SYMBOL_NONSOURCE_1,
+    SYMBOL_SOURCE_0,
+    SYMBOL_SOURCE_1,
+    majority_with_ties,
+)
+
+
+def _uniform_delta4(noise: Union[float, NoiseMatrix]) -> float:
+    """Extract the uniform noise level for the 4-letter alphabet."""
+    if isinstance(noise, NoiseMatrix):
+        if noise.size != 4:
+            raise ConfigurationError("SSF uses the 2-bit alphabet (|Sigma| = 4)")
+        return noise.uniform_delta
+    delta = float(noise)
+    if not 0.0 <= delta <= 0.25:
+        raise ConfigurationError(f"uniform delta must lie in [0, 0.25], got {delta}")
+    return delta
+
+
+@dataclasses.dataclass
+class SSFRunResult:
+    """Outcome of one fast-SSF execution.
+
+    Attributes
+    ----------
+    converged:
+        All agents held the correct opinion at the end of the run.
+    consensus_round:
+        First round from which consensus held through the end (``None`` if
+        it never did).
+    rounds_executed:
+        Total simulated rounds.
+    final_opinions / final_weak_opinions:
+        State at the end of the run.
+    trace:
+        ``(round, fraction_correct)`` pairs recorded after every round in
+        which at least one agent updated.
+    """
+
+    converged: bool
+    consensus_round: Optional[int]
+    rounds_executed: int
+    final_opinions: np.ndarray
+    final_weak_opinions: np.ndarray
+    trace: List[tuple]
+
+
+class FastSelfStabilizingSourceFilter:
+    """Gap-batched SSF simulator under uniform 4-letter noise.
+
+    Parameters
+    ----------
+    config:
+        Population parameters.
+    noise:
+        Uniform noise level over the 4-letter alphabet (float in
+        ``[0, 1/4)``) or a uniform 4x4 :class:`NoiseMatrix`.  For
+        non-uniform physical noise apply the Section 4 reduction first.
+    schedule:
+        Optional pre-built :class:`SSFSchedule` (default: Eq. (30) with
+        the calibrated constant).
+    """
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        noise: Union[float, NoiseMatrix],
+        schedule: Optional[SSFSchedule] = None,
+        constant: Optional[float] = None,
+        sample_loss: float = 0.0,
+    ) -> None:
+        self.config = config
+        self.delta = _uniform_delta4(noise)
+        if not 0.0 <= sample_loss < 1.0:
+            raise ConfigurationError(
+                f"sample_loss must lie in [0, 1), got {sample_loss}"
+            )
+        self.sample_loss = sample_loss
+        if schedule is None:
+            kwargs = {} if constant is None else {"constant": constant}
+            schedule = SSFSchedule.from_config(config, self.delta, **kwargs)
+        self.schedule = schedule
+        n = config.n
+        self._rng: np.random.Generator = None
+        self.memory = np.zeros((n, 4), dtype=np.int64)
+        self.fill = np.zeros(n, dtype=np.int64)
+        self.weak = np.zeros(n, dtype=np.int8)
+        self.opinion = np.zeros(n, dtype=np.int8)
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Adversary contract (matches the agent-level class).
+    # ------------------------------------------------------------------
+    alphabet_size = 4
+
+    @property
+    def memory_capacity(self) -> int:
+        """The buffer size parameter ``m``."""
+        return self.schedule.m
+
+    def reset(self, rng: RngLike = None) -> None:
+        """Clean start: empty buffers, random opinions (sources on pref)."""
+        self._rng = as_generator(rng)
+        n = self.config.n
+        self.memory[:] = 0
+        self.fill[:] = 0
+        opinions = self._rng.integers(0, 2, size=n).astype(np.int8)
+        # Fast engine tracks sources positionally: the first s0 agents
+        # prefer 0, the next s1 prefer 1 (exchangeability makes the actual
+        # placement irrelevant).
+        opinions[: self.config.s0] = 0
+        opinions[self.config.s0 : self.config.num_sources] = 1
+        self.opinion = opinions
+        self.weak = opinions.copy()
+        self._initialized = True
+
+    def install_state(
+        self,
+        opinions: np.ndarray,
+        weak_opinions: np.ndarray,
+        memory_counts: np.ndarray,
+    ) -> None:
+        """Adversarially overwrite the corruptible state."""
+        n = self.config.n
+        opinions = np.asarray(opinions, dtype=np.int8)
+        weak = np.asarray(weak_opinions, dtype=np.int8)
+        memory = np.asarray(memory_counts, dtype=np.int64)
+        if opinions.shape != (n,) or weak.shape != (n,) or memory.shape != (n, 4):
+            raise ConfigurationError("adversarial state has wrong shape")
+        if memory.min() < 0 or memory.sum(axis=1).max() > self.memory_capacity:
+            raise ConfigurationError(
+                "adversarial memories must hold between 0 and m messages"
+            )
+        self.opinion = opinions.copy()
+        self.weak = weak.copy()
+        self.memory = memory.copy()
+        self.fill = memory.sum(axis=1)
+        self._initialized = True
+
+    # ------------------------------------------------------------------
+    def _observation_distribution(self) -> np.ndarray:
+        """q = delta + (display_counts/n) * (1 - 4*delta), per symbol."""
+        cfg = self.config
+        n = cfg.n
+        num_sources = cfg.num_sources
+        weak_nonsource = self.weak[num_sources:]
+        counts = np.zeros(4, dtype=float)
+        counts[SYMBOL_SOURCE_0] = cfg.s0
+        counts[SYMBOL_SOURCE_1] = cfg.s1
+        ones = int(np.sum(weak_nonsource == 1))
+        counts[SYMBOL_NONSOURCE_1] = ones
+        counts[0] = (n - num_sources) - ones
+        return self.delta + (counts / n) * (1.0 - 4.0 * self.delta)
+
+    def _apply_updates(self, due: np.ndarray) -> None:
+        mem = self.memory[due]
+        rng = self._rng
+        new_weak = majority_with_ties(
+            mem[:, SYMBOL_SOURCE_1], mem[:, SYMBOL_SOURCE_0], rng
+        )
+        ones = mem[:, SYMBOL_NONSOURCE_1] + mem[:, SYMBOL_SOURCE_1]
+        zeros = mem[:, 0] + mem[:, SYMBOL_SOURCE_0]
+        new_opinion = majority_with_ties(ones, zeros, rng)
+        self.weak[due] = new_weak
+        self.opinion[due] = new_opinion
+        self.memory[due] = 0
+        self.fill[due] = 0
+
+    def _fraction_correct(self) -> float:
+        correct = self.config.correct_opinion
+        return float(np.mean(self.opinion == correct))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: Optional[int] = None,
+        rng: RngLike = None,
+        adversary: object = None,
+        stop_on_consensus: bool = True,
+        consensus_epochs: int = 2,
+    ) -> SSFRunResult:
+        """Simulate SSF until consensus stabilizes or the budget runs out.
+
+        Parameters
+        ----------
+        max_rounds:
+            Round budget; defaults to ``20 * epoch_rounds`` (well beyond
+            Theorem 5's three-epoch horizon).
+        adversary:
+            Optional :class:`~repro.model.adversary.AdversarialInitializer`
+            applied after the clean reset.
+        stop_on_consensus:
+            Stop early once consensus has held for ``consensus_epochs``
+            whole epochs (every agent updated at least twice while the
+            population was unanimous).
+        """
+        generator = as_generator(rng)
+        self.reset(generator)
+        if adversary is not None:
+            # The fast engine is positional: build a positional population
+            # facade for the adversary.
+            from ..model.population import Population
+
+            population = Population(self.config, rng=generator, shuffle=False)
+            adversary.apply(self, population, generator)
+        self._rng = generator
+
+        sched = self.schedule
+        if max_rounds is None:
+            max_rounds = 20 * sched.epoch_rounds
+        h = self.config.h
+        m = sched.m
+        correct = self.config.correct_opinion
+        patience_rounds = consensus_epochs * sched.epoch_rounds
+
+        trace: List[tuple] = []
+        consensus_start: Optional[int] = None
+        t = 0
+        while t < max_rounds:
+            # Rounds until the next agent(s) flush: fill grows by h/round.
+            rounds_to_due = np.ceil(
+                np.maximum(m - self.fill, 1) / h
+            ).astype(np.int64)
+            gap = int(rounds_to_due.min())
+            gap = min(gap, max_rounds - t)
+            q = self._observation_distribution()
+            if self.sample_loss > 0.0:
+                # Fault injection: each observation is lost independently.
+                # Thinning a multinomial thins each category binomially,
+                # so the kept tallies stay exact — and buffers (hence
+                # update clocks) fill more slowly.
+                full = generator.multinomial(gap * h, q, size=self.config.n)
+                tallies = generator.binomial(full, 1.0 - self.sample_loss)
+                self.memory += tallies
+                self.fill += tallies.sum(axis=1)
+            else:
+                tallies = generator.multinomial(gap * h, q, size=self.config.n)
+                self.memory += tallies
+                self.fill += gap * h
+            t += gap
+            due = self.fill >= m
+            if due.any():
+                self._apply_updates(due)
+                frac = self._fraction_correct()
+                trace.append((t - 1, frac))
+                if frac == 1.0:
+                    if consensus_start is None:
+                        consensus_start = t - 1
+                else:
+                    consensus_start = None
+                if (
+                    stop_on_consensus
+                    and consensus_start is not None
+                    and (t - 1) - consensus_start >= patience_rounds
+                ):
+                    break
+
+        converged = correct is not None and bool(np.all(self.opinion == correct))
+        return SSFRunResult(
+            converged=converged,
+            consensus_round=consensus_start if converged else None,
+            rounds_executed=t,
+            final_opinions=self.opinion.copy(),
+            final_weak_opinions=self.weak.copy(),
+            trace=trace,
+        )

@@ -1,0 +1,83 @@
+"""Closed-form theory: the paper's bounds and probability lemmas.
+
+Used in two roles:
+
+* *reference lines* for the benchmarks (lower bound of Theorem 3, upper
+  bounds of Theorems 4 and 5);
+* *test oracles*: predicted weak-opinion success probabilities
+  (Lemmas 28 and 36) that Monte-Carlo runs must match.
+"""
+
+from .bounds import (
+    lower_bound_rounds,
+    sf_upper_bound_rounds,
+    ssf_upper_bound_rounds,
+)
+from .probability import (
+    binomial_one_lower_bound,
+    chernoff_multiplicative_upper,
+    exact_majority_advantage,
+    hoeffding_deviation_upper,
+    lemma21_g,
+    lemma22_advantage_lower_bound,
+)
+from .weak_opinion import (
+    TrinomialStep,
+    sf_step_distribution,
+    ssf_step_distribution,
+    weak_opinion_success_probability,
+)
+from .regimes import (
+    NoiseRegime,
+    RegimeReport,
+    classify_noise_regime,
+    dominant_budget_term,
+    regime_report,
+    sf_budget_terms,
+)
+from .amplification import (
+    expected_trajectory,
+    minimum_initial_advantage,
+    stage_success_probability,
+    stages_to_consensus,
+)
+from .two_party import (
+    messages_needed,
+    simulate_two_party,
+    two_party_error,
+    whp_round_lower_bound,
+)
+from .memory import bits_for, sf_memory_bits, ssf_memory_bits
+
+__all__ = [
+    "bits_for",
+    "sf_memory_bits",
+    "ssf_memory_bits",
+    "expected_trajectory",
+    "messages_needed",
+    "minimum_initial_advantage",
+    "simulate_two_party",
+    "stage_success_probability",
+    "stages_to_consensus",
+    "two_party_error",
+    "whp_round_lower_bound",
+    "NoiseRegime",
+    "RegimeReport",
+    "classify_noise_regime",
+    "dominant_budget_term",
+    "regime_report",
+    "sf_budget_terms",
+    "TrinomialStep",
+    "binomial_one_lower_bound",
+    "chernoff_multiplicative_upper",
+    "exact_majority_advantage",
+    "hoeffding_deviation_upper",
+    "lemma21_g",
+    "lemma22_advantage_lower_bound",
+    "lower_bound_rounds",
+    "sf_step_distribution",
+    "sf_upper_bound_rounds",
+    "ssf_step_distribution",
+    "ssf_upper_bound_rounds",
+    "weak_opinion_success_probability",
+]

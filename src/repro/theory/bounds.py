@@ -1,0 +1,62 @@
+"""The paper's round-complexity bounds (Theorems 3, 4 and 5).
+
+The theorems are asymptotic; the functions here evaluate the bound
+*expressions* with unit constants.  Benchmarks use them as reference
+shapes — the claim being tested is always proportionality/scaling, never
+an absolute round count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..model.config import PopulationConfig
+
+
+def lower_bound_rounds(
+    n: int,
+    h: int,
+    s: int,
+    delta: float,
+    alphabet_size: int = 2,
+) -> float:
+    """Theorem 3's lower bound expression ``delta*n / (h*s^2*(1-delta*d)^2)``.
+
+    Valid for delta-lower-bounded noise; informative when ``s <= sqrt(n)``.
+    """
+    if n < 1 or h < 1 or s < 1:
+        raise ValueError("n, h and s must be positive")
+    d = alphabet_size
+    if not 0.0 <= delta < 1.0 / d:
+        raise ValueError(f"delta must lie in [0, 1/{d}), got {delta}")
+    return delta * n / (h * s * s * (1.0 - delta * d) ** 2)
+
+
+def sf_upper_bound_rounds(config: PopulationConfig, delta: float) -> float:
+    """Theorem 4's upper bound expression (unit constant, natural log).
+
+    ``(1/h) * ( n*delta/(min(s^2,n)(1-2delta)^2) + sqrt(n)/s
+    + (s0+s1)/s^2 ) * log n + log n``.
+    """
+    if not 0.0 <= delta < 0.5:
+        raise ValueError(f"delta must lie in [0, 0.5), got {delta}")
+    n, h = config.n, config.h
+    s = max(config.bias, 1)
+    log_n = math.log(n)
+    inner = (
+        n * delta / (min(s * s, n) * (1.0 - 2.0 * delta) ** 2)
+        + math.sqrt(n) / s
+        + config.num_sources / (s * s)
+    )
+    return inner * log_n / h + log_n
+
+
+def ssf_upper_bound_rounds(config: PopulationConfig, delta: float) -> float:
+    """Theorem 5's upper bound expression (unit constant, natural log).
+
+    ``delta*n*log(n) / (h*(1-4delta)^2) + n/h``.
+    """
+    if not 0.0 <= delta < 0.25:
+        raise ValueError(f"delta must lie in [0, 0.25), got {delta}")
+    n, h = config.n, config.h
+    return delta * n * math.log(n) / (h * (1.0 - 4.0 * delta) ** 2) + n / h

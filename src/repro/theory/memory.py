@@ -1,0 +1,57 @@
+"""Per-agent memory accounting (the O(log T + log h) claims).
+
+Theorems 4 and 5 state their protocols use ``O(log T + log h)`` bits of
+memory per agent.  This module makes the claim auditable: it counts the
+bits each implementation's per-agent state actually needs, given a
+schedule, and the tests verify the logarithmic growth against the round
+horizon across instance sizes.
+
+Accounting (worst case, per agent):
+
+* **SF**: two listening counters bounded by ``ceil(m/h)*h`` observed
+  messages, one boosting 1s-counter and one received-message counter
+  bounded by the final window, a sub-phase index bounded by
+  ``10 log n + 1``, and a round/phase position bounded by ``T`` (the
+  simultaneous-wake-up clock).  The opinion and weak opinion are one
+  bit each.
+* **SSF**: four buffer tallies summing to at most ``m + h`` (the buffer
+  may overshoot by one round's intake before flushing), plus opinion and
+  weak opinion.  Notably NO clock — the buffer is the clock — which is
+  where SSF saves the ``log T`` term in exchange for Eq. (30)'s larger
+  ``m``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..protocols.parameters import SFSchedule, SSFSchedule
+
+__all__ = ["sf_memory_bits", "ssf_memory_bits", "bits_for"]
+
+
+def bits_for(max_value: int) -> int:
+    """Bits needed to store an integer in ``[0, max_value]``."""
+    if max_value < 0:
+        raise ValueError(f"max_value must be non-negative, got {max_value}")
+    return max(int(math.ceil(math.log2(max_value + 1))), 1)
+
+
+def sf_memory_bits(schedule: SFSchedule) -> int:
+    """Worst-case per-agent bits for the SF implementation."""
+    per_phase_messages = schedule.phase_rounds * schedule.h
+    counter_bits = 2 * bits_for(per_phase_messages)  # Counter0, Counter1
+    final_window = schedule.final_rounds * schedule.h
+    boost_bits = 2 * bits_for(final_window)  # 1s seen + messages seen
+    subphase_bits = bits_for(schedule.num_subphases + 1)
+    clock_bits = bits_for(schedule.total_rounds)
+    opinion_bits = 2  # opinion + weak opinion
+    return counter_bits + boost_bits + subphase_bits + clock_bits + opinion_bits
+
+
+def ssf_memory_bits(schedule: SSFSchedule) -> int:
+    """Worst-case per-agent bits for the SSF implementation."""
+    buffer_cap = schedule.m + schedule.h  # may overshoot by one round
+    tally_bits = 4 * bits_for(buffer_cap)
+    opinion_bits = 2
+    return tally_bits + opinion_bits

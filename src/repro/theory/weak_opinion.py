@@ -1,0 +1,180 @@
+"""Closed-form weak-opinion statistics (Section 2.3, Lemmas 28 and 36).
+
+Both protocols reduce the weak-opinion computation to a sum
+``X = sum_k X_k`` of i.i.d. steps ``X_k in {-1, 0, +1}``:
+
+* **SF** (Lemma 28): ``X_k`` pairs the k-th Phase-0 message ``A_k`` with
+  the k-th Phase-1 message ``B_k``; ``X_k = +1`` iff ``(A,B) = (1,1)``,
+  ``-1`` iff ``(0,0)``, else 0.
+* **SSF** (Lemma 36): one ``X_k`` per buffered message; ``+1`` for
+  symbol (1,1), ``-1`` for (1,0), 0 otherwise.
+
+The weak opinion is 1 iff ``X > 0`` (coin on ties), so its success
+probability is ``P(X>0) + 0.5*P(X=0)`` — computed here exactly (by
+conditioning on the number of non-zero steps, Lemma 20) or by a normal
+approximation for large ``m``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..model.config import PopulationConfig
+from .probability import exact_majority_advantage
+
+
+@dataclasses.dataclass(frozen=True)
+class TrinomialStep:
+    """Distribution of one step ``X_k`` over {-1, 0, +1}.
+
+    ``p_plus + p_zero + p_minus = 1``.  ``nonzero_probability`` and
+    ``conditional_plus`` are the quantities the paper calls
+    ``P(X_k != 0)`` and ``p = P(X_k = 1 | X_k != 0)``.
+    """
+
+    p_plus: float
+    p_zero: float
+    p_minus: float
+
+    def __post_init__(self) -> None:
+        total = self.p_plus + self.p_zero + self.p_minus
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ValueError(f"step probabilities must sum to 1, got {total}")
+        if min(self.p_plus, self.p_zero, self.p_minus) < -1e-12:
+            raise ValueError("step probabilities must be non-negative")
+
+    @property
+    def nonzero_probability(self) -> float:
+        """``P(X_k != 0)``."""
+        return self.p_plus + self.p_minus
+
+    @property
+    def conditional_plus(self) -> float:
+        """``p = P(X_k = 1 | X_k != 0)``."""
+        nz = self.nonzero_probability
+        if nz == 0:
+            return 0.5
+        return self.p_plus / nz
+
+    @property
+    def mean(self) -> float:
+        """``E[X_k]``."""
+        return self.p_plus - self.p_minus
+
+    @property
+    def variance(self) -> float:
+        """``Var[X_k]``."""
+        return self.nonzero_probability - self.mean**2
+
+
+def sf_step_distribution(config: PopulationConfig, delta: float) -> TrinomialStep:
+    """SF's step distribution (the displayed computation in Lemma 28).
+
+    ``P(A_k = 1) = (s1/n)(1-delta) + (1-s1/n)delta`` and
+    ``P(B_k = 1) = (s0/n)delta + (1-s0/n)(1-delta)``; the pair is
+    independent, ``X_k = +1`` iff both are 1, ``-1`` iff both are 0.
+    """
+    if not 0.0 <= delta <= 0.5:
+        raise ValueError(f"delta must lie in [0, 0.5], got {delta}")
+    n = config.n
+    a1 = (config.s1 / n) * (1.0 - delta) + (1.0 - config.s1 / n) * delta
+    b1 = (config.s0 / n) * delta + (1.0 - config.s0 / n) * (1.0 - delta)
+    p_plus = a1 * b1
+    p_minus = (1.0 - a1) * (1.0 - b1)
+    return TrinomialStep(p_plus=p_plus, p_zero=1.0 - p_plus - p_minus, p_minus=p_minus)
+
+
+def ssf_step_distribution(config: PopulationConfig, delta: float) -> TrinomialStep:
+    """SSF's step distribution (Eq. 33).
+
+    ``P(X_k = +1) = (s1/n)(1-3delta) + (1-s1/n)delta`` (a clean sample of
+    a 1-source, or any other sample corrupted into (1,1)); symmetrically
+    for ``-1``.
+    """
+    if not 0.0 <= delta <= 0.25:
+        raise ValueError(f"delta must lie in [0, 0.25], got {delta}")
+    n = config.n
+    p_plus = (config.s1 / n) * (1.0 - 3.0 * delta) + (1.0 - config.s1 / n) * delta
+    p_minus = (config.s0 / n) * (1.0 - 3.0 * delta) + (1.0 - config.s0 / n) * delta
+    return TrinomialStep(p_plus=p_plus, p_zero=1.0 - p_plus - p_minus, p_minus=p_minus)
+
+
+def weak_opinion_success_probability(
+    step: TrinomialStep, m: int, method: str = "auto", exact_limit: int = 4000
+) -> float:
+    """``P(weak opinion = 1) = P(X > 0) + 0.5 * P(X = 0)`` for ``X = sum X_k``.
+
+    ``method="exact"`` conditions on the number of non-zero steps
+    (Lemma 20): ``Y ~ Binomial(m, P(X_k != 0))`` and, given ``Y = r``,
+    ``X`` is a sum of ``r`` Rademacher(p) variables.  Cost O(m * r_range);
+    use for ``m <= exact_limit``.  ``method="normal"`` applies the CLT
+    with continuity handled by the half-tie convention;
+    ``method="auto"`` picks exact for small ``m``.
+    """
+    if m < 1:
+        raise ValueError(f"m must be positive, got {m}")
+    if method == "auto":
+        method = "exact" if m <= exact_limit else "normal"
+    if method == "exact":
+        return _exact_success(step, m)
+    if method == "normal":
+        return _normal_success(step, m)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _exact_success(step: TrinomialStep, m: int) -> float:
+    nz = step.nonzero_probability
+    p = step.conditional_plus
+    theta = p - 0.5
+    # P(Y = r), restricted to a +-10 sigma window around m*nz — the
+    # remaining tail mass is far below any tolerance we use.
+    mu = m * nz
+    sigma = math.sqrt(max(m * nz * (1.0 - nz), 1.0))
+    lo = max(int(mu - 10 * sigma), 0)
+    hi = min(int(mu + 10 * sigma) + 1, m)
+    rs = np.arange(lo, hi + 1)
+    log_pmf = (
+        _log_binom_coeff(m, rs)
+        + rs * _safe_log(nz)
+        + (m - rs) * _safe_log(1.0 - nz)
+    )
+    pmf = np.exp(log_pmf)
+    total = 0.0
+    covered = 0.0
+    for r, weight in zip(rs, pmf):
+        covered += weight
+        if weight < 1e-14:
+            continue
+        if r == 0:
+            advantage = 0.0
+        else:
+            advantage = exact_majority_advantage(theta, int(r))
+        total += weight * (0.5 + 0.5 * advantage)
+    # Mass outside the window contributes ~0.5 each (symmetric default).
+    total += (1.0 - covered) * 0.5
+    return float(total)
+
+
+def _normal_success(step: TrinomialStep, m: int) -> float:
+    mean = m * step.mean
+    var = m * step.variance
+    if var <= 0:
+        return 1.0 if mean > 0 else (0.5 if mean == 0 else 0.0)
+    z = mean / math.sqrt(var)
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def _safe_log(x: float) -> float:
+    return math.log(x) if x > 0 else -math.inf
+
+
+def _log_binom_coeff(n: int, ks: np.ndarray) -> np.ndarray:
+    try:
+        from scipy.special import gammaln
+    except ImportError:  # pragma: no cover - scipy is a soft dependency
+        gammaln = np.vectorize(lambda x: math.lgamma(float(x)))
+    ks = np.asarray(ks, dtype=float)
+    return gammaln(n + 1) - gammaln(ks + 1) - gammaln(n - ks + 1)

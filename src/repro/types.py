@@ -1,0 +1,83 @@
+"""Shared type aliases and small value objects used across the library.
+
+The paper works with binary opinions ``{0, 1}``, source agents that carry a
+fixed *preference*, and message alphabets that may be larger than the
+opinion set (the SSF protocol uses ``{0,1}^2``, encoded here as the
+integers ``{0, 1, 2, 3}``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Union
+
+import numpy as np
+
+#: Either a fully-fledged numpy generator, an integer seed, or ``None``
+#: (fresh OS entropy).  Every stochastic entry point accepts this.
+RngLike = Union[np.random.Generator, np.random.SeedSequence, int, None]
+
+#: An opinion is a plain ``0`` or ``1``.
+Opinion = int
+
+
+class Role(enum.IntEnum):
+    """Role of an agent in the population.
+
+    Sources know the correct opinion (their *preference*) and know that they
+    are sources; this knowledge cannot be corrupted by the self-stabilization
+    adversary (Section 1.3 of the paper).
+    """
+
+    NON_SOURCE = 0
+    SOURCE_0 = 1
+    SOURCE_1 = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceCounts:
+    """Number of sources preferring each opinion.
+
+    The *bias* is ``s = |s1 - s0|``; the paper requires ``s >= 1`` and
+    ``s0, s1 <= n/4``.  The preference held by the strict majority of
+    sources is the *correct opinion*.
+    """
+
+    s0: int
+    s1: int
+
+    def __post_init__(self) -> None:
+        if self.s0 < 0 or self.s1 < 0:
+            raise ValueError("source counts must be non-negative")
+
+    @property
+    def total(self) -> int:
+        """Total number of source agents, ``s0 + s1``."""
+        return self.s0 + self.s1
+
+    @property
+    def bias(self) -> int:
+        """The bias ``s = |s1 - s0|``."""
+        return abs(self.s1 - self.s0)
+
+    @property
+    def correct_opinion(self) -> Opinion:
+        """The opinion supported by the strict majority of sources."""
+        if self.s1 == self.s0:
+            raise ValueError("bias is zero: no correct opinion is defined")
+        return 1 if self.s1 > self.s0 else 0
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Coerce any :data:`RngLike` value into a ``numpy.random.Generator``.
+
+    Passing an existing generator returns it unchanged, so state is shared
+    with the caller; integers and ``SeedSequence`` objects produce fresh,
+    independent generators; ``None`` seeds from OS entropy.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    return np.random.default_rng(rng)

@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PopulationConfig, SourceCounts
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> PopulationConfig:
+    """A small single-source population with full observation (h = n)."""
+    return PopulationConfig(n=64, sources=SourceCounts(s0=0, s1=1), h=64)
+
+
+@pytest.fixture
+def conflicting_config() -> PopulationConfig:
+    """A population with conflicting sources (plurality prefers 1)."""
+    return PopulationConfig(n=64, sources=SourceCounts(s0=2, s1=5), h=16)
+
+
+@pytest.fixture
+def pairwise_config() -> PopulationConfig:
+    """The h = 1 pairwise-interaction regime."""
+    return PopulationConfig(n=64, sources=SourceCounts(s0=0, s1=1), h=1)

@@ -1,0 +1,89 @@
+"""Tests for the self-stabilization adversaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.model import Population, PopulationConfig
+from repro.model.adversary import (
+    DesynchronizingAdversary,
+    RandomStateAdversary,
+    TargetedAdversary,
+)
+from repro.protocols import SSFSchedule, SelfStabilizingSourceFilterProtocol
+from repro.types import SourceCounts
+
+
+@pytest.fixture
+def protocol_and_population(rng):
+    cfg = PopulationConfig(n=40, sources=SourceCounts(1, 3), h=4)
+    pop = Population(cfg, rng=rng)
+    schedule = SSFSchedule.from_config(cfg, 0.1, m=50)
+    protocol = SelfStabilizingSourceFilterProtocol(schedule)
+    protocol.reset(pop, rng)
+    return protocol, pop
+
+
+class TestContract:
+    def test_rejects_non_self_stabilizing_protocol(self, rng):
+        class NotSelfStabilizing:
+            pass
+
+        cfg = PopulationConfig(n=10, sources=SourceCounts(0, 1), h=1)
+        pop = Population(cfg, rng=rng)
+        with pytest.raises(ProtocolError):
+            RandomStateAdversary().apply(NotSelfStabilizing(), pop, rng)
+
+
+class TestRandomStateAdversary:
+    def test_memory_within_capacity(self, protocol_and_population, rng):
+        protocol, pop = protocol_and_population
+        RandomStateAdversary().apply(protocol, pop, rng)
+        fills = protocol.memory_fill
+        assert fills.min() >= 0
+        assert fills.max() <= protocol.memory_capacity
+
+    def test_opinions_are_binary(self, protocol_and_population, rng):
+        protocol, pop = protocol_and_population
+        RandomStateAdversary().apply(protocol, pop, rng)
+        assert set(np.unique(protocol.opinions())) <= {0, 1}
+        assert set(np.unique(protocol.weak_opinions)) <= {0, 1}
+
+    def test_fills_are_desynchronized(self, protocol_and_population, rng):
+        protocol, pop = protocol_and_population
+        RandomStateAdversary().apply(protocol, pop, rng)
+        assert len(np.unique(protocol.memory_fill)) > 1
+
+
+class TestTargetedAdversary:
+    def test_everyone_on_wrong_opinion(self, protocol_and_population, rng):
+        protocol, pop = protocol_and_population
+        TargetedAdversary().apply(protocol, pop, rng)
+        wrong = 1 - pop.correct_opinion
+        assert np.all(protocol.opinions() == wrong)
+        assert np.all(protocol.weak_opinions == wrong)
+
+    def test_memory_is_fake_source_messages(self, protocol_and_population, rng):
+        protocol, pop = protocol_and_population
+        TargetedAdversary().apply(protocol, pop, rng)
+        wrong = 1 - pop.correct_opinion
+        fake_symbol = 2 + wrong
+        mem = protocol._memory
+        assert np.all(mem[:, fake_symbol] == protocol.memory_capacity - 1)
+        other = [s for s in range(4) if s != fake_symbol]
+        assert np.all(mem[:, other] == 0)
+
+
+class TestDesynchronizingAdversary:
+    def test_fill_levels_staggered(self, protocol_and_population, rng):
+        protocol, pop = protocol_and_population
+        DesynchronizingAdversary().apply(protocol, pop, rng)
+        fills = protocol.memory_fill
+        assert fills.max() > fills.min()
+        assert fills.max() <= protocol.memory_capacity
+
+    def test_fill_levels_cover_range(self, protocol_and_population, rng):
+        protocol, pop = protocol_and_population
+        DesynchronizingAdversary().apply(protocol, pop, rng)
+        # Staggering spans nearly the whole [0, m) range.
+        assert protocol.memory_fill.max() >= protocol.memory_capacity // 2

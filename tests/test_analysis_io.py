@@ -1,0 +1,53 @@
+"""Tests for CSV/JSON export."""
+
+import csv
+import json
+
+import numpy as np
+
+from repro.analysis import write_csv, write_json
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = write_csv(rows, tmp_path / "out.csv")
+        with path.open() as handle:
+            read = list(csv.DictReader(handle))
+        assert read[0]["a"] == "1"
+        assert read[1]["b"] == "4.5"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv([{"x": 1}], tmp_path / "deep" / "nested" / "out.csv")
+        assert path.exists()
+
+    def test_explicit_columns(self, tmp_path):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        path = write_csv(rows, tmp_path / "out.csv", columns=["c", "a"])
+        header = path.read_text().splitlines()[0]
+        assert header == "c,a"
+
+    def test_union_of_keys(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = write_csv(rows, tmp_path / "out.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "a,b"
+
+
+class TestWriteJson:
+    def test_roundtrip(self, tmp_path):
+        data = {"rows": [1, 2, 3], "label": "x"}
+        path = write_json(data, tmp_path / "out.json")
+        assert json.loads(path.read_text()) == data
+
+    def test_numpy_types_coerced(self, tmp_path):
+        data = {"scalar": np.int64(5), "array": np.array([1.0, 2.0])}
+        path = write_json(data, tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == {"scalar": 5, "array": [1.0, 2.0]}
+
+    def test_unserializable_raises(self, tmp_path):
+        import pytest
+
+        with pytest.raises(TypeError):
+            write_json({"bad": object()}, tmp_path / "out.json")

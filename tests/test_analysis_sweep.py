@@ -1,0 +1,67 @@
+"""Tests for repro.analysis.sweep."""
+
+import dataclasses
+
+from repro.analysis import run_sweep
+
+
+@dataclasses.dataclass
+class FakeResult:
+    converged: bool
+    consensus_round: int
+
+
+def make_runner(params):
+    target = params["n"] * 2
+
+    def run_one(rng):
+        return FakeResult(converged=True, consensus_round=target)
+
+    return run_one
+
+
+class TestRunSweep:
+    def test_grid_order_preserved(self):
+        grid = [{"n": 10}, {"n": 20}, {"n": 30}]
+        result = run_sweep(grid, make_runner, trials=3, seed=0)
+        assert [p.params["n"] for p in result.points] == [10, 20, 30]
+
+    def test_medians(self):
+        grid = [{"n": 10}, {"n": 20}]
+        result = run_sweep(grid, make_runner, trials=2, seed=0)
+        assert result.medians() == [20.0, 40.0]
+
+    def test_rows_flatten_params_and_stats(self):
+        result = run_sweep([{"n": 5}], make_runner, trials=2, seed=0)
+        row = result.rows()[0]
+        assert row["n"] == 5
+        assert row["success_rate"] == 1.0
+        assert row["median"] == 10.0
+
+    def test_column_extraction(self):
+        grid = [{"n": 1}, {"n": 2}]
+        result = run_sweep(grid, make_runner, trials=1, seed=0)
+        assert result.column("n") == [1, 2]
+        assert result.column("missing") == [None, None]
+
+    def test_reproducible_per_point(self):
+        import numpy as np
+
+        def stochastic_runner(params):
+            def run_one(rng):
+                return FakeResult(
+                    converged=bool(rng.random() < 0.5), consensus_round=1
+                )
+
+            return run_one
+
+        grid = [{"n": 1}, {"n": 2}]
+        a = run_sweep(grid, stochastic_runner, trials=30, seed=5)
+        b = run_sweep(grid, stochastic_runner, trials=30, seed=5)
+        assert [p.stats.successes for p in a.points] == [
+            p.stats.successes for p in b.points
+        ]
+        # Different points use different seeds.
+        assert not np.all(
+            [a.points[0].stats.successes == a.points[1].stats.successes]
+        ) or True  # same counts possible by chance; this just documents intent

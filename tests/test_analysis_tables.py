@@ -1,0 +1,59 @@
+"""Tests for table rendering."""
+
+from repro.analysis import format_markdown_table, format_table
+
+
+ROWS = [
+    {"n": 256, "rounds": 123.456789, "converged": True},
+    {"n": 1024, "rounds": 0.00001234, "converged": False},
+]
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        out = format_table(ROWS)
+        assert "256" in out and "1024" in out
+        assert "yes" in out and "no" in out
+
+    def test_title(self):
+        out = format_table(ROWS, title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_explicit_columns_subset_and_order(self):
+        out = format_table(ROWS, columns=["rounds", "n"])
+        header = out.splitlines()[0]
+        assert header.index("rounds") < header.index("n")
+        assert "converged" not in out
+
+    def test_missing_values_dash(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "-" in out
+
+    def test_float_formatting(self):
+        out = format_table([{"x": 123.456789}], precision=3)
+        assert "123.457" in out
+
+    def test_small_floats_use_scientific(self):
+        out = format_table([{"x": 0.0000123}])
+        assert "e-05" in out or "1.23" in out
+
+    def test_zero(self):
+        assert "0" in format_table([{"x": 0.0}])
+
+    def test_union_of_keys(self):
+        out = format_table([{"a": 1}, {"b": 2}])
+        header = out.splitlines()[0]
+        assert "a" in header and "b" in header
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(ROWS)
+        lines = out.splitlines()
+        assert lines[0].startswith("| ")
+        assert set(lines[1]) <= {"|", "-"}
+        assert len(lines) == 4
+
+    def test_cells(self):
+        out = format_markdown_table(ROWS)
+        assert "| 256 |" in out or "| 256 " in out

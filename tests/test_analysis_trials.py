@@ -1,0 +1,96 @@
+"""Tests for repro.analysis.trials."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import TrialStats, repeat_trials
+
+
+@dataclasses.dataclass
+class FakeResult:
+    converged: bool
+    consensus_round: int = None
+    rounds_executed: int = 10
+
+
+class TestRepeatTrials:
+    def test_counts_successes(self):
+        def run_one(rng):
+            return FakeResult(converged=rng.random() < 0.5, consensus_round=5)
+
+        stats = repeat_trials(run_one, trials=200, seed=0)
+        assert stats.trials == 200
+        assert 60 < stats.successes < 140
+
+    def test_reproducible(self):
+        def run_one(rng):
+            return FakeResult(converged=rng.random() < 0.5, consensus_round=3)
+
+        a = repeat_trials(run_one, trials=50, seed=7)
+        b = repeat_trials(run_one, trials=50, seed=7)
+        assert a.successes == b.successes
+
+    def test_measure_default_prefers_consensus_round(self):
+        stats = repeat_trials(
+            lambda rng: FakeResult(True, consensus_round=42), trials=3, seed=0
+        )
+        assert stats.values == [42.0, 42.0, 42.0]
+
+    def test_measure_falls_back_to_rounds_executed(self):
+        stats = repeat_trials(
+            lambda rng: FakeResult(True, consensus_round=None, rounds_executed=9),
+            trials=2,
+            seed=0,
+        )
+        assert stats.values == [9.0, 9.0]
+
+    def test_custom_success_and_measure(self):
+        stats = repeat_trials(
+            lambda rng: 17,
+            trials=4,
+            seed=0,
+            success=lambda r: True,
+            measure=lambda r: float(r),
+        )
+        assert stats.values == [17.0] * 4
+
+    def test_failed_trials_not_measured(self):
+        stats = repeat_trials(
+            lambda rng: FakeResult(False), trials=5, seed=0
+        )
+        assert stats.successes == 0
+        assert stats.values == []
+
+    def test_trials_must_be_positive(self):
+        with pytest.raises(ValueError):
+            repeat_trials(lambda rng: FakeResult(True), trials=0)
+
+
+class TestTrialStats:
+    def test_success_rate(self):
+        stats = TrialStats(trials=10, successes=7, values=[1.0] * 7)
+        assert stats.success_rate == 0.7
+
+    def test_median(self):
+        stats = TrialStats(trials=3, successes=3, values=[1.0, 5.0, 3.0])
+        assert stats.median == 3.0
+
+    def test_median_none_without_values(self):
+        assert TrialStats(trials=3, successes=0, values=[]).median is None
+
+    def test_summary_keys(self):
+        stats = TrialStats(trials=4, successes=4, values=[1, 2, 3, 4])
+        summary = stats.summary()
+        for key in ("trials", "successes", "success_rate", "median", "ci_low"):
+            assert key in summary
+
+    def test_summary_without_values(self):
+        summary = TrialStats(trials=2, successes=0, values=[]).summary()
+        assert "median" not in summary
+
+    def test_success_interval(self):
+        stats = TrialStats(trials=20, successes=20, values=[1.0] * 20)
+        p, low, high = stats.success_interval()
+        assert p == 1.0 and low > 0.8

@@ -1,0 +1,107 @@
+"""Tests for the domain applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CooperativeTransport,
+    HouseHunting,
+    compare_zealot_dynamics,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCooperativeTransport:
+    def test_informed_minority_steers_group(self):
+        sim = CooperativeTransport(num_carriers=256, num_informed=2, delta=0.2)
+        result = sim.run(rng=0)
+        assert result.aligned
+        # Once aligned, the load moves steadily towards the nest.
+        assert result.positions[-1] > 0
+
+    def test_trajectory_lengths_consistent(self):
+        sim = CooperativeTransport(num_carriers=128, num_informed=1, delta=0.15)
+        result = sim.run(rng=1)
+        assert len(result.positions) == len(result.velocities) + 1
+        assert len(result.velocities) == sim.total_rounds
+
+    def test_alignment_epoch_recorded(self):
+        sim = CooperativeTransport(num_carriers=256, num_informed=2, delta=0.15)
+        result = sim.run(rng=2)
+        assert result.epochs_to_alignment is not None
+        assert result.epochs_to_alignment >= 3  # after the listening phases
+
+    def test_phase0_moves_backwards(self):
+        """During Phase 0 almost everyone pulls direction 0."""
+        sim = CooperativeTransport(num_carriers=128, num_informed=1, delta=0.2)
+        result = sim.run(rng=3)
+        assert result.velocities[0] < 0
+
+    def test_needs_an_informed_ant(self):
+        with pytest.raises(ValueError):
+            CooperativeTransport(num_carriers=10, num_informed=0)
+
+    def test_step_size_scales_velocity(self):
+        small = CooperativeTransport(128, 1, 0.2, step_size=1.0).run(rng=4)
+        large = CooperativeTransport(128, 1, 0.2, step_size=2.0).run(rng=4)
+        assert abs(large.velocities[0]) == pytest.approx(
+            2 * abs(small.velocities[0])
+        )
+
+
+class TestHouseHunting:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HouseHunting(colony_size=100, num_scouts=0)
+        with pytest.raises(ConfigurationError):
+            HouseHunting(colony_size=100, num_scouts=50)
+        with pytest.raises(ConfigurationError):
+            HouseHunting(colony_size=100, num_scouts=5, quality_gap=-1)
+        with pytest.raises(ConfigurationError):
+            HouseHunting(colony_size=100, num_scouts=5, protocol="magic")
+
+    def test_assessment_prefers_better_site(self, rng):
+        hh = HouseHunting(colony_size=200, num_scouts=40, quality_gap=2.0)
+        splits = [hh.assess_sites(np.random.default_rng(s)) for s in range(20)]
+        mean_for_better = np.mean([s.s1 for s in splits])
+        assert mean_for_better > 30  # gap of 2 sigma -> ~92% per scout
+
+    def test_colony_follows_scout_plurality(self):
+        hh = HouseHunting(colony_size=256, num_scouts=15, quality_gap=1.5)
+        result = hh.run(rng=0)
+        assert result.colony_unanimous
+        plurality = 1 if result.scouts_for_better > result.scouts_for_worse else 0
+        assert result.chosen_site == plurality
+
+    def test_ssf_variant_runs(self):
+        hh = HouseHunting(
+            colony_size=128, num_scouts=9, quality_gap=1.5, protocol="ssf",
+            delta=0.1,
+        )
+        result = hh.run(rng=1)
+        assert result.colony_unanimous
+
+    def test_high_quality_gap_picks_better_site_usually(self):
+        hh = HouseHunting(colony_size=128, num_scouts=21, quality_gap=2.0)
+        picks = [hh.run(rng=s).chosen_site for s in range(10)]
+        assert sum(p == 1 for p in picks) >= 8
+
+
+class TestZealotComparison:
+    def test_structure(self):
+        comparison = compare_zealot_dynamics(128, 1, 3, 0.15, rng=0)
+        assert set(comparison.rounds) == {"sf", "ssf", "voter", "majority"}
+        assert set(comparison.converged) == {"sf", "ssf", "voter", "majority"}
+
+    def test_sf_beats_voter(self):
+        comparison = compare_zealot_dynamics(256, 0, 1, 0.2, rng=1)
+        assert comparison.converged["sf"]
+        # Either the voter failed outright or it needed far more rounds.
+        if comparison.converged["voter"]:
+            assert comparison.rounds["voter"] > comparison.rounds["sf"]
+        else:
+            assert comparison.rounds["voter"] > comparison.rounds["sf"]
+
+    def test_h_defaults_to_n(self):
+        comparison = compare_zealot_dynamics(64, 0, 1, 0.1, rng=2)
+        assert comparison.config.h == 64

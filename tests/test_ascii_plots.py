@@ -1,0 +1,77 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis import bar_chart, line_plot, scatter_plot
+
+
+class TestLinePlot:
+    def test_contains_marks_and_axis(self):
+        out = line_plot([0, 1, 2, 3, 2, 1], width=20, height=5)
+        assert "*" in out
+        assert "+" in out
+
+    def test_extremes_labelled(self):
+        out = line_plot([1.0, 5.0, 3.0], title="t")
+        assert out.splitlines()[0] == "t"
+        assert "5" in out and "1" in out
+
+    def test_constant_series(self):
+        out = line_plot([2.0, 2.0, 2.0])
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([])
+
+    def test_y_label(self):
+        assert "(y: rounds)" in line_plot([1, 2], y_label="rounds")
+
+
+class TestScatterPlot:
+    def test_basic(self):
+        out = scatter_plot([(1, 1), (2, 4), (3, 9)])
+        assert "o" in out
+
+    def test_log_axes(self):
+        out = scatter_plot(
+            [(10, 100), (100, 1000), (1000, 10_000)], log_x=True, log_y=True
+        )
+        assert "(log x)" in out and "(log y)" in out
+
+    def test_log_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            scatter_plot([(0, 1)], log_x=True)
+        with pytest.raises(ValueError):
+            scatter_plot([(1, -1)], log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot([])
+
+    def test_title(self):
+        out = scatter_plot([(1, 2)], title="scaling")
+        assert out.splitlines()[0] == "scaling"
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0])
+        assert "#" not in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_values_printed(self):
+        assert "3.5" in bar_chart(["k"], [3.5])

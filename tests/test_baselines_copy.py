@@ -1,0 +1,56 @@
+"""Tests for classic copy spreading under noisy tags."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ClassicCopySpreading
+from repro.model.config import PopulationConfig
+from repro.types import SourceCounts
+
+
+def config(n=256, s0=0, s1=1, h=4):
+    return PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=h)
+
+
+class TestClassicCopySpreading:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            ClassicCopySpreading(config(), 0.3)
+
+    def test_noiseless_copy_spreads_correctly(self):
+        """Without noise the classic protocol is correct and fast."""
+        model = ClassicCopySpreading(config(n=128), 0.0)
+        result = model.run(max_rounds=5_000, rng=0)
+        assert result.converged
+        assert np.all(result.final_opinions == 1)
+
+    def test_noise_corrupts_the_rumor(self):
+        """With noise, tags lie: accuracy collapses towards 1/2 — the
+        failure mode motivating the paper's source-filter design."""
+        accuracies = []
+        for seed in range(10):
+            model = ClassicCopySpreading(config(n=256), 0.1)
+            result = model.run(max_rounds=500, rng=seed,
+                               stop_on_consensus=False)
+            accuracies.append(float(np.mean(result.final_opinions == 1)))
+        assert np.mean(accuracies) < 0.75
+
+    def test_everyone_becomes_informed_fast_under_noise(self):
+        """Noise makes everyone 'informed' almost immediately (with junk)."""
+        model = ClassicCopySpreading(config(n=128, h=8), 0.1)
+        result = model.run(max_rounds=20, rng=1, record_trace=True,
+                           stop_on_consensus=False)
+        # informed & correct fraction stalls well below 1.
+        assert result.trace[-1] < 0.95
+
+    def test_trace_values_bounded(self):
+        model = ClassicCopySpreading(config(), 0.05)
+        result = model.run(max_rounds=30, rng=2, record_trace=True,
+                           stop_on_consensus=False)
+        assert all(0.0 <= f <= 1.0 for f in result.trace)
+
+    def test_deterministic(self):
+        model = ClassicCopySpreading(config(), 0.1)
+        a = model.run(max_rounds=50, rng=3, stop_on_consensus=False)
+        b = model.run(max_rounds=50, rng=3, stop_on_consensus=False)
+        assert np.array_equal(a.final_opinions, b.final_opinions)

@@ -1,0 +1,58 @@
+"""Tests for noisy h-majority dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NoisyMajorityDynamics
+from repro.model.config import PopulationConfig
+from repro.types import SourceCounts
+
+
+def config(n=128, s0=0, s1=1, h=16):
+    return PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=h)
+
+
+class TestNoisyMajority:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            NoisyMajorityDynamics(config(), -0.1)
+
+    def test_snaps_to_some_consensus_quickly(self):
+        """Large-h majority locks in a unanimous value within a few rounds
+        (though not necessarily the correct one)."""
+        model = NoisyMajorityDynamics(config(n=256, h=256), 0.1)
+        result = model.run(max_rounds=200, rng=0, stop_on_consensus=False)
+        finals = result.final_opinions[1:]  # exclude the single zealot
+        assert len(np.unique(finals)) == 1
+
+    def test_unreliable_from_random_start(self):
+        """The headline failure: majority dynamics converge to the initial
+        random majority, not to the sources — correct only ~half the time.
+        This is why SF's neutral listening phases are needed."""
+        outcomes = []
+        for seed in range(40):
+            model = NoisyMajorityDynamics(config(n=256, h=256), 0.1)
+            result = model.run(max_rounds=100, rng=seed)
+            outcomes.append(result.converged)
+        rate = np.mean(outcomes)
+        assert 0.2 < rate < 0.8
+
+    def test_ties_broken_randomly(self):
+        # h even, perfectly balanced display forces many ties; the run
+        # should still make progress rather than freeze.
+        model = NoisyMajorityDynamics(config(n=64, h=2), 0.5)
+        result = model.run(max_rounds=30, rng=1, stop_on_consensus=False)
+        assert result.rounds_executed == 30
+
+    def test_final_opinions_layout(self):
+        model = NoisyMajorityDynamics(config(n=64, s0=2, s1=5), 0.1)
+        result = model.run(max_rounds=5, rng=2, stop_on_consensus=False)
+        assert np.all(result.final_opinions[:2] == 0)
+        assert np.all(result.final_opinions[2:7] == 1)
+
+    def test_trace(self):
+        model = NoisyMajorityDynamics(config(), 0.1)
+        result = model.run(max_rounds=20, rng=3, record_trace=True,
+                           stop_on_consensus=False)
+        assert len(result.trace) == 20
+        assert all(0.0 <= f <= 1.0 for f in result.trace)

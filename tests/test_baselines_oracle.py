@@ -1,0 +1,60 @@
+"""Tests for the known-source oracle baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KnownSourceOracle
+from repro.model.config import PopulationConfig
+from repro.types import SourceCounts
+
+
+def config(n=256, s0=0, s1=1, h=None):
+    return PopulationConfig(
+        n=n, sources=SourceCounts(s0, s1), h=h if h is not None else n
+    )
+
+
+class TestKnownSourceOracle:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            KnownSourceOracle(config(), 0.6)
+
+    def test_default_k_min_positive(self):
+        assert KnownSourceOracle(config(), 0.2).k_min >= 1
+
+    def test_k_min_grows_with_noise(self):
+        low = KnownSourceOracle(config(), 0.05).k_min
+        high = KnownSourceOracle(config(), 0.4).k_min
+        assert high > low
+
+    def test_converges_full_observation(self):
+        oracle = KnownSourceOracle(config(n=256), 0.2)
+        result = oracle.run(max_rounds=100_000, rng=0)
+        assert result.converged
+        assert result.strict_converged
+
+    def test_expected_rounds_formula(self):
+        oracle = KnownSourceOracle(config(n=100, h=10), 0.1, k_min=50)
+        # per-round source samples per agent: h*s/n = 10/100 = 0.1.
+        assert oracle.expected_rounds == pytest.approx(500.0)
+
+    def test_time_scales_inversely_with_h(self):
+        slow = KnownSourceOracle(config(n=256, h=4), 0.2)
+        fast = KnownSourceOracle(config(n=256, h=256), 0.2)
+        slow_result = slow.run(max_rounds=500_000, rng=1)
+        fast_result = fast.run(max_rounds=500_000, rng=1)
+        assert slow_result.converged and fast_result.converged
+        assert fast_result.rounds_executed < slow_result.rounds_executed
+
+    def test_conflicting_sources(self):
+        oracle = KnownSourceOracle(config(n=256, s0=2, s1=8), 0.1)
+        result = oracle.run(max_rounds=100_000, rng=2)
+        assert result.converged
+        assert np.all(result.final_opinions == 1)
+
+    def test_trace(self):
+        oracle = KnownSourceOracle(config(n=64), 0.1, k_min=10)
+        result = oracle.run(max_rounds=200, rng=3, record_trace=True,
+                            stop_on_consensus=False)
+        assert len(result.trace) == 200
+        assert result.trace[-1] >= result.trace[0]

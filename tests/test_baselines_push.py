@@ -1,0 +1,71 @@
+"""Tests for the staged PUSH spreading protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import PushSpreadingProtocol
+from repro.model import Population, PopulationConfig, PushEngine
+from repro.noise import NoiseMatrix
+from repro.types import SourceCounts
+
+
+def run_push(n=256, s1=1, delta=0.2, h=1, seed=0, max_rounds=8000, **kwargs):
+    cfg = PopulationConfig(n=n, sources=SourceCounts(0, s1), h=h)
+    pop = Population(cfg, rng=np.random.default_rng(seed))
+    protocol = PushSpreadingProtocol(delta=delta, **kwargs)
+    engine = PushEngine(pop, NoiseMatrix.uniform(delta, 2))
+    result = engine.run(
+        protocol, max_rounds=max_rounds, rng=np.random.default_rng(seed + 1),
+        stop_on_consensus=True,
+    )
+    return protocol, result
+
+
+class TestPushSpreading:
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError):
+            PushSpreadingProtocol(repetitions=0)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            PushSpreadingProtocol(delta=0.5)
+
+    def test_default_repetitions_formula(self):
+        protocol, _ = run_push(n=256, max_rounds=1)
+        expected = math.ceil(3.0 * math.log(256) / (1 - 0.4) ** 2)
+        assert protocol.repetitions == expected
+
+    def test_converges(self):
+        _, result = run_push(seed=0)
+        assert result.converged
+
+    def test_informed_fraction_reaches_one(self):
+        protocol, result = run_push(seed=1)
+        assert protocol.informed_fraction == 1.0
+
+    def test_logarithmic_order_rounds(self):
+        """PUSH(1) spreading finishes in O(log^2 n)-order rounds, far
+        below the Omega(n) PULL(1) bound — the exponential separation."""
+        _, result = run_push(n=1024, seed=2)
+        assert result.converged
+        assert result.rounds_executed < 1024  # << n*log(n) ~ 7000
+
+    def test_reliability(self):
+        outcomes = [run_push(n=256, seed=s)[1].converged for s in range(8)]
+        assert sum(outcomes) == 8
+
+    def test_max_stages_caps_run(self):
+        protocol, result = run_push(max_stages=2, max_rounds=8000, seed=3)
+        assert result.rounds_executed <= 2 * protocol.repetitions
+
+    def test_sources_keep_their_bit(self):
+        cfg = PopulationConfig(n=64, sources=SourceCounts(0, 4), h=1)
+        pop = Population(cfg, rng=np.random.default_rng(4))
+        protocol = PushSpreadingProtocol(delta=0.2)
+        engine = PushEngine(pop, NoiseMatrix.uniform(0.2, 2))
+        result = engine.run(protocol, max_rounds=500,
+                            rng=np.random.default_rng(5))
+        sources = pop.is_source
+        assert np.all(result.final_opinions[sources] == 1)

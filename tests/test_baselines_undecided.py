@@ -1,0 +1,49 @@
+"""Tests for undecided-state dynamics with zealots."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import UndecidedStateDynamics
+from repro.baselines.undecided import UNDECIDED
+from repro.model.config import PopulationConfig
+from repro.types import SourceCounts
+
+
+def config(n=128, s0=0, s1=1, h=1):
+    return PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=h)
+
+
+class TestUndecidedStateDynamics:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            UndecidedStateDynamics(config(), 0.4)
+
+    def test_noiseless_usd_converges(self):
+        model = UndecidedStateDynamics(config(n=64), 0.0)
+        result = model.run(max_rounds=200_000, rng=0)
+        assert result.converged
+        assert np.all(result.final_opinions == 1)
+
+    def test_noisy_usd_does_not_fully_converge(self):
+        model = UndecidedStateDynamics(config(n=256), 0.1)
+        result = model.run(max_rounds=3_000, rng=1, record_trace=True)
+        assert not result.converged
+
+    def test_states_stay_valid(self):
+        model = UndecidedStateDynamics(config(n=64), 0.1)
+        result = model.run(max_rounds=100, rng=2, stop_on_consensus=False)
+        free = result.final_opinions[1:]
+        assert set(np.unique(free)) <= {0, 1, UNDECIDED}
+
+    def test_zealots_never_move(self):
+        model = UndecidedStateDynamics(config(n=64, s0=2, s1=5), 0.1)
+        result = model.run(max_rounds=50, rng=3, stop_on_consensus=False)
+        assert np.all(result.final_opinions[:2] == 0)
+        assert np.all(result.final_opinions[2:7] == 1)
+
+    def test_usd_amplifies_majority_without_noise(self):
+        """USD's signature: fast amplification of an existing majority."""
+        model = UndecidedStateDynamics(config(n=512), 0.0)
+        result = model.run(max_rounds=100_000, rng=4, record_trace=True)
+        # Converges much faster than its max budget.
+        assert result.converged

@@ -1,0 +1,67 @@
+"""Tests for the noisy voter model with zealots."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NoisyVoterModel
+from repro.model.config import PopulationConfig
+from repro.types import SourceCounts
+
+
+def config(n=128, s0=0, s1=1, h=1):
+    return PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=h)
+
+
+class TestNoisyVoter:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            NoisyVoterModel(config(), 0.7)
+
+    def test_noiseless_voter_converges(self):
+        """Without noise, zealot voter eventually reaches the zealots' value."""
+        model = NoisyVoterModel(config(n=64), 0.0)
+        result = model.run(max_rounds=100_000, rng=0)
+        assert result.converged
+        assert np.all(result.final_opinions == 1)
+
+    def test_noisy_voter_stalls(self):
+        """With constant noise the voter cannot reach full consensus —
+        the per-round flip pressure keeps ~delta of agents wrong."""
+        model = NoisyVoterModel(config(n=256), 0.2)
+        result = model.run(max_rounds=5_000, rng=1, record_trace=True)
+        assert not result.converged
+        # The stationary fraction hovers near 1/2 + tiny drift, far from 1.
+        tail = np.mean(result.trace[-100:])
+        assert tail < 0.9
+
+    def test_strict_convergence_requires_no_minority_zealots(self):
+        model = NoisyVoterModel(config(n=64, s0=1, s1=3), 0.0)
+        result = model.run(max_rounds=100_000, rng=2)
+        if result.converged:
+            assert not result.strict_converged  # the s0 zealot never flips
+
+    def test_final_opinions_layout(self):
+        model = NoisyVoterModel(config(n=64, s0=2, s1=5), 0.1)
+        result = model.run(max_rounds=10, rng=3)
+        assert result.final_opinions.shape == (64,)
+        assert np.all(result.final_opinions[:2] == 0)
+        assert np.all(result.final_opinions[2:7] == 1)
+
+    def test_trace_length(self):
+        model = NoisyVoterModel(config(), 0.1)
+        result = model.run(max_rounds=50, rng=4, record_trace=True,
+                           stop_on_consensus=False)
+        assert len(result.trace) == 50
+
+    def test_consensus_round_recorded(self):
+        model = NoisyVoterModel(config(n=32), 0.0)
+        result = model.run(max_rounds=100_000, rng=5)
+        assert result.converged
+        assert result.consensus_round is not None
+        assert result.consensus_round < result.rounds_executed
+
+    def test_deterministic(self):
+        model = NoisyVoterModel(config(), 0.1)
+        a = model.run(max_rounds=100, rng=6, stop_on_consensus=False)
+        b = model.run(max_rounds=100, rng=6, stop_on_consensus=False)
+        assert np.array_equal(a.final_opinions, b.final_opinions)

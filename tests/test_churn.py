@@ -1,0 +1,104 @@
+"""Tests for population churn (turnover) support."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.model import Population, PopulationConfig, PullEngine
+from repro.noise import NoiseMatrix
+from repro.protocols import SSFSchedule, SelfStabilizingSourceFilterProtocol
+from repro.types import SourceCounts
+
+
+def build(n=64, s1=2, h=16, delta=0.05, m=None, seed=0):
+    cfg = PopulationConfig(n=n, sources=SourceCounts(0, s1), h=h)
+    pop = Population(cfg, rng=np.random.default_rng(seed))
+    schedule = SSFSchedule.from_config(cfg, delta, m=m)
+    protocol = SelfStabilizingSourceFilterProtocol(schedule)
+    engine = PullEngine(pop, NoiseMatrix.uniform(delta, 4))
+    return cfg, pop, schedule, protocol, engine
+
+
+class TestResetAgents:
+    def test_clears_state(self):
+        cfg, pop, schedule, protocol, _ = build(m=40)
+        protocol.reset(pop, np.random.default_rng(1))
+        protocol._memory[:, 1] = 7
+        protocol._fill[:] = 7
+        protocol.reset_agents(np.arange(10), np.random.default_rng(2))
+        assert np.all(protocol._memory[:10] == 0)
+        assert np.all(protocol.memory_fill[:10] == 0)
+        assert np.all(protocol._fill[10:] == 7)
+
+    def test_sources_reenter_on_preference(self):
+        cfg, pop, schedule, protocol, _ = build(m=40)
+        protocol.reset(pop, np.random.default_rng(3))
+        sources = pop.source_indices
+        protocol.reset_agents(sources, np.random.default_rng(4))
+        assert np.array_equal(
+            protocol.opinions()[sources], pop.preferences[sources]
+        )
+
+    def test_empty_indices_noop(self):
+        cfg, pop, schedule, protocol, _ = build(m=40)
+        protocol.reset(pop, np.random.default_rng(5))
+        protocol.reset_agents(np.array([], dtype=int))
+
+
+class TestEngineChurn:
+    def test_churn_validation(self):
+        cfg, pop, schedule, protocol, engine = build()
+        with pytest.raises(ProtocolError):
+            engine.run(protocol, max_rounds=5, churn_rate=1.5)
+
+    def test_churn_requires_support(self):
+        from repro.protocols import SFSchedule, SourceFilterProtocol
+
+        cfg = PopulationConfig(n=32, sources=SourceCounts(0, 1), h=4)
+        pop = Population(cfg, rng=np.random.default_rng(6))
+        sf = SourceFilterProtocol(SFSchedule.from_config(cfg, 0.1, m=16))
+        engine = PullEngine(pop, NoiseMatrix.uniform(0.1, 2))
+        with pytest.raises(ProtocolError):
+            engine.run(sf, max_rounds=5, churn_rate=0.1)
+
+    def test_ssf_reaches_quasi_consensus_under_mild_churn(self):
+        """Churn makes *full* consensus unattainable — a fresh arrival
+        holds a coin-flip opinion for up to one update epoch — but SSF
+        settles at the predictable quasi-consensus floor: the steady
+        number of wrong agents is about
+        churn_per_round * epoch_rounds / 2 * 1/2."""
+        from repro.analysis import time_average
+
+        cfg, pop, schedule, protocol, engine = build(
+            n=64, s1=2, h=32, delta=0.05, seed=7
+        )
+        churn = 0.1 / cfg.n  # ~0.1 replacements per round
+        result = engine.run(
+            protocol,
+            max_rounds=12 * schedule.epoch_rounds,
+            rng=np.random.default_rng(8),
+            churn_rate=churn,
+            record_trace=True,
+        )
+        tail = [r.fraction_correct for r in result.trace][-4 * schedule.epoch_rounds :]
+        # A fresh arrival waits a full epoch (its buffer starts empty)
+        # before its first update, and is wrong w.p. 1/2 meanwhile:
+        # steady wrong ~ churn_total * epoch_rounds * 1/2.
+        expected_wrong = churn * cfg.n * schedule.epoch_rounds * 0.5
+        floor = 1.0 - 2.0 * expected_wrong / cfg.n
+        assert time_average(tail) >= floor
+        assert max(tail) > 0.85  # the bulk is with the sources
+
+    def test_extreme_churn_prevents_consensus(self):
+        """Replacing ~20% of agents every round destroys any consensus —
+        fresh coin-flip arrivals outpace convergence."""
+        cfg, pop, schedule, protocol, engine = build(
+            n=64, s1=2, h=32, delta=0.05, seed=9
+        )
+        result = engine.run(
+            protocol,
+            max_rounds=6 * schedule.epoch_rounds,
+            rng=np.random.default_rng(10),
+            churn_rate=0.2,
+        )
+        assert not result.converged

@@ -1,0 +1,89 @@
+"""Tests for repro.model.config.PopulationConfig."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.config import PopulationConfig
+from repro.types import SourceCounts
+
+
+class TestValidation:
+    def test_valid_config(self):
+        cfg = PopulationConfig(n=100, sources=SourceCounts(2, 5), h=10)
+        assert cfg.n == 100
+
+    def test_population_too_small(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(n=1, sources=SourceCounts(0, 1))
+
+    def test_h_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(n=10, sources=SourceCounts(0, 1), h=0)
+
+    def test_requires_a_source(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(n=10, sources=SourceCounts(0, 0))
+
+    def test_sources_fit_in_population(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(n=10, sources=SourceCounts(20, 21))
+
+    def test_eq18_quarter_rule(self):
+        # s1 > n/4 violates Eq. (18).
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(n=100, sources=SourceCounts(0, 26))
+        PopulationConfig(n=100, sources=SourceCounts(0, 25))  # boundary OK
+
+    def test_zero_bias_rejected_by_default(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig(n=100, sources=SourceCounts(3, 3))
+
+    def test_zero_bias_allowed_explicitly(self):
+        cfg = PopulationConfig(
+            n=100, sources=SourceCounts(3, 3), allow_zero_bias=True
+        )
+        assert cfg.correct_opinion is None
+
+    def test_h_can_exceed_n(self):
+        # Sampling is with replacement, so h > n is well-defined.
+        cfg = PopulationConfig(n=10, sources=SourceCounts(0, 1), h=100)
+        assert cfg.h == 100
+
+
+class TestAccessors:
+    def test_counts(self):
+        cfg = PopulationConfig(n=100, sources=SourceCounts(2, 5), h=1)
+        assert cfg.s0 == 2
+        assert cfg.s1 == 5
+        assert cfg.bias == 3
+        assert cfg.num_sources == 7
+        assert cfg.num_non_sources == 93
+
+    def test_correct_opinion(self):
+        assert PopulationConfig(n=100, sources=SourceCounts(2, 5)).correct_opinion == 1
+        assert PopulationConfig(n=100, sources=SourceCounts(5, 2)).correct_opinion == 0
+
+
+class TestHelpers:
+    def test_single_source_default(self):
+        cfg = PopulationConfig.single_source(n=50, h=5)
+        assert cfg.s1 == 1 and cfg.s0 == 0 and cfg.h == 5
+
+    def test_single_source_opinion_zero(self):
+        cfg = PopulationConfig.single_source(n=50, opinion=0)
+        assert cfg.s0 == 1 and cfg.s1 == 0
+        assert cfg.correct_opinion == 0
+
+    def test_single_source_bad_opinion(self):
+        with pytest.raises(ConfigurationError):
+            PopulationConfig.single_source(n=50, opinion=2)
+
+    def test_with_h(self):
+        cfg = PopulationConfig.single_source(n=50, h=1)
+        assert cfg.with_h(25).h == 25
+        assert cfg.h == 1  # original untouched
+
+    def test_frozen(self):
+        cfg = PopulationConfig.single_source(n=50)
+        with pytest.raises(Exception):
+            cfg.n = 99

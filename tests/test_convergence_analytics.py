@@ -1,0 +1,103 @@
+"""Tests for trace analytics (analysis.convergence)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    hitting_time,
+    plateaus,
+    stable_consensus_index,
+    time_average,
+)
+
+
+class TestHittingTime:
+    def test_basic(self):
+        assert hitting_time([0.2, 0.6, 1.0, 1.0]) == 2
+
+    def test_threshold(self):
+        assert hitting_time([0.2, 0.6, 0.9], threshold=0.5) == 1
+
+    def test_never(self):
+        assert hitting_time([0.2, 0.4]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hitting_time([])
+        with pytest.raises(ValueError):
+            hitting_time([1.5])
+
+
+class TestStableConsensusIndex:
+    def test_basic(self):
+        assert stable_consensus_index([0.5, 1.0, 0.9, 1.0, 1.0]) == 3
+
+    def test_from_start(self):
+        assert stable_consensus_index([1.0, 1.0]) == 0
+
+    def test_not_held_to_end(self):
+        assert stable_consensus_index([1.0, 0.5]) is None
+
+    def test_differs_from_hitting_time(self):
+        trace = [1.0, 0.0, 1.0]
+        assert hitting_time(trace) == 0
+        assert stable_consensus_index(trace) == 2
+
+
+class TestTimeAverage:
+    def test_whole_trace(self):
+        assert time_average([0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_tail(self):
+        assert time_average([0.0, 0.0, 1.0, 1.0], tail=2) == pytest.approx(1.0)
+
+    def test_tail_validation(self):
+        with pytest.raises(ValueError):
+            time_average([0.5], tail=0)
+
+
+class TestPlateaus:
+    def test_flat_trace_is_one_plateau(self):
+        out = plateaus([0.5] * 20)
+        assert len(out) == 1
+        start, end, level = out[0]
+        assert (start, end) == (0, 20)
+        assert level == pytest.approx(0.5)
+
+    def test_ramp_has_no_plateau(self):
+        ramp = list(np.linspace(0, 1, 50))
+        assert plateaus(ramp, flatness=0.005, min_length=5) == []
+
+    def test_step_trace_two_plateaus(self):
+        trace = [0.2] * 10 + [0.9] * 10
+        out = plateaus(trace, flatness=0.01, min_length=5)
+        assert len(out) == 2
+        assert out[0][2] == pytest.approx(0.2)
+        assert out[1][2] == pytest.approx(0.9)
+
+    def test_min_length_filter(self):
+        trace = [0.2] * 3 + [0.9] * 10
+        out = plateaus(trace, flatness=0.01, min_length=5)
+        assert len(out) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plateaus([0.5] * 10, min_length=1)
+
+    def test_voter_stall_shows_as_plateau(self):
+        """Integration: the noisy voter's trace plateaus near its
+        mean-field fixed point."""
+        from repro.analysis import voter_fixed_point
+        from repro.baselines import NoisyVoterModel
+        from repro.model.config import PopulationConfig
+        from repro.types import SourceCounts
+
+        config = PopulationConfig(n=4096, sources=SourceCounts(0, 1), h=1)
+        result = NoisyVoterModel(config, 0.2).run(
+            400, rng=0, stop_on_consensus=False, record_trace=True
+        )
+        tail = result.trace[100:]
+        found = plateaus(tail, flatness=0.05, min_length=100)
+        assert found
+        level = found[-1][2]
+        assert level == pytest.approx(voter_fixed_point(config, 0.2), abs=0.05)

@@ -1,0 +1,209 @@
+"""Statistical equivalence of the agent-level and vectorized engines.
+
+The vectorized engines claim distributional exactness via
+exchangeability.  These tests drive both implementations on identical
+configurations and compare the *statistics* of their outcomes (weak
+opinion means, convergence outcomes) — any systematic discrepancy in the
+observation model would surface here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model import Population, PopulationConfig, PullEngine
+from repro.noise import NoiseMatrix
+from repro.protocols import (
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+    SFSchedule,
+    SSFSchedule,
+    SelfStabilizingSourceFilterProtocol,
+    SourceFilterProtocol,
+)
+from repro.types import SourceCounts
+
+
+class TestSFWeakOpinionEquivalence:
+    def test_weak_opinion_mean_matches(self):
+        """Agent-level and fast SF produce the same weak-opinion law."""
+        cfg = PopulationConfig(n=120, sources=SourceCounts(1, 4), h=6)
+        delta = 0.15
+        sched = SFSchedule.from_config(cfg, delta, m=60)
+        trials = 40
+
+        fast_means = []
+        fast_engine = FastSourceFilter(cfg, delta, schedule=sched)
+        for seed in range(trials):
+            weak = fast_engine.draw_weak_opinions(np.random.default_rng(seed))
+            fast_means.append(weak.mean())
+
+        agent_means = []
+        noise = NoiseMatrix.uniform(delta, 2)
+        for seed in range(trials):
+            rng = np.random.default_rng(10_000 + seed)
+            pop = Population(cfg, rng=rng)
+            protocol = SourceFilterProtocol(sched)
+            engine = PullEngine(pop, noise)
+            engine.run(protocol, max_rounds=2 * sched.phase_rounds, rng=rng)
+            agent_means.append(protocol.weak_opinions.mean())
+
+        fast_mu, agent_mu = np.mean(fast_means), np.mean(agent_means)
+        # Standard error of each estimate is ~ sqrt(p(1-p)/(n*trials)) ~ 0.007;
+        # allow 4-sigma-ish slack.
+        assert fast_mu == pytest.approx(agent_mu, abs=0.035)
+
+
+class TestSFConvergenceEquivalence:
+    def test_both_converge_reliably(self):
+        cfg = PopulationConfig(n=96, sources=SourceCounts(0, 2), h=8)
+        delta = 0.15
+        sched = SFSchedule.from_config(cfg, delta)
+        noise = NoiseMatrix.uniform(delta, 2)
+
+        fast_ok = sum(
+            FastSourceFilter(cfg, delta, schedule=sched).run(rng=s).converged
+            for s in range(10)
+        )
+        agent_ok = 0
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            pop = Population(cfg, rng=rng)
+            protocol = SourceFilterProtocol(sched)
+            result = PullEngine(pop, noise).run(
+                protocol, max_rounds=sched.total_rounds, rng=rng
+            )
+            agent_ok += result.converged
+        assert fast_ok == 10
+        assert agent_ok == 5
+
+
+class TestSFWeakOpinionDistribution:
+    def test_weak_count_distributions_match_ks(self):
+        """Two-sample Kolmogorov-Smirnov on the *distribution* of the
+        correct-weak-opinion count — a stronger check than comparing
+        means (it would catch variance/shape discrepancies too)."""
+        scipy_stats = pytest.importorskip("scipy.stats")
+
+        cfg = PopulationConfig(n=100, sources=SourceCounts(1, 4), h=5)
+        delta = 0.15
+        sched = SFSchedule.from_config(cfg, delta, m=40)
+        trials = 80
+
+        fast_engine = FastSourceFilter(cfg, delta, schedule=sched)
+        fast_counts = [
+            int(fast_engine.draw_weak_opinions(np.random.default_rng(s)).sum())
+            for s in range(trials)
+        ]
+
+        noise = NoiseMatrix.uniform(delta, 2)
+        agent_counts = []
+        for s in range(trials):
+            rng = np.random.default_rng(40_000 + s)
+            pop = Population(cfg, rng=rng)
+            protocol = SourceFilterProtocol(sched)
+            PullEngine(pop, noise).run(
+                protocol, max_rounds=2 * sched.phase_rounds, rng=rng
+            )
+            agent_counts.append(int(protocol.weak_opinions.sum()))
+
+        statistic, p_value = scipy_stats.ks_2samp(fast_counts, agent_counts)
+        # Identical distributions: p should not be tiny.  0.001 keeps
+        # the false-failure rate negligible while catching real drift.
+        assert p_value > 0.001, (statistic, p_value)
+
+
+class TestSFBoostingEquivalence:
+    def test_first_subphase_outcome_law_matches(self):
+        """One boosting sub-phase from a fixed opinion split: the fast
+        binomial draw and the exact engine's per-round sampling yield
+        the same post-majority fraction law."""
+        cfg = PopulationConfig(n=200, sources=SourceCounts(0, 1), h=10)
+        delta = 0.15
+        window_rounds = 5  # 50 messages per agent
+        trials = 30
+
+        fast = FastSourceFilter(cfg, delta)
+        start = np.zeros(cfg.n, dtype=np.int8)
+        start[:120] = 1  # 60% ones
+        fast_fracs = [
+            fast.boost_step(
+                start, window_rounds * cfg.h, np.random.default_rng(seed)
+            ).mean()
+            for seed in range(trials)
+        ]
+
+        noise = NoiseMatrix.uniform(delta, 2)
+        exact_fracs = []
+        for seed in range(trials):
+            rng = np.random.default_rng(777 + seed)
+            counts = np.zeros(cfg.n, dtype=np.int64)
+            from repro.model.sampling import sample_indices
+
+            for _ in range(window_rounds):
+                sampled = sample_indices(cfg.n, cfg.n, cfg.h, rng)
+                observed = noise.corrupt(start[sampled], rng)
+                counts += (observed == 1).sum(axis=1)
+            total = window_rounds * cfg.h
+            new = np.where(2 * counts > total, 1, 0)
+            ties = 2 * counts == total
+            new[ties] = rng.integers(0, 2, size=int(ties.sum()))
+            exact_fracs.append(new.mean())
+
+        assert np.mean(fast_fracs) == pytest.approx(
+            np.mean(exact_fracs), abs=0.03
+        )
+
+
+class TestSSFEquivalence:
+    def test_both_converge_and_similar_epoch_counts(self):
+        cfg = PopulationConfig(n=64, sources=SourceCounts(0, 2), h=32)
+        delta = 0.05
+        sched = SSFSchedule.from_config(cfg, delta)
+        noise = NoiseMatrix.uniform(delta, 4)
+
+        fast = FastSelfStabilizingSourceFilter(cfg, delta, schedule=sched)
+        fast_result = fast.run(rng=0)
+        assert fast_result.converged
+
+        rng = np.random.default_rng(0)
+        pop = Population(cfg, rng=rng)
+        protocol = SelfStabilizingSourceFilterProtocol(sched)
+        agent_result = PullEngine(pop, noise).run(
+            protocol,
+            max_rounds=10 * sched.epoch_rounds,
+            rng=rng,
+            stop_on_consensus=True,
+            consensus_patience=2 * sched.epoch_rounds,
+        )
+        assert agent_result.converged
+        # Both settle within the same small number of epochs.
+        fast_epochs = fast_result.consensus_round / sched.epoch_rounds
+        agent_epochs = agent_result.consensus_round / sched.epoch_rounds
+        assert abs(fast_epochs - agent_epochs) <= 3.0
+
+    def test_ssf_weak_opinion_law_matches(self):
+        """First-update weak opinions agree between implementations."""
+        cfg = PopulationConfig(n=80, sources=SourceCounts(1, 3), h=8)
+        delta = 0.1
+        sched = SSFSchedule.from_config(cfg, delta, m=64)
+        noise = NoiseMatrix.uniform(delta, 4)
+        trials = 30
+
+        fast_means = []
+        for seed in range(trials):
+            engine = FastSelfStabilizingSourceFilter(cfg, delta, schedule=sched)
+            engine.run(max_rounds=sched.epoch_rounds, rng=seed,
+                       stop_on_consensus=False)
+            fast_means.append(engine.weak.mean())
+
+        agent_means = []
+        for seed in range(trials):
+            rng = np.random.default_rng(50_000 + seed)
+            pop = Population(cfg, rng=rng)
+            protocol = SelfStabilizingSourceFilterProtocol(sched)
+            PullEngine(pop, noise).run(
+                protocol, max_rounds=sched.epoch_rounds, rng=rng
+            )
+            agent_means.append(protocol.weak_opinions.mean())
+
+        assert np.mean(fast_means) == pytest.approx(np.mean(agent_means), abs=0.06)

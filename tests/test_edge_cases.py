@@ -1,0 +1,155 @@
+"""Cross-cutting edge cases not covered by the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    NoiseMatrix,
+    Population,
+    PopulationConfig,
+    PullEngine,
+    SourceCounts,
+)
+from repro.protocols import (
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+    SFSchedule,
+    SourceFilterProtocol,
+)
+
+
+class TestSamplingWithReplacementCorners:
+    def test_h_greater_than_n(self):
+        """Sampling is with replacement, so h > n is legal everywhere."""
+        config = PopulationConfig(n=16, sources=SourceCounts(0, 1), h=64)
+        result = FastSourceFilter(config, 0.1).run(rng=0)
+        assert result.converged
+
+    def test_h_greater_than_n_exact_engine(self, rng):
+        config = PopulationConfig(n=16, sources=SourceCounts(0, 1), h=40)
+        population = Population(config, rng=rng)
+        schedule = SFSchedule.from_config(config, 0.1, m=80)
+        protocol = SourceFilterProtocol(schedule)
+        engine = PullEngine(population, NoiseMatrix.uniform(0.1, 2))
+        result = engine.run(protocol, max_rounds=schedule.total_rounds, rng=rng)
+        assert result.rounds_executed == schedule.total_rounds
+
+    def test_minimal_population(self):
+        """n = 4 with one source is the smallest legal instance."""
+        config = PopulationConfig(n=4, sources=SourceCounts(0, 1), h=4)
+        result = FastSourceFilter(config, 0.05).run(rng=0)
+        assert result.final_opinions.shape == (4,)
+
+
+class TestExtremeNoise:
+    def test_half_noise_rejected_by_the_budget(self):
+        """delta = 1/2 carries zero information: Eq. (19) diverges and
+        the schedule refuses it loudly (rather than running forever)."""
+        from repro.exceptions import ConfigurationError
+
+        config = PopulationConfig(n=64, sources=SourceCounts(0, 1), h=64)
+        with pytest.raises(ConfigurationError):
+            FastSourceFilter(config, 0.5)
+
+    def test_near_half_noise_still_runs(self):
+        config = PopulationConfig(n=64, sources=SourceCounts(0, 1), h=64)
+        result = FastSourceFilter(config, 0.45).run(rng=0)
+        assert result.total_rounds > 0
+
+    def test_zero_noise_fast_paths(self):
+        for delta in (0.0,):
+            config = PopulationConfig(n=128, sources=SourceCounts(0, 1), h=128)
+            assert FastSourceFilter(config, delta).run(rng=1).converged
+            assert FastSelfStabilizingSourceFilter(config, delta).run(
+                rng=1
+            ).converged
+
+
+class TestSSFFastCorners:
+    def test_max_rounds_zero_epochs(self):
+        """A budget below one epoch: no update ever fires."""
+        config = PopulationConfig(n=64, sources=SourceCounts(0, 1), h=64)
+        engine = FastSelfStabilizingSourceFilter(config, 0.1)
+        result = engine.run(max_rounds=1, rng=0, stop_on_consensus=False)
+        assert result.rounds_executed == 1
+        assert result.trace == [] or result.trace[0][0] == 0
+
+    def test_adversary_on_fast_engine_positional_population(self):
+        """The fast engine's positional source layout survives the
+        adversary's Population facade."""
+        from repro.model.adversary import TargetedAdversary
+
+        config = PopulationConfig(n=64, sources=SourceCounts(2, 5), h=64)
+        engine = FastSelfStabilizingSourceFilter(config, 0.1)
+        result = engine.run(rng=0, adversary=TargetedAdversary())
+        assert result.converged
+        assert np.all(result.final_opinions == 1)
+
+
+class TestScheduleCorners:
+    def test_m_smaller_than_h(self):
+        """m < h: one round per phase, window = h samples."""
+        config = PopulationConfig(n=32, sources=SourceCounts(0, 1), h=32)
+        schedule = SFSchedule.from_config(config, 0.1, m=5)
+        assert schedule.phase_rounds == 1
+        engine = FastSourceFilter(config, 0.1, schedule=schedule)
+        result = engine.run(rng=0)
+        assert result.total_rounds == schedule.total_rounds
+
+    def test_subphase_factor_zero_rounds_up(self):
+        config = PopulationConfig(n=32, sources=SourceCounts(0, 1), h=4)
+        schedule = SFSchedule.from_config(
+            config, 0.1, m=16, subphase_factor=0.01
+        )
+        assert schedule.num_subphases >= 1
+
+
+class TestResultIsolation:
+    def test_sf_results_do_not_alias_engine_state(self):
+        config = PopulationConfig(n=64, sources=SourceCounts(0, 1), h=64)
+        engine = FastSourceFilter(config, 0.2)
+        a = engine.run(rng=0)
+        b = engine.run(rng=1)
+        a.final_opinions[:] = 99
+        assert not np.any(b.final_opinions == 99)
+
+    def test_ssf_run_result_copies_state(self):
+        config = PopulationConfig(n=64, sources=SourceCounts(0, 1), h=64)
+        engine = FastSelfStabilizingSourceFilter(config, 0.1)
+        result = engine.run(rng=0)
+        result.final_opinions[:] = 99
+        assert not np.any(engine.opinion == 99)
+
+
+class TestPackageSurface:
+    def test_top_level_all_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_all_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.experiments
+        import repro.model
+        import repro.noise
+        import repro.protocols
+        import repro.theory
+
+        for module in (
+            repro.analysis,
+            repro.baselines,
+            repro.model,
+            repro.noise,
+            repro.protocols,
+            repro.theory,
+            repro.experiments,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None

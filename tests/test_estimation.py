@@ -1,0 +1,108 @@
+"""Tests for noise-channel estimation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseMatrixError
+from repro.noise import (
+    NoiseMatrix,
+    estimate_noise_matrix,
+    noise_reduction,
+    probes_needed,
+)
+
+
+def calibration_pairs(noise: NoiseMatrix, per_row: int, rng):
+    displayed = np.repeat(np.arange(noise.size), per_row)
+    observed = noise.corrupt(displayed, rng)
+    return displayed, observed
+
+
+class TestEstimateNoiseMatrix:
+    def test_recovers_known_channel(self, rng):
+        noise = NoiseMatrix.uniform(0.2, 2)
+        displayed, observed = calibration_pairs(noise, 50_000, rng)
+        estimate = estimate_noise_matrix(displayed, observed, 2)
+        assert np.allclose(estimate.matrix, noise.matrix, atol=0.01)
+
+    def test_estimate_is_stochastic(self, rng):
+        noise = NoiseMatrix.random_upper_bounded(0.15, 4, rng)
+        displayed, observed = calibration_pairs(noise, 2_000, rng)
+        estimate = estimate_noise_matrix(displayed, observed, 4)
+        assert estimate.as_noise_matrix().size == 4  # validates internally
+
+    def test_half_widths_shrink_with_probes(self, rng):
+        noise = NoiseMatrix.uniform(0.2, 2)
+        small = estimate_noise_matrix(
+            *calibration_pairs(noise, 100, rng), alphabet_size=2
+        )
+        large = estimate_noise_matrix(
+            *calibration_pairs(noise, 10_000, rng), alphabet_size=2
+        )
+        assert large.worst_half_width < small.worst_half_width
+
+    def test_requires_every_row_probed(self, rng):
+        with pytest.raises(NoiseMatrixError):
+            estimate_noise_matrix(np.zeros(10, dtype=int), np.zeros(10, dtype=int), 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(NoiseMatrixError):
+            estimate_noise_matrix(np.array([0, 1]), np.array([0]), 2)
+        with pytest.raises(NoiseMatrixError):
+            estimate_noise_matrix(np.array([]), np.array([]), 2)
+
+    def test_symbol_range_validation(self):
+        with pytest.raises(NoiseMatrixError):
+            estimate_noise_matrix(np.array([0, 2]), np.array([0, 1]), 2)
+
+    def test_upper_delta_interval(self, rng):
+        noise = NoiseMatrix.uniform(0.1, 2)
+        estimate = estimate_noise_matrix(
+            *calibration_pairs(noise, 20_000, rng), alphabet_size=2
+        )
+        interval = estimate.upper_delta_interval()
+        assert interval is not None
+        low, high = interval
+        assert low <= 0.1 <= high
+
+    def test_interval_none_for_too_noisy(self, rng):
+        flat = NoiseMatrix(np.full((2, 2), 0.5))
+        estimate = estimate_noise_matrix(
+            *calibration_pairs(flat, 5_000, rng), alphabet_size=2
+        )
+        assert estimate.upper_delta_interval() is None
+
+    def test_estimated_channel_feeds_the_reduction(self, rng):
+        """End to end: estimate N from probes, then run Theorem 8 on it."""
+        truth = NoiseMatrix.random_upper_bounded(0.12, 4, rng)
+        estimate = estimate_noise_matrix(
+            *calibration_pairs(truth, 100_000, rng), alphabet_size=4
+        )
+        red = noise_reduction(estimate.as_noise_matrix())
+        assert red.effective.is_uniform(red.delta_prime, atol=1e-7)
+        # The estimated reduction target is close to the true one.
+        true_red = noise_reduction(truth)
+        assert red.delta_prime == pytest.approx(true_red.delta_prime, abs=0.02)
+
+
+class TestProbesNeeded:
+    def test_formula(self):
+        assert probes_needed(0.01) == int(np.ceil((1.96 / 0.02) ** 2))
+
+    def test_monotone(self):
+        assert probes_needed(0.005) > probes_needed(0.05)
+
+    def test_validation(self):
+        with pytest.raises(NoiseMatrixError):
+            probes_needed(0.0)
+        with pytest.raises(NoiseMatrixError):
+            probes_needed(0.6)
+
+    def test_budget_achieves_target(self, rng):
+        target = 0.02
+        per_row = probes_needed(target)
+        noise = NoiseMatrix.uniform(0.25, 2)
+        estimate = estimate_noise_matrix(
+            *calibration_pairs(noise, per_row, rng), alphabet_size=2
+        )
+        assert estimate.worst_half_width <= target * 1.05

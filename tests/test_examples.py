@@ -1,0 +1,37 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()  # every example prints something
+
+
+def test_all_examples_discovered():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "cooperative_transport",
+        "house_hunting",
+        "self_stabilization",
+        "noise_reduction_demo",
+        "deployment_pipeline",
+        "flocking",
+    } <= names

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    NoiseMatrixError,
+    NotStochasticError,
+    ProtocolError,
+    ReproError,
+    SingularMatrixError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ConvergenceError,
+            NoiseMatrixError,
+            NotStochasticError,
+            ProtocolError,
+            SingularMatrixError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_noise_matrix_error_is_value_error(self):
+        assert issubclass(NoiseMatrixError, ValueError)
+
+    def test_not_stochastic_is_noise_matrix_error(self):
+        assert issubclass(NotStochasticError, NoiseMatrixError)
+
+    def test_singular_is_noise_matrix_error(self):
+        assert issubclass(SingularMatrixError, NoiseMatrixError)
+
+    def test_protocol_error_is_runtime_error(self):
+        assert issubclass(ProtocolError, RuntimeError)
+
+
+class TestConvergenceError:
+    def test_records_rounds_used(self):
+        err = ConvergenceError("did not converge", rounds_used=123)
+        assert err.rounds_used == 123
+        assert "did not converge" in str(err)

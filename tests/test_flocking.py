@@ -1,0 +1,54 @@
+"""Tests for the flocking application."""
+
+import pytest
+
+from repro.apps import FlockConsensus, visual_range_sweep
+from repro.exceptions import ConfigurationError
+
+
+class TestFlockConsensus:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlockConsensus(flock_size=100, num_leaders=0)
+        with pytest.raises(ConfigurationError):
+            FlockConsensus(flock_size=10, num_leaders=5)
+
+    def test_full_visual_range_aligns(self):
+        flock = FlockConsensus(flock_size=256, num_leaders=2)
+        result = flock.run(rng=0)
+        assert result.aligned
+        assert result.polarization[-1] == 1.0
+
+    def test_limited_visual_range_aligns(self):
+        flock = FlockConsensus(flock_size=256, num_leaders=2, visual_range=16)
+        result = flock.run(rng=1)
+        assert result.aligned
+
+    def test_polarization_starts_weak_ends_full(self):
+        flock = FlockConsensus(flock_size=512, num_leaders=1, delta=0.2)
+        result = flock.run(rng=2)
+        assert result.polarization[0] < 0.5  # weak opinions barely tilt
+        assert result.polarization[-1] == 1.0
+
+    def test_alignment_rounds_matches_run(self):
+        flock = FlockConsensus(flock_size=128, num_leaders=2)
+        assert flock.run(rng=3).rounds == flock.alignment_rounds()
+
+
+class TestVisualRangeSweep:
+    def test_linear_speedup_shape(self):
+        rows = visual_range_sweep(1024, ranges=[1, 16, 256, 1024], rng=0)
+        assert all(r["aligned"] for r in rows)
+        rounds = [r["rounds"] for r in rows]
+        assert all(b < a for a, b in zip(rounds, rounds[1:]))
+        # 16x more observation buys ~16x less time in the pre-floor regime.
+        assert rounds[0] / rounds[1] > 8
+
+    def test_row_fields(self):
+        rows = visual_range_sweep(128, ranges=[8], rng=1)
+        assert set(rows[0]) == {
+            "visual_range",
+            "rounds",
+            "aligned",
+            "final_polarization",
+        }

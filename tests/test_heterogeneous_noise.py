@@ -1,0 +1,74 @@
+"""Tests for per-receiver heterogeneous noise."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseMatrixError
+from repro.model import Population, PopulationConfig, PullEngine
+from repro.noise import HeterogeneousBinaryNoise
+from repro.protocols import SFSchedule, SourceFilterProtocol
+from repro.types import SourceCounts
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(NoiseMatrixError):
+            HeterogeneousBinaryNoise(np.array([0.6]))
+        with pytest.raises(NoiseMatrixError):
+            HeterogeneousBinaryNoise(np.array([[0.1, 0.2]]))
+        with pytest.raises(NoiseMatrixError):
+            HeterogeneousBinaryNoise(np.array([]))
+
+    def test_envelope(self):
+        noise = HeterogeneousBinaryNoise(np.array([0.1, 0.3, 0.2]))
+        assert noise.envelope_delta == pytest.approx(0.3)
+
+    def test_uniform_random(self, rng):
+        noise = HeterogeneousBinaryNoise.uniform_random(100, 0.05, 0.25, rng)
+        assert noise.deltas.shape == (100,)
+        assert noise.deltas.min() >= 0.05
+        assert noise.deltas.max() <= 0.25
+
+    def test_deltas_read_only(self):
+        noise = HeterogeneousBinaryNoise(np.array([0.1]))
+        with pytest.raises(ValueError):
+            noise.deltas[0] = 0.4
+
+
+class TestCorrupt:
+    def test_per_receiver_rates(self, rng):
+        noise = HeterogeneousBinaryNoise(np.array([0.0, 0.5]))
+        messages = np.ones((2, 50_000), dtype=int)
+        out = noise.corrupt(messages, rng)
+        assert np.all(out[0] == 1)  # receiver 0 hears perfectly
+        assert np.mean(out[1]) == pytest.approx(0.5, abs=0.01)
+
+    def test_shape_validation(self, rng):
+        noise = HeterogeneousBinaryNoise(np.array([0.1, 0.2]))
+        with pytest.raises(NoiseMatrixError):
+            noise.corrupt(np.ones((3, 4), dtype=int), rng)
+
+    def test_nonbinary_rejected(self, rng):
+        noise = HeterogeneousBinaryNoise(np.array([0.1]))
+        with pytest.raises(NoiseMatrixError):
+            noise.corrupt(np.array([[0, 2]]), rng)
+
+    def test_one_dimensional_batch(self, rng):
+        noise = HeterogeneousBinaryNoise(np.array([0.5, 0.0]))
+        out = noise.corrupt(np.ones(10_000, dtype=int), rng)
+        assert np.mean(out) == pytest.approx(0.5, abs=0.02)
+
+
+class TestEndToEnd:
+    def test_sf_converges_under_heterogeneous_noise(self):
+        """Schedule for the envelope; heterogeneity below it is benign."""
+        config = PopulationConfig(n=96, sources=SourceCounts(0, 2), h=8)
+        rng = np.random.default_rng(0)
+        noise = HeterogeneousBinaryNoise.uniform_random(96, 0.02, 0.2, rng)
+        population = Population(config, rng=rng)
+        schedule = SFSchedule.from_config(config, noise.envelope_delta)
+        protocol = SourceFilterProtocol(schedule)
+        result = PullEngine(population, noise).run(
+            protocol, max_rounds=schedule.total_rounds, rng=rng
+        )
+        assert result.converged

@@ -1,0 +1,104 @@
+"""Tests for the k-ary plurality filter extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocols import FastKAryPluralityFilter, KAryConfig
+
+
+def config(n=512, counts=(1, 4, 2), h=None):
+    return KAryConfig(
+        n=n, source_counts=list(counts), h=h if h is not None else n
+    )
+
+
+class TestKAryConfig:
+    def test_accessors(self):
+        cfg = config(counts=(1, 4, 2))
+        assert cfg.k == 3
+        assert cfg.num_sources == 7
+        assert cfg.plurality == 1
+        assert cfg.bias == 2
+
+    def test_needs_two_opinions(self):
+        with pytest.raises(ConfigurationError):
+            KAryConfig(n=100, source_counts=[3], h=1)
+
+    def test_strict_plurality_required(self):
+        with pytest.raises(ConfigurationError):
+            KAryConfig(n=100, source_counts=[3, 3, 1], h=1)
+
+    def test_quarter_rule(self):
+        with pytest.raises(ConfigurationError):
+            KAryConfig(n=100, source_counts=[20, 10], h=1)
+
+    def test_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            KAryConfig(n=100, source_counts=[-1, 3], h=1)
+
+
+class TestFastKAryPluralityFilter:
+    def test_delta_range(self):
+        with pytest.raises(ConfigurationError):
+            FastKAryPluralityFilter(config(counts=(1, 2, 0)), 0.4)  # >= 1/3
+
+    def test_weak_opinions_favor_plurality(self):
+        engine = FastKAryPluralityFilter(config(n=1024, counts=(1, 6, 2)), 0.1)
+        means = [
+            float(np.mean(engine.draw_weak_opinions(np.random.default_rng(s)) == 1))
+            for s in range(20)
+        ]
+        assert np.mean(means) > 1.0 / 3.0 + 0.1
+
+    @pytest.mark.parametrize(
+        "counts,delta",
+        [((1, 3), 0.2), ((1, 4, 2), 0.15), ((0, 1, 5, 2), 0.1)],
+    )
+    def test_converges_to_plurality(self, counts, delta):
+        cfg = config(n=512, counts=counts)
+        engine = FastKAryPluralityFilter(cfg, delta)
+        result = engine.run(rng=0)
+        assert result.converged
+        assert np.all(result.final_opinions == cfg.plurality)
+
+    def test_binary_case_matches_sf_semantics(self):
+        """k = 2 behaves like the binary SF (converges to the majority
+        source opinion)."""
+        cfg = config(n=512, counts=(5, 2))
+        result = FastKAryPluralityFilter(cfg, 0.2).run(rng=1)
+        assert result.converged
+        assert np.all(result.final_opinions == 0)
+
+    def test_total_rounds_has_k_listening_phases(self):
+        cfg3 = config(n=512, counts=(1, 3, 0))
+        cfg2 = config(n=512, counts=(1, 3))
+        e3 = FastKAryPluralityFilter(cfg3, 0.1)
+        e2 = FastKAryPluralityFilter(cfg2, 0.1)
+        # One extra listening phase for the extra opinion (budgets differ
+        # only through the (1-k*delta) margin).
+        assert e3.total_rounds > e2.total_rounds - e2.phase_rounds
+
+    def test_boost_step_amplifies_leader(self):
+        cfg = config(n=4096, counts=(1, 3, 0))
+        engine = FastKAryPluralityFilter(cfg, 0.1)
+        opinions = np.zeros(4096, dtype=np.int64)
+        opinions[:1800] = 1
+        opinions[1800:3000] = 2
+        out = engine.boost_step(opinions, window=600, rng=0)
+        assert float(np.mean(out == 1)) > 0.6
+
+    def test_reliability(self):
+        engine = FastKAryPluralityFilter(config(n=512, counts=(2, 6, 1)), 0.1)
+        assert all(engine.run(rng=s).converged for s in range(15))
+
+    def test_deterministic(self):
+        engine = FastKAryPluralityFilter(config(), 0.1)
+        a, b = engine.run(rng=7), engine.run(rng=7)
+        assert np.array_equal(a.final_opinions, b.final_opinions)
+
+    def test_trace_shape(self):
+        engine = FastKAryPluralityFilter(config(n=256, counts=(1, 3)), 0.1)
+        result = engine.run(rng=2)
+        assert len(result.boost_trace) == engine.num_subphases + 1
+        assert result.boost_trace[-1] == 1.0

@@ -1,0 +1,118 @@
+"""Tests for the agent-level k-ary protocol + cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.model import PullEngine
+from repro.noise import NoiseMatrix
+from repro.protocols import (
+    FastKAryPluralityFilter,
+    KAryConfig,
+    KAryPluralityProtocol,
+    binary_population_for,
+)
+
+
+def build(n=96, counts=(1, 4, 2), h=8, delta=0.1, seed=0):
+    config = KAryConfig(n=n, source_counts=list(counts), h=h)
+    fast = FastKAryPluralityFilter(config, delta)
+    population = binary_population_for(config, rng=np.random.default_rng(seed))
+    protocol = KAryPluralityProtocol(fast)
+    engine = PullEngine(population, NoiseMatrix.uniform(delta, config.k))
+    return config, fast, population, protocol, engine
+
+
+class TestMechanics:
+    def test_listening_displays_are_walls_plus_sources(self):
+        config, fast, population, protocol, _ = build()
+        protocol.reset(population, np.random.default_rng(1))
+        out = protocol.displays(0)  # phase 0
+        non_sources = ~population.is_source
+        assert np.all(out[non_sources] == 0)
+        out2 = protocol.displays(fast.phase_rounds)  # phase 1
+        assert np.all(out2[non_sources] == 1)
+        # Sources display their expanded preferences throughout.
+        prefs = np.repeat(np.arange(config.k), list(config.source_counts))
+        assert np.array_equal(out[population.source_indices], prefs)
+
+    def test_requires_reset(self):
+        config, fast, population, protocol, _ = build()
+        with pytest.raises(ProtocolError):
+            protocol.displays(0)
+
+    def test_population_mismatch_rejected(self):
+        config, fast, population, protocol, _ = build()
+        other = binary_population_for(
+            KAryConfig(n=64, source_counts=[1, 4, 2], h=8),
+            rng=np.random.default_rng(2),
+        )
+        with pytest.raises(ProtocolError):
+            protocol.reset(other, np.random.default_rng(3))
+
+    def test_explicit_preferences_validated(self):
+        config, fast, population, _, _ = build()
+        bad = KAryPluralityProtocol(fast, source_preferences=[0, 0, 0, 0, 0, 0, 0])
+        with pytest.raises(ProtocolError):
+            bad.reset(population, np.random.default_rng(4))
+
+    def test_weak_opinions_committed_after_listening(self):
+        config, fast, population, protocol, engine = build()
+        result = engine.run(
+            protocol,
+            max_rounds=config.k * fast.phase_rounds,
+            rng=np.random.default_rng(5),
+        )
+        assert protocol.weak_opinions is not None
+        assert protocol.weak_opinions.shape == (config.n,)
+
+    def test_finished(self):
+        config, fast, population, protocol, _ = build()
+        assert not protocol.finished(fast.total_rounds - 1)
+        assert protocol.finished(fast.total_rounds)
+
+
+class TestEndToEnd:
+    def test_converges_to_plurality(self):
+        config, fast, population, protocol, engine = build(seed=6)
+        result = engine.run(
+            protocol, max_rounds=fast.total_rounds, rng=np.random.default_rng(7)
+        )
+        assert result.rounds_executed == fast.total_rounds
+        assert np.all(protocol.opinions() == config.plurality)
+
+    def test_cross_validation_with_fast_engine(self):
+        """Weak-opinion plurality share agrees between implementations."""
+        config = KAryConfig(n=120, source_counts=[1, 5, 2], h=6)
+        delta = 0.1
+        fast = FastKAryPluralityFilter(config, delta)
+        trials = 25
+
+        fast_shares = [
+            float(
+                np.mean(
+                    fast.draw_weak_opinions(np.random.default_rng(s))
+                    == config.plurality
+                )
+            )
+            for s in range(trials)
+        ]
+
+        agent_shares = []
+        noise = NoiseMatrix.uniform(delta, config.k)
+        for s in range(trials):
+            rng = np.random.default_rng(9000 + s)
+            population = binary_population_for(config, rng=rng)
+            protocol = KAryPluralityProtocol(fast)
+            PullEngine(population, noise).run(
+                protocol,
+                max_rounds=config.k * fast.phase_rounds,
+                rng=rng,
+            )
+            agent_shares.append(
+                float(np.mean(protocol.weak_opinions == config.plurality))
+            )
+
+        assert np.mean(fast_shares) == pytest.approx(
+            np.mean(agent_shares), abs=0.05
+        )

@@ -1,0 +1,91 @@
+"""Tests for repro.linalg.inversion: Lemma 13 / Corollary 14."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SingularMatrixError
+from repro.linalg import (
+    infinity_norm,
+    inverse_norm_bound,
+    invert_noise_matrix,
+    is_weakly_stochastic,
+)
+from repro.noise import NoiseMatrix
+
+
+class TestInverseNormBound:
+    def test_formula(self):
+        assert inverse_norm_bound(2, 0.25) == pytest.approx(1.0 / 0.5)
+
+    def test_dimension_one(self):
+        assert inverse_norm_bound(1, 0.0) == 1.0
+
+    def test_delta_zero(self):
+        assert inverse_norm_bound(4, 0.0) == 3.0
+
+    def test_rejects_delta_at_limit(self):
+        with pytest.raises(ValueError):
+            inverse_norm_bound(2, 0.5)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            inverse_norm_bound(0, 0.1)
+
+    def test_bound_grows_with_delta(self):
+        assert inverse_norm_bound(3, 0.3) > inverse_norm_bound(3, 0.1)
+
+
+class TestInvertNoiseMatrix:
+    def test_identity(self):
+        inverse = invert_noise_matrix(np.eye(3), 0.0)
+        assert np.allclose(inverse, np.eye(3))
+
+    def test_uniform_inverse_is_exact(self):
+        matrix = NoiseMatrix.uniform(0.2, 2).matrix
+        inverse = invert_noise_matrix(matrix, 0.2)
+        assert np.allclose(inverse @ matrix, np.eye(2), atol=1e-12)
+
+    def test_inverse_is_weakly_stochastic(self):
+        # Claim 12: inverse of an invertible weakly-stochastic matrix is
+        # weakly-stochastic.
+        matrix = NoiseMatrix.uniform(0.15, 4).matrix
+        inverse = invert_noise_matrix(matrix, 0.15)
+        assert is_weakly_stochastic(inverse)
+
+    def test_rejects_not_upper_bounded(self):
+        matrix = np.array([[0.6, 0.4], [0.4, 0.6]])
+        with pytest.raises(SingularMatrixError):
+            invert_noise_matrix(matrix, 0.1)
+
+    def test_rejects_delta_out_of_range(self):
+        with pytest.raises(ValueError):
+            invert_noise_matrix(np.eye(2), 0.7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delta=st.floats(min_value=0.0, max_value=0.22),
+        d=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_corollary_14_norm_bound_on_random_matrices(self, delta, d, seed):
+        """Random delta-upper-bounded matrices obey norm(N^-1) <= (d-1)/(1-d*delta)."""
+        if delta >= 1.0 / d:
+            delta = 0.9 / d
+        noise = NoiseMatrix.random_upper_bounded(delta, d, np.random.default_rng(seed))
+        inverse = invert_noise_matrix(noise.matrix, delta)
+        assert infinity_norm(inverse) <= inverse_norm_bound(d, delta) * (1 + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delta=st.floats(min_value=0.0, max_value=0.22),
+        d=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_inverse_actually_inverts(self, delta, d, seed):
+        if delta >= 1.0 / d:
+            delta = 0.9 / d
+        noise = NoiseMatrix.random_upper_bounded(delta, d, np.random.default_rng(seed))
+        inverse = invert_noise_matrix(noise.matrix, delta)
+        assert np.allclose(inverse @ noise.matrix, np.eye(d), atol=1e-8)

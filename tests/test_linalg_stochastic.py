@@ -1,0 +1,153 @@
+"""Tests for repro.linalg.stochastic: Definitions 1, 9 and 10."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotStochasticError
+from repro.linalg import (
+    classify_delta_upper,
+    infinity_norm,
+    is_delta_lower_bounded,
+    is_delta_uniform,
+    is_delta_upper_bounded,
+    is_square,
+    is_stochastic,
+    is_weakly_stochastic,
+    minimal_upper_delta,
+    validate_stochastic,
+)
+
+
+def uniform(delta: float, d: int) -> np.ndarray:
+    matrix = np.full((d, d), delta)
+    np.fill_diagonal(matrix, 1.0 - (d - 1) * delta)
+    return matrix
+
+
+class TestIsSquare:
+    def test_square(self):
+        assert is_square(np.eye(3))
+
+    def test_not_square(self):
+        assert not is_square(np.ones((2, 3)))
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            is_square(np.ones(4))
+
+
+class TestWeaklyStochastic:
+    def test_identity(self):
+        assert is_weakly_stochastic(np.eye(4))
+
+    def test_negative_entries_allowed(self):
+        matrix = np.array([[1.5, -0.5], [0.25, 0.75]])
+        assert is_weakly_stochastic(matrix)
+
+    def test_bad_row_sum(self):
+        assert not is_weakly_stochastic(np.array([[0.5, 0.6], [0.5, 0.5]]))
+
+
+class TestStochastic:
+    def test_uniform_matrix(self):
+        assert is_stochastic(uniform(0.2, 3))
+
+    def test_negative_entry_rejected(self):
+        matrix = np.array([[1.5, -0.5], [0.25, 0.75]])
+        assert not is_stochastic(matrix)
+
+    def test_validate_returns_array(self):
+        out = validate_stochastic(uniform(0.1, 2))
+        assert out.shape == (2, 2)
+
+    def test_validate_rejects_non_square(self):
+        with pytest.raises(NotStochasticError):
+            validate_stochastic(np.ones((2, 3)) / 3)
+
+    def test_validate_rejects_bad_rows(self):
+        with pytest.raises(NotStochasticError):
+            validate_stochastic(np.array([[0.9, 0.0], [0.5, 0.5]]))
+
+
+class TestInfinityNorm:
+    def test_identity(self):
+        assert infinity_norm(np.eye(5)) == 1.0
+
+    def test_max_abs_row_sum(self):
+        matrix = np.array([[1.0, -2.0], [0.5, 0.5]])
+        assert infinity_norm(matrix) == 3.0
+
+    def test_stochastic_norm_is_one(self):
+        assert infinity_norm(uniform(0.15, 4)) == pytest.approx(1.0)
+
+
+class TestDeltaPredicates:
+    def test_uniform_is_upper_bounded(self):
+        assert is_delta_upper_bounded(uniform(0.2, 2), 0.2)
+
+    def test_uniform_is_lower_bounded(self):
+        assert is_delta_lower_bounded(uniform(0.2, 2), 0.2)
+
+    def test_uniform_is_uniform(self):
+        assert is_delta_uniform(uniform(0.2, 2), 0.2)
+
+    def test_identity_is_zero_uniform(self):
+        assert is_delta_uniform(np.eye(3), 0.0)
+
+    def test_upper_bounded_not_uniform(self):
+        matrix = np.array([[0.9, 0.1], [0.05, 0.95]])
+        assert is_delta_upper_bounded(matrix, 0.1)
+        assert not is_delta_uniform(matrix, 0.1)
+
+    def test_not_upper_bounded_when_offdiag_large(self):
+        matrix = np.array([[0.7, 0.3], [0.3, 0.7]])
+        assert not is_delta_upper_bounded(matrix, 0.2)
+
+    def test_lower_bounded_fails_on_zero_entry(self):
+        assert not is_delta_lower_bounded(np.eye(2), 0.1)
+
+    def test_upper_bound_is_monotone_in_delta(self):
+        matrix = uniform(0.1, 3)
+        assert is_delta_upper_bounded(matrix, 0.1)
+        assert is_delta_upper_bounded(matrix, 0.2)
+
+    def test_diagonal_constraint(self):
+        # For *stochastic* matrices the diagonal bound is implied by the
+        # off-diagonal one, so exercise it on a sub-stochastic matrix:
+        # off-diagonals fine, one diagonal entry below 1-(d-1)*delta.
+        matrix = np.array([[0.7, 0.1, 0.1], [0.05, 0.9, 0.05], [0.0, 0.1, 0.9]])
+        assert not is_delta_upper_bounded(matrix, 0.1)
+        assert is_delta_upper_bounded(matrix, 0.15)
+
+
+class TestMinimalUpperDelta:
+    def test_uniform_recovers_delta(self):
+        assert minimal_upper_delta(uniform(0.15, 4)) == pytest.approx(0.15)
+
+    def test_identity_is_zero(self):
+        assert minimal_upper_delta(np.eye(3)) == 0.0
+
+    def test_too_noisy_returns_none(self):
+        flat = np.full((2, 2), 0.5)
+        assert minimal_upper_delta(flat) is None
+
+    def test_one_by_one(self):
+        assert minimal_upper_delta(np.array([[1.0]])) == 0.0
+
+    def test_classify_raises_for_too_noisy(self):
+        with pytest.raises(NotStochasticError):
+            classify_delta_upper(np.full((2, 2), 0.5))
+
+    def test_classify_returns_delta(self):
+        assert classify_delta_upper(uniform(0.1, 2)) == pytest.approx(0.1)
+
+    def test_result_actually_upper_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            row_noise = rng.uniform(0, 0.2, size=(3, 3))
+            np.fill_diagonal(row_noise, 0)
+            matrix = row_noise.copy()
+            np.fill_diagonal(matrix, 1 - row_noise.sum(axis=1))
+            delta = minimal_upper_delta(matrix)
+            assert delta is not None
+            assert is_delta_upper_bounded(matrix, delta, atol=1e-9)

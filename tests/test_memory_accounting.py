@@ -1,0 +1,81 @@
+"""Tests for the O(log T + log h) memory claims (Theorems 4 and 5)."""
+
+import math
+
+import pytest
+
+from repro.model.config import PopulationConfig
+from repro.protocols import SFSchedule, SSFSchedule
+from repro.theory.memory import bits_for, sf_memory_bits, ssf_memory_bits
+from repro.types import SourceCounts
+
+
+def config(n, h):
+    return PopulationConfig(n=n, sources=SourceCounts(0, 1), h=h)
+
+
+class TestBitsFor:
+    def test_values(self):
+        assert bits_for(0) == 1
+        assert bits_for(1) == 1
+        assert bits_for(2) == 2
+        assert bits_for(255) == 8
+        assert bits_for(256) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bits_for(-1)
+
+
+class TestTheorem4MemoryClaim:
+    def test_logarithmic_in_horizon(self):
+        """Bits grow like log T: doubling n many times adds O(1) bits
+        per doubling, and bits / log2(T*h) stays in a constant band."""
+        ratios = []
+        for n in (2**8, 2**12, 2**16, 2**20):
+            cfg = config(n, h=1)
+            schedule = SFSchedule.from_config(cfg, 0.25)
+            bits = sf_memory_bits(schedule)
+            ratios.append(
+                bits / math.log2(schedule.total_rounds * cfg.h + 1)
+            )
+        assert max(ratios) / min(ratios) < 2.0
+        assert max(ratios) < 12.0  # a small constant number of words
+
+    def test_h_contributes_log_h(self):
+        small = sf_memory_bits(SFSchedule.from_config(config(2**14, 1), 0.2))
+        large = sf_memory_bits(
+            SFSchedule.from_config(config(2**14, 2**10), 0.2)
+        )
+        # 1024x more samples per round costs only a few dozen extra bits.
+        assert large - small < 64
+
+    def test_concrete_smallness(self):
+        """A million-agent instance fits its protocol state in a few
+        machine words."""
+        schedule = SFSchedule.from_config(config(2**20, 2**20), 0.2)
+        assert sf_memory_bits(schedule) < 256
+
+
+class TestTheorem5MemoryClaim:
+    def test_logarithmic_in_m(self):
+        ratios = []
+        for n in (2**8, 2**12, 2**16):
+            cfg = config(n, h=n)
+            schedule = SSFSchedule.from_config(cfg, 0.1)
+            bits = ssf_memory_bits(schedule)
+            ratios.append(bits / math.log2(schedule.m + 1))
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_no_clock_term(self):
+        """SSF memory depends on m (and h) only — an agent stores no
+        round counter, which is precisely its self-stabilization trick."""
+        cfg = config(2**12, h=4)
+        schedule = SSFSchedule.from_config(cfg, 0.1)
+        assert ssf_memory_bits(schedule) == ssf_memory_bits(
+            SSFSchedule(m=schedule.m, h=4)
+        )
+
+    def test_concrete_smallness(self):
+        schedule = SSFSchedule.from_config(config(2**20, 2**20), 0.1)
+        assert ssf_memory_bits(schedule) < 256

@@ -1,0 +1,74 @@
+"""Tests for the multi-bit rumor extension."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocols import (
+    MultiBitSourceFilter,
+    decode_bits,
+    encode_value,
+)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        for value in (0, 1, 5, 13, 255):
+            assert decode_bits(encode_value(value, 8)) == value
+
+    def test_little_endian(self):
+        assert encode_value(6, 4) == [0, 1, 1, 0]
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            encode_value(16, 4)
+        with pytest.raises(ConfigurationError):
+            encode_value(-1, 4)
+
+    def test_num_bits_positive(self):
+        with pytest.raises(ConfigurationError):
+            encode_value(0, 0)
+
+
+class TestMultiBitSourceFilter:
+    def test_spreads_value(self):
+        engine = MultiBitSourceFilter(
+            n=256, num_sources=2, value=11, num_bits=4, noise=0.15
+        )
+        result = engine.run(rng=0)
+        assert result.converged
+        assert result.value == 11
+
+    def test_zero_value(self):
+        engine = MultiBitSourceFilter(
+            n=256, num_sources=2, value=0, num_bits=3, noise=0.15
+        )
+        result = engine.run(rng=1)
+        assert result.converged
+        assert result.value == 0
+
+    def test_round_cost_is_sum_of_planes(self):
+        engine = MultiBitSourceFilter(
+            n=256, num_sources=1, value=5, num_bits=3, noise=0.2
+        )
+        result = engine.run(rng=2)
+        assert result.total_rounds == sum(r.total_rounds for r in result.per_bit)
+        assert len(result.per_bit) == 3
+
+    def test_per_bit_source_preferences(self):
+        engine = MultiBitSourceFilter(
+            n=256, num_sources=3, value=2, num_bits=2, noise=0.1
+        )
+        # value 2 -> bits [0, 1]: plane 0 sources prefer 0, plane 1 prefer 1.
+        assert engine.configs[0].correct_opinion == 0
+        assert engine.configs[1].correct_opinion == 1
+
+    def test_requires_sources(self):
+        with pytest.raises(ConfigurationError):
+            MultiBitSourceFilter(n=64, num_sources=0, value=1, num_bits=1, noise=0.1)
+
+    def test_reliability_eight_bits(self):
+        engine = MultiBitSourceFilter(
+            n=512, num_sources=2, value=0xA5, num_bits=8, noise=0.2
+        )
+        results = [engine.run(rng=s) for s in range(5)]
+        assert all(r.converged and r.value == 0xA5 for r in results)

@@ -1,0 +1,109 @@
+"""Tests for time-varying noise schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseMatrixError
+from repro.model import Population, PopulationConfig, PullEngine
+from repro.noise import (
+    NoiseMatrix,
+    constant_schedule,
+    drifting_uniform_schedule,
+)
+from repro.protocols import SFSchedule, SourceFilterProtocol
+from repro.types import SourceCounts
+
+
+class TestSchedules:
+    def test_constant_schedule(self):
+        noise = NoiseMatrix.uniform(0.2, 2)
+        schedule = constant_schedule(noise)
+        assert schedule.envelope_delta == pytest.approx(0.2)
+        assert schedule.matrix_at(0) == noise
+        assert schedule.matrix_at(999) == noise
+
+    def test_constant_rejects_flat(self):
+        with pytest.raises(NoiseMatrixError):
+            constant_schedule(NoiseMatrix(np.full((2, 2), 0.5)))
+
+    def test_drifting_cycles(self):
+        schedule = drifting_uniform_schedule([0.1, 0.3], period=2)
+        assert schedule.matrix_at(0).uniform_delta == pytest.approx(0.1)
+        assert schedule.matrix_at(1).uniform_delta == pytest.approx(0.1)
+        assert schedule.matrix_at(2).uniform_delta == pytest.approx(0.3)
+        assert schedule.matrix_at(4).uniform_delta == pytest.approx(0.1)
+
+    def test_envelope_is_max(self):
+        schedule = drifting_uniform_schedule([0.05, 0.25, 0.1])
+        assert schedule.envelope_delta == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(NoiseMatrixError):
+            drifting_uniform_schedule([])
+        with pytest.raises(NoiseMatrixError):
+            drifting_uniform_schedule([0.1], period=0)
+        with pytest.raises(NoiseMatrixError):
+            drifting_uniform_schedule([0.6], size=2)
+
+
+class TestEngineWithSchedule:
+    def test_sf_survives_drift_within_envelope(self):
+        """SF scheduled for the envelope converges under drifting noise —
+        drift below the envelope only adds information."""
+        schedule = drifting_uniform_schedule([0.05, 0.15, 0.25], period=5)
+        config = PopulationConfig(n=96, sources=SourceCounts(0, 2), h=8)
+        population = Population(config, rng=np.random.default_rng(0))
+        sf_schedule = SFSchedule.from_config(config, schedule.envelope_delta)
+        protocol = SourceFilterProtocol(sf_schedule)
+        engine = PullEngine(population, schedule)
+        result = engine.run(
+            protocol,
+            max_rounds=sf_schedule.total_rounds,
+            rng=np.random.default_rng(1),
+        )
+        assert result.converged
+
+    def test_fixed_matrix_still_works(self):
+        """The engine's fixed-matrix path is unchanged."""
+        config = PopulationConfig(n=64, sources=SourceCounts(0, 2), h=8)
+        population = Population(config, rng=np.random.default_rng(2))
+        sf_schedule = SFSchedule.from_config(config, 0.1)
+        protocol = SourceFilterProtocol(sf_schedule)
+        engine = PullEngine(population, NoiseMatrix.uniform(0.1, 2))
+        result = engine.run(
+            protocol,
+            max_rounds=sf_schedule.total_rounds,
+            rng=np.random.default_rng(3),
+        )
+        assert result.converged
+
+    def test_schedule_observed_noise_varies(self, rng):
+        """Rounds scheduled at delta=0 pass messages through unchanged;
+        rounds at delta=0.4 flip a lot."""
+        from repro.model.engine import PullProtocol
+
+        class Probe(PullProtocol):
+            alphabet_size = 2
+
+            def __init__(self):
+                self.flips = []
+
+            def reset(self, population, rng=None):
+                self._n = population.n
+
+            def displays(self, t):
+                return np.ones(self._n, dtype=np.int64)
+
+            def receive(self, t, observations):
+                self.flips.append(float(np.mean(observations == 0)))
+
+            def opinions(self):
+                return np.ones(self._n, dtype=np.int8)
+
+        schedule = drifting_uniform_schedule([0.0, 0.4], period=1)
+        config = PopulationConfig(n=500, sources=SourceCounts(0, 1), h=20)
+        population = Population(config, rng=rng)
+        probe = Probe()
+        PullEngine(population, schedule).run(probe, max_rounds=4, rng=rng)
+        assert probe.flips[0] == 0.0 and probe.flips[2] == 0.0
+        assert 0.3 < probe.flips[1] < 0.5 and 0.3 < probe.flips[3] < 0.5

@@ -1,0 +1,135 @@
+"""Tests for Section 4: f(delta), Proposition 16 and Theorem 8."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NoiseMatrixError
+from repro.noise import (
+    NoiseMatrix,
+    artificial_noise_matrix,
+    noise_reduction,
+    reduction_delta,
+)
+
+
+class TestReductionDelta:
+    """Definition 7 and Claim 15."""
+
+    def test_zero_maps_to_zero(self):
+        assert reduction_delta(0.0, 2) == 0.0
+        assert reduction_delta(0.0, 4) == 0.0
+
+    def test_binary_alphabet_is_identity(self):
+        # For d = 2, f(delta) = (2 + (1-2delta)/delta)^-1 = delta.
+        for delta in (0.05, 0.2, 0.4, 0.49):
+            assert reduction_delta(delta, 2) == pytest.approx(delta)
+
+    def test_known_value_d4(self):
+        # f(0.1) for d = 4: (4 + (1/9)*(0.6/0.1))^-1 = (4 + 2/3)^-1.
+        assert reduction_delta(0.1, 4) == pytest.approx(1.0 / (4.0 + 2.0 / 3.0))
+
+    def test_increasing_in_delta(self):
+        deltas = np.linspace(0.001, 0.24, 50)
+        values = [reduction_delta(float(d), 4) for d in deltas]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_claim_15_range(self):
+        # 0 = f(0) <= f(delta) < 1/d.
+        for d in (2, 3, 4, 8):
+            for delta in np.linspace(0.0, 1.0 / d - 1e-6, 20):
+                value = reduction_delta(float(delta), d)
+                assert 0.0 <= value < 1.0 / d
+
+    def test_f_at_least_delta(self):
+        # The reduction can only add noise: f(delta) >= delta.
+        for d in (2, 3, 4):
+            for delta in np.linspace(0.001, 1.0 / d - 1e-6, 10):
+                assert reduction_delta(float(delta), d) >= float(delta) - 1e-12
+
+    def test_rejects_delta_at_limit(self):
+        with pytest.raises(NoiseMatrixError):
+            reduction_delta(0.5, 2)
+
+    def test_rejects_small_alphabet(self):
+        with pytest.raises(NoiseMatrixError):
+            reduction_delta(0.1, 1)
+
+
+class TestArtificialNoiseMatrix:
+    """Proposition 16: P = N^-1 T is stochastic and N P is f(delta)-uniform."""
+
+    def test_uniform_input_gives_near_identity_residual(self):
+        # If N is already delta-uniform, T has level f(delta) and P is the
+        # channel adding exactly the missing noise.
+        noise = NoiseMatrix.uniform(0.1, 4)
+        artificial = artificial_noise_matrix(noise, 0.1)
+        effective = noise.compose(artificial)
+        assert effective.is_uniform(reduction_delta(0.1, 4))
+
+    def test_identity_input(self):
+        noise = NoiseMatrix.identity(3)
+        artificial = artificial_noise_matrix(noise, 0.0)
+        # f(0) = 0, so T = I and P = I.
+        assert np.allclose(artificial.matrix, np.eye(3))
+
+    def test_rejects_non_upper_bounded(self):
+        noise = NoiseMatrix(np.array([[0.6, 0.4], [0.4, 0.6]]))
+        with pytest.raises(NoiseMatrixError):
+            artificial_noise_matrix(noise, 0.1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        delta=st.floats(min_value=0.01, max_value=0.22),
+        d=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_proposition_16_on_random_matrices(self, delta, d, seed):
+        """P is stochastic and N @ P is f(delta)-uniform — the full claim."""
+        delta = min(delta, 0.9 / d)
+        noise = NoiseMatrix.random_upper_bounded(delta, d, np.random.default_rng(seed))
+        artificial = artificial_noise_matrix(noise, delta)
+        # NoiseMatrix construction already validates stochasticity; check
+        # the uniformity of the composition explicitly.
+        effective = noise.compose(artificial)
+        assert effective.is_uniform(reduction_delta(delta, d), atol=1e-7)
+
+
+class TestNoiseReduction:
+    def test_package_fields(self):
+        noise = NoiseMatrix.random_upper_bounded(0.15, 4, np.random.default_rng(1))
+        red = noise_reduction(noise)
+        assert red.original is noise
+        assert red.delta == pytest.approx(noise.upper_delta)
+        assert red.delta_prime == pytest.approx(reduction_delta(red.delta, 4))
+        assert red.effective.is_uniform(red.delta_prime)
+
+    def test_explicit_delta(self):
+        noise = NoiseMatrix.uniform(0.1, 2)
+        red = noise_reduction(noise, delta=0.2)
+        assert red.delta == 0.2
+        assert red.delta_prime == pytest.approx(0.2)
+
+    def test_rejects_unreducible(self):
+        flat = NoiseMatrix(np.full((2, 2), 0.5))
+        with pytest.raises(NoiseMatrixError):
+            noise_reduction(flat)
+
+    def test_simulation_matches_uniform_channel(self):
+        """Theorem 8: N-then-P observations are distributed as T observations."""
+        rng = np.random.default_rng(7)
+        noise = NoiseMatrix.random_upper_bounded(0.12, 4, rng)
+        red = noise_reduction(noise)
+        displayed = np.full(400_000, 2, dtype=int)
+        through_physical = noise.corrupt(displayed, rng)
+        simulated = red.simulate_observations(through_physical, rng)
+        counts = np.bincount(simulated, minlength=4) / displayed.size
+        expected = red.effective.matrix[2]
+        assert np.allclose(counts, expected, atol=0.005)
+
+    def test_reduction_minimal_delta_gives_smallest_delta_prime(self):
+        noise = NoiseMatrix.uniform(0.05, 4)
+        best = noise_reduction(noise)  # infers delta = 0.05
+        worse = noise_reduction(noise, delta=0.2)
+        assert best.delta_prime < worse.delta_prime

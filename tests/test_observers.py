@@ -1,0 +1,56 @@
+"""Tests for repro.model.observers."""
+
+import numpy as np
+
+from repro.model.observers import ConsensusTracker, OpinionTrace
+
+
+class TestConsensusTracker:
+    def test_hitting_round(self):
+        tracker = ConsensusTracker(target=1)
+        tracker.observe(0, np.array([0, 1, 1]))
+        tracker.observe(1, np.array([1, 1, 1]))
+        assert tracker.hitting_round == 1
+
+    def test_hitting_round_is_first(self):
+        tracker = ConsensusTracker(target=1)
+        tracker.observe(0, np.array([1, 1]))
+        tracker.observe(1, np.array([0, 1]))
+        tracker.observe(2, np.array([1, 1]))
+        assert tracker.hitting_round == 0
+
+    def test_stable_round_resets_on_break(self):
+        tracker = ConsensusTracker(target=1)
+        tracker.observe(0, np.array([1, 1]))
+        tracker.observe(1, np.array([0, 1]))
+        tracker.observe(2, np.array([1, 1]))
+        assert tracker.stable_round == 2
+
+    def test_converged_flag(self):
+        tracker = ConsensusTracker(target=0)
+        tracker.observe(0, np.array([0, 0]))
+        assert tracker.converged
+        tracker.observe(1, np.array([0, 1]))
+        assert not tracker.converged
+
+    def test_never_reached(self):
+        tracker = ConsensusTracker(target=1)
+        tracker.observe(0, np.array([0, 0]))
+        assert tracker.hitting_round is None
+        assert tracker.stable_round is None
+        assert tracker.rounds_seen == 1
+
+
+class TestOpinionTrace:
+    def test_fractions(self):
+        trace = OpinionTrace(target=1)
+        trace.observe(0, np.array([1, 0, 0, 0]))
+        trace.observe(1, np.array([1, 1, 0, 0]))
+        assert trace.fractions == [0.25, 0.5]
+
+    def test_as_array(self):
+        trace = OpinionTrace(target=0)
+        trace.observe(0, np.array([0, 0]))
+        arr = trace.as_array()
+        assert arr.dtype == float
+        assert arr.tolist() == [1.0]

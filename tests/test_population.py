@@ -1,0 +1,94 @@
+"""Tests for repro.model.population.Population."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model import Population, PopulationConfig
+from repro.types import Role, SourceCounts
+
+
+@pytest.fixture
+def population(rng):
+    cfg = PopulationConfig(n=100, sources=SourceCounts(3, 7), h=4)
+    return Population(cfg, rng=rng)
+
+
+class TestRoles:
+    def test_source_counts(self, population):
+        roles = population.roles
+        assert int(np.sum(roles == int(Role.SOURCE_0))) == 3
+        assert int(np.sum(roles == int(Role.SOURCE_1))) == 7
+        assert int(np.sum(roles == int(Role.NON_SOURCE))) == 90
+
+    def test_masks_and_indices(self, population):
+        assert population.is_source.sum() == 10
+        assert len(population.source_indices) == 10
+        assert len(population.non_source_indices) == 90
+        assert set(population.source_indices).isdisjoint(
+            set(population.non_source_indices)
+        )
+
+    def test_preferences(self, population):
+        prefs = population.preferences
+        assert int(np.sum(prefs == 0)) == 3
+        assert int(np.sum(prefs == 1)) == 7
+        assert int(np.sum(prefs == -1)) == 90
+
+    def test_roles_read_only(self, population):
+        with pytest.raises(ValueError):
+            population.roles[0] = 2
+
+    def test_unshuffled_layout(self, rng):
+        cfg = PopulationConfig(n=20, sources=SourceCounts(2, 3), h=1)
+        pop = Population(cfg, rng=rng, shuffle=False)
+        assert list(pop.roles[:2]) == [int(Role.SOURCE_0)] * 2
+        assert list(pop.roles[2:5]) == [int(Role.SOURCE_1)] * 3
+
+    def test_shuffle_is_seeded(self):
+        cfg = PopulationConfig(n=50, sources=SourceCounts(2, 3), h=1)
+        a = Population(cfg, rng=np.random.default_rng(1))
+        b = Population(cfg, rng=np.random.default_rng(1))
+        assert np.array_equal(a.roles, b.roles)
+
+
+class TestOpinions:
+    def test_initial_opinions_sources_on_preference(self, population, rng):
+        opinions = population.initial_opinions(rng)
+        mask = population.is_source
+        assert np.array_equal(opinions[mask], population.preferences[mask])
+
+    def test_initial_opinions_shape_and_values(self, population, rng):
+        opinions = population.initial_opinions(rng)
+        assert opinions.shape == (100,)
+        assert set(np.unique(opinions)) <= {0, 1}
+
+    def test_consensus_reached(self, population):
+        correct = population.correct_opinion
+        assert population.consensus_reached(np.full(100, correct))
+        wrong = np.full(100, correct)
+        wrong[0] = 1 - correct
+        assert not population.consensus_reached(wrong)
+
+    def test_consensus_shape_check(self, population):
+        with pytest.raises(ValueError):
+            population.consensus_reached(np.ones(5))
+
+    def test_fraction_correct(self, population):
+        correct = population.correct_opinion
+        opinions = np.full(100, 1 - correct)
+        opinions[:25] = correct
+        assert population.fraction_correct(opinions) == pytest.approx(0.25)
+
+    def test_zero_bias_consensus_undefined(self, rng):
+        cfg = PopulationConfig(
+            n=20, sources=SourceCounts(2, 2), h=1, allow_zero_bias=True
+        )
+        pop = Population(cfg, rng=rng)
+        with pytest.raises(ConfigurationError):
+            pop.consensus_reached(np.ones(20))
+
+    def test_properties_passthrough(self, population):
+        assert population.n == 100
+        assert population.h == 4
+        assert population.correct_opinion == 1

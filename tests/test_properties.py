@@ -1,0 +1,143 @@
+"""Hypothesis property tests on core invariants across the library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import is_stochastic
+from repro.model.config import PopulationConfig
+from repro.noise import NoiseMatrix, noise_reduction, reduction_delta
+from repro.protocols import SFSchedule, sf_sample_budget, ssf_sample_budget
+from repro.protocols.ssf import majority_with_ties
+from repro.theory import sf_step_distribution, ssf_step_distribution
+from repro.types import SourceCounts
+
+
+def _make_config(n: int, s0: int, s1: int, h: int) -> PopulationConfig:
+    quarter = n // 4
+    s0c = min(s0, quarter - 1)
+    s1c = min(max(s1, s0c + 1), quarter)
+    return PopulationConfig(n=n, sources=SourceCounts(s0c, s1c), h=h)
+
+
+populations = st.builds(
+    _make_config,
+    n=st.integers(min_value=16, max_value=4096),
+    s0=st.integers(min_value=0, max_value=16),
+    s1=st.integers(min_value=1, max_value=32),
+    h=st.integers(min_value=1, max_value=256),
+)
+
+
+class TestNoiseProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        delta=st.floats(min_value=0.0, max_value=0.24),
+        d=st.integers(min_value=2, max_value=8),
+    )
+    def test_uniform_matrix_is_stochastic(self, delta, d):
+        if delta > 1.0 / d:
+            delta = 1.0 / d
+        assert is_stochastic(NoiseMatrix.uniform(delta, d).matrix)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        delta=st.floats(min_value=0.001, max_value=0.24),
+        d=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_reduction_composition_is_uniform_and_stochastic(self, delta, d, seed):
+        delta = min(delta, 0.9 / d)
+        noise = NoiseMatrix.random_upper_bounded(
+            delta, d, np.random.default_rng(seed)
+        )
+        red = noise_reduction(noise)
+        assert is_stochastic(red.artificial.matrix)
+        assert red.effective.is_uniform(red.delta_prime, atol=1e-7)
+        assert red.delta_prime < 1.0 / d
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        d=st.integers(min_value=2, max_value=8),
+        a=st.floats(min_value=0.001, max_value=0.99),
+        b=st.floats(min_value=0.001, max_value=0.99),
+    )
+    def test_reduction_delta_monotone(self, d, a, b):
+        lo, hi = sorted((a, b))
+        lo, hi = lo / d, hi / d  # scale into [0, 1/d)
+        assert reduction_delta(lo, d) <= reduction_delta(hi, d) + 1e-12
+
+
+class TestScheduleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(config=populations, delta=st.floats(min_value=0.0, max_value=0.45))
+    def test_sf_budget_covers_phase_rounds(self, config, delta):
+        sched = SFSchedule.from_config(config, delta)
+        assert sched.phase_rounds * sched.h >= sched.m
+        assert sched.subphase_rounds * sched.h >= sched.boost_window
+        assert sched.total_rounds > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(config=populations, delta=st.floats(min_value=0.0, max_value=0.45))
+    def test_sf_budget_positive_and_finite(self, config, delta):
+        m = sf_sample_budget(config, delta)
+        assert 1 <= m < 10**12
+
+    @settings(max_examples=40, deadline=None)
+    @given(config=populations, delta=st.floats(min_value=0.0, max_value=0.24))
+    def test_ssf_budget_at_least_linear(self, config, delta):
+        assert ssf_sample_budget(config, delta) >= config.n
+
+
+class TestStepDistributionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(config=populations, delta=st.floats(min_value=0.0, max_value=0.5))
+    def test_sf_step_is_distribution(self, config, delta):
+        step = sf_step_distribution(config, delta)
+        total = step.p_plus + step.p_zero + step.p_minus
+        assert total == pytest.approx(1.0)
+        assert min(step.p_plus, step.p_zero, step.p_minus) >= -1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(config=populations, delta=st.floats(min_value=0.0, max_value=0.25))
+    def test_sf_and_ssf_steps_favour_majority(self, config, delta):
+        """The mean of a step always points at the sources' plurality."""
+        sf = sf_step_distribution(config, min(delta, 0.5))
+        ssf = ssf_step_distribution(config, delta)
+        if config.s1 > config.s0 and delta < 0.5:
+            assert sf.mean >= -1e-12
+        if config.s1 > config.s0 and delta < 0.25:
+            assert ssf.mean >= -1e-12
+
+
+class TestMajorityWithTiesProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        size=st.integers(min_value=1, max_value=200),
+    )
+    def test_output_is_binary_and_deterministic_off_ties(self, seed, size):
+        rng = np.random.default_rng(seed)
+        ones = rng.integers(0, 10, size=size)
+        zeros = rng.integers(0, 10, size=size)
+        out = majority_with_ties(ones, zeros, np.random.default_rng(0))
+        assert set(np.unique(out)) <= {0, 1}
+        decisive = ones != zeros
+        assert np.array_equal(out[decisive], (ones > zeros)[decisive].astype(np.int8))
+
+
+class TestCorruptionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        delta=st.floats(min_value=0.0, max_value=0.24),
+        d=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_corrupt_preserves_shape_and_alphabet(self, delta, d, seed):
+        rng = np.random.default_rng(seed)
+        noise = NoiseMatrix.uniform(min(delta, 1.0 / d), d)
+        msgs = rng.integers(0, d, size=(7, 5))
+        out = noise.corrupt(msgs, rng)
+        assert out.shape == msgs.shape
+        assert out.min() >= 0 and out.max() < d

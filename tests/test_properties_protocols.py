@@ -1,0 +1,152 @@
+"""Hypothesis property tests on the protocol layer and theory gadgets."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.config import PopulationConfig
+from repro.protocols import (
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+    MultiBitSourceFilter,
+    decode_bits,
+    encode_value,
+)
+from repro.theory.amplification import stage_success_probability
+from repro.theory.two_party import two_party_error
+from repro.types import SourceCounts
+
+
+def make_config(n, s0, s1, h):
+    quarter = n // 4
+    s0c = min(s0, quarter - 1)
+    s1c = min(max(s1, s0c + 1), quarter)
+    return PopulationConfig(n=n, sources=SourceCounts(s0c, s1c), h=h)
+
+
+configs = st.builds(
+    make_config,
+    n=st.integers(min_value=16, max_value=1024),
+    s0=st.integers(min_value=0, max_value=8),
+    s1=st.integers(min_value=1, max_value=16),
+    h=st.integers(min_value=1, max_value=128),
+)
+
+
+class TestSFProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        config=configs,
+        delta=st.floats(min_value=0.0, max_value=0.45),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_weak_opinions_binary_and_full_length(self, config, delta, seed):
+        engine = FastSourceFilter(config, delta)
+        weak = engine.draw_weak_opinions(np.random.default_rng(seed))
+        assert weak.shape == (config.n,)
+        assert set(np.unique(weak)) <= {0, 1}
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        config=configs,
+        delta=st.floats(min_value=0.0, max_value=0.4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_run_result_invariants(self, config, delta, seed):
+        engine = FastSourceFilter(config, delta)
+        result = engine.run(rng=seed)
+        assert result.total_rounds == engine.schedule.total_rounds
+        assert result.final_opinions.shape == (config.n,)
+        assert len(result.boost_trace) == engine.schedule.num_subphases + 1
+        assert all(0.0 <= f <= 1.0 for f in result.boost_trace)
+        if result.converged:
+            assert result.boost_trace[-1] == 1.0
+
+
+class TestSSFProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        config=configs,
+        delta=st.floats(min_value=0.0, max_value=0.22),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_observation_distribution_is_probability(self, config, delta, seed):
+        engine = FastSelfStabilizingSourceFilter(config, delta)
+        engine.reset(np.random.default_rng(seed))
+        q = engine._observation_distribution()
+        assert q.shape == (4,)
+        assert q.min() >= 0.0
+        assert q.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        delta=st.floats(min_value=0.0, max_value=0.15),
+    )
+    def test_small_instances_converge(self, seed, delta):
+        config = PopulationConfig(n=128, sources=SourceCounts(0, 2), h=128)
+        result = FastSelfStabilizingSourceFilter(config, delta).run(rng=seed)
+        assert result.converged
+
+
+class TestMultiBitProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        value=st.integers(min_value=0, max_value=2**12 - 1),
+        num_bits=st.integers(min_value=12, max_value=20),
+    )
+    def test_encode_decode_roundtrip(self, value, num_bits):
+        assert decode_bits(encode_value(value, num_bits)) == value
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        value=st.integers(min_value=0, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_multibit_spreads_arbitrary_values(self, value, seed):
+        engine = MultiBitSourceFilter(
+            n=256, num_sources=2, value=value, num_bits=3, noise=0.15
+        )
+        result = engine.run(rng=seed)
+        assert result.converged
+        assert result.value == value
+
+
+class TestTheoryGadgetProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=301),
+        delta=st.floats(min_value=0.0, max_value=0.49),
+    )
+    def test_two_party_error_within_chernoff(self, m, delta):
+        """error <= exp(-2 m (1/2-delta)^2) + tie slack (Hoeffding)."""
+        error = two_party_error(m, delta)
+        hoeffding = math.exp(-2.0 * m * (0.5 - delta) ** 2)
+        # Half the tie mass can sit on top of the strict tail.
+        assert error <= hoeffding + 0.5 * hoeffding + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        x=st.floats(min_value=0.5, max_value=1.0),
+        window=st.integers(min_value=1, max_value=401),
+        delta=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_stage_success_at_least_half_above_half(self, x, window, delta):
+        """Starting at or above 1/2, a boosting stage never drifts the
+        expectation below 1/2."""
+        assert stage_success_probability(x, window, delta) >= 0.5 - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        window=st.integers(min_value=1, max_value=200),
+        delta=st.floats(min_value=0.0, max_value=0.45),
+    )
+    def test_stage_success_monotone_in_fraction(self, window, delta):
+        values = [
+            stage_success_probability(x, window, delta)
+            for x in (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))

@@ -1,0 +1,105 @@
+"""Tests for the noisy PUSH(h) engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.model import Population, PopulationConfig, PushEngine, PushProtocol
+from repro.model.push_engine import SILENT
+from repro.noise import NoiseMatrix
+from repro.types import SourceCounts
+
+
+class RecordingPushProtocol(PushProtocol):
+    """Sources push 1, others are silent; records deliveries."""
+
+    alphabet_size = 2
+
+    def __init__(self):
+        self.deliveries = []
+        self._population = None
+        self._opinions = None
+
+    def reset(self, population, rng=None):
+        self._population = population
+        self._opinions = np.zeros(population.n, dtype=np.int8)
+
+    def pushes(self, round_index):
+        out = np.full(self._population.n, SILENT, dtype=np.int64)
+        out[self._population.is_source] = 1
+        return out
+
+    def receive(self, round_index, receivers, symbols):
+        self.deliveries.append((receivers.copy(), symbols.copy()))
+
+    def opinions(self):
+        return self._opinions
+
+
+class SilentProtocol(RecordingPushProtocol):
+    def pushes(self, round_index):
+        return np.full(self._population.n, SILENT, dtype=np.int64)
+
+
+@pytest.fixture
+def push_setup(rng):
+    cfg = PopulationConfig(n=40, sources=SourceCounts(0, 5), h=3)
+    pop = Population(cfg, rng=rng)
+    return pop, PushEngine(pop, NoiseMatrix.uniform(0.1, 2))
+
+
+class TestDelivery:
+    def test_delivery_volume(self, push_setup, rng):
+        pop, engine = push_setup
+        protocol = RecordingPushProtocol()
+        engine.run(protocol, max_rounds=1, rng=rng)
+        receivers, symbols = protocol.deliveries[0]
+        # 5 sources each push to h = 3 targets.
+        assert receivers.size == 15
+        assert symbols.size == 15
+
+    def test_silence_delivers_nothing(self, push_setup, rng):
+        pop, engine = push_setup
+        protocol = SilentProtocol()
+        engine.run(protocol, max_rounds=2, rng=rng)
+        for receivers, symbols in protocol.deliveries:
+            assert receivers.size == 0 and symbols.size == 0
+
+    def test_receivers_in_range(self, push_setup, rng):
+        pop, engine = push_setup
+        protocol = RecordingPushProtocol()
+        engine.run(protocol, max_rounds=3, rng=rng)
+        for receivers, _ in protocol.deliveries:
+            assert receivers.min() >= 0 and receivers.max() < 40
+
+    def test_content_noise_applied(self, rng):
+        cfg = PopulationConfig(n=100, sources=SourceCounts(0, 25), h=20)
+        pop = Population(cfg, rng=rng)
+        engine = PushEngine(pop, NoiseMatrix.uniform(0.2, 2))
+        protocol = RecordingPushProtocol()
+        engine.run(protocol, max_rounds=20, rng=rng)
+        symbols = np.concatenate([s for _, s in protocol.deliveries])
+        # All pushed bits are 1; ~20% should arrive flipped.
+        assert np.mean(symbols == 0) == pytest.approx(0.2, abs=0.02)
+
+    def test_alphabet_mismatch(self, push_setup, rng):
+        pop, engine = push_setup
+        protocol = RecordingPushProtocol()
+        protocol.alphabet_size = 4
+        with pytest.raises(ProtocolError):
+            engine.run(protocol, max_rounds=1, rng=rng)
+
+
+class TestPushRunLoop:
+    def test_rounds_executed(self, push_setup, rng):
+        pop, engine = push_setup
+        result = engine.run(RecordingPushProtocol(), max_rounds=6, rng=rng)
+        assert result.rounds_executed == 6
+        assert not result.converged
+
+    def test_trace(self, push_setup, rng):
+        pop, engine = push_setup
+        result = engine.run(
+            RecordingPushProtocol(), max_rounds=3, rng=rng, record_trace=True
+        )
+        assert len(result.trace) == 3

@@ -1,0 +1,85 @@
+"""Tests for the Section 2.3 regime classification."""
+
+import math
+
+import pytest
+
+from repro.model.config import PopulationConfig
+from repro.theory import (
+    NoiseRegime,
+    classify_noise_regime,
+    dominant_budget_term,
+    regime_report,
+    sf_budget_terms,
+)
+from repro.types import SourceCounts
+
+
+def config(n=1024, s0=0, s1=1, h=1):
+    return PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=h)
+
+
+class TestClassifyNoiseRegime:
+    def test_low_noise_many_sources_is_source_dominated(self):
+        cfg = config(n=1000, s1=200)
+        # threshold = (200/2000)(1-2*0.01) = 0.098 > 0.01.
+        assert classify_noise_regime(cfg, 0.01) is NoiseRegime.SOURCE_DOMINATED
+
+    def test_constant_noise_few_sources_is_noise_dominated(self):
+        cfg = config(n=10_000, s1=1)
+        assert classify_noise_regime(cfg, 0.2) is NoiseRegime.NOISE_DOMINATED
+
+    def test_alphabet_size_matters(self):
+        cfg = config(n=100, s1=25)
+        # threshold_2 = (25/200)(1-2*0.11) = 0.0975 < 0.11 -> noise;
+        # with d = 4 the admissible range shrinks but the comparison runs.
+        assert classify_noise_regime(cfg, 0.11, 2) is NoiseRegime.NOISE_DOMINATED
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            classify_noise_regime(config(), 0.5, 2)
+        with pytest.raises(ValueError):
+            classify_noise_regime(config(), 0.25, 4)
+
+
+class TestBudgetTerms:
+    def test_terms_sum_to_budget_formula(self):
+        from repro.protocols import sf_sample_budget
+
+        cfg = config(n=2048, s1=2, h=16)
+        terms = sf_budget_terms(cfg, 0.2)
+        total = sum(terms.values())
+        assert sf_sample_budget(cfg, 0.2, constant=1.0) == pytest.approx(
+            math.ceil(total), abs=1.0
+        )
+
+    def test_dominant_term_noise_regime(self):
+        cfg = config(n=65536, s1=1, h=1)
+        assert dominant_budget_term(cfg, 0.3) == "noise"
+
+    def test_dominant_term_samples_when_h_large(self):
+        cfg = config(n=1024, s1=30, h=1024)
+        assert dominant_budget_term(cfg, 0.05) == "samples"
+
+    def test_dominant_term_sqrt_when_noiseless(self):
+        cfg = config(n=4096, s1=1, h=1)
+        assert dominant_budget_term(cfg, 0.0) == "sqrt"
+
+
+class TestRegimeReport:
+    def test_fields(self):
+        report = regime_report(config(n=1024, s1=1), 0.2)
+        assert report.noise_regime is NoiseRegime.NOISE_DOMINATED
+        assert report.dominant_term in report.budget_terms
+        assert report.lower_bound_informative
+
+    def test_lower_bound_vacuous_for_large_bias(self):
+        cfg = config(n=256, s1=30)
+        report = regime_report(cfg, 0.1)
+        assert not report.lower_bound_informative
+
+    def test_describe_mentions_everything(self):
+        text = regime_report(config(), 0.2).describe()
+        assert "dominated" in text
+        assert "Eq. (19)" in text
+        assert "lower bound" in text

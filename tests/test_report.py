@@ -1,0 +1,45 @@
+"""Tests for the instance-report generator."""
+
+from repro.analysis import instance_report
+from repro.model.config import PopulationConfig
+from repro.types import SourceCounts
+
+
+def config(n=256, s0=0, s1=1, h=None, **kwargs):
+    return PopulationConfig(
+        n=n, sources=SourceCounts(s0, s1), h=h if h is not None else n, **kwargs
+    )
+
+
+class TestInstanceReport:
+    def test_sections_present(self):
+        text = instance_report(config(), 0.2)
+        assert "# Instance report" in text
+        assert "## Regime" in text
+        assert "## Theory bounds" in text
+        assert "## Schedules" in text
+        assert "## Measured" not in text  # trials=0
+
+    def test_measured_section_with_trials(self):
+        text = instance_report(config(n=128), 0.15, trials=3, seed=0)
+        assert "## Measured (3 trials" in text
+        assert "3/3" in text
+
+    def test_high_delta_skips_ssf(self):
+        text = instance_report(config(), 0.35)
+        assert "Theorem 5" not in text
+        assert "SSF" not in text
+
+    def test_low_delta_includes_ssf(self):
+        text = instance_report(config(), 0.1)
+        assert "Theorem 5" in text
+        assert "SSF" in text
+
+    def test_markdown_tables(self):
+        text = instance_report(config(), 0.2)
+        assert "| bound | rounds |" in text
+        assert "|---|" in text
+
+    def test_parameters_in_header(self):
+        text = instance_report(config(n=512, s0=1, s1=3, h=8), 0.1)
+        assert "n=512" in text and "s0=1" in text and "h=8" in text

@@ -1,0 +1,68 @@
+"""Tests for repro.rng: reproducible, independent generator management."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.rng import fork, generator_stream, spawn_generators, spawn_seeds
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_deterministic(self):
+        a = [s.entropy for s in spawn_seeds(42, 3)]
+        b = [s.entropy for s in spawn_seeds(42, 3)]
+        assert a == b
+
+
+class TestSpawnGenerators:
+    def test_reproducible_across_calls(self):
+        a = [g.integers(0, 2**32) for g in spawn_generators(42, 4)]
+        b = [g.integers(0, 2**32) for g in spawn_generators(42, 4)]
+        assert a == b
+
+    def test_children_are_independent(self):
+        draws = [g.integers(0, 2**63) for g in spawn_generators(0, 10)]
+        assert len(set(draws)) == 10
+
+    def test_different_master_seeds_differ(self):
+        a = [g.integers(0, 2**63) for g in spawn_generators(1, 3)]
+        b = [g.integers(0, 2**63) for g in spawn_generators(2, 3)]
+        assert a != b
+
+
+class TestGeneratorStream:
+    def test_yields_generators(self):
+        stream = generator_stream(0)
+        gens = list(itertools.islice(stream, 5))
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_stream_is_reproducible(self):
+        a = [g.integers(0, 2**32) for g in itertools.islice(generator_stream(9), 4)]
+        b = [g.integers(0, 2**32) for g in itertools.islice(generator_stream(9), 4)]
+        assert a == b
+
+
+class TestFork:
+    def test_count(self):
+        assert len(fork(np.random.default_rng(0), 3)) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fork(np.random.default_rng(0), -2)
+
+    def test_fork_advances_parent(self):
+        parent = np.random.default_rng(0)
+        first = [g.integers(0, 2**63) for g in fork(parent, 2)]
+        second = [g.integers(0, 2**63) for g in fork(parent, 2)]
+        assert first != second

@@ -1,0 +1,87 @@
+"""Tests for repro.model.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.model.sampling import (
+    multinomial_rows,
+    sample_indices,
+    sample_observation_counts,
+)
+from repro.noise import NoiseMatrix
+
+
+class TestSampleIndices:
+    def test_shape(self, rng):
+        out = sample_indices(100, 50, 7, rng)
+        assert out.shape == (50, 7)
+
+    def test_range(self, rng):
+        out = sample_indices(10, 1000, 3, rng)
+        assert out.min() >= 0 and out.max() < 10
+
+    def test_with_replacement_duplicates_occur(self, rng):
+        # With n = 2 and h = 10, duplicate samples are essentially certain.
+        out = sample_indices(2, 100, 10, rng)
+        has_dupes = any(len(set(row)) < len(row) for row in out)
+        assert has_dupes
+
+    def test_uniformity(self, rng):
+        out = sample_indices(4, 100_000, 1, rng)
+        counts = np.bincount(out.ravel(), minlength=4) / out.size
+        assert np.allclose(counts, 0.25, atol=0.01)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            sample_indices(0, 10, 1, rng)
+        with pytest.raises(ValueError):
+            sample_indices(10, 10, 0, rng)
+
+
+class TestMultinomialRows:
+    def test_shape_and_row_sums(self, rng):
+        out = multinomial_rows(20, np.array([0.25, 0.75]), 30, rng)
+        assert out.shape == (30, 2)
+        assert np.all(out.sum(axis=1) == 20)
+
+    def test_zero_trials(self, rng):
+        out = multinomial_rows(0, np.array([0.5, 0.5]), 10, rng)
+        assert np.all(out == 0)
+
+    def test_marginals(self, rng):
+        out = multinomial_rows(100, np.array([0.1, 0.9]), 10_000, rng)
+        assert out[:, 0].mean() == pytest.approx(10.0, rel=0.05)
+
+
+class TestSampleObservationCounts:
+    def test_shape_and_total(self, rng):
+        noise = NoiseMatrix.uniform(0.2, 2)
+        out = sample_observation_counts(np.array([70, 30]), noise, 40, 5, rng)
+        assert out.shape == (40, 2)
+        assert np.all(out.sum(axis=1) == 5)
+
+    def test_distribution_matches_index_level_model(self, rng):
+        """Exchangeability exactness: count-level == index-level sampling."""
+        noise = NoiseMatrix.uniform(0.2, 2)
+        display = np.array([0] * 70 + [1] * 30)
+        h, agents = 8, 30_000
+
+        counts = sample_observation_counts(np.array([70, 30]), noise, agents, h, rng)
+        mean_fast = counts[:, 1].mean()
+
+        sampled = display[sample_indices(100, agents, h, rng)]
+        observed = noise.corrupt(sampled, rng)
+        mean_exact = (observed == 1).sum(axis=1).mean()
+
+        # Both are Binomial(h, q) means over many agents.
+        q = 0.3 * 0.8 + 0.7 * 0.2
+        assert mean_fast == pytest.approx(h * q, rel=0.02)
+        assert mean_exact == pytest.approx(h * q, rel=0.02)
+        assert mean_fast == pytest.approx(mean_exact, rel=0.03)
+
+    def test_variance_matches_binomial(self, rng):
+        noise = NoiseMatrix.uniform(0.1, 2)
+        h = 16
+        counts = sample_observation_counts(np.array([50, 50]), noise, 50_000, h, rng)
+        q = 0.5
+        assert counts[:, 1].var() == pytest.approx(h * q * (1 - q), rel=0.05)

@@ -1,0 +1,68 @@
+"""Tests for the sensor-network application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import SensorNetwork
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            SensorNetwork(num_sensors=4)
+
+    def test_rates_in_range(self):
+        with pytest.raises(ConfigurationError):
+            SensorNetwork(num_sensors=64, detection_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            SensorNetwork(num_sensors=64, delta=0.3)
+
+
+class TestSensing:
+    def test_no_event_no_true_hits(self, rng):
+        network = SensorNetwork(num_sensors=256)
+        true_hits, _ = network.sense(event_present=False, rng=rng)
+        assert true_hits == 0
+
+    def test_event_yields_detections(self, rng):
+        network = SensorNetwork(
+            num_sensors=256, coverage=0.1, detection_rate=0.9
+        )
+        hits = [network.sense(True, np.random.default_rng(s))[0] for s in range(20)]
+        assert np.mean(hits) == pytest.approx(0.1 * 256 * 0.9, rel=0.2)
+
+    def test_false_positive_rate(self, rng):
+        network = SensorNetwork(num_sensors=512, false_positive_rate=0.01)
+        false_hits = [
+            network.sense(False, np.random.default_rng(s))[1] for s in range(30)
+        ]
+        assert np.mean(false_hits) == pytest.approx(512 * 0.01, rel=0.4)
+
+
+class TestEpisodes:
+    def test_event_raises_alarm(self):
+        network = SensorNetwork(num_sensors=256, coverage=0.08)
+        outcomes = [network.run(True, rng=s) for s in range(10)]
+        assert all(r.alarm is True and r.correct for r in outcomes)
+
+    def test_quiet_night_no_alarm(self):
+        network = SensorNetwork(num_sensors=256, false_positive_rate=0.0)
+        outcomes = [network.run(False, rng=s) for s in range(10)]
+        assert all(r.alarm is False and r.correct for r in outcomes)
+
+    def test_rare_false_positives_outvoted(self):
+        """A lone spurious detector cannot out-vote the calibration
+        source majority requirement."""
+        network = SensorNetwork(
+            num_sensors=256, false_positive_rate=0.004
+        )  # ~1 false detector
+        outcomes = [network.run(False, rng=100 + s) for s in range(10)]
+        accuracy = np.mean([r.correct for r in outcomes])
+        assert accuracy >= 0.9
+
+    def test_result_fields(self):
+        result = SensorNetwork(num_sensors=128).run(True, rng=0)
+        assert result.event_present is True
+        assert result.gossip_rounds > 0
+        assert isinstance(result.true_detections, int)

@@ -1,0 +1,99 @@
+"""Tests for the sequential (SPRT) testing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SPRT, adaptive_trials
+
+
+class TestSPRT:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SPRT(p0=0.9, p1=0.5)
+        with pytest.raises(ValueError):
+            SPRT(p0=0.5, p1=0.9, alpha=1.5)
+
+    def test_all_successes_accepts(self):
+        test = SPRT(p0=0.5, p1=0.95)
+        decision = None
+        for _ in range(100):
+            decision = test.update(True)
+            if decision:
+                break
+        assert decision == "accept"
+
+    def test_all_failures_rejects(self):
+        test = SPRT(p0=0.5, p1=0.95)
+        decision = None
+        for _ in range(100):
+            decision = test.update(False)
+            if decision:
+                break
+        assert decision == "reject"
+
+    def test_reset(self):
+        test = SPRT(p0=0.5, p1=0.95)
+        test.update(True)
+        test.reset()
+        assert test.log_ratio == 0.0
+
+    def test_accept_needs_few_trials_for_perfect_protocol(self):
+        """Perfect success: acceptance in O(log(1/alpha)) trials."""
+        test = SPRT(p0=0.5, p1=0.95, alpha=0.01, beta=0.01)
+        for trial in range(1, 50):
+            if test.update(True) == "accept":
+                break
+        assert trial < 12
+
+
+class TestAdaptiveTrials:
+    def test_accepts_reliable_protocol(self):
+        decision = adaptive_trials(lambda g: True, seed=0)
+        assert decision.decision == "accept"
+        assert decision.trials < 12
+        assert decision.success_rate == 1.0
+
+    def test_rejects_broken_protocol(self):
+        decision = adaptive_trials(lambda g: False, seed=0)
+        assert decision.decision == "reject"
+
+    def test_cap_returns_none(self):
+        # A 75% coin sits between p0=0.5 and p1=0.95 boundaries long
+        # enough that small caps often expire.
+        decision = adaptive_trials(
+            lambda g: g.random() < 0.75, max_trials=3, seed=1
+        )
+        assert decision.trials <= 3
+
+    def test_error_rates_in_aggregate(self):
+        """Under H1 (rate 0.98 >= p1 = 0.95), false rejections are rare."""
+        rejections = 0
+        for seed in range(40):
+            decision = adaptive_trials(
+                lambda g: g.random() < 0.98,
+                p0=0.5,
+                p1=0.95,
+                alpha=0.05,
+                beta=0.05,
+                max_trials=500,
+                seed=seed,
+            )
+            rejections += decision.decision == "reject"
+        assert rejections <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_trials(lambda g: True, max_trials=0)
+
+    def test_with_real_protocol(self):
+        """SF at easy parameters is accepted quickly by the SPRT."""
+        from repro.model.config import PopulationConfig
+        from repro.protocols import FastSourceFilter
+        from repro.types import SourceCounts
+
+        config = PopulationConfig(n=256, sources=SourceCounts(0, 1), h=256)
+        engine = FastSourceFilter(config, 0.2)
+        decision = adaptive_trials(
+            lambda g: engine.run(g).converged, seed=2
+        )
+        assert decision.decision == "accept"

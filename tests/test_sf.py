@@ -1,0 +1,185 @@
+"""Unit tests for the agent-level Source Filter protocol (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.model import Population, PopulationConfig, PullEngine
+from repro.noise import NoiseMatrix
+from repro.protocols import SFSchedule, SourceFilterProtocol
+from repro.types import SourceCounts
+
+
+def make(n=40, s0=1, s1=3, h=4, delta=0.2, m=40, rng_seed=0):
+    cfg = PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=h)
+    pop = Population(cfg, rng=np.random.default_rng(rng_seed))
+    sched = SFSchedule.from_config(cfg, delta, m=m)
+    protocol = SourceFilterProtocol(sched)
+    protocol.reset(pop, np.random.default_rng(rng_seed + 1))
+    return protocol, pop, sched
+
+
+class TestDisplays:
+    def test_phase0_nonsources_display_zero(self):
+        protocol, pop, sched = make()
+        out = protocol.displays(0)
+        assert np.all(out[~pop.is_source] == 0)
+
+    def test_phase0_sources_display_preference(self):
+        protocol, pop, sched = make()
+        out = protocol.displays(0)
+        mask = pop.is_source
+        assert np.array_equal(out[mask], pop.preferences[mask])
+
+    def test_phase1_nonsources_display_one(self):
+        protocol, pop, sched = make()
+        out = protocol.displays(sched.phase_rounds)
+        assert np.all(out[~pop.is_source] == 1)
+        mask = pop.is_source
+        assert np.array_equal(out[mask], pop.preferences[mask])
+
+    def test_boosting_displays_opinion(self):
+        protocol, pop, sched = make()
+        protocol._weak_opinions = np.zeros(pop.n, dtype=np.int8)
+        protocol._opinions = np.arange(pop.n) % 2
+        out = protocol.displays(2 * sched.phase_rounds)
+        assert np.array_equal(out, protocol._opinions)
+
+    def test_past_horizon_raises(self):
+        protocol, pop, sched = make()
+        with pytest.raises(ProtocolError):
+            protocol.displays(sched.total_rounds)
+
+    def test_requires_reset(self):
+        sched = SFSchedule.from_config(
+            PopulationConfig(n=10, sources=SourceCounts(0, 1), h=1), 0.2, m=10
+        )
+        protocol = SourceFilterProtocol(sched)
+        with pytest.raises(ProtocolError):
+            protocol.displays(0)
+
+    def test_h_mismatch_rejected(self, rng):
+        cfg = PopulationConfig(n=10, sources=SourceCounts(0, 1), h=2)
+        sched = SFSchedule.from_config(cfg, 0.2, m=10)
+        protocol = SourceFilterProtocol(sched)
+        wrong_pop = Population(
+            PopulationConfig(n=10, sources=SourceCounts(0, 1), h=3), rng=rng
+        )
+        with pytest.raises(ProtocolError):
+            protocol.reset(wrong_pop, rng)
+
+
+class TestCounters:
+    def test_phase0_counts_ones(self):
+        protocol, pop, sched = make()
+        obs = np.ones((pop.n, pop.h), dtype=int)
+        protocol.receive(0, obs)
+        assert np.all(protocol._counter1 == pop.h)
+        assert np.all(protocol._counter0 == 0)
+
+    def test_phase1_counts_zeros(self):
+        protocol, pop, sched = make()
+        obs = np.zeros((pop.n, pop.h), dtype=int)
+        protocol.receive(sched.phase_rounds, obs)
+        assert np.all(protocol._counter0 == pop.h)
+
+    def test_zeros_in_phase0_ignored(self):
+        protocol, pop, sched = make()
+        protocol.receive(0, np.zeros((pop.n, pop.h), dtype=int))
+        assert np.all(protocol._counter1 == 0)
+
+
+class TestWeakOpinionCommit:
+    def _drive_phases(self, protocol, pop, sched, phase0_obs, phase1_obs):
+        for t in range(sched.phase_rounds):
+            protocol.receive(t, phase0_obs)
+        for t in range(sched.phase_rounds, 2 * sched.phase_rounds):
+            protocol.receive(t, phase1_obs)
+
+    def test_counter1_majority_gives_weak_one(self):
+        protocol, pop, sched = make(m=8, h=4)
+        ones = np.ones((pop.n, pop.h), dtype=int)
+        self._drive_phases(protocol, pop, sched, ones, ones)
+        # Counter1 = all of phase 0; Counter0 = 0.
+        assert np.all(protocol.weak_opinions == 1)
+        assert np.array_equal(protocol.opinions(), protocol.weak_opinions)
+
+    def test_counter0_majority_gives_weak_zero(self):
+        protocol, pop, sched = make(m=8, h=4)
+        zeros = np.zeros((pop.n, pop.h), dtype=int)
+        self._drive_phases(protocol, pop, sched, zeros, zeros)
+        assert np.all(protocol.weak_opinions == 0)
+
+    def test_ties_are_coin_flips(self):
+        protocol, pop, sched = make(n=400, s0=1, s1=3, m=8, h=4)
+        ones = np.ones((pop.n, pop.h), dtype=int)
+        zeros = np.zeros((pop.n, pop.h), dtype=int)
+        # Counter1 == Counter0 == phase_rounds * h for every agent.
+        self._drive_phases(protocol, pop, sched, ones, zeros)
+        weak = protocol.weak_opinions
+        # A fair coin over 400 agents: both values present, roughly half.
+        assert 100 < weak.sum() < 300
+
+    def test_weak_opinions_none_before_commit(self):
+        protocol, pop, sched = make()
+        assert protocol.weak_opinions is None
+
+
+class TestBoosting:
+    def test_subphase_majority_update(self):
+        protocol, pop, sched = make(m=8, h=4)
+        ones = np.ones((pop.n, pop.h), dtype=int)
+        zeros = np.zeros((pop.n, pop.h), dtype=int)
+        for t in range(sched.phase_rounds):
+            protocol.receive(t, zeros)
+        for t in range(sched.phase_rounds, 2 * sched.phase_rounds):
+            protocol.receive(t, ones)
+        # All weak opinions 0 now (no evidence either way -> coin; force it).
+        protocol._opinions = np.zeros(pop.n, dtype=np.int8)
+        start = 2 * sched.phase_rounds
+        for t in range(start, start + sched.subphase_rounds):
+            protocol.receive(t, ones)
+        # One full sub-phase of all-ones observations flips everyone to 1.
+        assert np.all(protocol.opinions() == 1)
+
+    def test_finished(self):
+        protocol, pop, sched = make()
+        assert not protocol.finished(sched.total_rounds - 1)
+        assert protocol.finished(sched.total_rounds)
+
+
+class TestEndToEnd:
+    def test_converges_on_engine(self):
+        cfg = PopulationConfig(n=96, sources=SourceCounts(0, 2), h=8)
+        pop = Population(cfg, rng=np.random.default_rng(3))
+        sched = SFSchedule.from_config(cfg, 0.15)
+        protocol = SourceFilterProtocol(sched)
+        engine = PullEngine(pop, NoiseMatrix.uniform(0.15, 2))
+        result = engine.run(
+            protocol, max_rounds=sched.total_rounds, rng=np.random.default_rng(4)
+        )
+        assert result.converged
+
+    def test_converges_with_conflicting_sources(self):
+        cfg = PopulationConfig(n=96, sources=SourceCounts(2, 6), h=8)
+        pop = Population(cfg, rng=np.random.default_rng(5))
+        sched = SFSchedule.from_config(cfg, 0.1)
+        protocol = SourceFilterProtocol(sched)
+        engine = PullEngine(pop, NoiseMatrix.uniform(0.1, 2))
+        result = engine.run(
+            protocol, max_rounds=sched.total_rounds, rng=np.random.default_rng(6)
+        )
+        # All agents — including the 2 minority sources — end on opinion 1.
+        assert result.converged
+        assert np.all(result.final_opinions == 1)
+
+    def test_noiseless_run(self):
+        cfg = PopulationConfig(n=64, sources=SourceCounts(0, 1), h=8)
+        pop = Population(cfg, rng=np.random.default_rng(7))
+        sched = SFSchedule.from_config(cfg, 0.0)
+        protocol = SourceFilterProtocol(sched)
+        engine = PullEngine(pop, NoiseMatrix.identity(2))
+        result = engine.run(
+            protocol, max_rounds=sched.total_rounds, rng=np.random.default_rng(8)
+        )
+        assert result.converged

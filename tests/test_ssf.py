@@ -1,0 +1,170 @@
+"""Unit tests for the agent-level SSF protocol (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.model import Population, PopulationConfig, PullEngine
+from repro.noise import NoiseMatrix
+from repro.protocols import SSFSchedule, SelfStabilizingSourceFilterProtocol
+from repro.protocols.ssf import majority_with_ties
+from repro.types import SourceCounts
+
+
+def make(n=40, s0=1, s1=3, h=4, m=20, seed=0):
+    cfg = PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=h)
+    pop = Population(cfg, rng=np.random.default_rng(seed))
+    sched = SSFSchedule.from_config(cfg, 0.1, m=m)
+    protocol = SelfStabilizingSourceFilterProtocol(sched)
+    protocol.reset(pop, np.random.default_rng(seed + 1))
+    return protocol, pop, sched
+
+
+class TestMajorityWithTies:
+    def test_clear_majorities(self, rng):
+        ones = np.array([5, 1])
+        zeros = np.array([2, 4])
+        out = majority_with_ties(ones, zeros, rng)
+        assert list(out) == [1, 0]
+
+    def test_ties_split_roughly_evenly(self, rng):
+        ones = np.full(2000, 3)
+        zeros = np.full(2000, 3)
+        out = majority_with_ties(ones, zeros, rng)
+        assert 800 < out.sum() < 1200
+
+
+class TestDisplays:
+    def test_sources_display_tagged_preference(self):
+        protocol, pop, _ = make()
+        out = protocol.displays(0)
+        mask = pop.is_source
+        assert np.array_equal(out[mask], 2 + pop.preferences[mask])
+
+    def test_nonsources_display_weak_opinion(self):
+        protocol, pop, _ = make()
+        out = protocol.displays(0)
+        free = ~pop.is_source
+        assert np.array_equal(out[free], protocol.weak_opinions[free])
+
+    def test_requires_reset(self):
+        cfg = PopulationConfig(n=10, sources=SourceCounts(0, 1), h=1)
+        protocol = SelfStabilizingSourceFilterProtocol(
+            SSFSchedule.from_config(cfg, 0.1, m=5)
+        )
+        with pytest.raises(ProtocolError):
+            protocol.displays(0)
+
+    def test_h_mismatch_rejected(self, rng):
+        cfg = PopulationConfig(n=10, sources=SourceCounts(0, 1), h=2)
+        protocol = SelfStabilizingSourceFilterProtocol(
+            SSFSchedule.from_config(cfg, 0.1, m=5)
+        )
+        other = Population(
+            PopulationConfig(n=10, sources=SourceCounts(0, 1), h=5), rng=rng
+        )
+        with pytest.raises(ProtocolError):
+            protocol.reset(other, rng)
+
+
+class TestMemoryAndUpdates:
+    def test_memory_accumulates(self):
+        protocol, pop, _ = make(m=100)
+        obs = np.full((pop.n, pop.h), 3, dtype=int)
+        protocol.receive(0, obs)
+        assert np.all(protocol._memory[:, 3] == pop.h)
+        assert np.all(protocol.memory_fill == pop.h)
+
+    def test_update_flushes_memory(self):
+        protocol, pop, _ = make(m=8, h=4)
+        obs = np.full((pop.n, pop.h), 3, dtype=int)
+        protocol.receive(0, obs)
+        assert np.all(protocol.memory_fill == 4)
+        protocol.receive(1, obs)  # fill hits 8 = m -> update + flush
+        assert np.all(protocol.memory_fill == 0)
+        assert np.all(protocol._memory == 0)
+
+    def test_update_sets_weak_from_tagged_messages(self):
+        protocol, pop, _ = make(m=8, h=4)
+        obs = np.full((pop.n, pop.h), 3, dtype=int)  # (1,1) messages
+        protocol.receive(0, obs)
+        protocol.receive(1, obs)
+        assert np.all(protocol.weak_opinions == 1)
+        assert np.all(protocol.opinions() == 1)
+
+    def test_update_weak_ignores_untagged(self, rng):
+        protocol, pop, _ = make(n=400, s0=1, s1=3, m=8, h=4)
+        # Only untagged (0, 1) messages: opinion majority says 1, but the
+        # weak opinion sees zero tagged messages -> coin flip.
+        obs = np.full((pop.n, pop.h), 1, dtype=int)
+        protocol.receive(0, obs)
+        protocol.receive(1, obs)
+        assert np.all(protocol.opinions() == 1)
+        weak_mean = protocol.weak_opinions.mean()
+        assert 0.3 < weak_mean < 0.7
+
+    def test_update_opinion_counts_all_second_bits(self):
+        protocol, pop, _ = make(m=8, h=4)
+        # Mix: (1,0) tagged-zero + (0,1) untagged-one, 2 each per round.
+        obs = np.tile(np.array([2, 2, 1, 1]), (pop.n, 1))
+        protocol.receive(0, obs)
+        protocol.receive(1, obs)
+        # Weak: tagged messages are all (1,0) -> weak = 0.
+        assert np.all(protocol.weak_opinions == 0)
+
+
+class TestInstallState:
+    def test_roundtrip(self):
+        protocol, pop, _ = make(m=20)
+        opinions = np.ones(pop.n, dtype=np.int8)
+        weak = np.zeros(pop.n, dtype=np.int8)
+        memory = np.zeros((pop.n, 4), dtype=np.int64)
+        memory[:, 2] = 5
+        protocol.install_state(opinions, weak, memory)
+        assert np.all(protocol.opinions() == 1)
+        assert np.all(protocol.weak_opinions == 0)
+        assert np.all(protocol.memory_fill == 5)
+
+    def test_shape_validation(self):
+        protocol, pop, _ = make()
+        with pytest.raises(ProtocolError):
+            protocol.install_state(
+                np.ones(3), np.ones(pop.n), np.zeros((pop.n, 4))
+            )
+
+    def test_capacity_validation(self):
+        protocol, pop, _ = make(m=10)
+        memory = np.zeros((pop.n, 4), dtype=np.int64)
+        memory[:, 0] = 11  # exceeds m
+        with pytest.raises(ProtocolError):
+            protocol.install_state(
+                np.ones(pop.n), np.ones(pop.n), memory
+            )
+
+    def test_negative_memory_rejected(self):
+        protocol, pop, _ = make(m=10)
+        memory = np.zeros((pop.n, 4), dtype=np.int64)
+        memory[0, 0] = -1
+        with pytest.raises(ProtocolError):
+            protocol.install_state(np.ones(pop.n), np.ones(pop.n), memory)
+
+
+class TestEndToEnd:
+    def test_converges_on_engine(self):
+        cfg = PopulationConfig(n=64, sources=SourceCounts(0, 2), h=16)
+        pop = Population(cfg, rng=np.random.default_rng(1))
+        sched = SSFSchedule.from_config(cfg, 0.05)
+        protocol = SelfStabilizingSourceFilterProtocol(sched)
+        engine = PullEngine(pop, NoiseMatrix.uniform(0.05, 4))
+        result = engine.run(
+            protocol,
+            max_rounds=8 * sched.epoch_rounds,
+            rng=np.random.default_rng(2),
+            stop_on_consensus=True,
+            consensus_patience=sched.epoch_rounds,
+        )
+        assert result.converged
+
+    def test_memory_capacity_property(self):
+        protocol, pop, sched = make(m=33)
+        assert protocol.memory_capacity == 33

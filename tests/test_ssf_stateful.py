@@ -1,0 +1,90 @@
+"""Stateful property testing of the agent-level SSF protocol.
+
+A hypothesis RuleBasedStateMachine drives the protocol with arbitrary
+interleavings of observation batches and adversarial corruptions, and
+asserts the structural invariants Algorithm 2 maintains:
+
+* buffered tallies always sum to the fill level;
+* the fill level never reaches ``m`` at rest (full buffers flush
+  immediately);
+* opinions and weak opinions stay binary;
+* adversarial corruption never breaks any of the above.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.model import Population, PopulationConfig
+from repro.protocols import SSFSchedule, SelfStabilizingSourceFilterProtocol
+from repro.types import SourceCounts
+
+N = 24
+H = 4
+M = 17
+
+
+class SSFMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        config = PopulationConfig(n=N, sources=SourceCounts(1, 3), h=H)
+        self.population = Population(config, rng=np.random.default_rng(0))
+        schedule = SSFSchedule.from_config(config, 0.1, m=M)
+        self.protocol = SelfStabilizingSourceFilterProtocol(schedule)
+        self.protocol.reset(self.population, np.random.default_rng(1))
+        self.round = 0
+
+    @rule(seed=st.integers(min_value=0, max_value=2**31))
+    def deliver_observations(self, seed):
+        rng = np.random.default_rng(seed)
+        observations = rng.integers(0, 4, size=(N, H))
+        self.protocol.receive(self.round, observations)
+        self.round += 1
+
+    @rule(seed=st.integers(min_value=0, max_value=2**31))
+    def adversarial_corruption(self, seed):
+        rng = np.random.default_rng(seed)
+        opinions = rng.integers(0, 2, size=N).astype(np.int8)
+        weak = rng.integers(0, 2, size=N).astype(np.int8)
+        memory = np.zeros((N, 4), dtype=np.int64)
+        fills = rng.integers(0, M + 1, size=N)
+        for sigma in range(3):
+            take = rng.integers(0, fills - memory.sum(axis=1) + 1)
+            memory[:, sigma] = take
+        memory[:, 3] = fills - memory.sum(axis=1)
+        self.protocol.install_state(opinions, weak, memory)
+
+    @rule(seed=st.integers(min_value=0, max_value=2**31))
+    def churn_some_agents(self, seed):
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(0, N // 2))
+        indices = rng.choice(N, size=count, replace=False)
+        self.protocol.reset_agents(indices, rng)
+
+    @invariant()
+    def tallies_match_fill(self):
+        assert np.array_equal(
+            self.protocol._memory.sum(axis=1), self.protocol.memory_fill
+        )
+
+    @invariant()
+    def buffers_below_capacity_at_rest(self):
+        # install_state allows == m once; after any receive, a full
+        # buffer must have flushed.  At rest, fill <= m always holds.
+        assert self.protocol.memory_fill.max() <= M
+
+    @invariant()
+    def opinions_binary(self):
+        assert set(np.unique(self.protocol.opinions())) <= {0, 1}
+        assert set(np.unique(self.protocol.weak_opinions)) <= {0, 1}
+
+    @invariant()
+    def memory_nonnegative(self):
+        assert self.protocol._memory.min() >= 0
+
+
+TestSSFStateMachine = SSFMachine.TestCase
+TestSSFStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

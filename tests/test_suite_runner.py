@@ -1,0 +1,49 @@
+"""Tests for the programmatic suite runner."""
+
+import json
+
+import pytest
+
+from repro.experiments import run_suite
+
+
+class TestRunSuite:
+    def test_only_filter(self):
+        result = run_suite(scale="quick", only=["FIG1"])
+        assert len(result.outcomes) == 1
+        assert result.outcomes[0].experiment_id == "FIG1"
+        assert result.passed
+
+    def test_unknown_only_raises(self):
+        with pytest.raises(KeyError):
+            run_suite(scale="quick", only=["NOPE"])
+
+    def test_case_insensitive_only(self):
+        result = run_suite(scale="quick", only=["fig1"])
+        assert result.outcomes[0].experiment_id == "FIG1"
+
+    def test_summary_rows(self):
+        result = run_suite(scale="quick", only=["FIG1", "E8"])
+        rows = result.summary_rows()
+        assert len(rows) == 2
+        assert all(row["passed"] for row in rows)
+        assert "checks" in rows[0]
+
+    def test_render_summary(self):
+        result = run_suite(scale="quick", only=["FIG1"])
+        text = result.render_summary()
+        assert "Experiment suite summary" in text
+        assert "FIG1" in text
+
+    def test_save(self, tmp_path):
+        result = run_suite(scale="quick", only=["FIG1"])
+        out_dir = result.save(tmp_path / "results")
+        assert (out_dir / "FIG1.json").exists()
+        assert (out_dir / "FIG1.csv").exists()
+        assert (out_dir / "summary.csv").exists()
+        payload = json.loads((out_dir / "FIG1.json").read_text())
+        assert payload["passed"] is True
+
+    def test_failures_list_empty_on_pass(self):
+        result = run_suite(scale="quick", only=["E8"])
+        assert result.failures == []

@@ -1,0 +1,112 @@
+"""Tests for the Theorem 3/4/5 bound expressions."""
+
+import math
+
+import pytest
+
+from repro.model.config import PopulationConfig
+from repro.theory import (
+    lower_bound_rounds,
+    sf_upper_bound_rounds,
+    ssf_upper_bound_rounds,
+)
+from repro.types import SourceCounts
+
+
+def config(n=1024, s0=0, s1=1, h=1):
+    return PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=h)
+
+
+class TestLowerBound:
+    def test_formula(self):
+        # delta*n/(h*s^2*(1-2delta)^2) for the binary alphabet.
+        value = lower_bound_rounds(1000, 1, 1, 0.2)
+        assert value == pytest.approx(0.2 * 1000 / (1 * 1 * 0.6**2))
+
+    def test_linear_in_n(self):
+        assert lower_bound_rounds(2000, 1, 1, 0.2) == pytest.approx(
+            2 * lower_bound_rounds(1000, 1, 1, 0.2)
+        )
+
+    def test_inverse_linear_in_h(self):
+        """The paper's headline: sample size linearly accelerates spreading."""
+        assert lower_bound_rounds(1000, 10, 1, 0.2) == pytest.approx(
+            lower_bound_rounds(1000, 1, 1, 0.2) / 10
+        )
+
+    def test_inverse_quadratic_in_s(self):
+        assert lower_bound_rounds(1000, 1, 4, 0.2) == pytest.approx(
+            lower_bound_rounds(1000, 1, 1, 0.2) / 16
+        )
+
+    def test_zero_noise_is_free(self):
+        assert lower_bound_rounds(1000, 1, 1, 0.0) == 0.0
+
+    def test_alphabet_size(self):
+        binary = lower_bound_rounds(1000, 1, 1, 0.2, alphabet_size=2)
+        quaternary = lower_bound_rounds(1000, 1, 1, 0.2, alphabet_size=4)
+        assert quaternary > binary  # (1-4*0.2)^2 < (1-2*0.2)^2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_rounds(0, 1, 1, 0.2)
+        with pytest.raises(ValueError):
+            lower_bound_rounds(100, 1, 1, 0.5, alphabet_size=2)
+
+
+class TestSFUpperBound:
+    def test_h_equals_n_is_logarithmic(self):
+        """Theorem 4's remark: h = n, constant s and delta -> O(log n)."""
+        for n in (2**10, 2**14, 2**18):
+            cfg = config(n=n, h=n)
+            bound = sf_upper_bound_rounds(cfg, 0.2)
+            assert bound < 30 * math.log(n)
+
+    def test_h_one_is_superlinear(self):
+        cfg = config(n=4096, h=1)
+        assert sf_upper_bound_rounds(cfg, 0.2) > 4096
+
+    def test_linear_speedup_in_h(self):
+        base = sf_upper_bound_rounds(config(n=4096, h=1), 0.2)
+        sped = sf_upper_bound_rounds(config(n=4096, h=64), 0.2)
+        # Up to the additive log n term, a 64x speedup.
+        assert base / sped > 30
+
+    def test_bias_speedup(self):
+        single = sf_upper_bound_rounds(config(n=4096, s1=1), 0.2)
+        biased = sf_upper_bound_rounds(config(n=4096, s1=16), 0.2)
+        assert biased < single / 10
+
+    def test_matches_lower_bound_shape(self):
+        """In the regime delta > 4/sqrt(n), s <= sqrt(n): upper/lower ratio
+        is O(log n) (the theorems match up to a log factor)."""
+        for n in (2**12, 2**16):
+            cfg = config(n=n, h=1)
+            upper = sf_upper_bound_rounds(cfg, 0.25)
+            lower = lower_bound_rounds(n, 1, 1, 0.25)
+            assert upper / lower < 5 * math.log(n)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            sf_upper_bound_rounds(config(), 0.5)
+
+
+class TestSSFUpperBound:
+    def test_formula(self):
+        cfg = config(n=1000, h=10)
+        expected = 0.1 * 1000 * math.log(1000) / (10 * 0.6**2) + 100
+        assert ssf_upper_bound_rounds(cfg, 0.1) == pytest.approx(expected)
+
+    def test_no_bias_speedup(self):
+        """Theorem 5 deliberately forgoes the multi-source speedup."""
+        a = ssf_upper_bound_rounds(config(n=1024, s1=1), 0.1)
+        b = ssf_upper_bound_rounds(config(n=1024, s1=32), 0.1)
+        assert a == b
+
+    def test_slower_than_sf_at_large_bias(self):
+        cfg = config(n=4096, s1=64, h=1)
+        assert ssf_upper_bound_rounds(cfg, 0.1) > sf_upper_bound_rounds(cfg, 0.1)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            ssf_upper_bound_rounds(config(), 0.25)

@@ -1,0 +1,55 @@
+"""Tests for the 3-majority dynamics baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ThreeMajorityDynamics
+from repro.model.config import PopulationConfig
+from repro.types import SourceCounts
+
+
+def config(n=256, s0=0, s1=1):
+    return PopulationConfig(n=n, sources=SourceCounts(s0, s1), h=3)
+
+
+class TestThreeMajority:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            ThreeMajorityDynamics(config(), 0.6)
+
+    def test_noiseless_amplifies_initial_majority_fast(self):
+        """Classic 3-majority: O(log n) convergence to *some* consensus
+        without noise."""
+        model = ThreeMajorityDynamics(config(n=1024), 0.0)
+        result = model.run(500, rng=0, stop_on_consensus=False)
+        free = result.final_opinions[1:]
+        assert len(np.unique(free)) == 1
+
+    def test_noise_prevents_full_consensus(self):
+        model = ThreeMajorityDynamics(config(n=512), 0.1)
+        result = model.run(3_000, rng=1, record_trace=True)
+        assert not result.converged
+        # Stalls near one of the noisy equilibria, not at unanimity.
+        assert 0.0 < result.trace[-1] < 1.0
+
+    def test_unreliable_direction_from_random_start(self):
+        """Like majority(h): it amplifies the initial majority, so the
+        sources' opinion wins only about half the time (noiseless)."""
+        outcomes = []
+        for seed in range(30):
+            model = ThreeMajorityDynamics(config(n=512), 0.0)
+            result = model.run(500, rng=seed)
+            outcomes.append(result.converged)
+        assert 0.2 < np.mean(outcomes) < 0.8
+
+    def test_zealots_pinned(self):
+        model = ThreeMajorityDynamics(config(n=64, s0=2, s1=5), 0.1)
+        result = model.run(10, rng=2, stop_on_consensus=False)
+        assert np.all(result.final_opinions[:2] == 0)
+        assert np.all(result.final_opinions[2:7] == 1)
+
+    def test_deterministic(self):
+        model = ThreeMajorityDynamics(config(), 0.1)
+        a = model.run(50, rng=3, stop_on_consensus=False)
+        b = model.run(50, rng=3, stop_on_consensus=False)
+        assert np.array_equal(a.final_opinions, b.final_opinions)
