@@ -9,7 +9,9 @@ than absolute round counts.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 from typing import Dict, List, Sequence
 
 import pytest
@@ -17,6 +19,33 @@ import pytest
 from repro.analysis import format_table, write_csv
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable engine-throughput measurements, filled in by
+#: ``bench_engine_throughput.py`` via :func:`record_engine_throughput`
+#: and flushed to ``BENCH_engine_throughput.json`` at the repo root when
+#: the session ends (only if any were recorded this session).
+ENGINE_THROUGHPUT_RESULTS: List[Dict[str, object]] = []
+
+ENGINE_THROUGHPUT_JSON = pathlib.Path(__file__).parent.parent / (
+    "BENCH_engine_throughput.json"
+)
+
+
+def record_engine_throughput(case: Dict[str, object]) -> None:
+    """Queue one throughput measurement for the end-of-session JSON."""
+    ENGINE_THROUGHPUT_RESULTS.append(case)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not ENGINE_THROUGHPUT_RESULTS:
+        return
+    payload = {
+        "benchmark": "engine_throughput",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cases": ENGINE_THROUGHPUT_RESULTS,
+    }
+    ENGINE_THROUGHPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def emit_table(

@@ -35,6 +35,7 @@ from .noise import (
 )
 from .model import (
     AdversarialInitializer,
+    BatchedPullEngine,
     Population,
     PopulationConfig,
     PullEngine,
@@ -46,6 +47,7 @@ from .model import (
     TargetedAdversary,
 )
 from .protocols import (
+    BatchedSourceFilter,
     FastSelfStabilizingSourceFilter,
     FastSourceFilter,
     SFSchedule,
@@ -73,6 +75,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdversarialInitializer",
+    "BatchedPullEngine",
+    "BatchedSourceFilter",
     "ClassicCopySpreading",
     "ConfigurationError",
     "ConvergenceError",

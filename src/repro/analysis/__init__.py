@@ -1,6 +1,6 @@
 """Experiment harness: repeated trials, sweeps, statistics and reporting."""
 
-from .trials import TrialStats, repeat_trials
+from .trials import TrialStats, repeat_trials, run_trials
 from .sweep import SweepPoint, SweepResult, run_sweep
 from .stats import bootstrap_ci, fit_loglog_slope, median_and_iqr, wilson_interval
 from .tables import format_markdown_table, format_table
@@ -51,6 +51,7 @@ __all__ = [
     "median_and_iqr",
     "repeat_trials",
     "run_sweep",
+    "run_trials",
     "wilson_interval",
     "write_csv",
     "write_json",

@@ -1,13 +1,30 @@
-"""Repeated independent trials of a stochastic experiment."""
+"""Repeated independent trials of a stochastic experiment.
+
+Two execution backends produce the *same* statistics:
+
+* serial (default) — one trial per spawned generator, in trial order;
+* ``workers=k`` — trials are farmed out to a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Each trial still runs
+  on the generator spawned for its index from the same root
+  :class:`~numpy.random.SeedSequence`, and results are aggregated in
+  trial-index order, so the returned :class:`TrialStats` is bit-identical
+  to the serial run for any worker count.
+
+:func:`run_trials` additionally exploits engines that can simulate many
+replicas per call (``run_batch``), trading the per-trial stream identity
+for one batched draw.
+"""
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import pickle
 from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..rng import spawn_generators
+from ..rng import spawn_generators, spawn_seeds
 from .stats import bootstrap_ci, median_and_iqr, wilson_interval
 
 
@@ -55,12 +72,67 @@ class TrialStats:
         return out
 
 
+def _default_success(result: "object") -> bool:
+    """Convergence predicate: the result's ``converged`` attribute."""
+    return bool(getattr(result, "converged"))
+
+
+def _default_measure(result: "object") -> float:
+    """Per-trial measurement: consensus_round, else rounds, else horizon."""
+    value = getattr(result, "consensus_round", None)
+    if value is None:
+        value = getattr(result, "rounds_executed", None)
+    if value is None:
+        value = getattr(result, "total_rounds")
+    return float(value)
+
+
+def _run_single_trial(run_one, seed_sequence, success, measure):
+    """One worker task: run trial, reduce to (success, measurement).
+
+    Module-level (not a closure) so :mod:`pickle` can ship it to pool
+    workers; reducing inside the worker keeps large result payloads
+    (opinion vectors, traces) out of the inter-process pipe.
+    """
+    result = run_one(np.random.default_rng(seed_sequence))
+    if success(result):
+        return True, measure(result)
+    return False, 0.0
+
+
+def _check_picklable(workers: int, **callables) -> None:
+    for name, value in callables.items():
+        try:
+            pickle.dumps(value)
+        except Exception as exc:
+            raise TypeError(
+                f"workers={workers} requires {name} to be picklable so it "
+                f"can cross the process boundary, but pickling failed: "
+                f"{exc!r}.  Use a module-level function or a picklable "
+                f"callable object instead of a lambda/closure, or drop "
+                f"workers to run serially."
+            ) from exc
+
+
+def _aggregate(outcomes, trials: int) -> TrialStats:
+    """Fold ordered (success, measurement) pairs into TrialStats."""
+    successes = 0
+    values: List[float] = []
+    for ok, value in outcomes:
+        if ok:
+            successes += 1
+            values.append(float(value))
+    return TrialStats(trials=trials, successes=successes, values=values)
+
+
 def repeat_trials(
     run_one: Callable[[np.random.Generator], "object"],
     trials: int,
     seed: Optional[int] = None,
     success: Callable[["object"], bool] = None,
     measure: Callable[["object"], float] = None,
+    *,
+    workers: Optional[int] = None,
 ) -> TrialStats:
     """Run ``run_one`` on ``trials`` independent generators and aggregate.
 
@@ -75,26 +147,105 @@ def repeat_trials(
     measure:
         Extracts the per-trial measurement for successful trials; defaults
         to ``consensus_round`` when present, else ``rounds_executed``.
+    workers:
+        ``None`` or ``1`` runs serially.  ``k > 1`` distributes trials
+        over a process pool; trial ``i`` still runs on the generator
+        spawned for index ``i`` and results aggregate in index order, so
+        the statistics are bit-identical to the serial run regardless of
+        the worker count.  ``run_one`` (and any non-default ``success`` /
+        ``measure``) must then be picklable — module-level functions or
+        callable objects, not lambdas; a :class:`TypeError` is raised
+        otherwise.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be a positive int, got {workers}")
     if success is None:
-        success = lambda r: bool(getattr(r, "converged"))  # noqa: E731
+        success = _default_success
     if measure is None:
+        measure = _default_measure
 
-        def measure(result: "object") -> float:
-            value = getattr(result, "consensus_round", None)
-            if value is None:
-                value = getattr(result, "rounds_executed", None)
-            if value is None:
-                value = getattr(result, "total_rounds")
-            return float(value)
+    if workers is not None and workers > 1:
+        _check_picklable(workers, run_one=run_one, success=success, measure=measure)
+        seeds = spawn_seeds(seed, trials)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_single_trial, run_one, s, success, measure)
+                for s in seeds
+            ]
+            outcomes = [f.result() for f in futures]  # index order
+        return _aggregate(outcomes, trials)
 
-    successes = 0
-    values: List[float] = []
+    outcomes = []
     for generator in spawn_generators(seed, trials):
         result = run_one(generator)
-        if success(result):
-            successes += 1
-            values.append(measure(result))
-    return TrialStats(trials=trials, successes=successes, values=values)
+        ok = success(result)
+        outcomes.append((ok, measure(result) if ok else 0.0))
+    return _aggregate(outcomes, trials)
+
+
+class _EngineTrial:
+    """Picklable adapter: one trial = one ``runner.run(rng=...)`` call.
+
+    A module-level class (unlike ``lambda g: runner.run(rng=g)``) survives
+    the pickle round-trip to pool workers; the runner itself ships along
+    as instance state.
+    """
+
+    def __init__(self, runner: "object") -> None:
+        self.runner = runner
+
+    def __call__(self, generator: np.random.Generator) -> "object":
+        return self.runner.run(rng=generator)
+
+
+def run_trials(
+    runner: "object",
+    trials: int,
+    seed: Optional[int] = None,
+    *,
+    workers: Optional[int] = None,
+    batch: bool = True,
+    success: Callable[["object"], bool] = None,
+    measure: Callable[["object"], float] = None,
+) -> TrialStats:
+    """Monte-Carlo trials of an engine object, fastest backend first.
+
+    ``runner`` is an engine exposing ``run(rng=...)`` — e.g.
+    :class:`~repro.protocols.FastSourceFilter` or
+    :class:`~repro.protocols.FastSelfStabilizingSourceFilter`.  Backend
+    selection:
+
+    1. ``batch=True`` (default), serial, and the runner has a
+       ``run_batch`` method: all trials are simulated in one batched call
+       (``runner.run_batch(trials, rng=seed)``).  Statistically
+       equivalent to per-trial runs and reproducible for a fixed
+       ``(seed, trials)``, but drawn from one shared stream — not
+       bit-identical to the per-trial backends.
+    2. ``workers > 1``: per-trial process pool via
+       :func:`repeat_trials` — bit-identical to the serial per-trial run.
+    3. Otherwise: serial per-trial loop, the :func:`repeat_trials`
+       baseline.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be positive, got {trials}")
+    use_batch = (
+        batch and (workers is None or workers <= 1) and hasattr(runner, "run_batch")
+    )
+    if use_batch:
+        if success is None:
+            success = _default_success
+        if measure is None:
+            measure = _default_measure
+        results = runner.run_batch(trials, rng=seed)
+        outcomes = [(success(r), measure(r) if success(r) else 0.0) for r in results]
+        return _aggregate(outcomes, trials)
+    return repeat_trials(
+        _EngineTrial(runner),
+        trials,
+        seed=seed,
+        success=success,
+        measure=measure,
+        workers=workers,
+    )

@@ -45,6 +45,16 @@ def _add_population_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="master seed")
 
 
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="Monte-Carlo trial process pool size (default: serial); "
+        "statistics are identical for any worker count",
+    )
+
+
 def _config(args: argparse.Namespace) -> PopulationConfig:
     h = args.h if args.h is not None else args.n
     return PopulationConfig(
@@ -84,6 +94,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+class _SweepTrial:
+    """One sweep trial as a picklable callable (a closure could not cross
+    the ``--workers`` process boundary)."""
+
+    def __init__(self, protocol: str, config: PopulationConfig, delta: float) -> None:
+        self.protocol = protocol
+        self.config = config
+        self.delta = delta
+
+    def __call__(self, rng: np.random.Generator) -> object:
+        if self.protocol == "sf":
+            return FastSourceFilter(self.config, self.delta).run(rng)
+        return FastSelfStabilizingSourceFilter(self.config, self.delta).run(rng=rng)
+
+
+def _sweep_measure(result: object) -> float:
+    value = getattr(result, "total_rounds", None)
+    if value is None:
+        value = result.rounds_executed
+    return float(value)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = []
     for exponent in range(args.min_exp, args.max_exp + 1):
@@ -92,19 +124,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config = PopulationConfig(
             n=n, sources=SourceCounts(s0=args.s0, s1=args.s1), h=h
         )
-
-        def run_one(rng: np.random.Generator, config=config):
-            if args.protocol == "sf":
-                return FastSourceFilter(config, args.delta).run(rng)
-            return FastSelfStabilizingSourceFilter(config, args.delta).run(rng=rng)
-
-        def measure(result: object) -> float:
-            value = getattr(result, "total_rounds", None)
-            if value is None:
-                value = result.rounds_executed
-            return float(value)
-
-        stats = repeat_trials(run_one, trials=args.trials, seed=args.seed, measure=measure)
+        stats = repeat_trials(
+            _SweepTrial(args.protocol, config, args.delta),
+            trials=args.trials,
+            seed=args.seed,
+            measure=_sweep_measure,
+            workers=args.workers,
+        )
         rows.append(
             {
                 "n": n,
@@ -206,6 +232,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     failed = 0
     outcomes = []
     for experiment in experiments:
+        experiment.workers = args.workers
         outcome = experiment.run(scale=args.scale, seed=args.seed)
         print(outcome.render())
         print()
@@ -226,7 +253,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_suite(args: argparse.Namespace) -> int:
     from .experiments import run_suite
 
-    result = run_suite(scale=args.scale, seed=args.seed, only=args.only)
+    result = run_suite(
+        scale=args.scale, seed=args.seed, only=args.only, workers=args.workers
+    )
     print(result.render_summary())
     if args.save:
         directory = result.save(args.save)
@@ -268,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--min-exp", type=int, default=8)
     sweep.add_argument("--max-exp", type=int, default=12)
     sweep.add_argument("--trials", type=int, default=5)
+    _add_workers_arg(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     figure1 = sub.add_parser("figure1", help="print the Figure 1 series")
@@ -304,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--json", default=None, help="also write outcome(s) to this JSON file"
     )
+    _add_workers_arg(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     suite = sub.add_parser(
@@ -317,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--save", default=None, help="directory for per-experiment JSON/CSV"
     )
+    _add_workers_arg(suite)
     suite.set_defaults(func=_cmd_suite)
 
     report = sub.add_parser(

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict, List
+import pickle
+from typing import Dict, List, Optional
 
-from ..analysis import format_table
+from ..analysis import TrialStats, format_table, repeat_trials, run_trials
 
 
 @dataclasses.dataclass
@@ -82,9 +83,59 @@ class Experiment(abc.ABC):
     title: str = ""
     claim: str = ""
 
+    #: Process-pool size for Monte-Carlo trials (``None`` = serial); set
+    #: by :func:`~repro.experiments.run_suite` / the CLI ``--workers``
+    #: flag before :meth:`run` is called.
+    workers: Optional[int] = None
+
     @abc.abstractmethod
     def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         """Execute the experiment and return its outcome."""
+
+    def _trials(
+        self,
+        run_one,
+        trials: int,
+        seed: Optional[int] = None,
+        success=None,
+        measure=None,
+    ) -> TrialStats:
+        """:func:`repeat_trials` honoring :attr:`workers`.
+
+        Trial statistics are bit-identical for any worker count.  A
+        ``run_one`` that cannot cross a process boundary (lambdas,
+        closures over live engines) silently degrades to the serial
+        backend rather than failing the experiment.
+        """
+        workers = self.workers
+        if workers is not None and workers > 1:
+            try:
+                pickle.dumps((run_one, success, measure))
+            except Exception:
+                workers = None
+        return repeat_trials(
+            run_one, trials, seed=seed, success=success, measure=measure,
+            workers=workers,
+        )
+
+    def _engine_trials(
+        self,
+        runner,
+        trials: int,
+        seed: Optional[int] = None,
+        success=None,
+        measure=None,
+    ) -> TrialStats:
+        """:func:`run_trials` honoring :attr:`workers`.
+
+        Serial experiments get the engine's batched backend
+        (``run_batch``) when it has one; with :attr:`workers` set the
+        trials go to the process pool instead.
+        """
+        return run_trials(
+            runner, trials, seed=seed, workers=self.workers,
+            success=success, measure=measure,
+        )
 
     def _outcome(
         self,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 
-from ..analysis import fit_loglog_slope, repeat_trials
+from ..analysis import fit_loglog_slope
 from ..model.config import PopulationConfig
 from ..protocols import FastSourceFilter
 from ..theory import sf_upper_bound_rounds
@@ -38,9 +38,8 @@ class ConvergenceVsN(Experiment):
         for n in sizes:
             config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=n)
             engine = FastSourceFilter(config, DELTA)
-            stats = repeat_trials(
-                lambda g: engine.run(g), trials=trials, seed=seed + n
-            )
+            # Batched serially, process pool when self.workers is set.
+            stats = self._engine_trials(engine, trials, seed=seed + n)
             rows.append(
                 {
                     "n": n,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..analysis import fit_loglog_slope, repeat_trials
+from ..analysis import fit_loglog_slope
 from ..model.config import PopulationConfig
 from ..protocols import FastSourceFilter
 from ..theory import lower_bound_rounds
@@ -34,9 +34,7 @@ class SpeedupVsH(Experiment):
         for h in hs:
             config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=h)
             engine = FastSourceFilter(config, DELTA)
-            stats = repeat_trials(
-                lambda g: engine.run(g), trials=trials, seed=seed + h
-            )
+            stats = self._engine_trials(engine, trials, seed=seed + h)
             rows.append(
                 {
                     "h": h,

@@ -66,8 +66,14 @@ def run_suite(
     scale: str = "quick",
     seed: int = 0,
     only: Optional[List[str]] = None,
+    workers: Optional[int] = None,
 ) -> SuiteResult:
-    """Run all (or the ``only``-listed) experiments at one scale."""
+    """Run all (or the ``only``-listed) experiments at one scale.
+
+    ``workers`` sets each experiment's Monte-Carlo process-pool size
+    (``None`` = serial); per-experiment statistics are identical for any
+    worker count, so the suite verdict never depends on parallelism.
+    """
     experiments = all_experiments()
     if only is not None:
         wanted = {token.upper() for token in only}
@@ -75,5 +81,7 @@ def run_suite(
         missing = wanted - {e.experiment_id for e in experiments}
         if missing:
             raise KeyError(f"unknown experiment ids: {sorted(missing)}")
+    for experiment in experiments:
+        experiment.workers = workers
     outcomes = [e.run(scale=scale, seed=seed) for e in experiments]
     return SuiteResult(outcomes=outcomes)

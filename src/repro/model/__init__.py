@@ -11,6 +11,7 @@ from .config import PopulationConfig
 from .population import Population
 from .sampling import sample_indices, sample_observation_counts
 from .engine import PullEngine, PullProtocol, RoundRecord, SimulationResult
+from .batched_engine import BatchedPullEngine, BatchedPullProtocol
 from .push_engine import PushEngine, PushProtocol
 from .async_engine import AsyncPullEngine, AsyncPullProtocol, AsyncSimulationResult
 from .adversary import AdversarialInitializer, RandomStateAdversary, TargetedAdversary
@@ -25,6 +26,8 @@ __all__ = [
     "StableFlooding",
     "build_graph",
     "AdversarialInitializer",
+    "BatchedPullEngine",
+    "BatchedPullProtocol",
     "ConsensusTracker",
     "OpinionTrace",
     "Population",

@@ -120,7 +120,7 @@ class AsyncPullEngine:
                     dtype=np.int64,
                     count=h,
                 )
-                observed = self.noise.corrupt(displayed, generator)
+                observed = self.noise.corrupt(displayed, generator, validate=False)
                 protocol.activate(agent, observed)
             executed += todo
 

@@ -1,0 +1,280 @@
+"""Replica-batched exact noisy PULL(h) engine.
+
+Monte-Carlo sweeps run the same configuration dozens to hundreds of
+times.  :class:`~repro.model.engine.PullEngine` simulates one replica at
+a time, so a 64-trial sweep pays the per-round numpy dispatch overhead
+64 times over.  :class:`BatchedPullEngine` simulates ``R`` *independent*
+replicas of the exact Section-1.3 round loop simultaneously: per-agent
+state becomes ``(R, n)``, the round's samples become ``(R, n, h)``, and
+the noise channel corrupts the whole batch in one CDF inversion.  Every
+replica still follows the literal model — explicit sample indices, one
+independent noise event per observation — only the Python-level loop
+over replicas is amortized.
+
+Two seeding disciplines are offered (``rng_mode``):
+
+``"spawn"`` (default)
+    Replica ``r`` draws every variate from its own generator, seeded
+    from ``SeedSequence(seed).spawn(R)[r]`` — the exact discipline of
+    :func:`repro.rng.spawn_generators`.  A batched run is therefore
+    **bit-identical** to ``R`` serial :class:`PullEngine` runs with the
+    matching spawned seeds, and invariant under any split of ``R``
+    across batched calls (pass the corresponding ``seed_sequences``).
+    Sampling costs ``O(R)`` generator calls per round; everything else
+    is fully batched.
+
+``"shared"``
+    All replicas' samples are drawn from a single generator in one
+    ``Generator.integers`` call over ``(R, n, h)`` with ``int32`` index
+    dtype (halving sample memory at ``h = n``) and one uniform block for
+    the noise.  Fastest; reproducible for a fixed ``(seed, R)`` but not
+    stream-identical to serial runs.
+
+Replicas that satisfy the early-stopping rule leave the active set and
+stop consuming randomness, so ``"spawn"`` bit-identity survives early
+exits.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ProtocolError
+from .engine import RoundRecord, SimulationResult
+from .population import Population
+
+__all__ = ["BatchedPullProtocol", "BatchedPullEngine"]
+
+SeedLike = Union[int, np.random.SeedSequence, None]
+
+
+class BatchedPullProtocol(abc.ABC):
+    """Interface a protocol must implement to run on :class:`BatchedPullEngine`.
+
+    The contract mirrors :class:`~repro.model.engine.PullProtocol` with a
+    leading replica axis: state arrays are ``(R, n)`` and each round's
+    observations arrive as one ``(A, n, h)`` block for the ``A`` replicas
+    still active.  Any replica-local coin flips (tie-breaking) must be
+    drawn from that replica's generator so that ``"spawn"`` runs stay
+    bit-identical to serial ones.
+    """
+
+    #: Size of the communication alphabet Sigma (symbols ``0..d-1``).
+    alphabet_size: int = 2
+
+    @abc.abstractmethod
+    def reset(
+        self, population: Population, rngs: Sequence[np.random.Generator]
+    ) -> None:
+        """(Re-)initialize state for ``len(rngs)`` replicas of ``population``."""
+
+    @abc.abstractmethod
+    def displays(self, round_index: int) -> np.ndarray:
+        """Messages displayed this round — ``(R, n)`` ints in Sigma.
+
+        A read-only broadcast view is acceptable when all replicas
+        display the same messages.
+        """
+
+    @abc.abstractmethod
+    def receive(
+        self, round_index: int, observations: np.ndarray, replicas: np.ndarray
+    ) -> None:
+        """Process noisy observations for the active replicas.
+
+        ``observations`` is ``(A, n, h)``; ``replicas`` holds the ``A``
+        replica indices the rows belong to (ascending).
+        """
+
+    @abc.abstractmethod
+    def opinions(self) -> np.ndarray:
+        """Current opinion matrix, ``(R, n)`` ints in {0, 1}."""
+
+    def finished(self, round_index: int) -> bool:
+        """True when the protocol has a fixed horizon and it has passed."""
+        return False
+
+
+def _spawn_generators(
+    replicas: Optional[int],
+    rng: SeedLike,
+    seed_sequences: Optional[Sequence[np.random.SeedSequence]],
+) -> List[np.random.Generator]:
+    """Resolve the per-replica generators from either seeding input."""
+    if seed_sequences is not None:
+        if replicas is not None and replicas != len(seed_sequences):
+            raise ValueError(
+                f"replicas={replicas} does not match "
+                f"{len(seed_sequences)} seed sequences"
+            )
+        return [np.random.default_rng(s) for s in seed_sequences]
+    if replicas is None or replicas < 1:
+        raise ValueError(f"replicas must be a positive int, got {replicas}")
+    if isinstance(rng, np.random.Generator):
+        raise TypeError(
+            "BatchedPullEngine needs a seed or SeedSequence, not a live "
+            "Generator: per-replica streams are spawned from the root so "
+            "results are reproducible and split-invariant"
+        )
+    root = rng if isinstance(rng, np.random.SeedSequence) else np.random.SeedSequence(rng)
+    return [np.random.default_rng(s) for s in root.spawn(replicas)]
+
+
+class BatchedPullEngine:
+    """Drives a :class:`BatchedPullProtocol` over R replicas of one population.
+
+    All replicas share the same :class:`Population` (roles and
+    preferences) and noise channel; their randomness — initial opinions,
+    samples, noise, coin flips — is independent.  ``noise`` may be a
+    :class:`~repro.noise.NoiseMatrix` or a schedule exposing
+    ``matrix_at(round_index)``, exactly as for :class:`PullEngine`.
+    """
+
+    def __init__(self, population: Population, noise) -> None:
+        self.population = population
+        self.noise = noise
+        self._matrix_at = getattr(noise, "matrix_at", None)
+
+    def run(
+        self,
+        protocol: BatchedPullProtocol,
+        max_rounds: int,
+        replicas: Optional[int] = None,
+        rng: SeedLike = None,
+        *,
+        seed_sequences: Optional[Sequence[np.random.SeedSequence]] = None,
+        rng_mode: str = "spawn",
+        stop_on_consensus: bool = False,
+        consensus_patience: int = 0,
+        record_trace: bool = False,
+    ) -> List[SimulationResult]:
+        """Simulate up to ``max_rounds`` rounds of every replica.
+
+        Parameters
+        ----------
+        replicas:
+            Number of independent replicas R.  May be omitted when
+            ``seed_sequences`` is given.
+        rng:
+            Root seed (int, :class:`numpy.random.SeedSequence` or None);
+            replica ``r`` runs on ``SeedSequence(rng).spawn(R)[r]``.
+        seed_sequences:
+            Explicit per-replica seed sequences — use this to split one
+            logical batch across several calls (any split yields the
+            same per-replica results in ``"spawn"`` mode).
+        rng_mode:
+            ``"spawn"`` (bit-identical to serial runs) or ``"shared"``
+            (single-generator bulk sampling, fastest).  See the module
+            docstring.
+        stop_on_consensus / consensus_patience:
+            Per-replica early exit with the same semantics as
+            :meth:`PullEngine.run`: a replica stops once consensus has
+            held for ``consensus_patience + 1`` consecutive rounds.
+
+        Returns
+        -------
+        One :class:`SimulationResult` per replica, in replica order.
+        """
+        if rng_mode not in ("spawn", "shared"):
+            raise ValueError(f"rng_mode must be 'spawn' or 'shared', got {rng_mode!r}")
+        if protocol.alphabet_size != self.noise.size:
+            raise ProtocolError(
+                f"protocol alphabet size {protocol.alphabet_size} does not match "
+                f"noise matrix size {self.noise.size}"
+            )
+        generators = _spawn_generators(replicas, rng, seed_sequences)
+        num_replicas = len(generators)
+        bulk: Optional[np.random.Generator] = None
+        if rng_mode == "shared":
+            root = (
+                rng
+                if isinstance(rng, np.random.SeedSequence)
+                else np.random.SeedSequence(rng)
+            )
+            bulk = np.random.default_rng(root)
+
+        population = self.population
+        n, h = population.n, population.h
+        correct = population.correct_opinion
+        protocol.reset(population, generators)
+
+        active = np.arange(num_replicas)
+        streak = np.zeros(num_replicas, dtype=np.int64)
+        consensus_start = np.full(num_replicas, -1, dtype=np.int64)
+        rounds_executed = np.zeros(num_replicas, dtype=np.int64)
+        traces: List[List[RoundRecord]] = [[] for _ in range(num_replicas)]
+
+        for t in range(max_rounds):
+            if active.size == 0:
+                break
+            if protocol.finished(t):
+                # Mirror the serial engine: a horizon hit before round t
+                # means only t rounds were executed.
+                rounds_executed[active] = t
+                break
+            displayed = np.asarray(protocol.displays(t))  # (R, n)
+            num_active = active.size
+            all_active = num_active == num_replicas
+            if rng_mode == "spawn":
+                sampled = np.empty((num_active, n * h), dtype=np.int64)
+                uniforms = np.empty((num_active, n * h))
+                for i, r in enumerate(active):
+                    g = generators[r]
+                    sampled[i] = g.integers(0, n, size=(n, h)).reshape(n * h)
+                    uniforms[i] = g.random(n * h)
+            else:
+                sampled = bulk.integers(0, n, size=(num_active, n * h), dtype=np.int32)
+                uniforms = bulk.random(num_active * n * h)
+            gathered = np.take_along_axis(
+                displayed if all_active else displayed[active], sampled, axis=1
+            )
+            channel = self._matrix_at(t) if self._matrix_at else self.noise
+            observations = channel.corrupt_with_uniforms(
+                gathered, uniforms, dtype=np.int8
+            ).reshape(num_active, n, h)
+            protocol.receive(t, observations, active)
+            rounds_executed[active] = t + 1
+
+            if correct is not None:
+                opinions = protocol.opinions()
+                active_opinions = opinions if all_active else opinions[active]
+                all_correct = np.all(active_opinions == correct, axis=1)
+                streak[active] = np.where(all_correct, streak[active] + 1, 0)
+                consensus_start[active] = np.where(
+                    all_correct,
+                    np.where(consensus_start[active] < 0, t, consensus_start[active]),
+                    -1,
+                )
+                if record_trace:
+                    num_correct = np.sum(active_opinions == correct, axis=1)
+                    for i, r in enumerate(active):
+                        traces[r].append(
+                            RoundRecord(t, int(num_correct[i]) / n, int(num_correct[i]))
+                        )
+                if stop_on_consensus:
+                    keep = streak[active] < consensus_patience + 1
+                    if not keep.all():
+                        active = active[keep]
+
+        final = np.asarray(protocol.opinions())
+        results: List[SimulationResult] = []
+        for r in range(num_replicas):
+            opinions_r = final[r].copy()
+            converged = correct is not None and bool(np.all(opinions_r == correct))
+            results.append(
+                SimulationResult(
+                    converged=converged,
+                    consensus_round=(
+                        int(consensus_start[r])
+                        if converged and consensus_start[r] >= 0
+                        else None
+                    ),
+                    rounds_executed=int(rounds_executed[r]),
+                    final_opinions=opinions_r,
+                    trace=traces[r],
+                )
+            )
+        return results

@@ -78,8 +78,14 @@ class SimulationResult:
         Whether the run ended with every agent holding the correct opinion.
     consensus_round:
         First round index (0-based, counted *after* the round's updates)
-        at which all agents held the correct opinion and kept holding it
-        through the end of the run; ``None`` if never.
+        of the run's *final* streak of all-correct rounds — consensus that
+        is lost again later (transient consensus) resets it, so it is the
+        round from which consensus held through the last executed round.
+        ``None`` whenever the run did not end in consensus.  Note that
+        with ``stop_on_consensus`` the run ends early once the streak
+        reaches ``consensus_patience + 1`` rounds, so "the end of the run"
+        is that early stop: a protocol that would have left consensus
+        after a longer streak still reports this round.
     rounds_executed:
         Total rounds simulated.
     final_opinions:
@@ -182,7 +188,9 @@ class PullEngine:
             displayed = protocol.displays(t)
             sampled = sample_indices(population.n, population.n, population.h, generator)
             channel = self._matrix_at(t) if self._matrix_at else self.noise
-            observations = channel.corrupt(displayed[sampled], generator)
+            # The alphabet contract was checked once up front; skip the
+            # per-call range scan on the hot path.
+            observations = channel.corrupt(displayed[sampled], generator, validate=False)
             protocol.receive(t, observations)
 
             opinions = protocol.opinions()

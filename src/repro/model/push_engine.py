@@ -106,7 +106,7 @@ class PushEngine:
                     0, population.n, size=(senders.size, population.h)
                 )
                 symbols = np.repeat(pushed[senders], population.h)
-                noisy = self.noise.corrupt(symbols, generator)
+                noisy = self.noise.corrupt(symbols, generator, validate=False)
                 protocol.receive(t, targets.ravel(), noisy)
             else:
                 protocol.receive(

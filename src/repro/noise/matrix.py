@@ -154,7 +154,9 @@ class NoiseMatrix:
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
-    def corrupt(self, messages: np.ndarray, rng: RngLike = None) -> np.ndarray:
+    def corrupt(
+        self, messages: np.ndarray, rng: RngLike = None, validate: bool = True
+    ) -> np.ndarray:
         """Apply the channel independently to an array of messages.
 
         ``messages`` is an integer array of displayed symbols (any shape);
@@ -162,22 +164,53 @@ class NoiseMatrix:
         implementation draws one uniform variate per message and inverts
         the per-row CDF — O(len * log d) with no Python-level loop over
         messages.
+
+        ``validate=False`` skips the range scan over ``messages`` — two
+        full passes that the engines, which already enforce the protocol's
+        alphabet contract once per run, pay on every round otherwise.  The
+        drawn variates and hence the output are identical either way.
         """
         generator = as_generator(rng)
         symbols = np.asarray(messages)
         if symbols.size == 0:
             return symbols.copy()
-        if symbols.min() < 0 or symbols.max() >= self.size:
+        if validate and (symbols.min() < 0 or symbols.max() >= self.size):
             raise NoiseMatrixError(
                 f"messages must lie in [0, {self.size}), got range "
                 f"[{symbols.min()}, {symbols.max()}]"
             )
+        uniforms = generator.random(symbols.size)
+        return self.corrupt_with_uniforms(symbols, uniforms)
+
+    def corrupt_with_uniforms(
+        self, messages: np.ndarray, uniforms: np.ndarray, dtype=np.int64
+    ) -> np.ndarray:
+        """Invert the per-row CDF for externally drawn uniform variates.
+
+        The deterministic half of :meth:`corrupt`: given one uniform
+        variate per message, return the observed symbols.  Splitting the
+        draw from the inversion lets the batched engine draw per-replica
+        variate blocks (preserving bit-identical per-replica streams)
+        while corrupting the whole ``(R, n, h)`` batch in one call.
+        ``dtype`` selects the output dtype (the batched engine asks for
+        ``int8`` to quarter the observation-buffer bandwidth).
+        """
+        symbols = np.asarray(messages)
         flat = symbols.ravel()
-        uniforms = generator.random(flat.shape[0])
-        cdf_rows = self._cumulative[flat]  # (k, d)
+        u = uniforms.ravel()
+        if self.size == 2:
+            # Binary fast path: the observed symbol is 1 exactly when the
+            # variate clears the displayed symbol's P(observe 0) — the
+            # same strict comparison as the general branch below.
+            threshold = np.where(flat != 0, self._cumulative[1, 0], self._cumulative[0, 0])
+            observed = (threshold < u).astype(dtype)
+            return observed.reshape(symbols.shape)
         # searchsorted per row: count thresholds strictly below the variate.
-        observed = (cdf_rows < uniforms[:, None]).sum(axis=1)
-        return observed.reshape(symbols.shape).astype(np.int64)
+        # The last cumulative column is exactly 1.0 and the variates lie in
+        # [0, 1), so it can never compare below — skip it.
+        cdf_rows = self._cumulative[flat, : self.size - 1]  # (k, d-1)
+        observed = (cdf_rows < u[:, None]).sum(axis=1)
+        return observed.reshape(symbols.shape).astype(dtype)
 
     def observation_probabilities(self, display_distribution: np.ndarray) -> np.ndarray:
         """Distribution of a single noisy observation.

@@ -18,6 +18,7 @@ from .parameters import (
     ssf_sample_budget,
 )
 from .sf import SourceFilterProtocol
+from .sf_batched import BatchedSourceFilter
 from .sf_fast import FastSourceFilter, SFRunResult
 from .sf_alternating import FastAlternatingSourceFilter
 from .ssf import SelfStabilizingSourceFilterProtocol
@@ -34,6 +35,7 @@ from .kary_agent import KAryPluralityProtocol, binary_population_for
 
 __all__ = [
     "AsyncSelfStabilizingSourceFilter",
+    "BatchedSourceFilter",
     "FastAlternatingSourceFilter",
     "FastKAryPluralityFilter",
     "KAryConfig",

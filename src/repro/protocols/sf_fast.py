@@ -198,3 +198,105 @@ class FastSourceFilter:
             final_opinions=opinions,
             boost_trace=trace,
         )
+
+    # ------------------------------------------------------------------
+    # Replica batching
+    # ------------------------------------------------------------------
+    def _draw_weak_opinions_batch(
+        self, replicas: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        """The ``(R, n)`` analogue of :meth:`draw_weak_opinions`."""
+        cfg, sched = self.config, self.schedule
+        samples = sched.phase_rounds * sched.h
+        keep = 1.0 - self.sample_loss
+        q1 = keep * observe_one_probability(cfg.s1, cfg.n, self.delta)
+        q0 = keep * observe_one_probability(cfg.s0, cfg.n, self.delta)
+        counter1 = generator.binomial(samples, q1, size=(replicas, cfg.n))
+        counter0 = generator.binomial(samples, q0, size=(replicas, cfg.n))
+        weak = (counter1 > counter0).astype(np.int8)
+        ties = counter1 == counter0
+        if ties.any():
+            weak[ties] = generator.integers(0, 2, size=int(ties.sum())).astype(np.int8)
+        return weak
+
+    def _boost_step_batch(
+        self, opinions: np.ndarray, window: int, generator: np.random.Generator
+    ) -> np.ndarray:
+        """One majority sub-phase across all replicas at once.
+
+        The per-replica observation probability ``q`` broadcasts down the
+        agent axis, so the whole batch is two binomial draws regardless
+        of R — the same exactness argument as :meth:`boost_step`, applied
+        per replica.
+        """
+        n = self.config.n
+        k = (opinions == 1).sum(axis=1)  # (R,)
+        frac = k / n
+        q = frac * (1.0 - self.delta) + (1.0 - frac) * self.delta  # (R,)
+        if self.sample_loss > 0.0:
+            kept = generator.binomial(
+                window, 1.0 - self.sample_loss, size=opinions.shape
+            )
+            counts = generator.binomial(kept, q[:, None])
+            new = (2 * counts > kept).astype(np.int8)
+            ties = 2 * counts == kept
+        else:
+            counts = generator.binomial(window, q[:, None], size=opinions.shape)
+            new = (2 * counts > window).astype(np.int8)
+            ties = 2 * counts == window
+        if ties.any():
+            new[ties] = generator.integers(0, 2, size=int(ties.sum())).astype(np.int8)
+        return new
+
+    def run_batch(self, replicas: int, rng: RngLike = None) -> List[SFRunResult]:
+        """Execute ``replicas`` independent SF runs in batched numpy ops.
+
+        Distributionally identical to ``replicas`` calls of :meth:`run`
+        — every draw is the same Binomial, broadcast across a leading
+        replica axis — and reproducible for a fixed ``(rng, replicas)``
+        pair, but drawn from a single shared stream (results are not
+        stream-identical to serial :meth:`run` calls).
+
+        Returns one :class:`SFRunResult` per replica, in replica order.
+        """
+        if replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be a positive int, got {replicas}"
+            )
+        generator = as_generator(rng)
+        cfg, sched = self.config, self.schedule
+        correct = cfg.correct_opinion
+
+        weak = self._draw_weak_opinions_batch(replicas, generator)
+        if correct is not None:
+            weak_fraction = np.mean(weak == correct, axis=1)
+        else:
+            weak_fraction = np.full(replicas, 0.5)
+
+        opinions = weak.copy()
+        traces: List[List[float]] = [[] for _ in range(replicas)]
+        short_window = sched.subphase_rounds * sched.h
+        windows = [short_window] * sched.num_subphases + [sched.final_rounds * sched.h]
+        for window in windows:
+            opinions = self._boost_step_batch(opinions, window, generator)
+            if correct is not None:
+                fractions = np.mean(opinions == correct, axis=1)
+                for r in range(replicas):
+                    traces[r].append(float(fractions[r]))
+
+        converged = (
+            np.all(opinions == correct, axis=1)
+            if correct is not None
+            else np.zeros(replicas, dtype=bool)
+        )
+        return [
+            SFRunResult(
+                converged=bool(converged[r]),
+                total_rounds=sched.total_rounds,
+                weak_opinions=weak[r].copy(),
+                weak_fraction_correct=float(weak_fraction[r]),
+                final_opinions=opinions[r].copy(),
+                boost_trace=traces[r],
+            )
+            for r in range(replicas)
+        ]

@@ -292,3 +292,134 @@ class FastSelfStabilizingSourceFilter:
             final_weak_opinions=self.weak.copy(),
             trace=trace,
         )
+
+    # ------------------------------------------------------------------
+    # Replica batching
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        replicas: int,
+        max_rounds: Optional[int] = None,
+        rng: RngLike = None,
+        stop_on_consensus: bool = True,
+        consensus_epochs: int = 2,
+    ) -> List[SSFRunResult]:
+        """Simulate ``replicas`` independent clean-start SSF runs at once.
+
+        From a clean start every agent's buffer fills at the same ``h``
+        per round, so the flush clock is *global*: all agents of all
+        replicas update in lockstep and one epoch of the whole batch is a
+        single ``(R, n, 4)`` multinomial draw — the per-replica
+        observation distribution broadcasts down the agent axis.
+        Distributionally identical to ``replicas`` calls of :meth:`run`;
+        reproducible for a fixed ``(rng, replicas)``; replicas that reach
+        stable consensus leave the batch early.
+
+        Adversarial starts and ``sample_loss > 0`` desynchronize the
+        flush clocks across agents/replicas and are not supported here —
+        use :meth:`run` per replica for those.
+        """
+        if replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be a positive int, got {replicas}"
+            )
+        if self.sample_loss > 0.0:
+            raise ConfigurationError(
+                "run_batch requires sample_loss == 0 (lost samples "
+                "desynchronize the shared flush clock); use run() per replica"
+            )
+        generator = as_generator(rng)
+        cfg, sched = self.config, self.schedule
+        n, h, m = cfg.n, cfg.h, sched.m
+        correct = cfg.correct_opinion
+        if max_rounds is None:
+            max_rounds = 20 * sched.epoch_rounds
+        patience_rounds = consensus_epochs * sched.epoch_rounds
+
+        # Clean start, replica axis first (positional sources, as in reset).
+        opinion = generator.integers(0, 2, size=(replicas, n)).astype(np.int8)
+        opinion[:, : cfg.s0] = 0
+        opinion[:, cfg.s0 : cfg.num_sources] = 1
+        weak = opinion.copy()
+        memory = np.zeros((replicas, n, 4), dtype=np.int64)
+
+        num_sources = cfg.num_sources
+        scale = 1.0 - 4.0 * self.delta
+        active = np.arange(replicas)
+        consensus_start = np.full(replicas, -1, dtype=np.int64)
+        rounds_executed = np.zeros(replicas, dtype=np.int64)
+        traces: List[List[tuple]] = [[] for _ in range(replicas)]
+
+        fill = 0  # shared across agents and replicas from a clean start
+        t = 0
+        while t < max_rounds and active.size:
+            gap = max(int(np.ceil(max(m - fill, 1) / h)), 1)
+            gap = min(gap, max_rounds - t)
+            # Per-replica observation distribution from the display counts.
+            ones = (weak[active, num_sources:] == 1).sum(axis=1)  # (A,)
+            counts = np.zeros((active.size, 4), dtype=float)
+            counts[:, SYMBOL_SOURCE_0] = cfg.s0
+            counts[:, SYMBOL_SOURCE_1] = cfg.s1
+            counts[:, SYMBOL_NONSOURCE_1] = ones
+            counts[:, 0] = (n - num_sources) - ones
+            q = self.delta + (counts / n) * scale  # (A, 4)
+            memory[active] += generator.multinomial(
+                gap * h, q[:, None, :], size=(active.size, n)
+            )
+            fill += gap * h
+            t += gap
+            rounds_executed[active] = t
+            if fill >= m:
+                mem = memory[active]
+                flat_rng = generator
+                new_weak = majority_with_ties(
+                    mem[:, :, SYMBOL_SOURCE_1].ravel(),
+                    mem[:, :, SYMBOL_SOURCE_0].ravel(),
+                    flat_rng,
+                ).reshape(active.size, n)
+                vote1 = (mem[:, :, SYMBOL_NONSOURCE_1] + mem[:, :, SYMBOL_SOURCE_1]).ravel()
+                vote0 = (mem[:, :, 0] + mem[:, :, SYMBOL_SOURCE_0]).ravel()
+                new_opinion = majority_with_ties(vote1, vote0, flat_rng).reshape(
+                    active.size, n
+                )
+                weak[active] = new_weak
+                opinion[active] = new_opinion
+                memory[active] = 0
+                fill = 0
+                if correct is not None:
+                    fractions = np.mean(opinion[active] == correct, axis=1)
+                    in_consensus = fractions == 1.0
+                    consensus_start[active] = np.where(
+                        in_consensus,
+                        np.where(consensus_start[active] < 0, t - 1, consensus_start[active]),
+                        -1,
+                    )
+                    for i, r in enumerate(active):
+                        traces[r].append((t - 1, float(fractions[i])))
+                    if stop_on_consensus:
+                        keep = ~(
+                            (consensus_start[active] >= 0)
+                            & ((t - 1) - consensus_start[active] >= patience_rounds)
+                        )
+                        if not keep.all():
+                            active = active[keep]
+
+        return [
+            SSFRunResult(
+                converged=(
+                    correct is not None and bool(np.all(opinion[r] == correct))
+                ),
+                consensus_round=(
+                    int(consensus_start[r])
+                    if correct is not None
+                    and consensus_start[r] >= 0
+                    and bool(np.all(opinion[r] == correct))
+                    else None
+                ),
+                rounds_executed=int(rounds_executed[r]),
+                final_opinions=opinion[r].copy(),
+                final_weak_opinions=weak[r].copy(),
+                trace=traces[r],
+            )
+            for r in range(replicas)
+        ]

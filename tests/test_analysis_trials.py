@@ -5,7 +5,7 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.analysis import TrialStats, repeat_trials
+from repro.analysis import TrialStats, repeat_trials, run_trials
 
 
 @dataclasses.dataclass
@@ -94,3 +94,94 @@ class TestTrialStats:
         stats = TrialStats(trials=20, successes=20, values=[1.0] * 20)
         p, low, high = stats.success_interval()
         assert p == 1.0 and low > 0.8
+
+
+def _picklable_run_one(rng):
+    """Module-level so it can cross the ``workers`` process boundary."""
+    return FakeResult(
+        converged=bool(rng.random() < 0.7),
+        consensus_round=int(rng.integers(1, 100)),
+    )
+
+
+class FakeRunner:
+    """Engine stand-in with both per-trial and batched entry points."""
+
+    def __init__(self):
+        self.batch_calls = 0
+
+    def run(self, rng=None):
+        return _picklable_run_one(rng)
+
+    def run_batch(self, replicas, rng=None):
+        self.batch_calls += 1
+        generator = np.random.default_rng(rng)
+        return [_picklable_run_one(generator) for _ in range(replicas)]
+
+
+class TestWorkers:
+    def test_workers_bit_identical_to_serial(self):
+        serial = repeat_trials(_picklable_run_one, trials=24, seed=13)
+        for workers in (1, 2, 4):
+            parallel = repeat_trials(
+                _picklable_run_one, trials=24, seed=13, workers=workers
+            )
+            assert parallel.trials == serial.trials
+            assert parallel.successes == serial.successes
+            assert parallel.values == serial.values
+
+    def test_unpicklable_run_one_raises(self):
+        with pytest.raises(TypeError, match="picklable"):
+            repeat_trials(lambda rng: FakeResult(True), trials=4, seed=0, workers=2)
+
+    def test_unpicklable_measure_raises(self):
+        with pytest.raises(TypeError, match="picklable"):
+            repeat_trials(
+                _picklable_run_one,
+                trials=4,
+                seed=0,
+                measure=lambda r: 1.0,
+                workers=2,
+            )
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            repeat_trials(_picklable_run_one, trials=4, seed=0, workers=0)
+
+
+class TestRunTrials:
+    def test_prefers_run_batch_when_serial(self):
+        runner = FakeRunner()
+        stats = run_trials(runner, 10, seed=3)
+        assert runner.batch_calls == 1
+        assert stats.trials == 10
+        # Batched draws are reproducible for a fixed (seed, trials).
+        again = run_trials(FakeRunner(), 10, seed=3)
+        assert stats.successes == again.successes and stats.values == again.values
+
+    def test_batch_false_matches_repeat_trials(self):
+        runner = FakeRunner()
+        stats = run_trials(runner, 10, seed=3, batch=False)
+        assert runner.batch_calls == 0
+        baseline = repeat_trials(_picklable_run_one, trials=10, seed=3)
+        assert stats.successes == baseline.successes
+        assert stats.values == baseline.values
+
+    def test_workers_matches_serial_per_trial(self):
+        parallel = run_trials(FakeRunner(), 10, seed=3, workers=2)
+        serial = run_trials(FakeRunner(), 10, seed=3, batch=False)
+        assert parallel.successes == serial.successes
+        assert parallel.values == serial.values
+
+    def test_runner_without_run_batch_falls_back(self):
+        class PlainRunner:
+            def run(self, rng=None):
+                return _picklable_run_one(rng)
+
+        stats = run_trials(PlainRunner(), 6, seed=1)
+        baseline = repeat_trials(_picklable_run_one, trials=6, seed=1)
+        assert stats.successes == baseline.successes
+
+    def test_trials_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_trials(FakeRunner(), 0)

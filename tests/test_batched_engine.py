@@ -1,0 +1,264 @@
+"""Tests for the replica-batched exact engine (repro.model.batched_engine)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.model import (
+    BatchedPullEngine,
+    BatchedPullProtocol,
+    Population,
+    PopulationConfig,
+    PullEngine,
+)
+from repro.noise import NoiseMatrix
+from repro.protocols import BatchedSourceFilter, SFSchedule, SourceFilterProtocol
+from repro.rng import spawn_generators
+from repro.types import SourceCounts
+
+
+class BatchedRecordingProtocol(BatchedPullProtocol):
+    """Batched twin of test_engine.RecordingProtocol: fixed displays,
+    every replica adopts the correct opinion after ``adopt_round``."""
+
+    alphabet_size = 2
+
+    def __init__(self, display_value: int = 1, adopt_round: int = None):
+        self.display_value = display_value
+        self.adopt_round = adopt_round
+        self.received = []
+        self._opinions = None
+        self._population = None
+
+    def reset(self, population, rngs):
+        self._population = population
+        self._opinions = np.zeros((len(rngs), population.n), dtype=np.int8)
+
+    def displays(self, round_index):
+        shape = self._opinions.shape
+        return np.full(shape, self.display_value, dtype=np.int64)
+
+    def receive(self, round_index, observations, replicas):
+        self.received.append((round_index, observations.copy(), replicas.copy()))
+        if self.adopt_round is not None and round_index >= self.adopt_round:
+            self._opinions[replicas] = self._population.correct_opinion
+
+    def opinions(self):
+        return self._opinions
+
+
+class StaggeredAdoptProtocol(BatchedRecordingProtocol):
+    """Replica r adopts the correct opinion after round ``base + r``."""
+
+    def __init__(self, base: int):
+        super().__init__()
+        self.base = base
+
+    def receive(self, round_index, observations, replicas):
+        for i, r in enumerate(replicas):
+            if round_index >= self.base + r:
+                self._opinions[r] = self._population.correct_opinion
+
+
+class FixedHorizonBatchedProtocol(BatchedRecordingProtocol):
+    def __init__(self, horizon: int):
+        super().__init__()
+        self.horizon = horizon
+
+    def finished(self, round_index):
+        return round_index >= self.horizon
+
+
+@pytest.fixture
+def config():
+    return PopulationConfig(n=48, sources=SourceCounts(1, 3), h=4)
+
+
+@pytest.fixture
+def population(config):
+    return Population(config, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def noise():
+    return NoiseMatrix.uniform(0.2, 2)
+
+
+@pytest.fixture
+def batched(population, noise):
+    return BatchedPullEngine(population, noise)
+
+
+@pytest.fixture
+def schedule(config):
+    return SFSchedule.from_config(config, 0.2, m=24)
+
+
+class TestSpawnModeBitIdentity:
+    """spawn mode must reproduce serial PullEngine runs exactly."""
+
+    REPLICAS = 4
+    SEED = 421
+
+    def _serial_results(self, population, noise, schedule):
+        engine = PullEngine(population, noise)
+        results = []
+        for generator in spawn_generators(self.SEED, self.REPLICAS):
+            protocol = SourceFilterProtocol(schedule)
+            results.append(
+                engine.run(protocol, max_rounds=schedule.total_rounds, rng=generator)
+            )
+        return results
+
+    def test_full_run_bit_identical(self, population, noise, batched, schedule):
+        serial = self._serial_results(population, noise, schedule)
+        batch = batched.run(
+            BatchedSourceFilter(schedule),
+            max_rounds=schedule.total_rounds,
+            replicas=self.REPLICAS,
+            rng=self.SEED,
+        )
+        assert len(batch) == self.REPLICAS
+        for s, b in zip(serial, batch):
+            assert np.array_equal(s.final_opinions, b.final_opinions)
+            assert s.converged == b.converged
+            assert s.consensus_round == b.consensus_round
+            assert s.rounds_executed == b.rounds_executed
+
+    def test_split_invariance(self, batched, schedule):
+        """Any split of R replicas across calls yields the same runs."""
+        whole = batched.run(
+            BatchedSourceFilter(schedule),
+            max_rounds=schedule.total_rounds,
+            replicas=self.REPLICAS,
+            rng=self.SEED,
+        )
+        seqs = np.random.SeedSequence(self.SEED).spawn(self.REPLICAS)
+        first = batched.run(
+            BatchedSourceFilter(schedule),
+            max_rounds=schedule.total_rounds,
+            seed_sequences=seqs[:1],
+        )
+        rest = batched.run(
+            BatchedSourceFilter(schedule),
+            max_rounds=schedule.total_rounds,
+            seed_sequences=seqs[1:],
+        )
+        split = first + rest
+        for a, b in zip(whole, split):
+            assert np.array_equal(a.final_opinions, b.final_opinions)
+            assert a.consensus_round == b.consensus_round
+
+
+class TestSharedMode:
+    def test_reproducible(self, batched, schedule):
+        kwargs = dict(
+            max_rounds=schedule.total_rounds, replicas=3, rng=7, rng_mode="shared"
+        )
+        a = batched.run(BatchedSourceFilter(schedule), **kwargs)
+        b = batched.run(BatchedSourceFilter(schedule), **kwargs)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.final_opinions, y.final_opinions)
+            assert x.consensus_round == y.consensus_round
+
+    def test_replicas_draw_independent_observations(self, batched):
+        protocol = BatchedRecordingProtocol()
+        batched.run(protocol, max_rounds=1, replicas=6, rng=7, rng_mode="shared")
+        (_, observations, _) = protocol.received[0]
+        assert any(
+            not np.array_equal(observations[0], observations[i])
+            for i in range(1, 6)
+        )
+
+
+class TestConsensusSemantics:
+    def test_consensus_round_matches_serial_convention(self, batched):
+        results = batched.run(
+            BatchedRecordingProtocol(adopt_round=3), max_rounds=10, replicas=2, rng=1
+        )
+        for r in results:
+            assert r.converged
+            assert r.consensus_round == 3
+            assert r.rounds_executed == 10
+
+    def test_stop_on_consensus_per_replica(self, batched):
+        results = batched.run(
+            StaggeredAdoptProtocol(base=2),
+            max_rounds=100,
+            replicas=3,
+            rng=1,
+            stop_on_consensus=True,
+        )
+        # Replica r adopts after round 2 + r and stops right there.
+        assert [r.rounds_executed for r in results] == [3, 4, 5]
+        assert [r.consensus_round for r in results] == [2, 3, 4]
+
+    def test_consensus_patience(self, batched):
+        results = batched.run(
+            BatchedRecordingProtocol(adopt_round=2),
+            max_rounds=100,
+            replicas=2,
+            rng=1,
+            stop_on_consensus=True,
+            consensus_patience=5,
+        )
+        assert all(r.rounds_executed == 8 for r in results)
+
+    def test_fixed_horizon(self, batched):
+        results = batched.run(
+            FixedHorizonBatchedProtocol(horizon=4), max_rounds=10, replicas=2, rng=1
+        )
+        assert all(r.rounds_executed == 4 for r in results)
+
+    def test_trace_recording(self, batched):
+        results = batched.run(
+            BatchedRecordingProtocol(adopt_round=3),
+            max_rounds=6,
+            replicas=2,
+            rng=1,
+            record_trace=True,
+        )
+        for r in results:
+            assert len(r.trace) == 6
+            assert r.trace[0].fraction_correct < 1.0
+            assert r.trace[5].fraction_correct == 1.0
+
+
+class TestValidation:
+    def test_live_generator_rejected(self, batched):
+        with pytest.raises(TypeError):
+            batched.run(
+                BatchedRecordingProtocol(),
+                max_rounds=2,
+                replicas=2,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_replicas_seed_sequences_mismatch(self, batched):
+        seqs = np.random.SeedSequence(0).spawn(3)
+        with pytest.raises(ValueError):
+            batched.run(
+                BatchedRecordingProtocol(),
+                max_rounds=2,
+                replicas=2,
+                seed_sequences=seqs,
+            )
+
+    def test_missing_replicas(self, batched):
+        with pytest.raises(ValueError):
+            batched.run(BatchedRecordingProtocol(), max_rounds=2, rng=0)
+
+    def test_bad_rng_mode(self, batched):
+        with pytest.raises(ValueError):
+            batched.run(
+                BatchedRecordingProtocol(),
+                max_rounds=2,
+                replicas=2,
+                rng=0,
+                rng_mode="turbo",
+            )
+
+    def test_alphabet_mismatch(self, population):
+        engine = BatchedPullEngine(population, NoiseMatrix.uniform(0.1, 4))
+        with pytest.raises(ProtocolError):
+            engine.run(BatchedRecordingProtocol(), max_rounds=2, replicas=2, rng=0)

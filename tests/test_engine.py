@@ -39,6 +39,18 @@ class RecordingProtocol(PullProtocol):
         return self._opinions
 
 
+class TransientConsensusProtocol(RecordingProtocol):
+    """Holds consensus during rounds [2, 4), loses it, regains it from 6."""
+
+    def receive(self, round_index, observations):
+        n = self._population.n
+        correct = self._population.correct_opinion
+        if 2 <= round_index < 4 or round_index >= 6:
+            self._opinions = np.full(n, correct, dtype=np.int8)
+        else:
+            self._opinions = np.full(n, 1 - correct, dtype=np.int8)
+
+
 class FixedHorizonProtocol(RecordingProtocol):
     def __init__(self, horizon: int):
         super().__init__()
@@ -126,6 +138,20 @@ class TestConsensusTracking:
             consensus_patience=5,
         )
         assert result.rounds_executed == 8
+
+    def test_transient_consensus_resets_consensus_round(self, engine, rng):
+        """consensus_round marks the *final* streak: consensus held in
+        rounds 2-3, was lost, and held again from round 6 to the end."""
+        result = engine.run(TransientConsensusProtocol(), max_rounds=8, rng=rng)
+        assert result.converged
+        assert result.consensus_round == 6
+
+    def test_run_ending_out_of_consensus_reports_none(self, engine, rng):
+        """A transient streak alone never sets consensus_round: the run
+        stops at round 5, after consensus was lost again."""
+        result = engine.run(TransientConsensusProtocol(), max_rounds=6, rng=rng)
+        assert not result.converged
+        assert result.consensus_round is None
 
     def test_trace_recording(self, engine, rng):
         protocol = RecordingProtocol(adopt_round=3)

@@ -182,3 +182,54 @@ class TestComposeAndEquality:
     def test_inequality(self):
         assert NoiseMatrix.uniform(0.2, 2) != NoiseMatrix.uniform(0.3, 2)
         assert NoiseMatrix.uniform(0.2, 2) != "not a matrix"
+
+
+class TestCorruptValidateFlag:
+    """``validate=False`` must change only the cost, never the stream."""
+
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_same_stream_same_output(self, size):
+        noise = NoiseMatrix.uniform(0.2 / (size / 2), size)
+        messages = np.random.default_rng(3).integers(0, size, size=2000)
+        checked = noise.corrupt(messages, np.random.default_rng(5))
+        unchecked = noise.corrupt(messages, np.random.default_rng(5), validate=False)
+        assert np.array_equal(checked, unchecked)
+
+    def test_out_of_alphabet_rejected_only_when_validating(self):
+        noise = NoiseMatrix.uniform(0.2, 2)
+        bad = np.array([0, 1, 2])
+        with pytest.raises(NoiseMatrixError):
+            noise.corrupt(bad, np.random.default_rng(0))
+        # validate=False trusts the caller's contract: no range scan, so
+        # no error (the binary path treats any nonzero symbol as 1).
+        out = noise.corrupt(bad, np.random.default_rng(0), validate=False)
+        assert out.shape == bad.shape
+
+
+class TestCorruptWithUniforms:
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_matches_corrupt_stream(self, size):
+        """corrupt() == one random() block + corrupt_with_uniforms()."""
+        noise = NoiseMatrix.uniform(0.2 / (size / 2), size)
+        messages = np.random.default_rng(3).integers(0, size, size=1500)
+        direct = noise.corrupt(messages, np.random.default_rng(5))
+        uniforms = np.random.default_rng(5).random(messages.size)
+        split = noise.corrupt_with_uniforms(messages, uniforms)
+        assert np.array_equal(direct, split)
+
+    def test_output_dtype(self):
+        noise = NoiseMatrix.uniform(0.2, 2)
+        messages = np.zeros((4, 5), dtype=np.int64)
+        out = noise.corrupt_with_uniforms(
+            messages, np.random.default_rng(0).random(20), dtype=np.int8
+        )
+        assert out.dtype == np.int8
+        assert out.shape == (4, 5)
+
+    def test_marginals_match_matrix(self):
+        noise = NoiseMatrix.uniform(0.1, 4)
+        rng = np.random.default_rng(11)
+        messages = np.full(200_000, 2)
+        out = noise.corrupt_with_uniforms(messages, rng.random(messages.size))
+        freq = np.bincount(out, minlength=4) / messages.size
+        assert np.allclose(freq, noise.matrix[2], atol=0.01)

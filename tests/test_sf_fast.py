@@ -165,3 +165,40 @@ class TestRun:
         engine = FastSourceFilter(config(n=512), 0.25)
         outcomes = [engine.run(rng=seed).converged for seed in range(30)]
         assert sum(outcomes) == 30
+
+
+class TestRunBatch:
+    def test_shapes_and_replica_count(self):
+        engine = FastSourceFilter(config(n=128, h=8), 0.2)
+        results = engine.run_batch(5, rng=0)
+        assert len(results) == 5
+        for r in results:
+            assert r.final_opinions.shape == (128,)
+            assert r.weak_opinions.shape == (128,)
+            assert len(r.boost_trace) == engine.schedule.num_subphases + 1
+            assert r.total_rounds == engine.schedule.total_rounds
+
+    def test_reproducible(self):
+        engine = FastSourceFilter(config(n=128, h=8), 0.2)
+        a = engine.run_batch(6, rng=42)
+        b = engine.run_batch(6, rng=42)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.final_opinions, y.final_opinions)
+            assert x.weak_fraction_correct == y.weak_fraction_correct
+            assert x.boost_trace == y.boost_trace
+
+    def test_converges_like_serial(self):
+        engine = FastSourceFilter(config(n=256), 0.2)
+        batch = engine.run_batch(8, rng=1)
+        assert all(r.converged for r in batch)
+        assert all(engine.run(rng=100 + i).converged for i in range(8))
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FastSourceFilter(config(), 0.2).run_batch(0)
+
+    def test_with_sample_loss(self):
+        engine = FastSourceFilter(config(n=256), 0.2, sample_loss=0.1)
+        results = engine.run_batch(4, rng=2)
+        assert len(results) == 4
+        assert all(r.final_opinions.shape == (256,) for r in results)
