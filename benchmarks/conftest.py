@@ -31,21 +31,44 @@ ENGINE_THROUGHPUT_JSON = pathlib.Path(__file__).parent.parent / (
 )
 
 
+#: Telemetry-overhead measurements, filled in by
+#: ``bench_telemetry_overhead.py`` and flushed to
+#: ``BENCH_telemetry_overhead.json`` at the repo root alongside the
+#: engine-throughput record.
+TELEMETRY_OVERHEAD_RESULTS: List[Dict[str, object]] = []
+
+TELEMETRY_OVERHEAD_JSON = pathlib.Path(__file__).parent.parent / (
+    "BENCH_telemetry_overhead.json"
+)
+
+
 def record_engine_throughput(case: Dict[str, object]) -> None:
     """Queue one throughput measurement for the end-of-session JSON."""
     ENGINE_THROUGHPUT_RESULTS.append(case)
 
 
+def record_telemetry_overhead(case: Dict[str, object]) -> None:
+    """Queue one telemetry-overhead measurement for the session JSON."""
+    TELEMETRY_OVERHEAD_RESULTS.append(case)
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not ENGINE_THROUGHPUT_RESULTS:
-        return
-    payload = {
-        "benchmark": "engine_throughput",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "cases": ENGINE_THROUGHPUT_RESULTS,
-    }
-    ENGINE_THROUGHPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    if ENGINE_THROUGHPUT_RESULTS:
+        payload = {
+            "benchmark": "engine_throughput",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cases": ENGINE_THROUGHPUT_RESULTS,
+        }
+        ENGINE_THROUGHPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    if TELEMETRY_OVERHEAD_RESULTS:
+        payload = {
+            "benchmark": "telemetry_overhead",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cases": TELEMETRY_OVERHEAD_RESULTS,
+        }
+        TELEMETRY_OVERHEAD_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def emit_table(

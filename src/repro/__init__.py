@@ -70,6 +70,21 @@ from .theory import (
     sf_upper_bound_rounds,
     ssf_upper_bound_rounds,
 )
+from .results import (
+    RunReport,
+    read_reports_jsonl,
+    report_from_dict,
+    write_reports_jsonl,
+)
+from .telemetry import (
+    NULL_TELEMETRY,
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+    Telemetry,
+    TelemetrySink,
+)
+from .types import coerce_rng, coerce_seed
 
 __version__ = "1.0.0"
 
@@ -79,6 +94,18 @@ __all__ = [
     "BatchedSourceFilter",
     "ClassicCopySpreading",
     "ConfigurationError",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_TELEMETRY",
+    "RunReport",
+    "SummarySink",
+    "Telemetry",
+    "TelemetrySink",
+    "coerce_rng",
+    "coerce_seed",
+    "read_reports_jsonl",
+    "report_from_dict",
+    "write_reports_jsonl",
     "ConvergenceError",
     "FastSelfStabilizingSourceFilter",
     "FastSourceFilter",

@@ -7,7 +7,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 
 
 def median_and_iqr(values: Sequence[float]) -> Tuple[float, float, float]:
@@ -36,7 +36,7 @@ def bootstrap_ci(
         raise ValueError("cannot bootstrap an empty sample")
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
-    generator = as_generator(rng)
+    generator = coerce_rng(rng)
     point = float(statistic(arr))
     if arr.size == 1:
         return point, point, point

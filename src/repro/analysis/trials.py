@@ -19,12 +19,17 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import inspect
+import os
 import pickle
+import time
 from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..rng import spawn_generators, spawn_seeds
+from ..telemetry import AggregatingSink, Telemetry, ensure_telemetry
+from ..types import RngLike, coerce_seed
 from .stats import bootstrap_ci, median_and_iqr, wilson_interval
 
 
@@ -87,17 +92,46 @@ def _default_measure(result: "object") -> float:
     return float(value)
 
 
-def _run_single_trial(run_one, seed_sequence, success, measure):
-    """One worker task: run trial, reduce to (success, measurement).
+def _accepts_telemetry(fn: Callable) -> bool:
+    """Whether ``fn`` takes a ``telemetry=`` keyword (by signature)."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    return "telemetry" in signature.parameters
+
+
+def _call_trial(run_one, generator, telemetry: Optional[Telemetry]):
+    """Invoke one trial, threading telemetry through when accepted."""
+    if telemetry is not None and _accepts_telemetry(run_one):
+        return run_one(generator, telemetry=telemetry)
+    return run_one(generator)
+
+
+def _run_single_trial(run_one, seed_sequence, success, measure, collect=False):
+    """One worker task: run trial, reduce to (success, measurement, snapshot).
 
     Module-level (not a closure) so :mod:`pickle` can ship it to pool
     workers; reducing inside the worker keeps large result payloads
-    (opinion vectors, traces) out of the inter-process pipe.
+    (opinion vectors, traces) out of the inter-process pipe.  With
+    ``collect=True`` the worker aggregates the trial's telemetry into an
+    in-memory sink and ships the plain-dict snapshot (plus its pid and
+    the trial's wall time) back for the parent to merge.
     """
-    result = run_one(np.random.default_rng(seed_sequence))
+    snapshot = None
+    if collect:
+        sink = AggregatingSink()
+        local = Telemetry([sink])
+        start = time.perf_counter()
+        result = _call_trial(run_one, np.random.default_rng(seed_sequence), local)
+        local.observe("trials.trial_seconds", time.perf_counter() - start)
+        snapshot = sink.snapshot()
+        snapshot["pid"] = os.getpid()
+    else:
+        result = run_one(np.random.default_rng(seed_sequence))
     if success(result):
-        return True, measure(result)
-    return False, 0.0
+        return True, measure(result), snapshot
+    return False, 0.0, snapshot
 
 
 def _check_picklable(workers: int, **callables) -> None:
@@ -115,14 +149,40 @@ def _check_picklable(workers: int, **callables) -> None:
 
 
 def _aggregate(outcomes, trials: int) -> TrialStats:
-    """Fold ordered (success, measurement) pairs into TrialStats."""
+    """Fold ordered (success, measurement, ...) tuples into TrialStats."""
     successes = 0
     values: List[float] = []
-    for ok, value in outcomes:
+    for outcome in outcomes:
+        ok, value = outcome[0], outcome[1]
         if ok:
             successes += 1
             values.append(float(value))
     return TrialStats(trials=trials, successes=successes, values=values)
+
+
+def _merge_worker_snapshots(telemetry: Telemetry, outcomes) -> None:
+    """Fold worker snapshots into the parent recorder, per-worker tagged.
+
+    Counters/gauges/histograms/phases merge with a ``worker=<pid>`` tag;
+    afterwards one ``trials.worker_throughput`` gauge per worker reports
+    its trials per second of busy time.
+    """
+    busy: dict = {}
+    count: dict = {}
+    for outcome in outcomes:
+        snapshot = outcome[2]
+        if not snapshot:
+            continue
+        pid = snapshot.pop("pid", None)
+        telemetry.merge_snapshot(snapshot, worker=pid)
+        seconds = sum(snapshot.get("histograms", {}).get("trials.trial_seconds", ()))
+        busy[pid] = busy.get(pid, 0.0) + seconds
+        count[pid] = count.get(pid, 0) + 1
+    for pid, seconds in busy.items():
+        if seconds > 0:
+            telemetry.gauge(
+                "trials.worker_throughput", count[pid] / seconds, worker=pid
+            )
 
 
 def repeat_trials(
@@ -133,6 +193,8 @@ def repeat_trials(
     measure: Callable[["object"], float] = None,
     *,
     workers: Optional[int] = None,
+    rng: RngLike = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TrialStats:
     """Run ``run_one`` on ``trials`` independent generators and aggregate.
 
@@ -140,7 +202,8 @@ def repeat_trials(
     ----------
     run_one:
         Called once per trial with a fresh independent generator; returns
-        any result object.
+        any result object.  When it accepts a ``telemetry=`` keyword, the
+        active recorder is threaded through.
     success:
         Predicate extracting convergence from a result; defaults to the
         result's ``converged`` attribute.
@@ -156,33 +219,72 @@ def repeat_trials(
         ``measure``) must then be picklable — module-level functions or
         callable objects, not lambdas; a :class:`TypeError` is raised
         otherwise.
+    rng:
+        Alternative spelling of the master seed (any
+        :data:`~repro.types.RngLike`), reconciled with ``seed`` via
+        :func:`repro.types.coerce_seed`.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` recorder.  Serial
+        trials record into it directly; pool workers aggregate locally
+        and the parent merges their snapshots with ``worker=<pid>`` tags
+        (plus a per-worker ``trials.worker_throughput`` gauge).
+        RNG-neutral: statistics are bit-identical with or without it.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be a positive int, got {workers}")
+    seed = coerce_seed(seed, rng)
     if success is None:
         success = _default_success
     if measure is None:
         measure = _default_measure
+    tele = ensure_telemetry(telemetry)
 
     if workers is not None and workers > 1:
         _check_picklable(workers, run_one=run_one, success=success, measure=measure)
         seeds = spawn_seeds(seed, trials)
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_single_trial, run_one, s, success, measure)
-                for s in seeds
-            ]
-            outcomes = [f.result() for f in futures]  # index order
-        return _aggregate(outcomes, trials)
+        with tele.phase("trials.repeat_trials", trials=trials, workers=workers):
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _run_single_trial, run_one, s, success, measure,
+                        tele.enabled,
+                    )
+                    for s in seeds
+                ]
+                outcomes = [f.result() for f in futures]  # index order
+        if tele.enabled:
+            _merge_worker_snapshots(tele, outcomes)
+        stats = _aggregate(outcomes, trials)
+        if tele.enabled:
+            tele.counter("trials.completed", trials)
+            tele.counter("trials.succeeded", stats.successes)
+        return stats
 
     outcomes = []
-    for generator in spawn_generators(seed, trials):
-        result = run_one(generator)
-        ok = success(result)
-        outcomes.append((ok, measure(result) if ok else 0.0))
-    return _aggregate(outcomes, trials)
+    busy = 0.0
+    with tele.phase("trials.repeat_trials", trials=trials, workers=1):
+        for generator in spawn_generators(seed, trials):
+            if tele.enabled:
+                start = time.perf_counter()
+                result = _call_trial(run_one, generator, tele)
+                elapsed = time.perf_counter() - start
+                busy += elapsed
+                tele.observe("trials.trial_seconds", elapsed)
+            else:
+                result = run_one(generator)
+            ok = success(result)
+            outcomes.append((ok, measure(result) if ok else 0.0))
+    stats = _aggregate(outcomes, trials)
+    if tele.enabled:
+        tele.counter("trials.completed", trials)
+        tele.counter("trials.succeeded", stats.successes)
+        if busy > 0:
+            tele.gauge(
+                "trials.worker_throughput", trials / busy, worker="main"
+            )
+    return stats
 
 
 class _EngineTrial:
@@ -190,13 +292,20 @@ class _EngineTrial:
 
     A module-level class (unlike ``lambda g: runner.run(rng=g)``) survives
     the pickle round-trip to pool workers; the runner itself ships along
-    as instance state.
+    as instance state.  The trial runner's recorder is threaded through to
+    engines whose ``run`` accepts ``telemetry=``.
     """
 
     def __init__(self, runner: "object") -> None:
         self.runner = runner
 
-    def __call__(self, generator: np.random.Generator) -> "object":
+    def __call__(
+        self,
+        generator: np.random.Generator,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "object":
+        if telemetry is not None and _accepts_telemetry(self.runner.run):
+            return self.runner.run(rng=generator, telemetry=telemetry)
         return self.runner.run(rng=generator)
 
 
@@ -209,6 +318,8 @@ def run_trials(
     batch: bool = True,
     success: Callable[["object"], bool] = None,
     measure: Callable[["object"], float] = None,
+    rng: RngLike = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> TrialStats:
     """Monte-Carlo trials of an engine object, fastest backend first.
 
@@ -227,9 +338,15 @@ def run_trials(
        :func:`repeat_trials` — bit-identical to the serial per-trial run.
     3. Otherwise: serial per-trial loop, the :func:`repeat_trials`
        baseline.
+
+    ``rng`` is the alternative master-seed spelling (reconciled with
+    ``seed`` via :func:`repro.types.coerce_seed`); ``telemetry`` is
+    threaded to the engine and the per-trial machinery exactly as in
+    :func:`repeat_trials`.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
+    seed = coerce_seed(seed, rng)
     use_batch = (
         batch and (workers is None or workers <= 1) and hasattr(runner, "run_batch")
     )
@@ -238,9 +355,22 @@ def run_trials(
             success = _default_success
         if measure is None:
             measure = _default_measure
-        results = runner.run_batch(trials, rng=seed)
+        tele = ensure_telemetry(telemetry)
+        if tele.enabled:
+            start = time.perf_counter()
+            if _accepts_telemetry(runner.run_batch):
+                results = runner.run_batch(trials, rng=seed, telemetry=tele)
+            else:
+                results = runner.run_batch(trials, rng=seed)
+            tele.observe("trials.batch_seconds", time.perf_counter() - start)
+        else:
+            results = runner.run_batch(trials, rng=seed)
         outcomes = [(success(r), measure(r) if success(r) else 0.0) for r in results]
-        return _aggregate(outcomes, trials)
+        stats = _aggregate(outcomes, trials)
+        if tele.enabled:
+            tele.counter("trials.completed", trials)
+            tele.counter("trials.succeeded", stats.successes)
+        return stats
     return repeat_trials(
         _EngineTrial(runner),
         trials,
@@ -248,4 +378,5 @@ def run_trials(
         success=success,
         measure=measure,
         workers=workers,
+        telemetry=telemetry,
     )

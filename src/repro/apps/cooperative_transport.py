@@ -26,11 +26,12 @@ import numpy as np
 
 from ..model.config import PopulationConfig
 from ..protocols.sf_fast import FastSourceFilter
-from ..types import RngLike, SourceCounts, as_generator
+from ..results import RunReport
+from ..types import RngLike, SourceCounts, coerce_rng
 
 
 @dataclasses.dataclass
-class TransportResult:
+class TransportResult(RunReport):
     """Outcome of one cooperative-transport simulation.
 
     Attributes
@@ -47,10 +48,15 @@ class TransportResult:
         Per-round mean pull of the group (before sensing noise).
     """
 
+    _success_attr = "aligned"
+
     aligned: bool
     epochs_to_alignment: int
     positions: np.ndarray
     velocities: np.ndarray
+
+    def _rounds_value(self) -> int:
+        return len(self.velocities)
 
 
 class CooperativeTransport:
@@ -87,7 +93,7 @@ class CooperativeTransport:
 
     def run(self, rng: RngLike = None) -> TransportResult:
         """Run one transport episode and derive the load trajectory."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         protocol = FastSourceFilter(self.config, self.delta)
         result = protocol.run(generator)
         sched = protocol.schedule

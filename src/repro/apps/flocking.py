@@ -24,11 +24,12 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..model.config import PopulationConfig
 from ..protocols.sf_fast import FastSourceFilter
-from ..types import RngLike, SourceCounts, as_generator
+from ..results import RunReport
+from ..types import RngLike, SourceCounts, coerce_rng
 
 
 @dataclasses.dataclass
-class FlockResult:
+class FlockResult(RunReport):
     """Outcome of one flock-alignment episode.
 
     Attributes
@@ -41,6 +42,8 @@ class FlockResult:
         Goal-ward polarization after each boosting stage, in [-1, 1]
         (1 = unanimous towards the goal).
     """
+
+    _success_attr = "aligned"
 
     aligned: bool
     rounds: int
@@ -82,7 +85,7 @@ class FlockConsensus:
 
     def run(self, rng: RngLike = None) -> FlockResult:
         """One alignment episode."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         engine = FastSourceFilter(self.config, self.delta)
         result = engine.run(generator)
         weak_polarization = 2.0 * float(np.mean(result.weak_opinions == 1)) - 1.0
@@ -112,7 +115,7 @@ def visual_range_sweep(
     Returns one row per range with the round horizon and the outcome —
     the flocking instantiation of experiment E2's linear speedup.
     """
-    generator = as_generator(rng)
+    generator = coerce_rng(rng)
     rows = []
     for h in ranges:
         flock = FlockConsensus(

@@ -24,11 +24,12 @@ from ..exceptions import ConfigurationError
 from ..model.config import PopulationConfig
 from ..protocols.sf_fast import FastSourceFilter
 from ..protocols.ssf_fast import FastSelfStabilizingSourceFilter
-from ..types import RngLike, SourceCounts, as_generator
+from ..results import RunReport
+from ..types import RngLike, SourceCounts, coerce_rng
 
 
 @dataclasses.dataclass
-class HouseHuntingResult:
+class HouseHuntingResult(RunReport):
     """Outcome of one house-hunting episode.
 
     Attributes
@@ -45,12 +46,17 @@ class HouseHuntingResult:
         Round horizon the spreading protocol used.
     """
 
+    _rounds_attr = "spreading_rounds"
+
     chosen_site: Optional[int]
     better_site: int
     scouts_for_better: int
     scouts_for_worse: int
     colony_unanimous: bool
     spreading_rounds: int
+
+    def _success_value(self) -> bool:
+        return self.colony_unanimous and self.chosen_site == self.better_site
 
 
 class HouseHunting:
@@ -100,7 +106,7 @@ class HouseHunting:
         standard-Gaussian errors and prefers the higher estimate; site 1
         is better by ``quality_gap``.
         """
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         estimates_0 = generator.normal(0.0, 1.0, size=self.num_scouts)
         estimates_1 = generator.normal(self.quality_gap, 1.0, size=self.num_scouts)
         prefers_1 = int(np.sum(estimates_1 > estimates_0))
@@ -108,7 +114,7 @@ class HouseHunting:
 
     def run(self, rng: RngLike = None) -> HouseHuntingResult:
         """One full episode: assessment, then spreading, then the verdict."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         scouts = self.assess_sites(generator)
         if scouts.bias == 0:
             # A split jury: re-assess (real colonies keep scouting too).

@@ -24,11 +24,12 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..model.config import PopulationConfig
 from ..protocols.ssf_fast import FastSelfStabilizingSourceFilter
-from ..types import RngLike, SourceCounts, as_generator
+from ..results import RunReport
+from ..types import RngLike, SourceCounts, coerce_rng
 
 
 @dataclasses.dataclass
-class SensorNetworkResult:
+class SensorNetworkResult(RunReport):
     """Outcome of one detection-and-agreement episode.
 
     Attributes
@@ -44,6 +45,9 @@ class SensorNetworkResult:
     gossip_rounds:
         Communication rounds the agreement took.
     """
+
+    _success_attr = "correct"
+    _rounds_attr = "gossip_rounds"
 
     event_present: bool
     true_detections: int
@@ -108,7 +112,7 @@ class SensorNetwork:
 
     def sense(self, event_present: bool, rng: RngLike = None):
         """Local detection phase: returns (true_detections, false_detections)."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         in_range = int(round(self.coverage * self.num_sensors))
         true_hits = (
             int(generator.binomial(in_range, self.detection_rate))
@@ -130,7 +134,7 @@ class SensorNetwork:
         semantics then implement exactly "alarm iff detectors > quorum",
         with ties resolved conservatively (no alarm).
         """
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         true_hits, false_hits = self.sense(event_present, generator)
         detectors = true_hits + false_hits
         s1 = min(detectors, self.num_sensors // 8)

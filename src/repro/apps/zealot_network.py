@@ -18,11 +18,12 @@ from ..baselines.voter import NoisyVoterModel
 from ..model.config import PopulationConfig
 from ..protocols.sf_fast import FastSourceFilter
 from ..protocols.ssf_fast import FastSelfStabilizingSourceFilter
-from ..types import RngLike, SourceCounts, as_generator
+from ..results import RunReport
+from ..types import RngLike, SourceCounts, coerce_rng
 
 
 @dataclasses.dataclass
-class ZealotComparison:
+class ZealotComparison(RunReport):
     """Per-dynamics convergence outcomes on one zealot instance.
 
     ``rounds`` maps dynamics name to the round count it needed (or the
@@ -34,6 +35,9 @@ class ZealotComparison:
     delta: float
     rounds: Dict[str, int]
     converged: Dict[str, bool]
+
+    def _success_value(self) -> bool:
+        return all(self.converged.values())
 
 
 def compare_zealot_dynamics(
@@ -54,7 +58,7 @@ def compare_zealot_dynamics(
     """
     import math
 
-    generator = as_generator(rng)
+    generator = coerce_rng(rng)
     if h is None:
         h = n
     config = PopulationConfig(n=n, sources=SourceCounts(s0=s0, s1=s1), h=h)

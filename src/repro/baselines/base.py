@@ -14,9 +14,11 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..results import RunReport
+
 
 @dataclasses.dataclass
-class DynamicsResult:
+class DynamicsResult(RunReport):
     """Outcome of one baseline run.
 
     Attributes

@@ -21,7 +21,7 @@ from typing import List
 import numpy as np
 
 from ..model.config import PopulationConfig
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .base import ConsensusMonitor, DynamicsResult
 
 
@@ -59,7 +59,7 @@ class ClassicCopySpreading:
         record_trace: bool = False,
     ) -> DynamicsResult:
         """Simulate up to ``max_rounds`` rounds."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg = self.config
         n, s0, s1, h = cfg.n, cfg.s0, cfg.s1, cfg.h
         correct = cfg.correct_opinion

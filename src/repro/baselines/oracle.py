@@ -22,7 +22,7 @@ from typing import List
 import numpy as np
 
 from ..model.config import PopulationConfig
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .base import ConsensusMonitor, DynamicsResult
 
 
@@ -52,7 +52,7 @@ class KnownSourceOracle:
         record_trace: bool = False,
     ) -> DynamicsResult:
         """Simulate until every agent has decided (or the budget runs out)."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg = self.config
         n, h = cfg.n, cfg.h
         correct = cfg.correct_opinion

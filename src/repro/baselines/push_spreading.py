@@ -30,7 +30,7 @@ import numpy as np
 
 from ..model.population import Population
 from ..model.push_engine import SILENT, PushProtocol
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 
 
 class PushSpreadingProtocol(PushProtocol):
@@ -71,7 +71,7 @@ class PushSpreadingProtocol(PushProtocol):
     # ------------------------------------------------------------------
     def reset(self, population: Population, rng: RngLike = None) -> None:
         self._population = population
-        self._rng = as_generator(rng)
+        self._rng = coerce_rng(rng)
         if self.repetitions is None:
             import math
 

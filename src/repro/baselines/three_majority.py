@@ -21,7 +21,7 @@ from typing import List
 import numpy as np
 
 from ..model.config import PopulationConfig
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .base import ConsensusMonitor, DynamicsResult, observe_probability
 
 
@@ -43,7 +43,7 @@ class ThreeMajorityDynamics:
         record_trace: bool = False,
     ) -> DynamicsResult:
         """Simulate up to ``max_rounds`` rounds."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg = self.config
         n, s0, s1 = cfg.n, cfg.s0, cfg.s1
         correct = cfg.correct_opinion

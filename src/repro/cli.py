@@ -30,6 +30,7 @@ from .baselines import NoisyMajorityDynamics, NoisyVoterModel
 from .model.config import PopulationConfig
 from .noise import NoiseMatrix, noise_reduction, reduction_delta
 from .protocols import FastSelfStabilizingSourceFilter, FastSourceFilter
+from .telemetry import JsonlSink, SummarySink, Telemetry
 from .theory import lower_bound_rounds, sf_upper_bound_rounds
 from .types import SourceCounts
 
@@ -55,6 +56,47 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        choices=("off", "summary", "jsonl"),
+        default="off",
+        help="record run telemetry: 'summary' prints aggregate tables, "
+        "'jsonl' writes one JSON event per line (--telemetry-out); "
+        "recording is RNG-neutral, results are unchanged",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        help="JSONL trace path for --telemetry jsonl "
+        "(default: telemetry.jsonl)",
+    )
+
+
+def _build_telemetry(args: argparse.Namespace):
+    """Resolve --telemetry into a (recorder, finish-callback) pair."""
+    mode = getattr(args, "telemetry", "off")
+    if mode == "summary":
+        sink = SummarySink()
+
+        def finish() -> None:
+            print()
+            print(sink.render())
+
+        return Telemetry([sink]), finish
+    if mode == "jsonl":
+        path = getattr(args, "telemetry_out", None) or "telemetry.jsonl"
+        sink = JsonlSink(path)
+        telemetry = Telemetry([sink])
+
+        def finish() -> None:
+            telemetry.close()
+            print(f"wrote telemetry trace to {sink.path}")
+
+        return telemetry, finish
+    return None, lambda: None
+
+
 def _config(args: argparse.Namespace) -> PopulationConfig:
     h = args.h if args.h is not None else args.n
     return PopulationConfig(
@@ -62,35 +104,63 @@ def _config(args: argparse.Namespace) -> PopulationConfig:
     )
 
 
+class _RunTrial:
+    """One ``run`` trial as a picklable callable (for ``--trials``).
+
+    Accepts the trial runner's ``telemetry=`` so SF/SSF phase timers and
+    per-round events flow into the CLI's sinks.
+    """
+
+    def __init__(self, protocol: str, config: PopulationConfig, delta: float) -> None:
+        self.protocol = protocol
+        self.config = config
+        self.delta = delta
+
+    def __call__(self, rng: np.random.Generator, telemetry=None) -> object:
+        if self.protocol == "sf":
+            return FastSourceFilter(self.config, self.delta).run(
+                rng, telemetry=telemetry
+            )
+        if self.protocol == "ssf":
+            return FastSelfStabilizingSourceFilter(self.config, self.delta).run(
+                rng=rng, telemetry=telemetry
+            )
+        budget = max(int(8 * self.config.n * math.log(self.config.n)), 100)
+        if self.protocol == "voter":
+            return NoisyVoterModel(self.config, self.delta).run(budget, rng=rng)
+        return NoisyMajorityDynamics(self.config, self.delta).run(budget, rng=rng)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config(args)
-    rng = np.random.default_rng(args.seed)
+    telemetry, finish = _build_telemetry(args)
+    if args.trials and args.trials > 1:
+        stats = repeat_trials(
+            _RunTrial(args.protocol, config, args.delta),
+            trials=args.trials,
+            seed=args.seed,
+            measure=_sweep_measure,
+            workers=args.workers,
+            telemetry=telemetry,
+        )
+        print(format_table([stats.summary()], title=f"{args.protocol} trials"))
+        finish()
+        return 0
+    trial = _RunTrial(args.protocol, config, args.delta)
+    result = trial(np.random.default_rng(args.seed), telemetry=telemetry)
     if args.protocol == "sf":
-        result = FastSourceFilter(config, args.delta).run(rng)
         print(
             f"SF: converged={result.converged} rounds={result.total_rounds} "
             f"weak_fraction_correct={result.weak_fraction_correct:.4f}"
         )
-    elif args.protocol == "ssf":
-        result = FastSelfStabilizingSourceFilter(config, args.delta).run(rng=rng)
-        print(
-            f"SSF: converged={result.converged} rounds={result.rounds_executed} "
-            f"consensus_round={result.consensus_round}"
-        )
-    elif args.protocol == "voter":
-        budget = max(int(8 * config.n * math.log(config.n)), 100)
-        result = NoisyVoterModel(config, args.delta).run(budget, rng=rng)
-        print(
-            f"voter: converged={result.converged} rounds={result.rounds_executed} "
-            f"consensus_round={result.consensus_round}"
-        )
     else:
-        budget = max(int(8 * config.n * math.log(config.n)), 100)
-        result = NoisyMajorityDynamics(config, args.delta).run(budget, rng=rng)
+        label = args.protocol.upper() if args.protocol == "ssf" else args.protocol
         print(
-            f"majority: converged={result.converged} rounds={result.rounds_executed} "
+            f"{label}: converged={result.converged} "
+            f"rounds={result.rounds_executed} "
             f"consensus_round={result.consensus_round}"
         )
+    finish()
     return 0
 
 
@@ -103,10 +173,14 @@ class _SweepTrial:
         self.config = config
         self.delta = delta
 
-    def __call__(self, rng: np.random.Generator) -> object:
+    def __call__(self, rng: np.random.Generator, telemetry=None) -> object:
         if self.protocol == "sf":
-            return FastSourceFilter(self.config, self.delta).run(rng)
-        return FastSelfStabilizingSourceFilter(self.config, self.delta).run(rng=rng)
+            return FastSourceFilter(self.config, self.delta).run(
+                rng, telemetry=telemetry
+            )
+        return FastSelfStabilizingSourceFilter(self.config, self.delta).run(
+            rng=rng, telemetry=telemetry
+        )
 
 
 def _sweep_measure(result: object) -> float:
@@ -117,6 +191,7 @@ def _sweep_measure(result: object) -> float:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    telemetry, finish = _build_telemetry(args)
     rows = []
     for exponent in range(args.min_exp, args.max_exp + 1):
         n = 2**exponent
@@ -130,6 +205,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             measure=_sweep_measure,
             workers=args.workers,
+            telemetry=telemetry,
         )
         rows.append(
             {
@@ -143,6 +219,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             }
         )
     print(format_table(rows, title=f"{args.protocol} scaling sweep (delta={args.delta})"))
+    finish()
     return 0
 
 
@@ -229,11 +306,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         experiments = all_experiments()
     else:
         experiments = [get_experiment(args.id)]
+    telemetry, finish = _build_telemetry(args)
     failed = 0
     outcomes = []
     for experiment in experiments:
         experiment.workers = args.workers
-        outcome = experiment.run(scale=args.scale, seed=args.seed)
+        outcome = experiment.run(
+            scale=args.scale, seed=args.seed, telemetry=telemetry
+        )
         print(outcome.render())
         print()
         failed += not outcome.passed
@@ -243,6 +323,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             outcomes if len(outcomes) > 1 else outcomes[0], args.json
         )
         print(f"wrote {path}")
+    finish()
     if failed:
         print(f"{failed} experiment(s) FAILED")
         return 1
@@ -253,10 +334,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_suite(args: argparse.Namespace) -> int:
     from .experiments import run_suite
 
+    telemetry, finish = _build_telemetry(args)
     result = run_suite(
-        scale=args.scale, seed=args.seed, only=args.only, workers=args.workers
+        scale=args.scale, seed=args.seed, only=args.only, workers=args.workers,
+        telemetry=telemetry,
     )
     print(result.render_summary())
+    finish()
     if args.save:
         directory = result.save(args.save)
         print(f"wrote per-experiment JSON/CSV to {directory}")
@@ -289,6 +373,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("sf", "ssf", "voter", "majority"),
         default="sf",
     )
+    run.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="repeat over this many independent trials and print the "
+        "aggregate statistics instead of one outcome",
+    )
+    _add_workers_arg(run)
+    _add_telemetry_args(run)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="scaling sweep over n = 2^k")
@@ -298,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-exp", type=int, default=12)
     sweep.add_argument("--trials", type=int, default=5)
     _add_workers_arg(sweep)
+    _add_telemetry_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     figure1 = sub.add_parser("figure1", help="print the Figure 1 series")
@@ -335,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="also write outcome(s) to this JSON file"
     )
     _add_workers_arg(experiment)
+    _add_telemetry_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     suite = sub.add_parser(
@@ -349,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default=None, help="directory for per-experiment JSON/CSV"
     )
     _add_workers_arg(suite)
+    _add_telemetry_args(suite)
     suite.set_defaults(func=_cmd_suite)
 
     report = sub.add_parser(

@@ -26,7 +26,7 @@ class ConstantAblation(Experiment):
         "cliff; the library defaults sit on the plateau."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         trials = 20 if scale == "full" else 10
         rows = []

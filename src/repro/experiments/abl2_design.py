@@ -30,7 +30,7 @@ class DesignAblation(Experiment):
         "substantial observation loss."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         n = 1024 if scale == "full" else 512
         trials = 15 if scale == "full" else 8

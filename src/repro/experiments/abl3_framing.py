@@ -38,7 +38,7 @@ class FramingAblation(Experiment):
         "near-linear.  SSF pays only constants for losing the clock."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         sizes = [256, 1024, 4096] if scale == "full" else [256, 1024]
         rows = []

@@ -5,9 +5,12 @@ from __future__ import annotations
 import abc
 import dataclasses
 import pickle
+import time
 from typing import Dict, List, Optional
 
 from ..analysis import TrialStats, format_table, repeat_trials, run_trials
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import RngLike, coerce_seed
 
 
 @dataclasses.dataclass
@@ -33,6 +36,7 @@ class ExperimentOutcome:
     rows: List[Dict[str, object]]
     checks: List[CheckResult]
     notes: str = ""
+    wall_seconds: Optional[float] = None
 
     @property
     def passed(self) -> bool:
@@ -53,6 +57,8 @@ class ExperimentOutcome:
             mark = "PASS" if check.passed else "FAIL"
             suffix = f"  ({check.detail})" if check.detail else ""
             lines.append(f"  [{mark}] {check.name}{suffix}")
+        if self.wall_seconds is not None:
+            lines.append(f"  wall time: {self.wall_seconds:.2f}s")
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -62,6 +68,7 @@ class ExperimentOutcome:
             "title": self.title,
             "notes": self.notes,
             "passed": self.passed,
+            "wall_seconds": self.wall_seconds,
             "rows": self.rows,
             "checks": [
                 {"name": c.name, "passed": c.passed, "detail": c.detail}
@@ -88,9 +95,52 @@ class Experiment(abc.ABC):
     #: flag before :meth:`run` is called.
     workers: Optional[int] = None
 
+    #: Active recorder for the current :meth:`run` (``NULL_TELEMETRY``
+    #: outside of one); :meth:`_trials` / :meth:`_engine_trials` thread it
+    #: through to the trial runners and engines.
+    telemetry: Optional[Telemetry] = None
+
+    def run(
+        self,
+        scale: str = "full",
+        seed: int = 0,
+        rng: RngLike = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> ExperimentOutcome:
+        """Execute the experiment and return its outcome.
+
+        ``seed`` and ``rng`` are alternative spellings of the master seed
+        (see :func:`repro.types.coerce_seed`); ``telemetry`` records the
+        experiment's wall time (an ``experiment.<id>`` phase), its trial
+        throughput, and whatever the underlying engines emit.  The
+        measured outcome is bit-identical with telemetry on or off.
+        """
+        resolved = coerce_seed(seed if seed != 0 else None, rng)
+        if resolved is None:
+            resolved = 0
+        tele = ensure_telemetry(telemetry)
+        self.telemetry = tele
+        start = time.perf_counter()
+        try:
+            with tele.phase(
+                f"experiment.{self.experiment_id}", scale=scale
+            ):
+                outcome = self._execute(scale=scale, seed=resolved)
+        finally:
+            self.telemetry = None
+        outcome.wall_seconds = time.perf_counter() - start
+        if tele.enabled:
+            tele.counter("experiments.completed")
+            tele.gauge(
+                "experiments.wall_seconds",
+                outcome.wall_seconds,
+                experiment=self.experiment_id,
+            )
+        return outcome
+
     @abc.abstractmethod
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
-        """Execute the experiment and return its outcome."""
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+        """Produce the outcome (subclass hook behind :meth:`run`)."""
 
     def _trials(
         self,
@@ -115,7 +165,7 @@ class Experiment(abc.ABC):
                 workers = None
         return repeat_trials(
             run_one, trials, seed=seed, success=success, measure=measure,
-            workers=workers,
+            workers=workers, telemetry=self.telemetry,
         )
 
     def _engine_trials(
@@ -134,7 +184,7 @@ class Experiment(abc.ABC):
         """
         return run_trials(
             runner, trials, seed=seed, workers=self.workers,
-            success=success, measure=measure,
+            success=success, measure=measure, telemetry=self.telemetry,
         )
 
     def _outcome(

@@ -45,7 +45,7 @@ class WeakOpinionQuality(Experiment):
         "agents."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         trials = 40 if scale == "full" else 15
         sf_grid = SF_GRID_FULL if scale == "full" else SF_GRID_QUICK

@@ -26,7 +26,7 @@ class ConvergenceVsN(Experiment):
         "completes in O(log n) rounds w.h.p."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         sizes = (
             [256, 512, 1024, 2048, 4096, 8192]

@@ -21,7 +21,7 @@ class SpeedupVsH(Experiment):
     title = "SF speedup vs sample size h (Theorem 4)"
     claim = "T = O(B/h + log n): linear speedup until the log-n floor."
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         n = 4096 if scale == "full" else 1024
         hs = (

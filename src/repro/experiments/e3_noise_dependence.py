@@ -23,7 +23,7 @@ class NoiseDependence(Experiment):
     title = "SF rounds vs noise level (Theorem 4)"
     claim = "The dominant round term scales as delta/(1-2*delta)^2."
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         n, h = (2048, 16) if scale == "full" else (512, 16)
         deltas = (

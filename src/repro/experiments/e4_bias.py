@@ -25,7 +25,7 @@ class BiasDependence(Experiment):
         "sources all agents adopt the plurality preference, down to s = 1."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         n, h = (8192, 8) if scale == "full" else (2048, 8)
         biases = [1, 2, 4, 8, 16, 32] if scale == "full" else [1, 2, 4, 8]

@@ -35,7 +35,7 @@ class SelfStabilization(Experiment):
         "O(delta*n*log(n)/(h*(1-4delta)^2) + n/h) rounds."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         n = 1024 if scale == "full" else 256
         trials = 5 if scale == "full" else 3

@@ -26,7 +26,7 @@ class LowerBoundTightness(Experiment):
         "Theorem 4 matches up to an O(log n) factor."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         sizes = [1024, 4096, 16384] if scale == "full" else [1024, 4096]
         trials = 4 if scale == "full" else 2

@@ -27,7 +27,7 @@ class PushVsPull(Experiment):
         "Omega(n): an exponential separation."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         sizes = [256, 1024, 4096] if scale == "full" else [256, 2048]
         trials = 4 if scale == "full" else 2

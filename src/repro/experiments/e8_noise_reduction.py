@@ -24,7 +24,7 @@ class NoiseReductionExperiment(Experiment):
         "uniform channel in distribution."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         cases = CASES_FULL if scale == "full" else CASES_QUICK
         probes = 200_000 if scale == "full" else 50_000

@@ -35,7 +35,7 @@ class BaselineComparison(Experiment):
         "under constant noise."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         # Quick scale still needs >= 8 trials: the majority-dynamics check
         # asserts a ~50/50 outcome rate, which is too coin-flippy below that.

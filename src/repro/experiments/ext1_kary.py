@@ -22,7 +22,7 @@ class KAryGeneralization(Experiment):
         "minorities flipped."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         n = 1024 if scale == "full" else 256
         trials = 10 if scale == "full" else 5

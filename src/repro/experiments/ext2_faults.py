@@ -31,7 +31,7 @@ class FaultTolerance(Experiment):
         "wrong ~ churn_per_round * epoch_rounds / 2."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         rows = []
 

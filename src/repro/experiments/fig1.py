@@ -20,7 +20,7 @@ class Figure1(Experiment):
         "(Claim 15); for d=2 it is the identity."
     )
 
-    def run(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
+    def _execute(self, scale: str = "full", seed: int = 0) -> ExperimentOutcome:
         self._validate_scale(scale)
         points = 26 if scale == "full" else 11
         rows = []

@@ -7,6 +7,7 @@ import pathlib
 from typing import Dict, List, Optional, Union
 
 from ..analysis import format_table, write_csv, write_json
+from ..telemetry import Telemetry, ensure_telemetry
 from .base import ExperimentOutcome
 from .registry import all_experiments
 
@@ -35,15 +36,16 @@ class SuiteResult:
         """One row per experiment: id, title, check tally."""
         rows = []
         for outcome in self.outcomes:
-            rows.append(
-                {
-                    "id": outcome.experiment_id,
-                    "title": outcome.title,
-                    "checks": f"{sum(c.passed for c in outcome.checks)}"
-                    f"/{len(outcome.checks)}",
-                    "passed": outcome.passed,
-                }
-            )
+            row = {
+                "id": outcome.experiment_id,
+                "title": outcome.title,
+                "checks": f"{sum(c.passed for c in outcome.checks)}"
+                f"/{len(outcome.checks)}",
+                "passed": outcome.passed,
+            }
+            if outcome.wall_seconds is not None:
+                row["wall_s"] = round(outcome.wall_seconds, 2)
+            rows.append(row)
         return rows
 
     def render_summary(self) -> str:
@@ -67,12 +69,16 @@ def run_suite(
     seed: int = 0,
     only: Optional[List[str]] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SuiteResult:
     """Run all (or the ``only``-listed) experiments at one scale.
 
     ``workers`` sets each experiment's Monte-Carlo process-pool size
     (``None`` = serial); per-experiment statistics are identical for any
     worker count, so the suite verdict never depends on parallelism.
+    ``telemetry`` is threaded into every experiment (wall times, trial
+    throughput, engine events) and additionally times the whole suite
+    under a ``suite.run`` phase.
     """
     experiments = all_experiments()
     if only is not None:
@@ -83,5 +89,10 @@ def run_suite(
             raise KeyError(f"unknown experiment ids: {sorted(missing)}")
     for experiment in experiments:
         experiment.workers = workers
-    outcomes = [e.run(scale=scale, seed=seed) for e in experiments]
+    tele = ensure_telemetry(telemetry)
+    with tele.phase("suite.run", scale=scale):
+        outcomes = [
+            e.run(scale=scale, seed=seed, telemetry=telemetry)
+            for e in experiments
+        ]
     return SuiteResult(outcomes=outcomes)

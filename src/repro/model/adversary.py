@@ -22,7 +22,7 @@ import abc
 import numpy as np
 
 from ..exceptions import ProtocolError
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .population import Population
 
 
@@ -53,7 +53,7 @@ class RandomStateAdversary(AdversarialInitializer):
 
     def apply(self, protocol: object, population: Population, rng: RngLike = None) -> None:
         _require_self_stabilizing(protocol)
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         n = population.n
         m = int(protocol.memory_capacity)
         d = getattr(protocol, "alphabet_size", 4)
@@ -105,7 +105,7 @@ class DesynchronizingAdversary(AdversarialInitializer):
 
     def apply(self, protocol: object, population: Population, rng: RngLike = None) -> None:
         _require_self_stabilizing(protocol)
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         n = population.n
         m = int(protocol.memory_capacity)
         d = getattr(protocol, "alphabet_size", 4)

@@ -27,7 +27,9 @@ import numpy as np
 
 from ..exceptions import ProtocolError
 from ..noise import NoiseMatrix
-from ..types import RngLike, as_generator
+from ..results import RunReport
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import RngLike, coerce_rng, seed_of
 from .population import Population
 
 
@@ -54,13 +56,20 @@ class AsyncPullProtocol(abc.ABC):
 
 
 @dataclasses.dataclass
-class AsyncSimulationResult:
-    """Outcome of one asynchronous run."""
+class AsyncSimulationResult(RunReport):
+    """Outcome of one asynchronous run.
+
+    ``rounds`` (the :class:`~repro.results.RunReport` alias) reports
+    ``activations_executed`` — the natural time unit here.
+    """
+
+    _rounds_attr = "activations_executed"
 
     converged: bool
     consensus_activation: Optional[int]
     activations_executed: int
     final_opinions: np.ndarray
+    seed: Optional[int] = None
 
     @property
     def consensus_parallel_rounds(self) -> Optional[float]:
@@ -85,19 +94,23 @@ class AsyncPullEngine:
         stop_on_consensus: bool = True,
         consensus_patience: int = 0,
         check_every: int = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> AsyncSimulationResult:
         """Simulate up to ``max_activations`` single-agent steps.
 
         Consensus is checked every ``check_every`` activations (default:
         ``n``, i.e. once per expected parallel round) to keep the check
-        cost amortized.
+        cost amortized.  ``telemetry`` (optional, RNG-neutral) receives
+        one ``round`` event per consensus check — the round index is the
+        activation count — plus an ``async_engine.run`` phase timer.
         """
         if protocol.alphabet_size != self.noise.size:
             raise ProtocolError(
                 f"protocol alphabet size {protocol.alphabet_size} does not "
                 f"match noise matrix size {self.noise.size}"
             )
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
         population = self.population
         n, h = population.n, population.h
         protocol.reset(population, generator)
@@ -109,6 +122,9 @@ class AsyncPullEngine:
         block = max(check_every, 1)
         consensus_start: Optional[int] = None
         executed = 0
+        timer = tele.phase("async_engine.run") if tele.enabled else None
+        if timer is not None:
+            timer.__enter__()
         while executed < max_activations:
             todo = min(block, max_activations - executed)
             actors = generator.integers(0, n, size=todo)
@@ -125,7 +141,16 @@ class AsyncPullEngine:
             executed += todo
 
             if correct is not None:
-                if bool(np.all(protocol.opinions() == correct)):
+                opinions = protocol.opinions()
+                if tele.enabled:
+                    num_correct = int(np.sum(opinions == correct))
+                    tele.round(
+                        executed,
+                        num_correct=num_correct,
+                        fraction_correct=num_correct / n,
+                        opinions=opinions,
+                    )
+                if bool(np.all(opinions == correct)):
                     if consensus_start is None:
                         consensus_start = executed
                     if (
@@ -138,9 +163,14 @@ class AsyncPullEngine:
 
         final = np.asarray(protocol.opinions()).copy()
         converged = correct is not None and bool(np.all(final == correct))
+        if timer is not None:
+            timer.__exit__(None, None, None)
+            tele.counter("async_engine.activations", executed)
+            tele.counter("async_engine.runs")
         return AsyncSimulationResult(
             converged=converged,
             consensus_activation=consensus_start if converged else None,
             activations_executed=executed,
             final_opinions=final,
+            seed=seed_of(rng),
         )

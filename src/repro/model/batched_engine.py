@@ -43,6 +43,8 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from ..exceptions import ProtocolError
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import seed_of
 from .engine import RoundRecord, SimulationResult
 from .population import Population
 
@@ -150,6 +152,7 @@ class BatchedPullEngine:
         stop_on_consensus: bool = False,
         consensus_patience: int = 0,
         record_trace: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> List[SimulationResult]:
         """Simulate up to ``max_rounds`` rounds of every replica.
 
@@ -173,6 +176,13 @@ class BatchedPullEngine:
             Per-replica early exit with the same semantics as
             :meth:`PullEngine.run`: a replica stops once consensus has
             held for ``consensus_patience + 1`` consecutive rounds.
+        telemetry:
+            Optional :class:`~repro.telemetry.Telemetry` recorder.  Per
+            round, one ``round`` event with the active-replica count and
+            the batch-mean correct fraction; per run, a
+            ``batched_engine.run`` phase timer and replica counters.
+            RNG-neutral: results are bit-identical with telemetry on or
+            off.
 
         Returns
         -------
@@ -187,6 +197,7 @@ class BatchedPullEngine:
             )
         generators = _spawn_generators(replicas, rng, seed_sequences)
         num_replicas = len(generators)
+        tele = ensure_telemetry(telemetry)
         bulk: Optional[np.random.Generator] = None
         if rng_mode == "shared":
             root = (
@@ -207,6 +218,9 @@ class BatchedPullEngine:
         rounds_executed = np.zeros(num_replicas, dtype=np.int64)
         traces: List[List[RoundRecord]] = [[] for _ in range(num_replicas)]
 
+        timer = tele.phase("batched_engine.run", replicas=num_replicas) if tele.enabled else None
+        if timer is not None:
+            timer.__enter__()
         for t in range(max_rounds):
             if active.size == 0:
                 break
@@ -248,11 +262,21 @@ class BatchedPullEngine:
                     np.where(consensus_start[active] < 0, t, consensus_start[active]),
                     -1,
                 )
-                if record_trace:
+                if record_trace or tele.enabled:
                     num_correct = np.sum(active_opinions == correct, axis=1)
-                    for i, r in enumerate(active):
-                        traces[r].append(
-                            RoundRecord(t, int(num_correct[i]) / n, int(num_correct[i]))
+                    if record_trace:
+                        for i, r in enumerate(active):
+                            traces[r].append(
+                                RoundRecord(
+                                    t, int(num_correct[i]) / n, int(num_correct[i])
+                                )
+                            )
+                    if tele.enabled:
+                        tele.round(
+                            t,
+                            active_replicas=int(num_active),
+                            mean_fraction_correct=float(num_correct.mean()) / n,
+                            converged_replicas=int(np.count_nonzero(all_correct)),
                         )
                 if stop_on_consensus:
                     keep = streak[active] < consensus_patience + 1
@@ -260,6 +284,7 @@ class BatchedPullEngine:
                         active = active[keep]
 
         final = np.asarray(protocol.opinions())
+        seed = seed_of(rng) if seed_sequences is None else None
         results: List[SimulationResult] = []
         for r in range(num_replicas):
             opinions_r = final[r].copy()
@@ -275,6 +300,15 @@ class BatchedPullEngine:
                     rounds_executed=int(rounds_executed[r]),
                     final_opinions=opinions_r,
                     trace=traces[r],
+                    seed=seed,
                 )
+            )
+        if timer is not None:
+            timer.__exit__(None, None, None)
+            tele.counter("batched_engine.runs")
+            tele.counter("batched_engine.replicas", num_replicas)
+            tele.counter(
+                "batched_engine.converged_replicas",
+                sum(result.converged for result in results),
             )
         return results

@@ -6,9 +6,11 @@ import dataclasses
 from typing import Optional
 
 from ..exceptions import ConfigurationError
+from ..results import register_record
 from ..types import Opinion, SourceCounts
 
 
+@register_record
 @dataclasses.dataclass(frozen=True)
 class PopulationConfig:
     """Parameters of a noisy PULL(h) population.

@@ -23,7 +23,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ProtocolError
-from ..types import RngLike, as_generator
+from ..results import RunReport, register_record
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import RngLike, coerce_rng, seed_of
 from .population import Population
 from .sampling import sample_indices
 
@@ -59,6 +61,7 @@ class PullProtocol(abc.ABC):
         return False
 
 
+@register_record
 @dataclasses.dataclass(frozen=True)
 class RoundRecord:
     """Per-round metrics captured when tracing is enabled."""
@@ -69,7 +72,7 @@ class RoundRecord:
 
 
 @dataclasses.dataclass
-class SimulationResult:
+class SimulationResult(RunReport):
     """Outcome of one engine run.
 
     Attributes
@@ -99,6 +102,7 @@ class SimulationResult:
     rounds_executed: int
     final_opinions: np.ndarray
     trace: List[RoundRecord] = dataclasses.field(default_factory=list)
+    seed: Optional[int] = None
 
 
 class PullEngine:
@@ -125,6 +129,7 @@ class PullEngine:
         observers: Sequence["object"] = (),
         skip_reset: bool = False,
         churn_rate: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> SimulationResult:
         """Simulate up to ``max_rounds`` rounds.
 
@@ -143,8 +148,17 @@ class PullEngine:
             experiments, where the adversary has already installed a
             corrupted state.
         observers:
-            Objects with an ``observe(round_index, opinions)`` method,
-            invoked after each round's updates.
+            Objects with an ``observe(round_index, opinions)`` method or
+            telemetry sinks (``handle(event)``), fed after each round's
+            updates.  Routed through the same event pipeline as
+            ``telemetry`` — one mechanism, not two.
+        telemetry:
+            Optional :class:`~repro.telemetry.Telemetry` recorder; when
+            enabled the engine emits one ``round`` event per round
+            (opinion counts + the opinion vector), a ``pull_engine.run``
+            phase timer, and end-of-run counters.  Recording is
+            RNG-neutral: results are bit-identical with telemetry on or
+            off.
         churn_rate:
             Extension: at the start of each round every agent is
             independently *replaced* (its protocol state reinitialized
@@ -164,7 +178,8 @@ class PullEngine:
                 f"protocol alphabet size {protocol.alphabet_size} does not match "
                 f"noise matrix size {self.noise.size}"
             )
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry, observers)
         population = self.population
         if not skip_reset:
             protocol.reset(population, generator)
@@ -174,6 +189,9 @@ class PullEngine:
         consensus_start: Optional[int] = None
         streak = 0
 
+        timer = tele.phase("pull_engine.run") if tele.enabled else None
+        if timer is not None:
+            timer.__enter__()
         t = 0
         for t in range(max_rounds):
             if protocol.finished(t):
@@ -203,20 +221,38 @@ class PullEngine:
                 else:
                     consensus_start = None
                     streak = 0
-                if record_trace:
+                if record_trace or tele.enabled:
                     num_correct = int(np.sum(opinions == correct))
-                    trace.append(RoundRecord(t, num_correct / population.n, num_correct))
+                    if record_trace:
+                        trace.append(
+                            RoundRecord(t, num_correct / population.n, num_correct)
+                        )
                 if stop_on_consensus and streak >= consensus_patience + 1:
                     break
-            for observer in observers:
-                observer.observe(t, opinions)
+            if tele.enabled:
+                if correct is not None:
+                    tele.round(
+                        t,
+                        num_correct=num_correct,
+                        fraction_correct=num_correct / population.n,
+                        opinions=opinions,
+                    )
+                else:
+                    tele.round(t, opinions=opinions)
 
         final = protocol.opinions()
         converged = correct is not None and bool(np.all(final == correct))
+        if timer is not None:
+            timer.__exit__(None, None, None)
+            tele.counter("pull_engine.rounds", t + 1)
+            tele.counter("pull_engine.runs")
+            if converged:
+                tele.counter("pull_engine.converged_runs")
         return SimulationResult(
             converged=converged,
             consensus_round=consensus_start if converged else None,
             rounds_executed=t + 1,
             final_opinions=np.asarray(final).copy(),
             trace=trace,
+            seed=seed_of(rng),
         )

@@ -1,4 +1,13 @@
-"""Observers: pluggable per-round metric collectors for the engines."""
+"""Observers: per-round metric collectors, usable as telemetry sinks.
+
+Historically these were a separate ``observers=`` mechanism on the
+engines; they are now first-class :class:`~repro.telemetry.TelemetrySink`
+implementations — the engines route both ``observers=`` and
+``telemetry=`` through one event pipeline, and these classes consume the
+per-round ``round`` events directly via :meth:`handle`.  The original
+``observe(round_index, opinions)`` entry point remains and may still be
+called directly.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +15,11 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..telemetry import TelemetryEvent, TelemetrySink
 from ..types import Opinion
 
 
-class ConsensusTracker:
+class ConsensusTracker(TelemetrySink):
     """Tracks when the population first reaches (and holds) consensus.
 
     ``observe`` must be called once per round with the post-update opinion
@@ -45,8 +55,16 @@ class ConsensusTracker:
         """Whether the last observed round was all-correct."""
         return self._streak_start is not None
 
+    def handle(self, event: TelemetryEvent) -> None:
+        """Telemetry-sink entry point: consume per-round engine events."""
+        if event.kind != "round" or event.tags is None:
+            return
+        opinions = event.tags.get("opinions")
+        if opinions is not None:
+            self.observe(event.round_index, opinions)
 
-class OpinionTrace:
+
+class OpinionTrace(TelemetrySink):
     """Records the fraction of agents holding ``target`` every round."""
 
     def __init__(self, target: Opinion) -> None:
@@ -57,6 +75,14 @@ class OpinionTrace:
         """Record one round's correct-opinion fraction."""
         ops = np.asarray(opinions)
         self.fractions.append(float(np.mean(ops == self.target)))
+
+    def handle(self, event: TelemetryEvent) -> None:
+        """Telemetry-sink entry point: consume per-round engine events."""
+        if event.kind != "round" or event.tags is None:
+            return
+        opinions = event.tags.get("opinions")
+        if opinions is not None:
+            self.observe(event.round_index, opinions)
 
     def as_array(self) -> np.ndarray:
         """The trace as a float array (one entry per observed round)."""

@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..types import Opinion, RngLike, Role, as_generator
+from ..types import Opinion, RngLike, Role, coerce_rng
 from .config import PopulationConfig
 
 
@@ -47,7 +47,7 @@ class Population:
         roles[:s0] = int(Role.SOURCE_0)
         roles[s0 : s0 + s1] = int(Role.SOURCE_1)
         if shuffle:
-            as_generator(rng).shuffle(roles)
+            coerce_rng(rng).shuffle(roles)
         self.roles = roles
         self.roles.flags.writeable = False
         preferences = np.full(n, -1, dtype=np.int8)
@@ -95,7 +95,7 @@ class Population:
         overwritten before mattering in both protocols); uniform random is
         the neutral choice and also the worst case for baselines.
         """
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         opinions = generator.integers(0, 2, size=self.n).astype(np.int8)
         mask = self.is_source
         opinions[mask] = self.preferences[mask]

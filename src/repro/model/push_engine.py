@@ -21,7 +21,7 @@ import numpy as np
 
 from ..exceptions import ProtocolError
 from ..noise import NoiseMatrix
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .engine import RoundRecord, SimulationResult
 from .population import Population
 
@@ -84,7 +84,7 @@ class PushEngine:
                 f"protocol alphabet size {protocol.alphabet_size} does not match "
                 f"noise matrix size {self.noise.size}"
             )
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         population = self.population
         protocol.reset(population, generator)
 

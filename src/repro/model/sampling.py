@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..noise import NoiseMatrix, observation_distribution
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 
 __all__ = ["sample_indices", "sample_observation_counts", "multinomial_rows"]
 
@@ -36,7 +36,7 @@ def sample_indices(
         raise ValueError(f"population size must be positive, got {n}")
     if h < 1:
         raise ValueError(f"sample size h must be positive, got {h}")
-    generator = as_generator(rng)
+    generator = coerce_rng(rng)
     return generator.integers(0, n, size=(num_agents, h))
 
 
@@ -49,7 +49,7 @@ def multinomial_rows(
     single symbol) so callers stay branch-free.
     """
     p = np.asarray(probabilities, dtype=float)
-    generator = as_generator(rng)
+    generator = coerce_rng(rng)
     if trials == 0:
         return np.zeros((rows, p.shape[0]), dtype=np.int64)
     return generator.multinomial(trials, p, size=rows).astype(np.int64)

@@ -31,7 +31,8 @@ import networkx as nx
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..types import RngLike, as_generator
+from ..results import RunReport
+from ..types import RngLike, coerce_rng
 
 __all__ = ["StableFlooding", "FloodingResult", "build_graph"]
 
@@ -43,7 +44,7 @@ def build_graph(kind: str, n: int, degree: int = 4, rng: RngLike = None) -> nx.G
     ``"regular"`` (random d-regular) or ``"grid"`` (near-square 2-d
     lattice).
     """
-    generator = as_generator(rng)
+    generator = coerce_rng(rng)
     if kind == "complete":
         return nx.complete_graph(n)
     if kind == "path":
@@ -65,7 +66,7 @@ def build_graph(kind: str, n: int, degree: int = 4, rng: RngLike = None) -> nx.G
 
 
 @dataclasses.dataclass
-class FloodingResult:
+class FloodingResult(RunReport):
     """Outcome of one stable-network flooding run.
 
     Attributes
@@ -130,7 +131,7 @@ class StableFlooding:
         max_stages: Optional[int] = None,
     ) -> FloodingResult:
         """Flood ``source_bit`` from ``source_nodes`` across the graph."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         n = self.graph.number_of_nodes()
         if not source_nodes:
             raise ConfigurationError("at least one source node is required")

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import NoiseMatrixError
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 
 __all__ = ["HeterogeneousBinaryNoise"]
 
@@ -52,7 +52,7 @@ class HeterogeneousBinaryNoise:
         """Deltas drawn i.i.d. uniform in ``[low, high]``."""
         if not 0.0 <= low <= high <= 0.5:
             raise NoiseMatrixError("need 0 <= low <= high <= 0.5")
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         return cls(generator.uniform(low, high, size=n))
 
     def corrupt(
@@ -67,7 +67,7 @@ class HeterogeneousBinaryNoise:
         engines enforce the alphabet contract once per run); the output
         is identical either way.
         """
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         arr = np.asarray(messages)
         if validate and arr.size and (arr.min() < 0 or arr.max() > 1):
             raise NoiseMatrixError("messages must be binary")

@@ -24,7 +24,7 @@ from ..linalg import (
     minimal_upper_delta,
     validate_stochastic,
 )
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 
 
 class NoiseMatrix:
@@ -99,7 +99,7 @@ class NoiseMatrix:
             raise NoiseMatrixError(
                 f"delta-upper-bounded noise requires delta in [0, 1/{size}), got {delta}"
             )
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         matrix = generator.uniform(0.0, delta, size=(size, size))
         np.fill_diagonal(matrix, 0.0)
         np.fill_diagonal(matrix, 1.0 - matrix.sum(axis=1))
@@ -170,7 +170,7 @@ class NoiseMatrix:
         alphabet contract once per run, pay on every round otherwise.  The
         drawn variates and hence the output are identical either way.
         """
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         symbols = np.asarray(messages)
         if symbols.size == 0:
             return symbols.copy()

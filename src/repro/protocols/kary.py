@@ -37,11 +37,13 @@ from typing import List, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..types import RngLike, as_generator
+from ..results import RunReport, register_record
+from ..types import RngLike, coerce_rng
 
 __all__ = ["KAryConfig", "KAryRunResult", "FastKAryPluralityFilter"]
 
 
+@register_record
 @dataclasses.dataclass(frozen=True)
 class KAryConfig:
     """Instance of the k-ary plurality problem.
@@ -92,8 +94,10 @@ class KAryConfig:
 
 
 @dataclasses.dataclass
-class KAryRunResult:
+class KAryRunResult(RunReport):
     """Outcome of one k-ary run."""
+
+    _rounds_attr = "total_rounds"
 
     converged: bool
     total_rounds: int
@@ -154,7 +158,7 @@ class FastKAryPluralityFilter:
 
     def draw_weak_opinions(self, rng: RngLike = None) -> np.ndarray:
         """The k-phase listening stage, one multinomial per agent-phase."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg = self.config
         n, k = cfg.n, cfg.k
         samples = self.phase_rounds * cfg.h
@@ -175,7 +179,7 @@ class FastKAryPluralityFilter:
         self, opinions: np.ndarray, window: int, rng: RngLike = None
     ) -> np.ndarray:
         """One plurality sub-phase: display, tally, arg-max."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg = self.config
         display = np.bincount(opinions, minlength=cfg.k).astype(float)
         q = self._observation_distribution(display)
@@ -192,7 +196,7 @@ class FastKAryPluralityFilter:
 
     def run(self, rng: RngLike = None) -> KAryRunResult:
         """Execute one full k-ary run."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg = self.config
         plurality = cfg.plurality
         weak = self.draw_weak_opinions(generator)

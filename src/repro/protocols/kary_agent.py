@@ -23,7 +23,7 @@ import numpy as np
 from ..exceptions import ProtocolError
 from ..model.engine import PullProtocol
 from ..model.population import Population
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .kary import FastKAryPluralityFilter, KAryConfig
 
 
@@ -66,7 +66,7 @@ class KAryPluralityProtocol(PullProtocol):
         if population.source_indices.size != cfg.num_sources:
             raise ProtocolError("population source count mismatch")
         self._population = population
-        self._rng = as_generator(rng)
+        self._rng = coerce_rng(rng)
         if self._explicit_prefs is not None:
             prefs = np.asarray(self._explicit_prefs, dtype=np.int64)
             if prefs.shape != (cfg.num_sources,):

@@ -23,8 +23,9 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..model.config import PopulationConfig
 from ..noise import NoiseMatrix
+from ..results import RunReport
 from ..rng import fork
-from ..types import RngLike, SourceCounts, as_generator
+from ..types import RngLike, SourceCounts, coerce_rng
 from .sf_fast import FastSourceFilter, SFRunResult
 
 
@@ -45,7 +46,7 @@ def decode_bits(bits: List[int]) -> int:
 
 
 @dataclasses.dataclass
-class MultiBitResult:
+class MultiBitResult(RunReport):
     """Outcome of one multi-bit spreading run.
 
     Attributes
@@ -59,6 +60,8 @@ class MultiBitResult:
     per_bit:
         The underlying single-bit :class:`SFRunResult` objects.
     """
+
+    _rounds_attr = "total_rounds"
 
     converged: bool
     value: int
@@ -111,7 +114,7 @@ class MultiBitSourceFilter:
 
     def run(self, rng: RngLike = None) -> MultiBitResult:
         """Run all bit-planes and assemble the rumor."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         children = fork(generator, self.num_bits)
         per_bit: List[SFRunResult] = []
         decoded_bits: List[int] = []

@@ -25,7 +25,7 @@ import numpy as np
 from ..exceptions import ProtocolError
 from ..model.engine import PullProtocol
 from ..model.population import Population
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .parameters import SFSchedule
 
 
@@ -60,7 +60,7 @@ class SourceFilterProtocol(PullProtocol):
                 f"h={population.h}"
             )
         self._population = population
-        self._rng = as_generator(rng)
+        self._rng = coerce_rng(rng)
         n = population.n
         self._counter0 = np.zeros(n, dtype=np.int64)
         self._counter1 = np.zeros(n, dtype=np.int64)

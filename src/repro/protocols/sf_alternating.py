@@ -29,7 +29,7 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..model.config import PopulationConfig
 from ..noise import NoiseMatrix
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .parameters import SFSchedule
 from .sf_fast import SFRunResult, observe_one_probability
 
@@ -77,7 +77,7 @@ class FastAlternatingSourceFilter:
         """Simulate the listening stage round by round (displays change
         every round, so the per-phase binomial shortcut does not apply;
         the per-round one does)."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg, sched = self.config, self.schedule
         n, h = cfg.n, cfg.h
         num_sources = cfg.num_sources
@@ -115,7 +115,7 @@ class FastAlternatingSourceFilter:
         self, opinions: np.ndarray, window: int, rng: RngLike = None
     ) -> np.ndarray:
         """Identical to SF's boosting sub-phase."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         n = self.config.n
         k = int(np.sum(opinions == 1))
         q = observe_one_probability(k, n, self.delta)
@@ -128,7 +128,7 @@ class FastAlternatingSourceFilter:
 
     def run(self, rng: RngLike = None) -> SFRunResult:
         """One full execution; result type shared with :class:`FastSourceFilter`."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg, sched = self.config, self.schedule
         correct = cfg.correct_opinion
         weak = self.draw_weak_opinions(generator)

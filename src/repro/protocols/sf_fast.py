@@ -28,7 +28,9 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..model.config import PopulationConfig
 from ..noise import NoiseMatrix
-from ..types import RngLike, as_generator
+from ..results import RunReport
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import RngLike, coerce_rng, seed_of
 from .parameters import SFSchedule
 
 
@@ -56,7 +58,7 @@ def observe_one_probability(k_displaying: int, n: int, delta: float) -> float:
 
 
 @dataclasses.dataclass
-class SFRunResult:
+class SFRunResult(RunReport):
     """Outcome of one fast-SF execution.
 
     Attributes
@@ -76,12 +78,15 @@ class SFRunResult:
         (including the final one).
     """
 
+    _rounds_attr = "total_rounds"
+
     converged: bool
     total_rounds: int
     weak_opinions: np.ndarray
     weak_fraction_correct: float
     final_opinions: np.ndarray
     boost_trace: List[float]
+    seed: Optional[int] = None
 
 
 class FastSourceFilter:
@@ -129,7 +134,7 @@ class FastSourceFilter:
         non-sources display 0 (so ``k = s1``); Counter0 counts 0s while
         non-sources display 1 (so ``k = s0``).
         """
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         cfg, sched = self.config, self.schedule
         samples = sched.phase_rounds * sched.h
         keep = 1.0 - self.sample_loss
@@ -150,7 +155,7 @@ class FastSourceFilter:
         self, opinions: np.ndarray, window: int, rng: RngLike = None
     ) -> np.ndarray:
         """One majority sub-phase: everyone displays, gathers, takes majority."""
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
         n = self.config.n
         k = int(np.sum(opinions == 1))
         q = observe_one_probability(k, n, self.delta)
@@ -169,27 +174,75 @@ class FastSourceFilter:
             new[ties] = generator.integers(0, 2, size=int(ties.sum())).astype(np.int8)
         return new
 
-    def run(self, rng: RngLike = None) -> SFRunResult:
-        """Execute one full SF run and report the outcome."""
-        generator = as_generator(rng)
+    def run(
+        self, rng: RngLike = None, telemetry: Optional[Telemetry] = None
+    ) -> SFRunResult:
+        """Execute one full SF run and report the outcome.
+
+        ``telemetry`` (optional, RNG-neutral) receives the per-phase
+        timers of Algorithm 1 — ``sf.phase01_weak`` for Phases 0/1 and
+        ``sf.boosting`` for the Majority Boosting phase — plus one
+        ``round`` event per boosting sub-phase, indexed by the last model
+        round the sub-phase occupies.  Within a sub-phase no displayed
+        message changes, so these events determine the opinion counts of
+        *every* model round, not just the sampled ones.
+        """
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
         cfg, sched = self.config, self.schedule
         correct = cfg.correct_opinion
-        weak = self.draw_weak_opinions(generator)
+        with tele.phase("sf.phase01_weak", rounds=2 * sched.phase_rounds):
+            weak = self.draw_weak_opinions(generator)
         weak_fraction = float(np.mean(weak == correct)) if correct is not None else 0.5
+        if tele.enabled:
+            tele.gauge("sf.weak_fraction_correct", weak_fraction)
+            tele.round(
+                2 * sched.phase_rounds - 1,
+                phase="phase1",
+                num_correct=int(round(weak_fraction * cfg.n)),
+                fraction_correct=weak_fraction,
+                opinions=weak,
+            )
 
         opinions = weak.copy()
         trace: List[float] = []
         short_window = sched.subphase_rounds * sched.h
-        for _ in range(sched.num_subphases):
-            opinions = self.boost_step(opinions, short_window, generator)
+        with tele.phase("sf.boosting", rounds=sched.boosting_rounds):
+            for index in range(sched.num_subphases):
+                opinions = self.boost_step(opinions, short_window, generator)
+                if correct is not None:
+                    fraction = float(np.mean(opinions == correct))
+                    trace.append(fraction)
+                    if tele.enabled:
+                        tele.round(
+                            2 * sched.phase_rounds
+                            + (index + 1) * sched.subphase_rounds
+                            - 1,
+                            phase="boosting",
+                            subphase=index,
+                            num_correct=int(round(fraction * cfg.n)),
+                            fraction_correct=fraction,
+                            opinions=opinions,
+                        )
+            final_window = sched.final_rounds * sched.h
+            opinions = self.boost_step(opinions, final_window, generator)
             if correct is not None:
-                trace.append(float(np.mean(opinions == correct)))
-        final_window = sched.final_rounds * sched.h
-        opinions = self.boost_step(opinions, final_window, generator)
-        if correct is not None:
-            trace.append(float(np.mean(opinions == correct)))
+                fraction = float(np.mean(opinions == correct))
+                trace.append(fraction)
+                if tele.enabled:
+                    tele.round(
+                        sched.total_rounds - 1,
+                        phase="boosting_final",
+                        num_correct=int(round(fraction * cfg.n)),
+                        fraction_correct=fraction,
+                        opinions=opinions,
+                    )
 
         converged = correct is not None and bool(np.all(opinions == correct))
+        if tele.enabled:
+            tele.counter("sf.runs")
+            if converged:
+                tele.counter("sf.converged_runs")
         return SFRunResult(
             converged=converged,
             total_rounds=sched.total_rounds,
@@ -197,6 +250,7 @@ class FastSourceFilter:
             weak_fraction_correct=weak_fraction,
             final_opinions=opinions,
             boost_trace=trace,
+            seed=seed_of(rng),
         )
 
     # ------------------------------------------------------------------
@@ -248,14 +302,22 @@ class FastSourceFilter:
             new[ties] = generator.integers(0, 2, size=int(ties.sum())).astype(np.int8)
         return new
 
-    def run_batch(self, replicas: int, rng: RngLike = None) -> List[SFRunResult]:
+    def run_batch(
+        self,
+        replicas: int,
+        rng: RngLike = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> List[SFRunResult]:
         """Execute ``replicas`` independent SF runs in batched numpy ops.
 
         Distributionally identical to ``replicas`` calls of :meth:`run`
         — every draw is the same Binomial, broadcast across a leading
         replica axis — and reproducible for a fixed ``(rng, replicas)``
         pair, but drawn from a single shared stream (results are not
-        stream-identical to serial :meth:`run` calls).
+        stream-identical to serial :meth:`run` calls).  ``telemetry``
+        (optional, RNG-neutral) receives the same phase timers as
+        :meth:`run` plus per-sub-phase ``round`` events carrying the
+        batch-mean correct fraction.
 
         Returns one :class:`SFRunResult` per replica, in replica order.
         """
@@ -263,32 +325,65 @@ class FastSourceFilter:
             raise ConfigurationError(
                 f"replicas must be a positive int, got {replicas}"
             )
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
         cfg, sched = self.config, self.schedule
         correct = cfg.correct_opinion
 
-        weak = self._draw_weak_opinions_batch(replicas, generator)
+        with tele.phase(
+            "sf.phase01_weak", rounds=2 * sched.phase_rounds, replicas=replicas
+        ):
+            weak = self._draw_weak_opinions_batch(replicas, generator)
         if correct is not None:
             weak_fraction = np.mean(weak == correct, axis=1)
         else:
             weak_fraction = np.full(replicas, 0.5)
+        if tele.enabled:
+            tele.gauge(
+                "sf.weak_fraction_correct", float(np.mean(weak_fraction))
+            )
+            tele.round(
+                2 * sched.phase_rounds - 1,
+                phase="phase1",
+                replicas=replicas,
+                mean_fraction_correct=float(np.mean(weak_fraction)),
+            )
 
         opinions = weak.copy()
         traces: List[List[float]] = [[] for _ in range(replicas)]
         short_window = sched.subphase_rounds * sched.h
         windows = [short_window] * sched.num_subphases + [sched.final_rounds * sched.h]
-        for window in windows:
-            opinions = self._boost_step_batch(opinions, window, generator)
-            if correct is not None:
-                fractions = np.mean(opinions == correct, axis=1)
-                for r in range(replicas):
-                    traces[r].append(float(fractions[r]))
+        with tele.phase(
+            "sf.boosting", rounds=sched.boosting_rounds, replicas=replicas
+        ):
+            for index, window in enumerate(windows):
+                opinions = self._boost_step_batch(opinions, window, generator)
+                if correct is not None:
+                    fractions = np.mean(opinions == correct, axis=1)
+                    for r in range(replicas):
+                        traces[r].append(float(fractions[r]))
+                    if tele.enabled:
+                        is_final = index == sched.num_subphases
+                        tele.round(
+                            sched.total_rounds - 1
+                            if is_final
+                            else 2 * sched.phase_rounds
+                            + (index + 1) * sched.subphase_rounds
+                            - 1,
+                            phase="boosting_final" if is_final else "boosting",
+                            replicas=replicas,
+                            mean_fraction_correct=float(np.mean(fractions)),
+                        )
 
         converged = (
             np.all(opinions == correct, axis=1)
             if correct is not None
             else np.zeros(replicas, dtype=bool)
         )
+        if tele.enabled:
+            tele.counter("sf.runs", replicas)
+            tele.counter("sf.converged_runs", int(np.count_nonzero(converged)))
+        seed = seed_of(rng)
         return [
             SFRunResult(
                 converged=bool(converged[r]),
@@ -297,6 +392,7 @@ class FastSourceFilter:
                 weak_fraction_correct=float(weak_fraction[r]),
                 final_opinions=opinions[r].copy(),
                 boost_trace=traces[r],
+                seed=seed,
             )
             for r in range(replicas)
         ]

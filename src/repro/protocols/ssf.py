@@ -31,7 +31,7 @@ import numpy as np
 from ..exceptions import ProtocolError
 from ..model.engine import PullProtocol
 from ..model.population import Population
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .parameters import SSFSchedule
 
 #: SSF symbol helpers.
@@ -86,7 +86,7 @@ class SelfStabilizingSourceFilterProtocol(PullProtocol):
                 f"h={population.h}"
             )
         self._population = population
-        self._rng = as_generator(rng)
+        self._rng = coerce_rng(rng)
         n = population.n
         self._memory = np.zeros((n, 4), dtype=np.int64)
         self._fill = np.zeros(n, dtype=np.int64)
@@ -136,7 +136,7 @@ class SelfStabilizingSourceFilterProtocol(PullProtocol):
         corruptible).
         """
         self._require_reset()
-        generator = as_generator(rng) if rng is not None else self._rng
+        generator = coerce_rng(rng) if rng is not None else self._rng
         indices = np.asarray(indices)
         if indices.size == 0:
             return

@@ -20,7 +20,7 @@ import numpy as np
 from ..exceptions import ProtocolError
 from ..model.async_engine import AsyncPullProtocol
 from ..model.population import Population
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .parameters import SSFSchedule
 from .ssf import (
     SYMBOL_NONSOURCE_1,
@@ -51,7 +51,7 @@ class AsyncSelfStabilizingSourceFilter(AsyncPullProtocol):
 
     def reset(self, population: Population, rng: RngLike = None) -> None:
         self._population = population
-        self._rng = as_generator(rng)
+        self._rng = coerce_rng(rng)
         n = population.n
         self._memory = np.zeros((n, 4), dtype=np.int64)
         self._fill = np.zeros(n, dtype=np.int64)

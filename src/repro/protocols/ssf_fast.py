@@ -23,7 +23,9 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from ..model.config import PopulationConfig
 from ..noise import NoiseMatrix
-from ..types import RngLike, as_generator
+from ..results import RunReport
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import RngLike, coerce_rng, seed_of
 from .parameters import SSFSchedule
 from .ssf import (
     SYMBOL_NONSOURCE_1,
@@ -46,7 +48,7 @@ def _uniform_delta4(noise: Union[float, NoiseMatrix]) -> float:
 
 
 @dataclasses.dataclass
-class SSFRunResult:
+class SSFRunResult(RunReport):
     """Outcome of one fast-SSF execution.
 
     Attributes
@@ -71,6 +73,7 @@ class SSFRunResult:
     final_opinions: np.ndarray
     final_weak_opinions: np.ndarray
     trace: List[tuple]
+    seed: Optional[int] = None
 
 
 class FastSelfStabilizingSourceFilter:
@@ -128,7 +131,7 @@ class FastSelfStabilizingSourceFilter:
 
     def reset(self, rng: RngLike = None) -> None:
         """Clean start: empty buffers, random opinions (sources on pref)."""
-        self._rng = as_generator(rng)
+        self._rng = coerce_rng(rng)
         n = self.config.n
         self.memory[:] = 0
         self.fill[:] = 0
@@ -206,6 +209,7 @@ class FastSelfStabilizingSourceFilter:
         adversary: object = None,
         stop_on_consensus: bool = True,
         consensus_epochs: int = 2,
+        telemetry: Optional[Telemetry] = None,
     ) -> SSFRunResult:
         """Simulate SSF until consensus stabilizes or the budget runs out.
 
@@ -221,8 +225,15 @@ class FastSelfStabilizingSourceFilter:
             Stop early once consensus has held for ``consensus_epochs``
             whole epochs (every agent updated at least twice while the
             population was unanimous).
+        telemetry:
+            Optional :class:`~repro.telemetry.Telemetry` recorder.  Emits
+            an ``ssf.run`` phase timer and one ``round`` event per flush
+            round (the only rounds in which opinions can change).
+            RNG-neutral: results are bit-identical with telemetry on or
+            off.
         """
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
         self.reset(generator)
         if adversary is not None:
             # The fast engine is positional: build a positional population
@@ -243,6 +254,9 @@ class FastSelfStabilizingSourceFilter:
 
         trace: List[tuple] = []
         consensus_start: Optional[int] = None
+        timer = tele.phase("ssf.run") if tele.enabled else None
+        if timer is not None:
+            timer.__enter__()
         t = 0
         while t < max_rounds:
             # Rounds until the next agent(s) flush: fill grows by h/round.
@@ -271,6 +285,13 @@ class FastSelfStabilizingSourceFilter:
                 self._apply_updates(due)
                 frac = self._fraction_correct()
                 trace.append((t - 1, frac))
+                if tele.enabled:
+                    tele.round(
+                        t - 1,
+                        num_correct=int(round(frac * self.config.n)),
+                        fraction_correct=frac,
+                        opinions=self.opinion,
+                    )
                 if frac == 1.0:
                     if consensus_start is None:
                         consensus_start = t - 1
@@ -284,6 +305,12 @@ class FastSelfStabilizingSourceFilter:
                     break
 
         converged = correct is not None and bool(np.all(self.opinion == correct))
+        if timer is not None:
+            timer.__exit__(None, None, None)
+            tele.counter("ssf.rounds", t)
+            tele.counter("ssf.runs")
+            if converged:
+                tele.counter("ssf.converged_runs")
         return SSFRunResult(
             converged=converged,
             consensus_round=consensus_start if converged else None,
@@ -291,6 +318,7 @@ class FastSelfStabilizingSourceFilter:
             final_opinions=self.opinion.copy(),
             final_weak_opinions=self.weak.copy(),
             trace=trace,
+            seed=seed_of(rng),
         )
 
     # ------------------------------------------------------------------
@@ -303,6 +331,7 @@ class FastSelfStabilizingSourceFilter:
         rng: RngLike = None,
         stop_on_consensus: bool = True,
         consensus_epochs: int = 2,
+        telemetry: Optional[Telemetry] = None,
     ) -> List[SSFRunResult]:
         """Simulate ``replicas`` independent clean-start SSF runs at once.
 
@@ -328,7 +357,8 @@ class FastSelfStabilizingSourceFilter:
                 "run_batch requires sample_loss == 0 (lost samples "
                 "desynchronize the shared flush clock); use run() per replica"
             )
-        generator = as_generator(rng)
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
         cfg, sched = self.config, self.schedule
         n, h, m = cfg.n, cfg.h, sched.m
         correct = cfg.correct_opinion
@@ -351,6 +381,11 @@ class FastSelfStabilizingSourceFilter:
         traces: List[List[tuple]] = [[] for _ in range(replicas)]
 
         fill = 0  # shared across agents and replicas from a clean start
+        timer = (
+            tele.phase("ssf.run_batch", replicas=replicas) if tele.enabled else None
+        )
+        if timer is not None:
+            timer.__enter__()
         t = 0
         while t < max_rounds and active.size:
             gap = max(int(np.ceil(max(m - fill, 1) / h)), 1)
@@ -396,6 +431,12 @@ class FastSelfStabilizingSourceFilter:
                     )
                     for i, r in enumerate(active):
                         traces[r].append((t - 1, float(fractions[i])))
+                    if tele.enabled:
+                        tele.round(
+                            t - 1,
+                            active_replicas=int(active.size),
+                            mean_fraction_correct=float(fractions.mean()),
+                        )
                     if stop_on_consensus:
                         keep = ~(
                             (consensus_start[active] >= 0)
@@ -404,7 +445,7 @@ class FastSelfStabilizingSourceFilter:
                         if not keep.all():
                             active = active[keep]
 
-        return [
+        results = [
             SSFRunResult(
                 converged=(
                     correct is not None and bool(np.all(opinion[r] == correct))
@@ -420,6 +461,15 @@ class FastSelfStabilizingSourceFilter:
                 final_opinions=opinion[r].copy(),
                 final_weak_opinions=weak[r].copy(),
                 trace=traces[r],
+                seed=seed_of(rng),
             )
             for r in range(replicas)
         ]
+        if timer is not None:
+            timer.__exit__(None, None, None)
+            tele.counter("ssf.runs", replicas)
+            tele.counter(
+                "ssf.converged_runs",
+                sum(result.converged for result in results),
+            )
+        return results

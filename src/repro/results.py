@@ -1,0 +1,228 @@
+"""repro.results — one common API over every run-result dataclass.
+
+Every engine, protocol, baseline and application in this library returns
+its own result dataclass (``SimulationResult``, ``SFRunResult``,
+``TransportResult``, …).  They kept diverging: some call convergence
+``converged``, others ``aligned`` or ``correct``; some count
+``rounds_executed``, others ``total_rounds`` or ``gossip_rounds``.  The
+:class:`RunReport` base gives them all one read-side vocabulary —
+
+``success``
+    Did the run achieve its goal?  (Aliases the class's own notion:
+    ``converged``, ``aligned``, ``correct``, …)
+``rounds``
+    How long did it take, in the class's natural time unit?
+``seed``
+    The master seed the run was launched from, when the caller passed an
+    integer seed (``None`` for live generators / OS entropy).
+
+— plus uniform serialization: :meth:`RunReport.to_dict` /
+:meth:`RunReport.from_dict` round-trip every subclass (numpy arrays,
+nested dataclasses and tuples included), and the JSONL helpers
+:func:`write_reports_jsonl` / :func:`read_reports_jsonl` persist
+heterogeneous report streams.
+
+The original attribute names remain the dataclass fields — nothing is
+renamed — so all pre-existing code and seed tests keep working.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, IO, Iterable, List, Type, Union
+
+import numpy as np
+
+__all__ = [
+    "RunReport",
+    "register_record",
+    "report_from_dict",
+    "read_reports_jsonl",
+    "write_reports_jsonl",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+#: RunReport subclasses by class name (filled by ``__init_subclass__``).
+REPORT_TYPES: Dict[str, Type["RunReport"]] = {}
+
+#: Plain (non-report) dataclasses that may appear nested inside reports,
+#: e.g. ``RoundRecord`` entries of a trace or the ``PopulationConfig`` of
+#: a comparison result.  Registered via :func:`register_record`.
+RECORD_TYPES: Dict[str, type] = {}
+
+
+def register_record(cls: type) -> type:
+    """Register a nested dataclass so reports containing it round-trip.
+
+    Usable as a decorator; returns ``cls`` unchanged.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls.__name__} is not a dataclass")
+    RECORD_TYPES[cls.__name__] = cls
+    return cls
+
+
+def _encode(value: object) -> object:
+    """Recursively convert a field value into JSON-serializable form."""
+    if isinstance(value, RunReport):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in RECORD_TYPES:
+            raise TypeError(
+                f"nested dataclass {name} is not registered; call "
+                f"repro.results.register_record({name}) after defining it"
+            )
+        out: Dict[str, object] = {"__dataclass__": name}
+        for field in dataclasses.fields(value):
+            out[field.name] = _encode(getattr(value, field.name))
+        return out
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    return value
+
+
+def _decode(value: object) -> object:
+    """Inverse of :func:`_encode`."""
+    if isinstance(value, dict):
+        if "type" in value and value["type"] in REPORT_TYPES:
+            return report_from_dict(value)
+        if "__dataclass__" in value:
+            name = value["__dataclass__"]
+            cls = RECORD_TYPES.get(name)
+            if cls is None:
+                raise KeyError(f"unknown nested dataclass {name!r}")
+            kwargs = {
+                f.name: _decode(value[f.name])
+                for f in dataclasses.fields(cls)
+                if f.name in value
+            }
+            return cls(**kwargs)
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=value.get("dtype"))
+        if "__tuple__" in value:
+            return tuple(_decode(v) for v in value["__tuple__"])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+class RunReport:
+    """Mixin base giving a result dataclass the common run/result API.
+
+    Subclasses are ordinary dataclasses; they opt into the shared
+    vocabulary by declaring which of their fields play the standard
+    roles::
+
+        @dataclasses.dataclass
+        class MyResult(RunReport):
+            _success_attr = "aligned"   # default: "converged"
+            _rounds_attr = "epochs"     # default: "rounds_executed"
+            aligned: bool
+            epochs: int
+
+    ``success``/``rounds`` are then derived attributes (computed only
+    when the class does not already define a field of that name, so e.g.
+    ``FloodingResult.rounds`` stays the real field), and ``seed``
+    defaults to ``None`` unless the class carries a ``seed`` field.
+    Classes whose success/length is not a single field override
+    :meth:`_success_value` / :meth:`_rounds_value` instead.
+    """
+
+    _success_attr: str = "converged"
+    _rounds_attr: str = "rounds_executed"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        REPORT_TYPES[cls.__name__] = cls
+
+    # -- the common vocabulary -----------------------------------------
+    def _success_value(self) -> object:
+        return getattr(self, type(self)._success_attr)
+
+    def _rounds_value(self) -> object:
+        return getattr(self, type(self)._rounds_attr)
+
+    def __getattr__(self, name: str):
+        # Only reached when normal attribute lookup fails, i.e. when the
+        # subclass does NOT define a real field of this name.
+        if name == "success":
+            return bool(self._success_value())
+        if name == "rounds":
+            return int(self._rounds_value())
+        if name == "seed":
+            return None
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dict, tagged with the concrete class name."""
+        out: Dict[str, object] = {"type": type(self).__name__}
+        for field in dataclasses.fields(self):
+            out[field.name] = _encode(getattr(self, field.name))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        """Reconstruct a report from :meth:`to_dict` output.
+
+        Called on :class:`RunReport` itself (or a mismatching subclass),
+        the ``type`` tag dispatches to the right registered subclass.
+        """
+        name = data.get("type")
+        if name is not None and name != cls.__name__:
+            target = REPORT_TYPES.get(name)
+            if target is None:
+                raise KeyError(f"unknown RunReport type {name!r}")
+            return target.from_dict(data)
+        if cls is RunReport:
+            raise TypeError("from_dict on the RunReport base needs a 'type' tag")
+        kwargs = {
+            f.name: _decode(data[f.name])
+            for f in dataclasses.fields(cls)
+            if f.name in data
+        }
+        return cls(**kwargs)
+
+
+def report_from_dict(data: Dict[str, object]) -> RunReport:
+    """Dispatch :meth:`RunReport.from_dict` on the ``type`` tag."""
+    return RunReport.from_dict(data)
+
+
+def write_reports_jsonl(
+    reports: Iterable[RunReport], target: Union[PathLike, IO[str]]
+) -> None:
+    """Write reports as JSON Lines (one ``to_dict`` object per line)."""
+    if hasattr(target, "write"):
+        for report in reports:
+            target.write(json.dumps(report.to_dict()) + "\n")
+        return
+    path = pathlib.Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for report in reports:
+            handle.write(json.dumps(report.to_dict()) + "\n")
+
+
+def read_reports_jsonl(source: Union[PathLike, IO[str]]) -> List[RunReport]:
+    """Read a JSONL stream written by :func:`write_reports_jsonl`."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = pathlib.Path(source).read_text(encoding="utf-8").splitlines()
+    return [report_from_dict(json.loads(line)) for line in lines if line.strip()]

@@ -14,7 +14,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from .types import RngLike, as_generator
+from .types import RngLike, coerce_rng
 
 __all__ = ["spawn_generators", "spawn_seeds", "generator_stream", "fork"]
 
@@ -56,6 +56,6 @@ def fork(rng: RngLike, count: int) -> List[np.random.Generator]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    parent = as_generator(rng)
+    parent = coerce_rng(rng)
     seeds: Sequence[int] = parent.integers(0, 2**63 - 1, size=count)
     return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,45 @@
+"""repro.telemetry — observability for the simulation stack.
+
+A low-overhead event/metric API (counters, gauges, histograms, phase
+timers, per-round records) with pluggable sinks.  See
+:mod:`repro.telemetry.core` for the event vocabulary and the
+RNG-neutrality / near-zero-disabled-overhead guarantees, and
+``docs/observability.md`` for a walkthrough.
+
+Quickstart
+----------
+>>> from repro import PopulationConfig, SourceCounts, FastSourceFilter
+>>> from repro.telemetry import MemorySink, Telemetry
+>>> sink = MemorySink()
+>>> config = PopulationConfig(n=256, sources=SourceCounts(0, 1), h=256)
+>>> result = FastSourceFilter(config, 0.2).run(rng=0, telemetry=Telemetry([sink]))
+>>> sorted(sink.phases)  # doctest: +ELLIPSIS
+['sf.boosting', 'sf.phase01_weak', ...]
+"""
+
+from .core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    ObserverSinkAdapter,
+    Telemetry,
+    TelemetryEvent,
+    TelemetrySink,
+    as_sink,
+    ensure_telemetry,
+)
+from .sinks import AggregatingSink, JsonlSink, MemorySink, SummarySink
+
+__all__ = [
+    "AggregatingSink",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "ObserverSinkAdapter",
+    "SummarySink",
+    "Telemetry",
+    "TelemetryEvent",
+    "TelemetrySink",
+    "as_sink",
+    "ensure_telemetry",
+]

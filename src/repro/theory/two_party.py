@@ -24,7 +24,7 @@ computation.
 
 from __future__ import annotations
 
-from ..types import RngLike, as_generator
+from ..types import RngLike, coerce_rng
 from .probability import exact_majority_success
 
 __all__ = [
@@ -107,7 +107,7 @@ def simulate_two_party(
     """Monte-Carlo estimate of :func:`two_party_error`."""
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
-    generator = as_generator(rng)
+    generator = coerce_rng(rng)
     # By symmetry, send bit 1: copies arrive correct w.p. 1 - delta.
     correct_counts = generator.binomial(m, 1.0 - delta, size=trials)
     wrong = correct_counts * 2 < m

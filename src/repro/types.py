@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Union
+import warnings
+from typing import Optional, Union
 
 import numpy as np
+
+from .results import register_record
 
 #: Either a fully-fledged numpy generator, an integer seed, or ``None``
 #: (fresh OS entropy).  Every stochastic entry point accepts this.
@@ -35,6 +38,7 @@ class Role(enum.IntEnum):
     SOURCE_1 = 2
 
 
+@register_record
 @dataclasses.dataclass(frozen=True)
 class SourceCounts:
     """Number of sources preferring each opinion.
@@ -69,15 +73,80 @@ class SourceCounts:
         return 1 if self.s1 > self.s0 else 0
 
 
-def as_generator(rng: RngLike) -> np.random.Generator:
+def coerce_rng(rng: RngLike = None) -> np.random.Generator:
     """Coerce any :data:`RngLike` value into a ``numpy.random.Generator``.
 
-    Passing an existing generator returns it unchanged, so state is shared
-    with the caller; integers and ``SeedSequence`` objects produce fresh,
-    independent generators; ``None`` seeds from OS entropy.
+    The single RNG-coercion point of the library: every stochastic entry
+    point — engine ``run(rng=...)``, protocol ``reset``, experiment
+    ``run(..., rng=...)`` — routes through here.  Passing an existing
+    generator returns it unchanged, so state is shared with the caller;
+    integers and ``SeedSequence`` objects produce fresh, independent
+    generators; ``None`` seeds from OS entropy.
     """
     if isinstance(rng, np.random.Generator):
         return rng
     if isinstance(rng, np.random.SeedSequence):
         return np.random.default_rng(rng)
     return np.random.default_rng(rng)
+
+
+def seed_of(rng: RngLike) -> Optional[int]:
+    """The literal master seed behind an :data:`RngLike`, when there is one.
+
+    Integer inputs are their own seed; live generators, seed sequences
+    and ``None`` carry no recoverable single seed and map to ``None``.
+    Used to stamp the ``seed`` field of :class:`repro.results.RunReport`
+    objects without perturbing any stream.
+    """
+    if isinstance(rng, (bool, np.bool_)):
+        return None
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    return None
+
+
+def coerce_seed(seed: Optional[int] = None, rng: RngLike = None) -> Optional[int]:
+    """Resolve the ``(seed=, rng=)`` call-family split into one master seed.
+
+    Trial runners and experiments historically demanded a bare
+    ``seed: int`` while engines accept any ``rng``-like.  This helper
+    lets every such entry point accept both spellings:
+
+    * ``rng`` omitted — ``seed`` passes through unchanged;
+    * ``rng`` an int — it *is* the master seed;
+    * ``rng`` a ``SeedSequence`` — a seed is derived from its state
+      (deterministic, does not mutate the sequence);
+    * ``rng`` a live ``Generator`` — a seed is drawn from it (advances
+      the generator, as any consumer of shared state must).
+
+    Passing both a non-default ``seed`` and an ``rng`` is ambiguous and
+    raises ``ValueError``.
+    """
+    if rng is None:
+        return seed
+    if seed is not None and seed != 0:
+        raise ValueError(
+            "pass either seed= or rng=, not both: they are alternative "
+            "spellings of the same master-seed input"
+        )
+    derived = seed_of(rng)
+    if derived is not None:
+        return derived
+    if isinstance(rng, np.random.SeedSequence):
+        return int(rng.generate_state(1, dtype=np.uint64)[0] >> 1)
+    return int(coerce_rng(rng).integers(0, 2**63 - 1))
+
+
+def as_generator(rng: RngLike) -> np.random.Generator:
+    """Deprecated alias of :func:`coerce_rng` (kept for compatibility).
+
+    .. deprecated::
+        Use :func:`coerce_rng`; this shim will keep working but warns so
+        the two call families stay reconciled.
+    """
+    warnings.warn(
+        "repro.types.as_generator is deprecated; use repro.types.coerce_rng",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return coerce_rng(rng)

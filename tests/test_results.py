@@ -1,0 +1,263 @@
+"""Tests for repro.results: the RunReport vocabulary and serialization.
+
+Every result dataclass in the library is round-tripped through
+``to_dict`` -> JSON -> ``report_from_dict`` here, so a schema change in
+any of them that would break persisted JSONL streams fails loudly.
+"""
+
+import dataclasses
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.cooperative_transport import TransportResult
+from repro.apps.flocking import FlockResult
+from repro.apps.house_hunting import HouseHuntingResult
+from repro.apps.sensor_network import SensorNetworkResult
+from repro.apps.zealot_network import ZealotComparison
+from repro.baselines.base import DynamicsResult
+from repro.model import PopulationConfig
+from repro.model.async_engine import AsyncSimulationResult
+from repro.model.engine import RoundRecord, SimulationResult
+from repro.model.structured import FloodingResult
+from repro.protocols.kary import KAryRunResult
+from repro.protocols.multibit import MultiBitResult
+from repro.protocols.sf_fast import SFRunResult
+from repro.protocols.ssf_fast import SSFRunResult
+from repro.results import (
+    REPORT_TYPES,
+    RunReport,
+    read_reports_jsonl,
+    report_from_dict,
+    write_reports_jsonl,
+)
+from repro.types import SourceCounts
+
+
+def _sf_result(seed=7):
+    return SFRunResult(
+        converged=True,
+        total_rounds=24,
+        weak_opinions=np.array([1, 0, 1, 1], dtype=np.int8),
+        weak_fraction_correct=0.75,
+        final_opinions=np.ones(4, dtype=np.int8),
+        boost_trace=[0.75, 1.0],
+        seed=seed,
+    )
+
+
+def _every_report():
+    """One instance of every RunReport subclass in the library."""
+    return [
+        SimulationResult(
+            converged=True,
+            consensus_round=5,
+            rounds_executed=8,
+            final_opinions=np.ones(6, dtype=np.int8),
+            trace=[RoundRecord(0, 0.5, 3), RoundRecord(1, 1.0, 6)],
+            seed=3,
+        ),
+        AsyncSimulationResult(
+            converged=False,
+            consensus_activation=None,
+            activations_executed=120,
+            final_opinions=np.zeros(6, dtype=np.int8),
+            seed=None,
+        ),
+        _sf_result(),
+        SSFRunResult(
+            converged=True,
+            consensus_round=30,
+            rounds_executed=64,
+            final_opinions=np.ones(5, dtype=np.int8),
+            final_weak_opinions=np.array([1, 1, 0, 1, 1], dtype=np.int8),
+            trace=[(16, 0.6), (32, 1.0)],
+            seed=11,
+        ),
+        KAryRunResult(
+            converged=True,
+            total_rounds=40,
+            weak_opinions=np.array([2, 2, 1], dtype=np.int64),
+            weak_fraction_correct=2 / 3,
+            final_opinions=np.full(3, 2, dtype=np.int64),
+            boost_trace=[0.9, 1.0],
+        ),
+        MultiBitResult(
+            converged=True,
+            value=5,
+            total_rounds=48,
+            per_bit=[_sf_result(seed=1), _sf_result(seed=2)],
+        ),
+        FloodingResult(
+            converged=True,
+            rounds=12,
+            stages=3,
+            accuracy=1.0,
+            final_bits=np.ones(7, dtype=np.int8),
+        ),
+        DynamicsResult(
+            converged=True,
+            strict_converged=False,
+            consensus_round=9,
+            rounds_executed=20,
+            final_opinions=np.ones(5, dtype=np.int8),
+            trace=[0.4, 0.8, 1.0],
+        ),
+        TransportResult(
+            aligned=True,
+            epochs_to_alignment=4,
+            positions=np.array([0.0, 0.5, 1.25]),
+            velocities=np.array([0.5, 0.75]),
+        ),
+        FlockResult(aligned=True, rounds=15, polarization=[0.2, 0.9, 1.0]),
+        ZealotComparison(
+            config=PopulationConfig(n=30, sources=SourceCounts(1, 3), h=2),
+            delta=0.2,
+            rounds={"sf": 24, "voter": 90},
+            converged={"sf": True, "voter": False},
+        ),
+        HouseHuntingResult(
+            chosen_site=1,
+            better_site=1,
+            scouts_for_better=7,
+            scouts_for_worse=3,
+            colony_unanimous=True,
+            spreading_rounds=18,
+        ),
+        SensorNetworkResult(
+            event_present=True,
+            true_detections=9,
+            false_detections=1,
+            alarm=True,
+            correct=True,
+            gossip_rounds=22,
+        ),
+    ]
+
+
+def _assert_equal_reports(a, b):
+    assert type(a) is type(b)
+    for field in dataclasses.fields(a):
+        va, vb = getattr(a, field.name), getattr(b, field.name)
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb), field.name
+        elif isinstance(va, list) and va and dataclasses.is_dataclass(va[0]):
+            assert len(va) == len(vb)
+            for ia, ib in zip(va, vb):
+                if isinstance(ia, RunReport):
+                    _assert_equal_reports(ia, ib)
+                else:
+                    assert ia == ib
+        else:
+            assert va == vb, field.name
+
+
+class TestCommonVocabulary:
+    def test_success_aliases_converged(self):
+        assert _sf_result().success is True
+        result = _sf_result()
+        result.converged = False
+        assert result.success is False
+
+    def test_rounds_aliases_declared_field(self):
+        assert _sf_result().rounds == 24  # total_rounds
+        hunt = _every_report()[11]
+        assert hunt.rounds == hunt.spreading_rounds
+
+    def test_seed_defaults_to_none(self):
+        no_seed_field = FlockResult(aligned=True, rounds=3, polarization=[])
+        assert no_seed_field.seed is None
+        assert _sf_result(seed=7).seed == 7
+
+    def test_real_fields_shadow_aliases(self):
+        flooding = FloodingResult(
+            converged=False, rounds=4, stages=1, accuracy=0.5,
+            final_bits=np.zeros(2, dtype=np.int8),
+        )
+        # ``rounds`` is a real dataclass field here, not the alias.
+        assert flooding.rounds == 4
+
+    def test_overridden_success_hooks(self):
+        transport = _every_report()[8]
+        assert transport.success is True  # aliases ``aligned``
+        assert transport.rounds == len(transport.velocities)
+        comparison = _every_report()[10]
+        assert comparison.success is False  # not all baselines converged
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            _sf_result().no_such_attribute
+
+
+class TestRegistry:
+    def test_every_subclass_is_registered(self):
+        for report in _every_report():
+            name = type(report).__name__
+            assert REPORT_TYPES[name] is type(report)
+
+    def test_from_dict_requires_type_tag_on_base(self):
+        with pytest.raises(TypeError):
+            RunReport.from_dict({"converged": True})
+
+    def test_unknown_type_tag_raises(self):
+        with pytest.raises(KeyError):
+            report_from_dict({"type": "NoSuchReport"})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "report", _every_report(), ids=lambda r: type(r).__name__
+    )
+    def test_dict_round_trip_through_json(self, report):
+        data = json.loads(json.dumps(report.to_dict()))
+        restored = report_from_dict(data)
+        _assert_equal_reports(report, restored)
+
+    def test_ndarray_dtype_preserved(self):
+        restored = report_from_dict(
+            json.loads(json.dumps(_sf_result().to_dict()))
+        )
+        assert restored.final_opinions.dtype == np.int8
+
+    def test_nested_reports_restore_as_reports(self):
+        multibit = _every_report()[5]
+        restored = report_from_dict(multibit.to_dict())
+        assert all(isinstance(b, SFRunResult) for b in restored.per_bit)
+        assert restored.per_bit[0].seed == 1
+
+    def test_nested_records_restore_as_dataclasses(self):
+        comparison = _every_report()[10]
+        restored = report_from_dict(comparison.to_dict())
+        assert isinstance(restored.config, PopulationConfig)
+        assert isinstance(restored.config.sources, SourceCounts)
+        assert restored.config.sources == comparison.config.sources
+
+    def test_tuples_survive(self):
+        ssf = _every_report()[3]
+        restored = report_from_dict(json.loads(json.dumps(ssf.to_dict())))
+        assert restored.trace == [(16, 0.6), (32, 1.0)]
+
+
+class TestJsonl:
+    def test_heterogeneous_stream_round_trips(self, tmp_path):
+        reports = _every_report()
+        path = tmp_path / "reports.jsonl"
+        write_reports_jsonl(reports, path)
+        restored = read_reports_jsonl(path)
+        assert len(restored) == len(reports)
+        for original, back in zip(reports, restored):
+            _assert_equal_reports(original, back)
+
+    def test_stream_targets(self):
+        buffer = io.StringIO()
+        write_reports_jsonl([_sf_result()], buffer)
+        buffer.seek(0)
+        (restored,) = read_reports_jsonl(buffer)
+        _assert_equal_reports(_sf_result(), restored)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "reports.jsonl"
+        path.write_text(json.dumps(_sf_result().to_dict()) + "\n\n")
+        assert len(read_reports_jsonl(path)) == 1

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.types import Role, SourceCounts, as_generator
+from repro.types import (
+    Role,
+    SourceCounts,
+    as_generator,
+    coerce_rng,
+    coerce_seed,
+    seed_of,
+)
 
 
 class TestSourceCounts:
@@ -47,25 +54,67 @@ class TestRole:
         assert int(Role.NON_SOURCE) == 0
 
 
-class TestAsGenerator:
+class TestCoerceRng:
     def test_passthrough_generator(self):
         gen = np.random.default_rng(1)
-        assert as_generator(gen) is gen
+        assert coerce_rng(gen) is gen
 
     def test_int_seed_is_deterministic(self):
-        a = as_generator(7).integers(0, 1000, size=5)
-        b = as_generator(7).integers(0, 1000, size=5)
+        a = coerce_rng(7).integers(0, 1000, size=5)
+        b = coerce_rng(7).integers(0, 1000, size=5)
         assert np.array_equal(a, b)
 
     def test_seed_sequence(self):
         seq = np.random.SeedSequence(3)
-        gen = as_generator(seq)
+        gen = coerce_rng(seq)
         assert isinstance(gen, np.random.Generator)
 
     def test_none_gives_generator(self):
-        assert isinstance(as_generator(None), np.random.Generator)
+        assert isinstance(coerce_rng(None), np.random.Generator)
 
     def test_different_seeds_differ(self):
-        a = as_generator(1).integers(0, 2**32)
-        b = as_generator(2).integers(0, 2**32)
+        a = coerce_rng(1).integers(0, 2**32)
+        b = coerce_rng(2).integers(0, 2**32)
         assert a != b
+
+
+class TestDeprecatedAsGenerator:
+    def test_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="coerce_rng"):
+            gen = as_generator(7)
+        assert np.array_equal(
+            gen.integers(0, 1000, size=5),
+            coerce_rng(7).integers(0, 1000, size=5),
+        )
+
+
+class TestSeedOf:
+    def test_int_is_its_own_seed(self):
+        assert seed_of(42) == 42
+
+    def test_generator_and_none_have_no_seed(self):
+        assert seed_of(np.random.default_rng(1)) is None
+        assert seed_of(None) is None
+        assert seed_of(np.random.SeedSequence(2)) is None
+
+
+class TestCoerceSeed:
+    def test_seed_passes_through(self):
+        assert coerce_seed(17) == 17
+        assert coerce_seed(None) is None
+
+    def test_int_rng_is_the_seed(self):
+        assert coerce_seed(None, rng=23) == 23
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(ValueError):
+            coerce_seed(5, rng=7)
+
+    def test_seed_sequence_is_deterministic(self):
+        a = coerce_seed(None, rng=np.random.SeedSequence(3))
+        b = coerce_seed(None, rng=np.random.SeedSequence(3))
+        assert a == b and isinstance(a, int)
+
+    def test_generator_draws_a_seed(self):
+        value = coerce_seed(None, rng=np.random.default_rng(0))
+        assert isinstance(value, int) and 0 <= value < 2**63
