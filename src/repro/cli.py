@@ -358,6 +358,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import run_verify
+
+    scale = "full" if args.full else "quick"
+    report = run_verify(
+        scale,
+        goldens_dir=args.goldens_dir,
+        update_goldens=args.update_goldens,
+        checks=args.only,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -455,6 +469,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=0, help="also measure over this many runs"
     )
     report.set_defaults(func=_cmd_report)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the engine conformance matrix and golden-trace checks",
+    )
+    scale_group = verify.add_mutually_exclusive_group()
+    scale_group.add_argument(
+        "--quick",
+        action="store_true",
+        help="fast smoke scale (default)",
+    )
+    scale_group.add_argument(
+        "--full",
+        action="store_true",
+        help="sharper statistical power (more trials/replicas)",
+    )
+    verify.add_argument(
+        "--update-goldens",
+        action="store_true",
+        help="regenerate tests/goldens/*.json instead of diffing them",
+    )
+    verify.add_argument(
+        "--goldens-dir",
+        default=None,
+        help="override the golden-fixture directory (default: tests/goldens)",
+    )
+    verify.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="restrict the matrix to these check names (goldens always run)",
+    )
+    verify.set_defaults(func=_cmd_verify)
 
     return parser
 

@@ -14,7 +14,12 @@ from .engine import PullEngine, PullProtocol, RoundRecord, SimulationResult
 from .batched_engine import BatchedPullEngine, BatchedPullProtocol
 from .push_engine import PushEngine, PushProtocol
 from .async_engine import AsyncPullEngine, AsyncPullProtocol, AsyncSimulationResult
-from .adversary import AdversarialInitializer, RandomStateAdversary, TargetedAdversary
+from .adversary import (
+    AdversarialInitializer,
+    DesynchronizingAdversary,
+    RandomStateAdversary,
+    TargetedAdversary,
+)
 from .observers import ConsensusTracker, OpinionTrace
 from .structured import FloodingResult, StableFlooding, build_graph
 
@@ -26,6 +31,7 @@ __all__ = [
     "StableFlooding",
     "build_graph",
     "AdversarialInitializer",
+    "DesynchronizingAdversary",
     "BatchedPullEngine",
     "BatchedPullProtocol",
     "ConsensusTracker",

@@ -71,11 +71,15 @@ class AsyncSelfStabilizingSourceFilter(AsyncPullProtocol):
         if self._population is None:
             raise ProtocolError("protocol must be reset before corruption")
         n = self._population.n
+        opinions = np.asarray(opinions, dtype=np.int8)
+        weak = np.asarray(weak_opinions, dtype=np.int8)
         memory = np.asarray(memory_counts, dtype=np.int64)
-        if memory.shape != (n, 4) or memory.sum(axis=1).max() > self.memory_capacity:
+        if opinions.shape != (n,) or weak.shape != (n,) or memory.shape != (n, 4):
+            raise ProtocolError("adversarial state has wrong shape")
+        if memory.min() < 0 or memory.sum(axis=1).max() > self.memory_capacity:
             raise ProtocolError("adversarial memories must hold <= m messages")
-        self._opinions = np.asarray(opinions, dtype=np.int8).copy()
-        self._weak = np.asarray(weak_opinions, dtype=np.int8).copy()
+        self._opinions = opinions.copy()
+        self._weak = weak.copy()
         self._memory = memory.copy()
         self._fill = memory.sum(axis=1)
 
@@ -116,3 +120,8 @@ class AsyncSelfStabilizingSourceFilter(AsyncPullProtocol):
     def weak_opinions(self) -> np.ndarray:
         """Current weak-opinion vector."""
         return self._weak
+
+    @property
+    def memory_fill(self) -> np.ndarray:
+        """Messages currently buffered per agent (agent-level spelling)."""
+        return self._fill

@@ -129,6 +129,20 @@ class FastSelfStabilizingSourceFilter:
         """The buffer size parameter ``m``."""
         return self.schedule.m
 
+    def opinions(self) -> np.ndarray:
+        """Current opinion vector (duck-types the agent-level protocol)."""
+        return self.opinion
+
+    @property
+    def weak_opinions(self) -> np.ndarray:
+        """Current weak-opinion vector (agent-level protocol spelling)."""
+        return self.weak
+
+    @property
+    def memory_fill(self) -> np.ndarray:
+        """Messages currently buffered per agent (agent-level spelling)."""
+        return self.fill
+
     def reset(self, rng: RngLike = None) -> None:
         """Clean start: empty buffers, random opinions (sources on pref)."""
         self._rng = coerce_rng(rng)

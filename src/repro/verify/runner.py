@@ -1,0 +1,444 @@
+"""The conformance matrix: every engine pair, one command.
+
+``repro-spreading verify`` executes the checks below and reports a
+pass/fail table.  Two scales exist: ``quick`` (seconds; CI smoke) and
+``full`` (sharper statistical power).  The matrix covers the four
+engine pairs the repo must keep equivalent:
+
+================================  ===========================================
+pair                              check
+================================  ===========================================
+reference ↔ batched (spawn)       bit-identical trajectories
+corrupt ↔ corrupt_with_uniforms   bit-identical symbol streams
+reference ↔ fast SF               pooled weak-opinion law (Hoeffding)
+reference ↔ fast SSF              weak-opinion law + fixed-seed convergence
+sync ↔ async SSF                  convergence + parallel-round scale
+goldens                           digests of committed reference trajectories
+================================  ===========================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import time
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model import (
+    BatchedPullEngine,
+    Population,
+    PopulationConfig,
+    PullEngine,
+)
+from ..model.async_engine import AsyncPullEngine
+from ..noise import NoiseMatrix
+from ..protocols import (
+    BatchedSourceFilter,
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+    SFSchedule,
+    SSFSchedule,
+    SelfStabilizingSourceFilterProtocol,
+    SourceFilterProtocol,
+)
+from ..protocols.ssf_async import AsyncSelfStabilizingSourceFilter
+from ..types import SourceCounts
+from .conformance import assert_engines_equivalent
+from .golden import compare_goldens, default_goldens_dir, write_goldens
+from .statistical import (
+    FalsePositiveBudget,
+    assert_proportions_close,
+    assert_success_probability,
+)
+
+__all__ = ["CheckOutcome", "VerifyReport", "run_verify", "VERIFY_SCALES"]
+
+VERIFY_SCALES = ("quick", "full")
+
+
+@dataclasses.dataclass
+class CheckOutcome:
+    """Result of one conformance check."""
+
+    name: str
+    kind: str  # "exact" | "statistical" | "golden"
+    passed: bool
+    seconds: float
+    detail: str = ""
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """Aggregate outcome of one ``verify`` invocation."""
+
+    scale: str
+    outcomes: List[CheckOutcome]
+    goldens_dir: pathlib.Path
+    updated_goldens: bool = False
+    budget_report: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    def render(self) -> str:
+        lines = [f"conformance matrix ({self.scale} scale)"]
+        width = max(len(o.name) for o in self.outcomes) if self.outcomes else 0
+        for outcome in self.outcomes:
+            status = "PASS" if outcome.passed else "FAIL"
+            lines.append(
+                f"  {status}  {outcome.name.ljust(width)}  "
+                f"[{outcome.kind}]  {outcome.seconds:6.2f}s"
+            )
+            if outcome.detail:
+                for row in outcome.detail.splitlines():
+                    lines.append(f"        {row}")
+        if self.updated_goldens:
+            lines.append(f"goldens regenerated in {self.goldens_dir}")
+        if self.budget_report:
+            lines.append(self.budget_report)
+        lines.append("verify: " + ("PASS" if self.passed else "FAIL"))
+        return "\n".join(lines)
+
+
+def _check_reference_vs_batched(scale: str, budget: FalsePositiveBudget) -> str:
+    """Bit-identity of BatchedPullEngine spawn mode vs serial PullEngine."""
+    replicas = 3 if scale == "quick" else 6
+    seed = 421
+    config = PopulationConfig(n=48, sources=SourceCounts(1, 3), h=4)
+    population = Population(config, rng=np.random.default_rng(0))
+    noise = NoiseMatrix.uniform(0.2, 2)
+    schedule = SFSchedule.from_config(config, 0.2, m=24)
+    serial_engine = PullEngine(population, noise)
+    batched_engine = BatchedPullEngine(population, noise)
+
+    def serial_run(generator):
+        return serial_engine.run(
+            SourceFilterProtocol(schedule),
+            max_rounds=schedule.total_rounds,
+            rng=generator,
+        )
+
+    def batched_run(run_seed, run_replicas):
+        return batched_engine.run(
+            BatchedSourceFilter(schedule),
+            max_rounds=schedule.total_rounds,
+            replicas=run_replicas,
+            rng=run_seed,
+        )
+
+    assert_engines_equivalent(
+        serial_run,
+        batched_run,
+        replicas=replicas,
+        seed=seed,
+        context="reference vs batched SF",
+    )
+    return f"{replicas} replicas bit-identical (seed {seed})"
+
+
+def _check_corrupt_equivalence(scale: str, budget: FalsePositiveBudget) -> str:
+    """corrupt() must equal drawing uniforms + corrupt_with_uniforms()."""
+    matrices = [
+        NoiseMatrix.uniform(0.2, 2),
+        NoiseMatrix.uniform(0.15, 4),
+        NoiseMatrix.random_upper_bounded(0.2, 3, np.random.default_rng(3)),
+    ]
+    rounds = 3 if scale == "quick" else 10
+    for index, matrix in enumerate(matrices):
+        size = matrix.matrix.shape[0]
+        for r in range(rounds):
+            messages = np.random.default_rng(100 + r).integers(
+                0, size, size=257
+            )
+            seed = 1000 * index + r
+            direct = matrix.corrupt(messages, np.random.default_rng(seed))
+            uniforms = np.random.default_rng(seed).random(messages.size)
+            via_uniforms = matrix.corrupt_with_uniforms(messages, uniforms)
+            if not np.array_equal(direct, via_uniforms):
+                raise ConfigurationError(
+                    f"corrupt vs corrupt_with_uniforms diverged for "
+                    f"matrix {index} (size {size}) at seed {seed}"
+                )
+    return f"{len(matrices)} matrix shapes x {rounds} draws bit-identical"
+
+
+def _sf_weak_setup():
+    config = PopulationConfig(n=120, sources=SourceCounts(1, 4), h=6)
+    delta = 0.15
+    schedule = SFSchedule.from_config(config, delta, m=60)
+    return config, delta, schedule
+
+
+def _check_reference_vs_fast_sf(scale: str, budget: FalsePositiveBudget) -> str:
+    """Weak-opinion law of Algorithm 1: agent-level vs fast engine.
+
+    Weak opinions are independent across agents (each depends only on
+    that agent's own observation draws of the fixed source displays), so
+    pooled correct-counts obey Hoeffding and the two-sample proportion
+    check is exactly valid.
+    """
+    config, delta, schedule = _sf_weak_setup()
+    trials = 8 if scale == "quick" else 30
+    confidence = 1 - 1e-5
+
+    fast_engine = FastSourceFilter(config, delta, schedule=schedule)
+    fast_correct = 0
+    for seed in range(trials):
+        weak = fast_engine.draw_weak_opinions(np.random.default_rng(seed))
+        fast_correct += int((weak == config.correct_opinion).sum())
+
+    noise = NoiseMatrix.uniform(delta, 2)
+    agent_correct = 0
+    for seed in range(trials):
+        rng = np.random.default_rng(10_000 + seed)
+        population = Population(config, rng=rng)
+        protocol = SourceFilterProtocol(schedule)
+        PullEngine(population, noise).run(
+            protocol, max_rounds=2 * schedule.phase_rounds, rng=rng
+        )
+        agent_correct += int(
+            (protocol.weak_opinions == config.correct_opinion).sum()
+        )
+
+    pooled = trials * config.n
+    assert_proportions_close(
+        agent_correct,
+        pooled,
+        fast_correct,
+        pooled,
+        confidence=confidence,
+        context="reference vs fast SF weak-opinion law",
+        budget=budget,
+    )
+    return (
+        f"pooled weak-opinion rates {agent_correct / pooled:.4f} vs "
+        f"{fast_correct / pooled:.4f} over {pooled} agents "
+        f"(confidence {confidence})"
+    )
+
+
+def _check_reference_vs_fast_ssf(
+    scale: str, budget: FalsePositiveBudget
+) -> str:
+    """Algorithm 2 first-epoch weak-opinion law + fixed-seed convergence.
+
+    SSF weak opinions share mild dependence through the common display
+    history, so the Hoeffding radius is padded with a 0.05 modelling
+    tolerance; fixed seeds make the convergence legs deterministic
+    regression checks.
+    """
+    config = PopulationConfig(n=80, sources=SourceCounts(1, 3), h=8)
+    delta = 0.1
+    schedule = SSFSchedule.from_config(config, delta, m=64)
+    noise = NoiseMatrix.uniform(delta, 4)
+    trials = 6 if scale == "quick" else 25
+    confidence = 1 - 1e-5
+
+    fast_correct = 0
+    for seed in range(trials):
+        engine = FastSelfStabilizingSourceFilter(
+            config, delta, schedule=schedule
+        )
+        engine.run(
+            max_rounds=schedule.epoch_rounds, rng=seed,
+            stop_on_consensus=False,
+        )
+        fast_correct += int((engine.weak == config.correct_opinion).sum())
+
+    agent_correct = 0
+    for seed in range(trials):
+        rng = np.random.default_rng(50_000 + seed)
+        population = Population(config, rng=rng)
+        protocol = SelfStabilizingSourceFilterProtocol(schedule)
+        PullEngine(population, noise).run(
+            protocol, max_rounds=schedule.epoch_rounds, rng=rng
+        )
+        agent_correct += int(
+            (protocol.weak_opinions == config.correct_opinion).sum()
+        )
+
+    pooled = trials * config.n
+    assert_proportions_close(
+        agent_correct,
+        pooled,
+        fast_correct,
+        pooled,
+        confidence=confidence,
+        extra_tolerance=0.05,
+        context="reference vs fast SSF weak-opinion law",
+        budget=budget,
+    )
+
+    # Convergence: fast engine statistically, reference on a fixed seed.
+    conv_config = PopulationConfig(n=64, sources=SourceCounts(0, 2), h=32)
+    conv_delta = 0.05
+    conv_schedule = SSFSchedule.from_config(conv_config, conv_delta)
+    seeds = 10 if scale == "quick" else 30
+    fast_ok = sum(
+        FastSelfStabilizingSourceFilter(
+            conv_config, conv_delta, schedule=conv_schedule
+        ).run(rng=seed).converged
+        for seed in range(seeds)
+    )
+    assert_success_probability(
+        int(fast_ok),
+        seeds,
+        0.8,
+        confidence=1 - 1e-6,
+        context="fast SSF convergence reliability",
+        budget=budget,
+    )
+    rng = np.random.default_rng(0)
+    population = Population(conv_config, rng=rng)
+    reference = PullEngine(
+        population, NoiseMatrix.uniform(conv_delta, 4)
+    ).run(
+        SelfStabilizingSourceFilterProtocol(conv_schedule),
+        max_rounds=10 * conv_schedule.epoch_rounds,
+        rng=rng,
+        consensus_patience=2 * conv_schedule.epoch_rounds,
+    )
+    if not reference.converged:
+        raise ConfigurationError(
+            "reference SSF failed to converge on fixed seed 0 "
+            "(deterministic regression)"
+        )
+    return (
+        f"weak-opinion rates {agent_correct / pooled:.4f} vs "
+        f"{fast_correct / pooled:.4f}; fast convergence "
+        f"{fast_ok}/{seeds}; reference seed-0 converged"
+    )
+
+
+def _check_sync_vs_async_ssf(scale: str, budget: FalsePositiveBudget) -> str:
+    """Asynchrony costs only constants: async SSF consensus lands within
+    a small factor of the sync engine's round count (fixed seeds, so the
+    comparison is a deterministic regression at quick scale)."""
+    config = PopulationConfig(n=48, sources=SourceCounts(0, 2), h=24)
+    delta = 0.05
+    schedule = SSFSchedule.from_config(config, delta)
+    noise = NoiseMatrix.uniform(delta, 4)
+    async_seeds = [2] if scale == "quick" else [2, 3, 4]
+    ratios = []
+    for seed in async_seeds:
+        population = Population(config, rng=np.random.default_rng(1))
+        protocol = AsyncSelfStabilizingSourceFilter(schedule)
+        result = AsyncPullEngine(population, noise).run(
+            protocol,
+            max_activations=config.n * 12 * schedule.epoch_rounds,
+            rng=np.random.default_rng(seed),
+            consensus_patience=config.n * schedule.epoch_rounds,
+        )
+        if not result.converged:
+            raise ConfigurationError(
+                f"async SSF failed to converge on fixed seed {seed}"
+            )
+        sync = FastSelfStabilizingSourceFilter(
+            config, delta, schedule=schedule
+        ).run(rng=seed)
+        if not sync.converged:
+            raise ConfigurationError(
+                f"sync SSF failed to converge on fixed seed {seed}"
+            )
+        ratio = result.consensus_parallel_rounds / max(
+            sync.consensus_round, 1
+        )
+        if not 0.1 < ratio < 10.0:
+            raise ConfigurationError(
+                f"async/sync consensus-round ratio {ratio:.2f} outside "
+                f"[0.1, 10] on seed {seed} — asynchrony should cost "
+                f"only constants"
+            )
+        ratios.append(ratio)
+    return (
+        f"{len(async_seeds)} async run(s) converged; "
+        f"async/sync round ratios "
+        + ", ".join(f"{r:.2f}" for r in ratios)
+    )
+
+
+_CHECKS: List[tuple] = [
+    ("reference-vs-batched-sf", "exact", _check_reference_vs_batched),
+    ("corrupt-vs-corrupt-with-uniforms", "exact", _check_corrupt_equivalence),
+    ("reference-vs-fast-sf", "statistical", _check_reference_vs_fast_sf),
+    ("reference-vs-fast-ssf", "statistical", _check_reference_vs_fast_ssf),
+    ("sync-vs-async-ssf", "statistical", _check_sync_vs_async_ssf),
+]
+
+
+def run_verify(
+    scale: str = "quick",
+    *,
+    goldens_dir: Optional[Union[str, pathlib.Path]] = None,
+    update_goldens: bool = False,
+    checks: Optional[List[str]] = None,
+) -> VerifyReport:
+    """Run the conformance matrix and the golden-trace comparison.
+
+    ``checks`` optionally restricts the matrix to a subset of check
+    names (goldens always run).  ``update_goldens=True`` rewrites the
+    fixtures instead of diffing them.
+    """
+    if scale not in VERIFY_SCALES:
+        raise ConfigurationError(
+            f"scale must be one of {VERIFY_SCALES}, got {scale!r}"
+        )
+    directory = pathlib.Path(goldens_dir or default_goldens_dir())
+    budget = FalsePositiveBudget(total=1e-3)
+    outcomes: List[CheckOutcome] = []
+    for name, kind, check in _CHECKS:
+        if checks is not None and name not in checks:
+            continue
+        start = time.perf_counter()
+        try:
+            detail = check(scale, budget)
+            passed = True
+        except AssertionError as exc:
+            detail, passed = str(exc), False
+        except ConfigurationError as exc:
+            detail, passed = str(exc), False
+        outcomes.append(
+            CheckOutcome(
+                name=name,
+                kind=kind,
+                passed=passed,
+                seconds=time.perf_counter() - start,
+                detail=detail,
+            )
+        )
+
+    start = time.perf_counter()
+    if update_goldens:
+        written = write_goldens(directory)
+        outcomes.append(
+            CheckOutcome(
+                name="golden-traces",
+                kind="golden",
+                passed=True,
+                seconds=time.perf_counter() - start,
+                detail=f"regenerated {len(written)} fixtures",
+            )
+        )
+    else:
+        mismatches = compare_goldens(directory)
+        outcomes.append(
+            CheckOutcome(
+                name="golden-traces",
+                kind="golden",
+                passed=not mismatches,
+                seconds=time.perf_counter() - start,
+                detail="\n".join(mismatches)
+                or f"{directory} digests all match",
+            )
+        )
+    return VerifyReport(
+        scale=scale,
+        outcomes=outcomes,
+        goldens_dir=directory,
+        updated_goldens=update_goldens,
+        budget_report=budget.report(),
+    )

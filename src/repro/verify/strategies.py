@@ -1,0 +1,146 @@
+"""Shared Hypothesis strategies for property tests.
+
+Importing this module requires `hypothesis <https://hypothesis.works>`_
+(a test-only dependency); the rest of :mod:`repro.verify` works without
+it.  The strategies centralise the config/noise generators that property
+tests used to duplicate, and respect the paper's standing constraints
+(``s0, s1 <= n/4``, positive bias, ``h <= n``, ``delta < 1/d``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+try:
+    from hypothesis import strategies as st
+except ImportError as exc:  # pragma: no cover - exercised only without dev deps
+    raise ImportError(
+        "repro.verify.strategies requires the 'hypothesis' package "
+        "(a test-only dependency); install it or avoid importing this "
+        "module"
+    ) from exc
+
+from ..model import PopulationConfig
+from ..noise import NoiseMatrix
+from ..types import SourceCounts
+
+__all__ = [
+    "source_counts",
+    "population_configs",
+    "noise_matrices",
+    "ssf_corrupted_states",
+]
+
+
+def source_counts(
+    max_each: int = 8, *, allow_zero_bias: bool = False
+) -> st.SearchStrategy:
+    """Source-count pairs with a positive bias towards opinion 1.
+
+    With ``allow_zero_bias=True`` ties ``s0 == s1`` are generated too
+    (callers must then build configs with ``allow_zero_bias=True``).
+    """
+
+    def build(s1: int, deficit: int) -> SourceCounts:
+        upper = s1 if allow_zero_bias else s1 - 1
+        return SourceCounts(s0=max(0, min(upper, s1 - deficit)), s1=s1)
+
+    return st.builds(
+        build,
+        st.integers(min_value=1, max_value=max_each),
+        st.integers(min_value=0 if allow_zero_bias else 1, max_value=max_each),
+    )
+
+
+def population_configs(
+    min_n: int = 16,
+    max_n: int = 512,
+    max_h: Optional[int] = None,
+    max_sources: int = 8,
+) -> st.SearchStrategy:
+    """Valid :class:`~repro.model.PopulationConfig` instances.
+
+    Clips the drawn source counts to the paper's ``s <= n/4`` standing
+    assumption and ``h`` to ``[1, min(max_h, n)]``.
+    """
+
+    def build(n: int, s0: int, s1: int, h: int) -> PopulationConfig:
+        cap = max(1, n // 4)
+        s1 = max(1, min(s1, cap))
+        s0 = min(s0, s1 - 1, cap)
+        h = min(h, n if max_h is None else min(max_h, n))
+        return PopulationConfig(
+            n=n, sources=SourceCounts(s0=max(0, s0), s1=s1), h=max(1, h)
+        )
+
+    return st.builds(
+        build,
+        st.integers(min_value=min_n, max_value=max_n),
+        st.integers(min_value=0, max_value=max_sources),
+        st.integers(min_value=1, max_value=max_sources),
+        st.integers(min_value=1, max_value=max_h or max_n),
+    )
+
+
+def noise_matrices(
+    delta_max: float = 0.24,
+    sizes: Sequence[int] = (2, 3, 4),
+    kinds: Sequence[str] = ("uniform", "random"),
+) -> st.SearchStrategy:
+    """Delta-upper-bounded :class:`~repro.noise.NoiseMatrix` instances.
+
+    ``uniform`` draws Definition-1 delta-uniform matrices; ``random``
+    draws arbitrary delta-upper-bounded ones (seeded deterministically
+    from the example, so shrinking stays reproducible).  ``delta_max``
+    is additionally clipped below ``1/size`` per example.
+    """
+    unknown = set(kinds) - {"uniform", "random"}
+    if unknown:
+        raise ValueError(f"unknown noise matrix kinds: {sorted(unknown)}")
+
+    def build(size: int, delta_frac: float, kind: str, seed: int) -> NoiseMatrix:
+        # Keep a safety margin below 1/size so both constructors accept.
+        delta = delta_frac * min(delta_max, 0.999 / size)
+        if kind == "uniform":
+            return NoiseMatrix.uniform(delta, size)
+        return NoiseMatrix.random_upper_bounded(
+            delta, size, np.random.default_rng(seed)
+        )
+
+    return st.builds(
+        build,
+        st.sampled_from(list(sizes)),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.sampled_from(list(kinds)),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+
+
+def ssf_corrupted_states(
+    n: int, m: int, num_symbols: int = 4
+) -> st.SearchStrategy:
+    """Adversarially corrupted SSF states ``(opinions, weak, memory)``.
+
+    Memory counts are non-negative with per-agent totals at most ``m``,
+    matching the ``install_state`` contract of every self-stabilizing
+    implementation; the arrays are generated from a drawn seed so every
+    example is reproducible under shrinking.
+    """
+    if n <= 0 or m <= 0:
+        raise ValueError(f"n and m must be positive, got n={n}, m={m}")
+
+    def build(seed: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        opinions = rng.integers(0, 2, size=n).astype(np.int8)
+        weak = rng.integers(0, 2, size=n).astype(np.int8)
+        fills = rng.integers(0, m + 1, size=n)
+        memory = np.zeros((n, num_symbols), dtype=np.int64)
+        for agent, fill in enumerate(fills):
+            if fill:
+                symbols = rng.integers(0, num_symbols, size=int(fill))
+                memory[agent] = np.bincount(symbols, minlength=num_symbols)
+        return opinions, weak, memory
+
+    return st.builds(build, st.integers(min_value=0, max_value=2**31 - 1))

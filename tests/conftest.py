@@ -2,10 +2,43 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro import PopulationConfig, SourceCounts
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # One profile per context: "dev" keeps local iteration snappy,
+    # "ci" spends more examples for better coverage.  Both disable the
+    # wall-clock deadline — simulation-backed properties have heavy-tailed
+    # runtimes and deadline flakes would defeat the statistical-assertion
+    # discipline.  Select with HYPOTHESIS_PROFILE=ci (the CI workflow does).
+    settings.register_profile(
+        "dev",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "ci",
+        max_examples=75,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    pass
+
+
+@pytest.fixture(scope="session")
+def goldens_dir() -> pathlib.Path:
+    """The committed golden-trace fixtures (tests/goldens)."""
+    return pathlib.Path(__file__).resolve().parent / "goldens"
 
 
 @pytest.fixture

@@ -1,0 +1,193 @@
+"""install_state conformance across every self-stabilizing protocol.
+
+One shared parametrized suite drives the agent-level, fast and async SSF
+implementations through the same adversary contract: round-trip fidelity
+of installed state, input validation, defensive copying, and
+compatibility with every shipped adversary.  Closes the gap where
+test_adversary.py exercised only the agent-level implementation.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.model import (
+    DesynchronizingAdversary,
+    Population,
+    PopulationConfig,
+    RandomStateAdversary,
+    TargetedAdversary,
+)
+from repro.protocols import (
+    FastSelfStabilizingSourceFilter,
+    SSFSchedule,
+    SelfStabilizingSourceFilterProtocol,
+)
+from repro.protocols.ssf_async import AsyncSelfStabilizingSourceFilter
+from repro.types import SourceCounts
+from repro.verify.strategies import ssf_corrupted_states
+
+N = 24
+M = 10
+INSTALL_ERRORS = (ProtocolError, ConfigurationError)
+
+
+class Harness:
+    """Uniform facade over the three SSF implementations."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.config = PopulationConfig(n=N, sources=SourceCounts(1, 3), h=4)
+        self.schedule = SSFSchedule.from_config(self.config, 0.1, m=M)
+        self.population = Population(self.config, rng=np.random.default_rng(0))
+        if kind == "reference":
+            self.protocol = SelfStabilizingSourceFilterProtocol(self.schedule)
+        elif kind == "fast":
+            self.protocol = FastSelfStabilizingSourceFilter(
+                self.config, 0.1, schedule=self.schedule
+            )
+        elif kind == "async":
+            self.protocol = AsyncSelfStabilizingSourceFilter(self.schedule)
+        else:  # pragma: no cover - parametrization error
+            raise ValueError(kind)
+
+    def reset(self, seed: int = 1) -> None:
+        rng = np.random.default_rng(seed)
+        if self.kind == "fast":
+            self.protocol.reset(rng)
+        else:
+            self.protocol.reset(self.population, rng)
+
+    # Unified accessors (the duck-typed surface under test).
+    @property
+    def opinions(self) -> np.ndarray:
+        return np.asarray(self.protocol.opinions())
+
+    @property
+    def weak(self) -> np.ndarray:
+        return np.asarray(self.protocol.weak_opinions)
+
+    @property
+    def fill(self) -> np.ndarray:
+        return np.asarray(self.protocol.memory_fill)
+
+
+@pytest.fixture(params=["reference", "fast", "async"])
+def harness(request) -> Harness:
+    return Harness(request.param)
+
+
+def _state(seed: int = 7):
+    rng = np.random.default_rng(seed)
+    opinions = rng.integers(0, 2, size=N).astype(np.int8)
+    weak = rng.integers(0, 2, size=N).astype(np.int8)
+    memory = np.zeros((N, 4), dtype=np.int64)
+    memory[:, 2] = rng.integers(0, M // 2 + 1, size=N)
+    memory[:, 1] = rng.integers(0, M // 2, size=N)
+    return opinions, weak, memory
+
+
+class TestInstallStateRoundTrip:
+    def test_installed_state_is_readable_back(self, harness):
+        harness.reset()
+        opinions, weak, memory = _state()
+        harness.protocol.install_state(opinions, weak, memory)
+        assert np.array_equal(harness.opinions, opinions)
+        assert np.array_equal(harness.weak, weak)
+        assert np.array_equal(harness.fill, memory.sum(axis=1))
+
+    def test_install_copies_its_inputs(self, harness):
+        harness.reset()
+        opinions, weak, memory = _state()
+        harness.protocol.install_state(opinions, weak, memory)
+        opinions[:] = 1 - opinions
+        weak[:] = 1 - weak
+        memory[:] = 0
+        assert not np.array_equal(harness.opinions, opinions)
+        assert np.array_equal(harness.fill, np.asarray(
+            harness.protocol.memory_fill
+        ))
+        assert harness.fill.sum() > 0
+
+    def test_memory_capacity_matches_schedule(self, harness):
+        assert harness.protocol.memory_capacity == M
+
+    @given(ssf_corrupted_states(n=N, m=M))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        # The harness fixture is stateless across examples (each example
+        # reset()s it), so reusing it is sound.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_any_contract_state_installs(self, harness, state):
+        opinions, weak, memory = state
+        harness.reset()
+        harness.protocol.install_state(opinions, weak, memory)
+        assert np.array_equal(harness.opinions, opinions)
+        assert np.array_equal(harness.fill, memory.sum(axis=1))
+
+
+class TestInstallStateValidation:
+    def test_wrong_shapes_rejected(self, harness):
+        harness.reset()
+        with pytest.raises(INSTALL_ERRORS):
+            harness.protocol.install_state(
+                np.zeros(N + 1, dtype=np.int8),
+                np.zeros(N, dtype=np.int8),
+                np.zeros((N, 4), dtype=np.int64),
+            )
+        with pytest.raises(INSTALL_ERRORS):
+            harness.protocol.install_state(
+                np.zeros(N, dtype=np.int8),
+                np.zeros(N, dtype=np.int8),
+                np.zeros((N, 3), dtype=np.int64),
+            )
+
+    def test_overfull_memory_rejected(self, harness):
+        harness.reset()
+        memory = np.full((N, 4), M, dtype=np.int64)  # row sums 4m > m
+        with pytest.raises(INSTALL_ERRORS):
+            harness.protocol.install_state(
+                np.zeros(N, dtype=np.int8),
+                np.zeros(N, dtype=np.int8),
+                memory,
+            )
+
+
+class TestAdversaryContract:
+    @pytest.mark.parametrize(
+        "adversary_cls",
+        [RandomStateAdversary, TargetedAdversary, DesynchronizingAdversary],
+    )
+    def test_every_adversary_applies_to_every_implementation(
+        self, harness, adversary_cls
+    ):
+        harness.reset()
+        # The fast engine is positional; give adversaries the matching
+        # unshuffled facade (as FastSelfStabilizingSourceFilter.run does).
+        population = (
+            Population(harness.config, rng=np.random.default_rng(0),
+                       shuffle=False)
+            if harness.kind == "fast"
+            else harness.population
+        )
+        adversary_cls().apply(
+            harness.protocol, population, np.random.default_rng(5)
+        )
+        assert harness.opinions.shape == (N,)
+        assert set(np.unique(harness.opinions)) <= {0, 1}
+        assert harness.fill.min() >= 0
+        assert harness.fill.max() <= M
+
+    def test_targeted_adversary_installs_wrong_unanimity(self, harness):
+        harness.reset()
+        wrong = 1 - harness.config.correct_opinion
+        TargetedAdversary().apply(
+            harness.protocol, harness.population, np.random.default_rng(5)
+        )
+        assert np.all(harness.opinions == wrong)
+        assert np.all(harness.weak == wrong)

@@ -13,8 +13,8 @@ from repro.model import (
 )
 from repro.noise import NoiseMatrix
 from repro.protocols import BatchedSourceFilter, SFSchedule, SourceFilterProtocol
-from repro.rng import spawn_generators
 from repro.types import SourceCounts
+from repro.verify import ConformanceError, assert_engines_equivalent
 
 
 class BatchedRecordingProtocol(BatchedPullProtocol):
@@ -100,30 +100,60 @@ class TestSpawnModeBitIdentity:
     REPLICAS = 4
     SEED = 421
 
-    def _serial_results(self, population, noise, schedule):
-        engine = PullEngine(population, noise)
-        results = []
-        for generator in spawn_generators(self.SEED, self.REPLICAS):
-            protocol = SourceFilterProtocol(schedule)
-            results.append(
-                engine.run(protocol, max_rounds=schedule.total_rounds, rng=generator)
-            )
-        return results
-
     def test_full_run_bit_identical(self, population, noise, batched, schedule):
-        serial = self._serial_results(population, noise, schedule)
-        batch = batched.run(
-            BatchedSourceFilter(schedule),
-            max_rounds=schedule.total_rounds,
+        serial_engine = PullEngine(population, noise)
+
+        def serial_run(generator):
+            protocol = SourceFilterProtocol(schedule)
+            return serial_engine.run(
+                protocol, max_rounds=schedule.total_rounds, rng=generator
+            )
+
+        def batched_run(seed, replicas):
+            return batched.run(
+                BatchedSourceFilter(schedule),
+                max_rounds=schedule.total_rounds,
+                replicas=replicas,
+                rng=seed,
+            )
+
+        assert_engines_equivalent(
+            serial_run,
+            batched_run,
             replicas=self.REPLICAS,
-            rng=self.SEED,
+            seed=self.SEED,
+            context="BatchedSourceFilter spawn mode",
         )
-        assert len(batch) == self.REPLICAS
-        for s, b in zip(serial, batch):
-            assert np.array_equal(s.final_opinions, b.final_opinions)
-            assert s.converged == b.converged
-            assert s.consensus_round == b.consensus_round
-            assert s.rounds_executed == b.rounds_executed
+
+    def test_equivalence_helper_detects_divergence(
+        self, population, noise, batched, schedule
+    ):
+        """The conformance helper itself must catch a corrupted replica."""
+        serial_engine = PullEngine(population, noise)
+
+        def serial_run(generator):
+            protocol = SourceFilterProtocol(schedule)
+            return serial_engine.run(
+                protocol, max_rounds=schedule.total_rounds, rng=generator
+            )
+
+        def corrupted_batched_run(seed, replicas):
+            results = batched.run(
+                BatchedSourceFilter(schedule),
+                max_rounds=schedule.total_rounds,
+                replicas=replicas,
+                rng=seed,
+            )
+            results[-1].final_opinions[0] ^= 1
+            return results
+
+        with pytest.raises(ConformanceError):
+            assert_engines_equivalent(
+                serial_run,
+                corrupted_batched_run,
+                replicas=self.REPLICAS,
+                seed=self.SEED,
+            )
 
     def test_split_invariance(self, batched, schedule):
         """Any split of R replicas across calls yields the same runs."""

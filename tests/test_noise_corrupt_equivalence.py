@@ -1,0 +1,125 @@
+"""corrupt() vs corrupt_with_uniforms() equivalence across matrix shapes.
+
+PR 1 split :meth:`NoiseMatrix.corrupt` into a uniform-variate draw plus
+the deterministic :meth:`NoiseMatrix.corrupt_with_uniforms` inversion
+(and added the ``validate=`` fast path).  These tests pin the contract
+for every matrix family the repo ships: given the same variates the two
+spellings must agree bit-for-bit, on every alphabet size (the binary
+fast path and the searchsorted path), every dtype, and every shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseMatrixError
+from repro.noise import NoiseMatrix
+from repro.noise.dynamic import drifting_uniform_schedule
+
+# One representative per matrix family: uniform (binary fast path and
+# searchsorted path), identity, and heterogeneous-row delta-upper-bounded
+# matrices where every row has a different CDF.
+MATRICES = {
+    "uniform-binary": NoiseMatrix.uniform(0.2, 2),
+    "uniform-4": NoiseMatrix.uniform(0.15, 4),
+    "identity-3": NoiseMatrix.identity(3),
+    "heterogeneous-3": NoiseMatrix.random_upper_bounded(
+        0.25, 3, np.random.default_rng(42)
+    ),
+    "heterogeneous-4": NoiseMatrix.random_upper_bounded(
+        0.2, 4, np.random.default_rng(43)
+    ),
+}
+
+
+def _messages(matrix: NoiseMatrix, shape, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, matrix.size, size=shape)
+
+
+@pytest.mark.parametrize("name", sorted(MATRICES))
+class TestCorruptEquivalence:
+    def test_same_seed_same_symbols(self, name):
+        """corrupt(rng) == draw uniforms from the same rng + invert."""
+        matrix = MATRICES[name]
+        messages = _messages(matrix, 513)
+        direct = matrix.corrupt(messages, np.random.default_rng(9))
+        uniforms = np.random.default_rng(9).random(messages.size)
+        assert np.array_equal(
+            direct, matrix.corrupt_with_uniforms(messages, uniforms)
+        )
+
+    def test_validate_flag_does_not_change_draws(self, name):
+        """validate=False must consume the identical variate stream."""
+        matrix = MATRICES[name]
+        messages = _messages(matrix, 257, seed=1)
+        checked = matrix.corrupt(messages, np.random.default_rng(5))
+        unchecked = matrix.corrupt(
+            messages, np.random.default_rng(5), validate=False
+        )
+        assert np.array_equal(checked, unchecked)
+
+    def test_multidimensional_shapes(self, name):
+        """(R, n, h)-style batches corrupt identically to the flat view."""
+        matrix = MATRICES[name]
+        messages = _messages(matrix, (3, 16, 5), seed=2)
+        uniforms = np.random.default_rng(6).random(messages.size)
+        batch = matrix.corrupt_with_uniforms(messages, uniforms)
+        flat = matrix.corrupt_with_uniforms(messages.ravel(), uniforms)
+        assert batch.shape == messages.shape
+        assert np.array_equal(batch.ravel(), flat)
+
+    def test_dtype_request_is_honored(self, name):
+        matrix = MATRICES[name]
+        messages = _messages(matrix, 64, seed=3)
+        uniforms = np.random.default_rng(7).random(messages.size)
+        as_int8 = matrix.corrupt_with_uniforms(
+            messages, uniforms, dtype=np.int8
+        )
+        as_int64 = matrix.corrupt_with_uniforms(messages, uniforms)
+        assert as_int8.dtype == np.int8
+        assert as_int64.dtype == np.int64
+        assert np.array_equal(as_int8.astype(np.int64), as_int64)
+
+
+class TestValidatePath:
+    def test_out_of_range_rejected_only_when_validating(self):
+        matrix = NoiseMatrix.uniform(0.1, 2)
+        bad = np.array([0, 1, 2])  # symbol 2 outside the binary alphabet
+        with pytest.raises(NoiseMatrixError):
+            matrix.corrupt(bad, np.random.default_rng(0))
+        # validate=False is a caller-vouches fast path: no range scan.
+        matrix.corrupt(bad % 2, np.random.default_rng(0), validate=False)
+
+    def test_negative_symbols_rejected(self):
+        matrix = NoiseMatrix.uniform(0.1, 4)
+        with pytest.raises(NoiseMatrixError):
+            matrix.corrupt(np.array([-1, 0]), np.random.default_rng(0))
+
+    def test_empty_messages_round_trip(self):
+        matrix = NoiseMatrix.uniform(0.1, 4)
+        out = matrix.corrupt(np.array([], dtype=np.int64),
+                             np.random.default_rng(0))
+        assert out.size == 0
+
+
+class TestDynamicSchedules:
+    def test_equivalence_holds_for_every_scheduled_matrix(self):
+        """Dynamic noise: the per-round matrices obey the same contract."""
+        schedule = drifting_uniform_schedule(
+            [0.05, 0.15, 0.25], period=2, size=2
+        )
+        messages = np.random.default_rng(11).integers(0, 2, size=301)
+        for round_index in range(6):
+            matrix = schedule.matrix_at(round_index)
+            direct = matrix.corrupt(
+                messages, np.random.default_rng(round_index)
+            )
+            uniforms = np.random.default_rng(round_index).random(
+                messages.size
+            )
+            assert np.array_equal(
+                direct, matrix.corrupt_with_uniforms(messages, uniforms)
+            )
+
+    def test_drift_actually_changes_the_matrix(self):
+        schedule = drifting_uniform_schedule([0.0, 0.25], period=1, size=2)
+        assert schedule.matrix_at(0) != schedule.matrix_at(1)

@@ -6,40 +6,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.linalg import is_stochastic
-from repro.model.config import PopulationConfig
 from repro.noise import NoiseMatrix, noise_reduction, reduction_delta
 from repro.protocols import SFSchedule, sf_sample_budget, ssf_sample_budget
 from repro.protocols.ssf import majority_with_ties
 from repro.theory import sf_step_distribution, ssf_step_distribution
-from repro.types import SourceCounts
+from repro.verify.strategies import noise_matrices, population_configs
 
-
-def _make_config(n: int, s0: int, s1: int, h: int) -> PopulationConfig:
-    quarter = n // 4
-    s0c = min(s0, quarter - 1)
-    s1c = min(max(s1, s0c + 1), quarter)
-    return PopulationConfig(n=n, sources=SourceCounts(s0c, s1c), h=h)
-
-
-populations = st.builds(
-    _make_config,
-    n=st.integers(min_value=16, max_value=4096),
-    s0=st.integers(min_value=0, max_value=16),
-    s1=st.integers(min_value=1, max_value=32),
-    h=st.integers(min_value=1, max_value=256),
-)
+populations = population_configs(min_n=16, max_n=4096, max_h=256, max_sources=32)
 
 
 class TestNoiseProperties:
     @settings(max_examples=50, deadline=None)
-    @given(
-        delta=st.floats(min_value=0.0, max_value=0.24),
-        d=st.integers(min_value=2, max_value=8),
-    )
-    def test_uniform_matrix_is_stochastic(self, delta, d):
-        if delta > 1.0 / d:
-            delta = 1.0 / d
-        assert is_stochastic(NoiseMatrix.uniform(delta, d).matrix)
+    @given(noise=noise_matrices(sizes=(2, 3, 4, 6, 8), kinds=("uniform",)))
+    def test_uniform_matrix_is_stochastic(self, noise):
+        assert is_stochastic(noise.matrix)
 
     @settings(max_examples=50, deadline=None)
     @given(
@@ -130,13 +110,12 @@ class TestMajorityWithTiesProperties:
 class TestCorruptionProperties:
     @settings(max_examples=30, deadline=None)
     @given(
-        delta=st.floats(min_value=0.0, max_value=0.24),
-        d=st.integers(min_value=2, max_value=4),
+        noise=noise_matrices(sizes=(2, 3, 4)),
         seed=st.integers(min_value=0, max_value=2**31),
     )
-    def test_corrupt_preserves_shape_and_alphabet(self, delta, d, seed):
+    def test_corrupt_preserves_shape_and_alphabet(self, noise, seed):
         rng = np.random.default_rng(seed)
-        noise = NoiseMatrix.uniform(min(delta, 1.0 / d), d)
+        d = noise.size
         msgs = rng.integers(0, d, size=(7, 5))
         out = noise.corrupt(msgs, rng)
         assert out.shape == msgs.shape

@@ -18,22 +18,9 @@ from repro.protocols import (
 from repro.theory.amplification import stage_success_probability
 from repro.theory.two_party import two_party_error
 from repro.types import SourceCounts
+from repro.verify.strategies import population_configs
 
-
-def make_config(n, s0, s1, h):
-    quarter = n // 4
-    s0c = min(s0, quarter - 1)
-    s1c = min(max(s1, s0c + 1), quarter)
-    return PopulationConfig(n=n, sources=SourceCounts(s0c, s1c), h=h)
-
-
-configs = st.builds(
-    make_config,
-    n=st.integers(min_value=16, max_value=1024),
-    s0=st.integers(min_value=0, max_value=8),
-    s1=st.integers(min_value=1, max_value=16),
-    h=st.integers(min_value=1, max_value=128),
-)
+configs = population_configs(min_n=16, max_n=1024, max_h=128, max_sources=16)
 
 
 class TestSFProperties:

@@ -8,6 +8,7 @@ from repro.model import Population, PopulationConfig, PullEngine
 from repro.noise import NoiseMatrix
 from repro.protocols import SFSchedule, SourceFilterProtocol
 from repro.types import SourceCounts
+from repro.verify import assert_binomial_plausible
 
 
 def make(n=40, s0=1, s1=3, h=4, delta=0.2, m=40, rng_seed=0):
@@ -117,8 +118,15 @@ class TestWeakOpinionCommit:
         # Counter1 == Counter0 == phase_rounds * h for every agent.
         self._drive_phases(protocol, pop, sched, ones, zeros)
         weak = protocol.weak_opinions
-        # A fair coin over 400 agents: both values present, roughly half.
-        assert 100 < weak.sum() < 300
+        # Each agent breaks its tie with an independent fair coin, so the
+        # count of ones must be a plausible Binomial(400, 0.5) draw.
+        assert_binomial_plausible(
+            int(weak.sum()),
+            trials=weak.size,
+            p=0.5,
+            confidence=1 - 1e-6,
+            context="SF weak-opinion tie-breaking",
+        )
 
     def test_weak_opinions_none_before_commit(self):
         protocol, pop, sched = make()

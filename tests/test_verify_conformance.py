@@ -1,0 +1,192 @@
+"""Tests for repro.verify conformance checks and golden-trace fixtures."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    BatchedPullEngine,
+    Population,
+    PopulationConfig,
+    PullEngine,
+)
+from repro.noise import NoiseMatrix
+from repro.protocols import (
+    BatchedSourceFilter,
+    SFSchedule,
+    SourceFilterProtocol,
+)
+from repro.types import SourceCounts
+from repro.verify import (
+    GOLDEN_SCENARIOS,
+    ConformanceError,
+    assert_engines_equivalent,
+    assert_results_identical,
+    compare_goldens,
+    compute_golden_records,
+    run_verify,
+    trajectory_digest,
+    write_goldens,
+)
+
+
+@pytest.fixture
+def sf_setup():
+    config = PopulationConfig(n=48, sources=SourceCounts(1, 3), h=4)
+    population = Population(config, rng=np.random.default_rng(0))
+    noise = NoiseMatrix.uniform(0.2, 2)
+    schedule = SFSchedule.from_config(config, 0.2, m=24)
+    return config, population, noise, schedule
+
+
+def _runners(population, noise, schedule):
+    serial_engine = PullEngine(population, noise)
+    batched_engine = BatchedPullEngine(population, noise)
+
+    def serial_run(generator):
+        return serial_engine.run(
+            SourceFilterProtocol(schedule),
+            max_rounds=schedule.total_rounds,
+            rng=generator,
+        )
+
+    def batched_run(seed, replicas):
+        return batched_engine.run(
+            BatchedSourceFilter(schedule),
+            max_rounds=schedule.total_rounds,
+            replicas=replicas,
+            rng=seed,
+        )
+
+    return serial_run, batched_run
+
+
+class TestAssertEnginesEquivalent:
+    def test_spawn_mode_is_bit_identical(self, sf_setup):
+        _, population, noise, schedule = sf_setup
+        serial_run, batched_run = _runners(population, noise, schedule)
+        results = assert_engines_equivalent(
+            serial_run, batched_run, replicas=4, seed=421
+        )
+        assert len(results) == 4
+
+    def test_detects_divergent_batched_engine(self, sf_setup):
+        _, population, noise, schedule = sf_setup
+        serial_run, batched_run = _runners(population, noise, schedule)
+
+        def corrupted_batched(seed, replicas):
+            results = batched_run(seed, replicas)
+            bad = np.asarray(results[-1].final_opinions).copy()
+            bad[0] = 1 - bad[0]
+            results[-1].final_opinions = bad
+            return results
+
+        with pytest.raises(ConformanceError):
+            assert_engines_equivalent(
+                serial_run, corrupted_batched, replicas=2, seed=421
+            )
+
+    def test_detects_wrong_result_count(self, sf_setup):
+        _, population, noise, schedule = sf_setup
+        serial_run, batched_run = _runners(population, noise, schedule)
+        with pytest.raises(ConformanceError):
+            assert_engines_equivalent(
+                serial_run,
+                lambda seed, replicas: batched_run(seed, replicas)[:-1],
+                replicas=2,
+                seed=421,
+            )
+
+
+class TestAssertResultsIdentical:
+    def test_field_mismatch_is_reported(self, sf_setup):
+        _, population, noise, schedule = sf_setup
+        serial_run, _ = _runners(population, noise, schedule)
+        from repro.rng import spawn_generators
+
+        (generator,) = spawn_generators(421, 1)
+        result = serial_run(generator)
+        import dataclasses
+
+        other = dataclasses.replace(result, rounds_executed=result.rounds_executed + 1)
+        with pytest.raises(ConformanceError, match="rounds_executed"):
+            assert_results_identical(result, other)
+
+
+class TestTrajectoryDigest:
+    def test_deterministic(self):
+        a = trajectory_digest(np.arange(10), 3, 0.5)
+        b = trajectory_digest(np.arange(10), 3, 0.5)
+        assert a == b
+
+    def test_sensitive_to_values_shape_and_none(self):
+        base = trajectory_digest(np.arange(10))
+        assert trajectory_digest(np.arange(10) + 1) != base
+        assert trajectory_digest(np.arange(10).reshape(2, 5)) != base
+        assert trajectory_digest(np.arange(10), None) != base
+
+    def test_dtype_width_is_canonicalised(self):
+        assert trajectory_digest(
+            np.arange(5, dtype=np.int8)
+        ) == trajectory_digest(np.arange(5, dtype=np.int64))
+
+    def test_rejects_object_arrays(self):
+        with pytest.raises(TypeError):
+            trajectory_digest(np.array(["a"], dtype=object))
+
+
+class TestGoldens:
+    def test_committed_goldens_are_fresh(self, goldens_dir):
+        """CI gate: regenerating the goldens must produce no diff."""
+        mismatches = compare_goldens(goldens_dir)
+        assert mismatches == [], "\n".join(mismatches)
+
+    def test_records_cover_every_scenario(self):
+        records = compute_golden_records()
+        assert set(records) == {s.name for s in GOLDEN_SCENARIOS}
+        for record in records.values():
+            assert len(record["digest"]) == 64
+            json.dumps(record)  # JSON-serializable end to end
+
+    def test_drift_is_detected(self, tmp_path):
+        write_goldens(tmp_path)
+        target = tmp_path / f"{GOLDEN_SCENARIOS[0].name}.json"
+        record = json.loads(target.read_text())
+        record["digest"] = "0" * 64
+        target.write_text(json.dumps(record))
+        mismatches = compare_goldens(tmp_path)
+        assert any("digest drifted" in m for m in mismatches)
+
+    def test_missing_and_stray_files_are_detected(self, tmp_path):
+        write_goldens(tmp_path)
+        (tmp_path / f"{GOLDEN_SCENARIOS[0].name}.json").unlink()
+        (tmp_path / "obsolete_scenario.json").write_text("{}")
+        mismatches = compare_goldens(tmp_path)
+        assert any("missing golden file" in m for m in mismatches)
+        assert any("stray golden file" in m for m in mismatches)
+
+
+class TestRunVerify:
+    def test_quick_subset_reports_pass(self, goldens_dir):
+        report = run_verify(
+            "quick",
+            goldens_dir=goldens_dir,
+            checks=["corrupt-vs-corrupt-with-uniforms"],
+        )
+        assert report.passed
+        names = [o.name for o in report.outcomes]
+        assert names == ["corrupt-vs-corrupt-with-uniforms", "golden-traces"]
+        assert "PASS" in report.render()
+
+    def test_failure_is_reported_not_raised(self, tmp_path):
+        # Empty goldens dir -> every scenario is missing.
+        report = run_verify("quick", goldens_dir=tmp_path, checks=[])
+        assert not report.passed
+        assert "FAIL" in report.render()
+
+    def test_rejects_unknown_scale(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_verify("turbo")

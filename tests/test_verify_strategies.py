@@ -1,0 +1,82 @@
+"""Tests for the shared Hypothesis strategies in repro.verify.strategies."""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+
+from repro.model import PopulationConfig
+from repro.noise import NoiseMatrix
+from repro.types import SourceCounts
+from repro.verify.strategies import (
+    noise_matrices,
+    population_configs,
+    source_counts,
+    ssf_corrupted_states,
+)
+
+
+class TestSourceCounts:
+    @given(source_counts())
+    def test_positive_bias_by_default(self, counts):
+        assert isinstance(counts, SourceCounts)
+        assert counts.s1 - counts.s0 >= 1
+        assert counts.s0 >= 0
+
+    @given(source_counts(allow_zero_bias=True))
+    def test_zero_bias_allowed_when_requested(self, counts):
+        assert counts.s1 - counts.s0 >= 0
+
+
+class TestPopulationConfigs:
+    @given(population_configs())
+    def test_respects_standing_assumptions(self, config):
+        assert isinstance(config, PopulationConfig)
+        assert 16 <= config.n <= 512
+        assert 1 <= config.h <= config.n
+        assert config.s0 <= config.n // 4 or config.s0 == 0
+        assert config.s1 <= max(1, config.n // 4)
+        assert config.bias >= 1
+
+    @given(population_configs(min_n=32, max_n=64, max_h=8))
+    def test_custom_ranges(self, config):
+        assert 32 <= config.n <= 64
+        assert config.h <= 8
+
+
+class TestNoiseMatrices:
+    @given(noise_matrices(delta_max=0.2))
+    def test_matrices_are_upper_bounded(self, matrix):
+        assert isinstance(matrix, NoiseMatrix)
+        assert matrix.size in (2, 3, 4)
+        # Every generated matrix is delta-upper-bounded for the
+        # requested envelope (with room for float dust).
+        assert matrix.is_upper_bounded(0.2 + 1e-9)
+
+    @given(noise_matrices(kinds=("uniform",), sizes=(4,)))
+    def test_uniform_kind_is_uniform(self, matrix):
+        assert matrix.size == 4
+        assert matrix.is_uniform()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            noise_matrices(kinds=("adversarial",))
+
+
+class TestSSFCorruptedStates:
+    @given(ssf_corrupted_states(n=24, m=10))
+    @settings(max_examples=20)
+    def test_states_satisfy_install_contract(self, state):
+        opinions, weak, memory = state
+        assert opinions.shape == (24,)
+        assert weak.shape == (24,)
+        assert memory.shape == (24, 4)
+        assert set(np.unique(opinions)) <= {0, 1}
+        assert set(np.unique(weak)) <= {0, 1}
+        assert memory.min() >= 0
+        assert memory.sum(axis=1).max() <= 10
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ssf_corrupted_states(n=0, m=5)
