@@ -1,5 +1,12 @@
 """Experiment harness: repeated trials, sweeps, statistics and reporting."""
 
+from .resilience import (
+    ChaosError,
+    ChaosSpec,
+    ChaosTrial,
+    ResilienceConfig,
+    TrialInfo,
+)
 from .trials import TrialStats, repeat_trials, run_trials
 from .sweep import SweepPoint, SweepResult, run_sweep
 from .stats import bootstrap_ci, fit_loglog_slope, median_and_iqr, wilson_interval
@@ -41,6 +48,11 @@ __all__ = [
     "majority_map",
     "voter_fixed_point",
     "voter_map",
+    "ChaosError",
+    "ChaosSpec",
+    "ChaosTrial",
+    "ResilienceConfig",
+    "TrialInfo",
     "SweepPoint",
     "SweepResult",
     "TrialStats",

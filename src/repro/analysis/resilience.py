@@ -1,0 +1,577 @@
+"""Fault-tolerant trial execution: timeouts, retries, checkpoint/resume.
+
+The protocols this library reproduces are *robust by construction* — SSF
+tolerates arbitrary adversarial state corruption (Theorem 5) — but a
+multi-hour Monte-Carlo sweep used to die with ``BrokenProcessPool`` the
+moment one pool worker was OOM-killed, discarding every completed trial.
+This module gives the execution layer the same fault tolerance the
+protocols have at the model layer:
+
+* **Seed-preserving retries.**  A failed, timed-out, or crashed trial is
+  resubmitted with its *original* :class:`~numpy.random.SeedSequence`,
+  so the aggregate statistics of a recovered run are bit-identical to a
+  clean run — retrying never changes what is measured, only whether it
+  gets measured.
+* **Pool recovery.**  When the process pool breaks (a worker was
+  SIGKILLed, segfaulted, or ``os._exit``-ed), the pool is rebuilt and
+  only the still-pending seeds are resubmitted; completed results are
+  never discarded.
+* **Graceful degradation.**  A trial whose retries are exhausted is
+  recorded in ``TrialStats.failed_trials`` (with ``incomplete=True``)
+  instead of raising, so a 10 000-trial sweep with one poisoned seed
+  still returns 9 999 measurements plus explicit accounting.
+* **Checkpoint/resume.**  With ``checkpoint=`` set, one JSONL record is
+  appended per completed trial; a restarted run skips the already-done
+  seeds and produces statistics identical to an uninterrupted run.
+* **Deterministic chaos.**  :class:`ChaosTrial` wraps any trial callable
+  and injects crashes, hangs, or exceptions on *scheduled* trial
+  indices/attempts — the harness used to test all of the above, and
+  available to users who want to chaos-test their own pipelines.
+
+Telemetry counters (all under ``resilience.*``; see
+``docs/resilience.md``): ``retries``, ``timeouts``, ``trial_errors``,
+``pool_rebuilds``, ``failed_trials``, ``checkpoint_skipped``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import inspect
+import json
+import os
+import pathlib
+import signal
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, NamedTuple, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ReproError
+from ..telemetry import AggregatingSink, Telemetry
+
+__all__ = [
+    "ChaosError",
+    "ChaosSpec",
+    "ChaosTrial",
+    "ResilienceConfig",
+    "TrialInfo",
+    "run_resilient_trials",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+#: How often (seconds) the pool loop wakes to scan for expired deadlines.
+_POLL_SECONDS = 0.05
+
+
+class ChaosError(ReproError, RuntimeError):
+    """The deterministic failure :class:`ChaosTrial` injects on schedule."""
+
+
+class TrialInfo(NamedTuple):
+    """Identity of one trial attempt, passed to chaos-aware callables.
+
+    The resilient runner forwards this as a ``trial_info=`` keyword to
+    any trial callable whose signature accepts it; ordinary callables
+    never see it.
+    """
+
+    index: int
+    attempt: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosSpec:
+    """One scheduled fault: what to inject and on how many attempts.
+
+    ``kind`` is one of ``"raise"`` (raise :class:`ChaosError`),
+    ``"hang"`` (sleep ``ChaosTrial.hang_seconds`` before running, to
+    trip a trial timeout), ``"crash"`` (``os._exit`` — the worker dies
+    without cleanup), or ``"sigkill"`` (the worker SIGKILLs itself, the
+    closest stand-in for an external OOM kill).  The fault fires while
+    ``attempt < times``, so ``times=1`` (the default) faults only the
+    first attempt and lets the seed-preserving retry succeed.
+    """
+
+    kind: str
+    times: int = 1
+
+    _KINDS = ("raise", "hang", "crash", "sigkill")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(
+                f"chaos kind must be one of {self._KINDS}, got {self.kind!r}"
+            )
+        if self.times < 1:
+            raise ConfigurationError(
+                f"chaos times must be positive, got {self.times}"
+            )
+
+
+class ChaosTrial:
+    """Deterministic fault-injection wrapper around a trial callable.
+
+    ``schedule`` maps trial indices to a fault — either a bare kind
+    string (``"crash"``) or a full :class:`ChaosSpec`.  Off-schedule
+    indices (and every call made without ``trial_info``, e.g. by the
+    plain serial runner) pass straight through to ``run_one``, so the
+    same wrapper object produces the *unfaulted* baseline too.
+
+    Picklable whenever ``run_one`` is, so it crosses the ``workers=``
+    process boundary like any other trial callable.
+    """
+
+    def __init__(
+        self,
+        run_one: Callable,
+        schedule: Dict[int, Union[str, ChaosSpec]],
+        hang_seconds: float = 3600.0,
+    ) -> None:
+        self.run_one = run_one
+        self.schedule = {
+            int(index): spec if isinstance(spec, ChaosSpec) else ChaosSpec(spec)
+            for index, spec in schedule.items()
+        }
+        self.hang_seconds = float(hang_seconds)
+
+    def __call__(
+        self,
+        rng: np.random.Generator,
+        telemetry: Optional[Telemetry] = None,
+        trial_info: Optional[TrialInfo] = None,
+    ):
+        if trial_info is not None:
+            spec = self.schedule.get(trial_info.index)
+            if spec is not None and trial_info.attempt < spec.times:
+                self._inject(spec, trial_info)
+        if telemetry is not None and _accepts_kw(self.run_one, "telemetry"):
+            return self.run_one(rng, telemetry=telemetry)
+        return self.run_one(rng)
+
+    def _inject(self, spec: ChaosSpec, info: TrialInfo) -> None:
+        if spec.kind == "raise":
+            raise ChaosError(
+                f"scheduled chaos: trial {info.index} attempt {info.attempt}"
+            )
+        if spec.kind == "hang":
+            time.sleep(self.hang_seconds)
+        elif spec.kind == "crash":
+            os._exit(13)
+        elif spec.kind == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance policy for :func:`repro.analysis.repeat_trials`.
+
+    ``trial_timeout``
+        Seconds one trial may *run* before it is declared hung; the pool
+        is rebuilt (the hung worker is killed) and the trial's seed is
+        resubmitted.  Enforced only on the ``workers > 1`` backend — a
+        serial run has no second process to watch the clock from.
+    ``retries``
+        How many times one trial may be resubmitted (after an exception,
+        a timeout, or a pool-breaking crash) before it is recorded as
+        permanently failed.  Every retry reuses the trial's original
+        ``SeedSequence``.
+    ``checkpoint``
+        JSONL path; one record is appended per completed trial and a
+        restarted run skips seeds already recorded for the same
+        ``(seed, trials, scope)``.  Requires a reproducible integer
+        master seed.
+    """
+
+    trial_timeout: Optional[float] = None
+    retries: int = 2
+    checkpoint: Optional[PathLike] = None
+
+    def __post_init__(self) -> None:
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ConfigurationError(
+                f"trial_timeout must be positive, got {self.trial_timeout}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be non-negative, got {self.retries}"
+            )
+
+
+def _accepts_kw(fn: Callable, name: str) -> bool:
+    """Whether ``fn``'s signature accepts the ``name=`` keyword."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    return name in signature.parameters
+
+
+def _run_resilient_trial(
+    run_one,
+    index: int,
+    attempt: int,
+    seed_sequence,
+    success,
+    measure,
+    collect: bool,
+):
+    """One worker task of the resilient backend.
+
+    Mirrors ``trials._run_single_trial`` — reduce inside the worker,
+    optionally aggregate telemetry into a shippable snapshot — plus the
+    ``trial_info=`` keyword for chaos-aware callables.
+    """
+    generator = np.random.default_rng(seed_sequence)
+    kwargs = {}
+    if _accepts_kw(run_one, "trial_info"):
+        kwargs["trial_info"] = TrialInfo(index=index, attempt=attempt)
+    snapshot = None
+    if collect:
+        sink = AggregatingSink()
+        local = Telemetry([sink])
+        if _accepts_kw(run_one, "telemetry"):
+            kwargs["telemetry"] = local
+        start = time.perf_counter()
+        result = run_one(generator, **kwargs)
+        local.observe("trials.trial_seconds", time.perf_counter() - start)
+        snapshot = sink.snapshot()
+        snapshot["pid"] = os.getpid()
+    else:
+        result = run_one(generator, **kwargs)
+    if success(result):
+        return True, measure(result), snapshot
+    return False, 0.0, snapshot
+
+
+class _Checkpoint:
+    """Append-only JSONL ledger of completed trials.
+
+    One record per completed trial::
+
+        {"v": 1, "seed": 7, "trials": 64, "scope": "", "index": 3,
+         "ok": true, "value": 12.0}
+
+    Records are scoped by ``(seed, trials, scope)`` so several trial
+    batches (e.g. the multiple ``_trials`` calls of one experiment) can
+    share a single file.  Failed trials are *not* recorded — a resumed
+    run retries them.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        seed: Optional[int],
+        trials: int,
+        scope: str = "",
+    ) -> None:
+        if seed is None:
+            raise ConfigurationError(
+                "checkpoint= requires a reproducible integer master seed; "
+                "a run seeded from OS entropy cannot be resumed"
+            )
+        self.path = pathlib.Path(path)
+        self.seed = int(seed)
+        self.trials = int(trials)
+        self.scope = str(scope)
+        self.completed: Dict[int, Tuple[bool, float, None]] = {}
+        self._file = None
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"corrupt checkpoint line in {self.path}: {line[:80]!r}"
+                ) from exc
+            if (
+                record.get("v") != 1
+                or record.get("seed") != self.seed
+                or record.get("trials") != self.trials
+                or record.get("scope", "") != self.scope
+            ):
+                continue
+            index = int(record["index"])
+            if 0 <= index < self.trials:
+                self.completed[index] = (
+                    bool(record["ok"]), float(record["value"]), None
+                )
+
+    def record(self, index: int, ok: bool, value: float) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write(
+            json.dumps(
+                {
+                    "v": 1,
+                    "seed": self.seed,
+                    "trials": self.trials,
+                    "scope": self.scope,
+                    "index": index,
+                    "ok": bool(ok),
+                    "value": float(value),
+                }
+            )
+            + "\n"
+        )
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _kill_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, including workers stuck in a hung trial.
+
+    ``shutdown(wait=False)`` alone would leave a hung worker running
+    forever (its task never finishes); terminating the worker processes
+    is the only way to reclaim them.  ``_processes`` is private but has
+    been stable across every supported CPython, and a broken pool may
+    have already reaped it — hence the defensive access.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        if process.is_alive():
+            process.terminate()
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for process in list(processes.values()):
+        process.join(timeout=5.0)
+
+
+def run_resilient_trials(
+    run_one,
+    seeds: List[np.random.SeedSequence],
+    success,
+    measure,
+    *,
+    workers: Optional[int],
+    config: ResilienceConfig,
+    telemetry: Telemetry,
+    seed: Optional[int] = None,
+    checkpoint_scope: str = "",
+) -> Tuple[List[Optional[tuple]], Set[int]]:
+    """Run every seed under the resilience policy.
+
+    Returns ``(outcomes, failed)``: ``outcomes[i]`` is the
+    ``(ok, value, snapshot)`` tuple for trial ``i`` (``None`` when the
+    trial permanently failed), and ``failed`` is the set of indices that
+    exhausted their retries.  Outcomes restored from a checkpoint carry
+    ``snapshot=None``.
+    """
+    trials = len(seeds)
+    checkpoint = None
+    if config.checkpoint is not None:
+        checkpoint = _Checkpoint(
+            config.checkpoint, seed, trials, scope=checkpoint_scope
+        )
+    results: Dict[int, tuple] = {}
+    if checkpoint is not None and checkpoint.completed:
+        results.update(checkpoint.completed)
+        if telemetry.enabled:
+            telemetry.counter(
+                "resilience.checkpoint_skipped", len(checkpoint.completed)
+            )
+    try:
+        if workers is not None and workers > 1:
+            failed = _resilient_pool(
+                run_one, seeds, success, measure, workers,
+                config, telemetry, results, checkpoint,
+            )
+        else:
+            failed = _resilient_serial(
+                run_one, seeds, success, measure,
+                config, telemetry, results, checkpoint,
+            )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    if failed and telemetry.enabled:
+        telemetry.counter("resilience.failed_trials", len(failed))
+    outcomes: List[Optional[tuple]] = [results.get(i) for i in range(trials)]
+    return outcomes, failed
+
+
+def _resilient_serial(
+    run_one, seeds, success, measure, config, telemetry, results, checkpoint
+) -> Set[int]:
+    """Serial backend: retries + checkpointing (timeouts need a pool)."""
+    collect = telemetry.enabled
+    failed: Set[int] = set()
+    for index, seed_sequence in enumerate(seeds):
+        if index in results:
+            continue
+        for attempt in range(config.retries + 1):
+            try:
+                outcome = _run_resilient_trial(
+                    run_one, index, attempt, seed_sequence,
+                    success, measure, collect,
+                )
+            except Exception:
+                if telemetry.enabled:
+                    telemetry.counter("resilience.trial_errors")
+                if attempt >= config.retries:
+                    failed.add(index)
+                elif telemetry.enabled:
+                    telemetry.counter("resilience.retries")
+            else:
+                results[index] = outcome
+                if checkpoint is not None:
+                    checkpoint.record(index, outcome[0], outcome[1])
+                break
+    return failed
+
+
+def _resilient_pool(
+    run_one, seeds, success, measure, workers, config, telemetry,
+    results, checkpoint,
+) -> Set[int]:
+    """Pool backend: retries, per-trial timeouts, and pool rebuilds.
+
+    Submission is *windowed*: at most ``pool_size`` futures are ever
+    outstanding, refilled as trials complete.  The window buys precise
+    failure accounting — when the pool breaks, the crashed trial is
+    necessarily among the (at most ``pool_size``) outstanding futures,
+    so only that window is charged an attempt while every queued trial
+    resubmits for free.  The wait loop runs in short ticks so it can
+    (a) harvest completed futures incrementally, (b) notice a trial
+    *running* past ``trial_timeout``, and (c) absorb
+    ``BrokenProcessPool``.  Both a timeout and a broken pool end the
+    round: the pool is torn down — killing the hung or orphaned
+    workers, the only way to reclaim them — and a fresh round resubmits
+    only what is still pending.
+    """
+    collect = telemetry.enabled
+    attempts = {i: 0 for i in range(len(seeds)) if i not in results}
+    failed: Set[int] = set()
+    pool = None
+
+    def charge(index: int, counter: str) -> None:
+        attempts[index] += 1
+        if telemetry.enabled:
+            telemetry.counter(counter)
+        if attempts[index] > config.retries:
+            failed.add(index)
+        elif telemetry.enabled:
+            telemetry.counter("resilience.retries")
+
+    try:
+        while True:
+            todo = [
+                i for i in sorted(attempts)
+                if i not in results and i not in failed
+            ]
+            if not todo:
+                break
+            pool_size = min(workers, len(todo))
+            if pool is None:
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=pool_size
+                )
+                if telemetry.enabled:
+                    telemetry.gauge("trials.pool_size", pool_size)
+            queue = list(reversed(todo))
+            future_index: Dict[object, int] = {}
+            pending: Set[object] = set()
+            running_since: Dict[object, float] = {}
+            charged: Set[object] = set()
+            broken_futures: Set[object] = set()
+            broken = False
+
+            def refill() -> bool:
+                while queue and len(pending) < pool_size:
+                    index = queue[-1]
+                    try:
+                        future = pool.submit(
+                            _run_resilient_trial, run_one, index,
+                            attempts[index], seeds[index],
+                            success, measure, collect,
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        return False
+                    queue.pop()
+                    future_index[future] = index
+                    pending.add(future)
+                return True
+
+            broken = not refill()
+            while pending and not broken:
+                done, pending = concurrent.futures.wait(
+                    pending,
+                    timeout=_POLL_SECONDS,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for future in done:
+                    index = future_index[future]
+                    try:
+                        outcome = future.result()
+                    except concurrent.futures.BrokenExecutor:
+                        broken = True
+                        broken_futures.add(future)
+                    except Exception:
+                        charge(index, "resilience.trial_errors")
+                        charged.add(future)
+                    else:
+                        results[index] = outcome
+                        if checkpoint is not None:
+                            checkpoint.record(index, outcome[0], outcome[1])
+                if broken or not refill():
+                    broken = True
+                    break
+                for future in pending:
+                    if future not in running_since and future.running():
+                        running_since[future] = now
+                if config.trial_timeout is not None:
+                    expired = [
+                        f
+                        for f, started in running_since.items()
+                        if f in pending
+                        and f not in charged
+                        and now - started > config.trial_timeout
+                    ]
+                    if expired:
+                        for future in expired:
+                            charge(future_index[future], "resilience.timeouts")
+                            charged.add(future)
+                        _rebuild(pool, telemetry)
+                        pool = None
+                        break
+            if broken:
+                # The exact culprit cannot be identified once the pool
+                # broke, but it is necessarily in the outstanding window
+                # (broken futures + still-pending ones): charge those,
+                # requeue everything else for free.
+                blamed = {
+                    f
+                    for f in broken_futures | pending
+                    if f not in charged and future_index[f] not in results
+                }
+                for future in blamed:
+                    charge(future_index[future], "resilience.crashes")
+                _rebuild(pool, telemetry)
+                pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    return failed
+
+
+def _rebuild(pool, telemetry: Telemetry) -> None:
+    """Tear the pool down (killing stuck workers) and count the rebuild."""
+    _kill_pool(pool)
+    if telemetry.enabled:
+        telemetry.counter("resilience.pool_rebuilds")

@@ -27,12 +27,15 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..results import register_record
 from ..rng import spawn_generators, spawn_seeds
 from ..telemetry import AggregatingSink, Telemetry, ensure_telemetry
 from ..types import RngLike, coerce_seed
+from .resilience import ResilienceConfig, run_resilient_trials
 from .stats import bootstrap_ci, median_and_iqr, wilson_interval
 
 
+@register_record
 @dataclasses.dataclass
 class TrialStats:
     """Aggregate over independent trials of one configuration.
@@ -40,11 +43,20 @@ class TrialStats:
     ``values`` holds the per-trial measurement (convergence round, say)
     for *successful* trials only; ``successes``/``trials`` count
     convergence outcomes.
+
+    ``failed_trials``/``incomplete`` account for trials the resilient
+    backend gave up on (retries exhausted after crashes, hangs, or
+    exceptions; see :mod:`repro.analysis.resilience`): those trials are
+    in ``trials`` but contributed neither a success nor a value.  A
+    clean run always has ``failed_trials == 0`` and ``incomplete is
+    False``.
     """
 
     trials: int
     successes: int
     values: List[float]
+    failed_trials: int = 0
+    incomplete: bool = False
 
     @property
     def success_rate(self) -> float:
@@ -69,6 +81,9 @@ class TrialStats:
             "successes": self.successes,
             "success_rate": self.success_rate,
         }
+        if self.incomplete or self.failed_trials:
+            out["failed_trials"] = self.failed_trials
+            out["incomplete"] = self.incomplete
         if self.values:
             med, q25, q75 = median_and_iqr(self.values)
             out.update({"median": med, "q25": q25, "q75": q75})
@@ -148,6 +163,33 @@ def _check_picklable(workers: int, **callables) -> None:
             ) from exc
 
 
+def _resolve_resilience(
+    resilience: Optional[ResilienceConfig],
+    trial_timeout: Optional[float],
+    retries: Optional[int],
+    checkpoint,
+) -> Optional[ResilienceConfig]:
+    """Reconcile the ``resilience=`` object with its flat spellings.
+
+    Returns ``None`` when no fault-tolerance option was requested at
+    all — the trial runners then take their original (legacy) backends.
+    """
+    if resilience is not None:
+        if trial_timeout is not None or retries is not None or checkpoint is not None:
+            raise ValueError(
+                "pass either resilience= or the individual trial_timeout/"
+                "retries/checkpoint arguments, not both"
+            )
+        return resilience
+    if trial_timeout is None and retries is None and checkpoint is None:
+        return None
+    return ResilienceConfig(
+        trial_timeout=trial_timeout,
+        retries=retries if retries is not None else ResilienceConfig.retries,
+        checkpoint=checkpoint,
+    )
+
+
 def _aggregate(outcomes, trials: int) -> TrialStats:
     """Fold ordered (success, measurement, ...) tuples into TrialStats."""
     successes = 0
@@ -195,6 +237,11 @@ def repeat_trials(
     workers: Optional[int] = None,
     rng: RngLike = None,
     telemetry: Optional[Telemetry] = None,
+    trial_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    checkpoint=None,
+    resilience: Optional[ResilienceConfig] = None,
+    checkpoint_scope: str = "",
 ) -> TrialStats:
     """Run ``run_one`` on ``trials`` independent generators and aggregate.
 
@@ -229,6 +276,18 @@ def repeat_trials(
         and the parent merges their snapshots with ``worker=<pid>`` tags
         (plus a per-worker ``trials.worker_throughput`` gauge).
         RNG-neutral: statistics are bit-identical with or without it.
+    trial_timeout / retries / checkpoint / resilience:
+        Fault-tolerance policy (see
+        :class:`~repro.analysis.resilience.ResilienceConfig`): either
+        the flat spellings or one ``resilience=`` object, not both.
+        When any is set, failed/hung/crashed trials are retried with
+        their *original* seeds (statistics stay bit-identical to a
+        clean run), a broken process pool is rebuilt and only pending
+        seeds resubmitted, and retry-exhausted trials degrade to
+        explicit ``failed_trials``/``incomplete`` accounting on the
+        returned :class:`TrialStats` instead of an exception.
+        ``checkpoint_scope`` namespaces the checkpoint records when
+        several trial batches share one file.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -240,12 +299,41 @@ def repeat_trials(
     if measure is None:
         measure = _default_measure
     tele = ensure_telemetry(telemetry)
+    policy = _resolve_resilience(resilience, trial_timeout, retries, checkpoint)
+
+    if policy is not None:
+        if workers is not None and workers > 1:
+            _check_picklable(
+                workers, run_one=run_one, success=success, measure=measure
+            )
+        seeds = spawn_seeds(seed, trials)
+        with tele.phase(
+            "trials.repeat_trials", trials=trials, workers=workers or 1
+        ):
+            outcomes, failed = run_resilient_trials(
+                run_one, seeds, success, measure,
+                workers=workers, config=policy, telemetry=tele,
+                seed=seed, checkpoint_scope=checkpoint_scope,
+            )
+        completed = [o for o in outcomes if o is not None]
+        if tele.enabled:
+            _merge_worker_snapshots(tele, completed)
+        stats = _aggregate(completed, trials)
+        stats.failed_trials = len(failed)
+        stats.incomplete = bool(failed)
+        if tele.enabled:
+            tele.counter("trials.completed", trials - len(failed))
+            tele.counter("trials.succeeded", stats.successes)
+        return stats
 
     if workers is not None and workers > 1:
         _check_picklable(workers, run_one=run_one, success=success, measure=measure)
         seeds = spawn_seeds(seed, trials)
+        pool_size = min(workers, trials)
+        if tele.enabled:
+            tele.gauge("trials.pool_size", pool_size)
         with tele.phase("trials.repeat_trials", trials=trials, workers=workers):
-            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=pool_size) as pool:
                 futures = [
                     pool.submit(
                         _run_single_trial, run_one, s, success, measure,
@@ -320,6 +408,11 @@ def run_trials(
     measure: Callable[["object"], float] = None,
     rng: RngLike = None,
     telemetry: Optional[Telemetry] = None,
+    trial_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    checkpoint=None,
+    resilience: Optional[ResilienceConfig] = None,
+    checkpoint_scope: str = "",
 ) -> TrialStats:
     """Monte-Carlo trials of an engine object, fastest backend first.
 
@@ -342,13 +435,21 @@ def run_trials(
     ``rng`` is the alternative master-seed spelling (reconciled with
     ``seed`` via :func:`repro.types.coerce_seed`); ``telemetry`` is
     threaded to the engine and the per-trial machinery exactly as in
-    :func:`repeat_trials`.
+    :func:`repeat_trials`.  The fault-tolerance arguments
+    (``trial_timeout``/``retries``/``checkpoint``/``resilience``) are
+    forwarded to :func:`repeat_trials`; requesting any of them forces
+    the per-trial backend, since one batched ``run_batch`` call has no
+    per-trial unit to retry or checkpoint.
     """
     if trials < 1:
         raise ValueError(f"trials must be positive, got {trials}")
     seed = coerce_seed(seed, rng)
+    policy = _resolve_resilience(resilience, trial_timeout, retries, checkpoint)
     use_batch = (
-        batch and (workers is None or workers <= 1) and hasattr(runner, "run_batch")
+        batch
+        and policy is None
+        and (workers is None or workers <= 1)
+        and hasattr(runner, "run_batch")
     )
     if use_batch:
         if success is None:
@@ -379,4 +480,6 @@ def run_trials(
         measure=measure,
         workers=workers,
         telemetry=telemetry,
+        resilience=policy,
+        checkpoint_scope=checkpoint_scope,
     )

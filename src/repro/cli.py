@@ -56,6 +56,46 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        help="seconds one Monte-Carlo trial may run before it is killed "
+        "and retried with its original seed (requires --workers > 1)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="how many times a failed/hung/crashed trial is retried "
+        "(seed-preserving; default 2 once any resilience flag is set); "
+        "exhausted trials degrade to explicit failed-trial accounting",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL checkpoint path: append one record per completed "
+        "trial and skip already-done seeds on restart (requires --seed)",
+    )
+
+
+def _build_resilience(args: argparse.Namespace):
+    """Resolve the resilience flags into a ResilienceConfig (or None)."""
+    from .analysis import ResilienceConfig
+
+    timeout = getattr(args, "trial_timeout", None)
+    retries = getattr(args, "retries", None)
+    checkpoint = getattr(args, "checkpoint", None)
+    if timeout is None and retries is None and checkpoint is None:
+        return None
+    return ResilienceConfig(
+        trial_timeout=timeout,
+        retries=retries if retries is not None else ResilienceConfig.retries,
+        checkpoint=checkpoint,
+    )
+
+
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry",
@@ -142,6 +182,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             measure=_sweep_measure,
             workers=args.workers,
             telemetry=telemetry,
+            resilience=_build_resilience(args),
         )
         print(format_table([stats.summary()], title=f"{args.protocol} trials"))
         finish()
@@ -192,6 +233,7 @@ def _sweep_measure(result: object) -> float:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     telemetry, finish = _build_telemetry(args)
+    resilience = _build_resilience(args)
     rows = []
     for exponent in range(args.min_exp, args.max_exp + 1):
         n = 2**exponent
@@ -206,6 +248,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             measure=_sweep_measure,
             workers=args.workers,
             telemetry=telemetry,
+            resilience=resilience,
+            checkpoint_scope=f"sweep/n={n}",
         )
         rows.append(
             {
@@ -307,10 +351,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         experiments = [get_experiment(args.id)]
     telemetry, finish = _build_telemetry(args)
+    resilience = _build_resilience(args)
     failed = 0
     outcomes = []
     for experiment in experiments:
         experiment.workers = args.workers
+        experiment.resilience = resilience
         outcome = experiment.run(
             scale=args.scale, seed=args.seed, telemetry=telemetry
         )
@@ -337,7 +383,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     telemetry, finish = _build_telemetry(args)
     result = run_suite(
         scale=args.scale, seed=args.seed, only=args.only, workers=args.workers,
-        telemetry=telemetry,
+        telemetry=telemetry, resilience=_build_resilience(args),
     )
     print(result.render_summary())
     finish()
@@ -395,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
         "aggregate statistics instead of one outcome",
     )
     _add_workers_arg(run)
+    _add_resilience_args(run)
     _add_telemetry_args(run)
     run.set_defaults(func=_cmd_run)
 
@@ -405,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-exp", type=int, default=12)
     sweep.add_argument("--trials", type=int, default=5)
     _add_workers_arg(sweep)
+    _add_resilience_args(sweep)
     _add_telemetry_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -443,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="also write outcome(s) to this JSON file"
     )
     _add_workers_arg(experiment)
+    _add_resilience_args(experiment)
     _add_telemetry_args(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
@@ -458,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", default=None, help="directory for per-experiment JSON/CSV"
     )
     _add_workers_arg(suite)
+    _add_resilience_args(suite)
     _add_telemetry_args(suite)
     suite.set_defaults(func=_cmd_suite)
 

@@ -8,7 +8,13 @@ import pickle
 import time
 from typing import Dict, List, Optional
 
-from ..analysis import TrialStats, format_table, repeat_trials, run_trials
+from ..analysis import (
+    ResilienceConfig,
+    TrialStats,
+    format_table,
+    repeat_trials,
+    run_trials,
+)
 from ..telemetry import Telemetry, ensure_telemetry
 from ..types import RngLike, coerce_seed
 
@@ -100,6 +106,14 @@ class Experiment(abc.ABC):
     #: through to the trial runners and engines.
     telemetry: Optional[Telemetry] = None
 
+    #: Fault-tolerance policy for Monte-Carlo trials (``None`` = the
+    #: legacy fail-fast backends); set by
+    #: :func:`~repro.experiments.run_suite` / the CLI
+    #: ``--trial-timeout/--retries/--checkpoint`` flags.  Statistics are
+    #: bit-identical to an unfaulted run whenever every trial eventually
+    #: completes (retries reuse the original seeds).
+    resilience: Optional[ResilienceConfig] = None
+
     def run(
         self,
         scale: str = "full",
@@ -120,6 +134,7 @@ class Experiment(abc.ABC):
             resolved = 0
         tele = ensure_telemetry(telemetry)
         self.telemetry = tele
+        self._trial_batch = 0
         start = time.perf_counter()
         try:
             with tele.phase(
@@ -166,6 +181,8 @@ class Experiment(abc.ABC):
         return repeat_trials(
             run_one, trials, seed=seed, success=success, measure=measure,
             workers=workers, telemetry=self.telemetry,
+            resilience=self.resilience,
+            checkpoint_scope=self._next_scope(),
         )
 
     def _engine_trials(
@@ -185,7 +202,20 @@ class Experiment(abc.ABC):
         return run_trials(
             runner, trials, seed=seed, workers=self.workers,
             success=success, measure=measure, telemetry=self.telemetry,
+            resilience=self.resilience,
+            checkpoint_scope=self._next_scope(),
         )
+
+    def _next_scope(self) -> str:
+        """Checkpoint scope for the next trial batch of this run.
+
+        ``_execute`` is deterministic, so the batch counter assigns the
+        same scope to the same batch on a resumed run — which is what
+        lets several batches share one checkpoint file.
+        """
+        index = getattr(self, "_trial_batch", 0)
+        self._trial_batch = index + 1
+        return f"{self.experiment_id}/{index}"
 
     def _outcome(
         self,

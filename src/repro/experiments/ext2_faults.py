@@ -7,6 +7,7 @@ import numpy as np
 from ..analysis import repeat_trials, time_average
 from ..model import Population, PopulationConfig, PullEngine
 from ..noise import NoiseMatrix
+from ..rng import spawn_seeds
 from ..protocols import (
     FastSelfStabilizingSourceFilter,
     FastSourceFilter,
@@ -76,17 +77,22 @@ class FaultTolerance(Experiment):
         schedule = SSFSchedule.from_config(churn_config, 0.05)
         churn_grid = [0.05, 0.2] if scale == "full" else [0.1]
         churn_ok = True
-        for replacements_per_round in churn_grid:
+        # One independent (population, run) seed pair per churn scenario,
+        # spawned from the master seed: raw `seed + 1` arithmetic reused
+        # the *same* streams for every grid point, correlating scenarios.
+        churn_seeds = spawn_seeds(seed, 2 * len(churn_grid))
+        for scenario, replacements_per_round in enumerate(churn_grid):
             churn_rate = replacements_per_round / churn_n
             population = Population(
-                churn_config, rng=np.random.default_rng(seed)
+                churn_config,
+                rng=np.random.default_rng(churn_seeds[2 * scenario]),
             )
             protocol = SelfStabilizingSourceFilterProtocol(schedule)
             engine = PullEngine(population, NoiseMatrix.uniform(0.05, 4))
             result = engine.run(
                 protocol,
                 max_rounds=10 * schedule.epoch_rounds,
-                rng=np.random.default_rng(seed + 1),
+                rng=np.random.default_rng(churn_seeds[2 * scenario + 1]),
                 churn_rate=churn_rate,
                 record_trace=True,
             )

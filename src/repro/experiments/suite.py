@@ -6,7 +6,7 @@ import dataclasses
 import pathlib
 from typing import Dict, List, Optional, Union
 
-from ..analysis import format_table, write_csv, write_json
+from ..analysis import ResilienceConfig, format_table, write_csv, write_json
 from ..telemetry import Telemetry, ensure_telemetry
 from .base import ExperimentOutcome
 from .registry import all_experiments
@@ -70,6 +70,7 @@ def run_suite(
     only: Optional[List[str]] = None,
     workers: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SuiteResult:
     """Run all (or the ``only``-listed) experiments at one scale.
 
@@ -78,7 +79,12 @@ def run_suite(
     worker count, so the suite verdict never depends on parallelism.
     ``telemetry`` is threaded into every experiment (wall times, trial
     throughput, engine events) and additionally times the whole suite
-    under a ``suite.run`` phase.
+    under a ``suite.run`` phase.  ``resilience`` applies one
+    fault-tolerance policy (timeouts, seed-preserving retries,
+    checkpoint/resume — see
+    :class:`~repro.analysis.ResilienceConfig`) to every experiment's
+    Monte-Carlo trials; experiments sharing a checkpoint file is safe
+    because records are scoped per experiment and trial batch.
     """
     experiments = all_experiments()
     if only is not None:
@@ -89,6 +95,7 @@ def run_suite(
             raise KeyError(f"unknown experiment ids: {sorted(missing)}")
     for experiment in experiments:
         experiment.workers = workers
+        experiment.resilience = resilience
     tele = ensure_telemetry(telemetry)
     with tele.phase("suite.run", scale=scale):
         outcomes = [

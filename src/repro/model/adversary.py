@@ -27,12 +27,30 @@ from .population import Population
 
 
 def _require_self_stabilizing(protocol: object) -> None:
-    for attr in ("memory_capacity", "install_state"):
+    for attr in ("memory_capacity", "install_state", "alphabet_size"):
         if not hasattr(protocol, attr):
             raise ProtocolError(
                 f"{type(protocol).__name__} does not expose '{attr}'; only "
                 "self-stabilizing protocols can be adversarially initialized"
             )
+
+
+def _alphabet_size(protocol: object) -> int:
+    """The protocol's message-alphabet size ``d``, validated.
+
+    Guessing a default here would be wrong in both directions: a
+    2-symbol protocol handed 4-column memory tallies gets out-of-range
+    symbols installed, and a wider alphabet would get its tail symbols
+    silently starved.  The attribute is therefore *required* (enforced
+    by :func:`_require_self_stabilizing`) and merely validated here.
+    """
+    d = int(protocol.alphabet_size)
+    if d < 2:
+        raise ProtocolError(
+            f"{type(protocol).__name__}.alphabet_size must be >= 2 to "
+            f"carry binary opinions, got {d}"
+        )
+    return d
 
 
 class AdversarialInitializer(abc.ABC):
@@ -56,7 +74,7 @@ class RandomStateAdversary(AdversarialInitializer):
         generator = coerce_rng(rng)
         n = population.n
         m = int(protocol.memory_capacity)
-        d = getattr(protocol, "alphabet_size", 4)
+        d = _alphabet_size(protocol)
         opinions = generator.integers(0, 2, size=n).astype(np.int8)
         weak = generator.integers(0, 2, size=n).astype(np.int8)
         fills = generator.integers(0, m, size=n)
@@ -83,7 +101,7 @@ class TargetedAdversary(AdversarialInitializer):
         wrong = 1 - population.correct_opinion
         n = population.n
         m = int(protocol.memory_capacity)
-        d = getattr(protocol, "alphabet_size", 4)
+        d = _alphabet_size(protocol)
         opinions = np.full(n, wrong, dtype=np.int8)
         weak = np.full(n, wrong, dtype=np.int8)
         memory = np.zeros((n, d), dtype=np.int64)
@@ -108,7 +126,7 @@ class DesynchronizingAdversary(AdversarialInitializer):
         generator = coerce_rng(rng)
         n = population.n
         m = int(protocol.memory_capacity)
-        d = getattr(protocol, "alphabet_size", 4)
+        d = _alphabet_size(protocol)
         opinions = generator.integers(0, 2, size=n).astype(np.int8)
         weak = generator.integers(0, 2, size=n).astype(np.int8)
         fills = (np.arange(n) * m // max(n, 1)).astype(np.int64)

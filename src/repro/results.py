@@ -24,6 +24,12 @@ heterogeneous report streams.
 
 The original attribute names remain the dataclass fields — nothing is
 renamed — so all pre-existing code and seed tests keep working.
+
+Aggregates are records too: ``repro.analysis.TrialStats`` is registered
+as a nested record, including the ``failed_trials``/``incomplete``
+fields the resilient trial runner sets when it degrades to partial
+statistics (see ``docs/resilience.md``) — persisted reports therefore
+keep the evidence that a sweep lost trials.
 """
 
 from __future__ import annotations

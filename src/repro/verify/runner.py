@@ -13,6 +13,7 @@ corrupt ↔ corrupt_with_uniforms   bit-identical symbol streams
 reference ↔ fast SF               pooled weak-opinion law (Hoeffding)
 reference ↔ fast SSF              weak-opinion law + fixed-seed convergence
 sync ↔ async SSF                  convergence + parallel-round scale
+resilient pool ↔ clean serial     bit-identical statistics through chaos
 goldens                           digests of committed reference trajectories
 ================================  ===========================================
 """
@@ -26,6 +27,7 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
+from ..analysis import ChaosSpec, ChaosTrial, ResilienceConfig, repeat_trials
 from ..exceptions import ConfigurationError
 from ..model import (
     BatchedPullEngine,
@@ -361,12 +363,79 @@ def _check_sync_vs_async_ssf(scale: str, budget: FalsePositiveBudget) -> str:
     )
 
 
+def _resilience_probe(rng: np.random.Generator) -> float:
+    """Tiny Monte-Carlo trial for the resilience leg (module-level so it
+    pickles across the process boundary)."""
+    return float(rng.random())
+
+
+def _resilience_success(value: float) -> bool:
+    return value >= 0.25
+
+
+def _resilience_measure(value: float) -> float:
+    return value
+
+
+def _check_resilience(scale: str, budget: FalsePositiveBudget) -> str:
+    """Chaos-recovered pool statistics vs a clean serial run.
+
+    The resilient backend promises that retries reuse each trial's
+    original seed, so a run that survives injected exceptions, worker
+    crashes and (at full scale) hung trials must be *bit-identical* to
+    the unfaulted serial baseline — same values, same successes, zero
+    ``failed_trials``.
+    """
+    trials = 12 if scale == "quick" else 24
+    seed = 777
+    baseline = repeat_trials(
+        _resilience_probe, trials, seed=seed,
+        success=_resilience_success, measure=_resilience_measure,
+    )
+    schedule = {1: ChaosSpec("raise"), 5: ChaosSpec("crash")}
+    trial_timeout = None
+    if scale == "full":
+        # The hang goes on the *last* trial so no crash-driven pool
+        # rebuild reclaims the hung worker early: the run must actually
+        # sit out ``trial_timeout`` and take the timeout path.
+        schedule[trials - 1] = ChaosSpec("hang")
+        trial_timeout = 2.0
+    chaos = ChaosTrial(_resilience_probe, schedule, hang_seconds=30.0)
+    recovered = repeat_trials(
+        chaos, trials, seed=seed,
+        success=_resilience_success, measure=_resilience_measure,
+        workers=2,
+        resilience=ResilienceConfig(trial_timeout=trial_timeout, retries=2),
+    )
+    if recovered.failed_trials or recovered.incomplete:
+        raise ConfigurationError(
+            f"resilient run gave up on {recovered.failed_trials} trial(s) "
+            f"despite every fault being transient (schedule "
+            f"{sorted(schedule)})"
+        )
+    if (
+        recovered.values != baseline.values
+        or recovered.successes != baseline.successes
+    ):
+        raise ConfigurationError(
+            "chaos-recovered statistics diverged from the clean serial "
+            f"baseline: successes {recovered.successes} vs "
+            f"{baseline.successes}, values {recovered.values} vs "
+            f"{baseline.values} — seed-preserving retry is broken"
+        )
+    return (
+        f"{trials} trials bit-identical through "
+        f"{len(schedule)} injected fault(s) ({', '.join(sorted(s.kind for s in schedule.values()))})"
+    )
+
+
 _CHECKS: List[tuple] = [
     ("reference-vs-batched-sf", "exact", _check_reference_vs_batched),
     ("corrupt-vs-corrupt-with-uniforms", "exact", _check_corrupt_equivalence),
     ("reference-vs-fast-sf", "statistical", _check_reference_vs_fast_sf),
     ("reference-vs-fast-ssf", "statistical", _check_reference_vs_fast_ssf),
     ("sync-vs-async-ssf", "statistical", _check_sync_vs_async_ssf),
+    ("resilience", "exact", _check_resilience),
 ]
 
 

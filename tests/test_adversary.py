@@ -24,6 +24,26 @@ def protocol_and_population(rng):
     return protocol, pop
 
 
+class _FakeSSF:
+    """Minimal duck-typed self-stabilizing protocol for contract tests."""
+
+    def __init__(self, alphabet_size=None, m=12):
+        self.memory_capacity = m
+        if alphabet_size is not None:
+            self.alphabet_size = alphabet_size
+        self.installed = None
+
+    def install_state(self, opinions, weak_opinions, memory_counts):
+        self.installed = (opinions, weak_opinions, memory_counts)
+
+
+ADVERSARIES = [
+    RandomStateAdversary,
+    TargetedAdversary,
+    DesynchronizingAdversary,
+]
+
+
 class TestContract:
     def test_rejects_non_self_stabilizing_protocol(self, rng):
         class NotSelfStabilizing:
@@ -33,6 +53,33 @@ class TestContract:
         pop = Population(cfg, rng=rng)
         with pytest.raises(ProtocolError):
             RandomStateAdversary().apply(NotSelfStabilizing(), pop, rng)
+
+    @pytest.mark.parametrize("adversary", ADVERSARIES)
+    def test_missing_alphabet_size_raises(self, adversary, rng):
+        # Regression: the adversaries used to silently assume d=4 for
+        # protocols without an ``alphabet_size`` attribute.
+        cfg = PopulationConfig(n=10, sources=SourceCounts(0, 1), h=1)
+        pop = Population(cfg, rng=rng)
+        with pytest.raises(ProtocolError, match="alphabet_size"):
+            adversary().apply(_FakeSSF(alphabet_size=None), pop, rng)
+
+    @pytest.mark.parametrize("adversary", ADVERSARIES)
+    def test_sub_binary_alphabet_raises(self, adversary, rng):
+        cfg = PopulationConfig(n=10, sources=SourceCounts(0, 1), h=1)
+        pop = Population(cfg, rng=rng)
+        with pytest.raises(ProtocolError, match="alphabet_size"):
+            adversary().apply(_FakeSSF(alphabet_size=1), pop, rng)
+
+    @pytest.mark.parametrize("adversary", ADVERSARIES)
+    def test_binary_alphabet_gets_two_column_memory(self, adversary, rng):
+        cfg = PopulationConfig(n=16, sources=SourceCounts(0, 1), h=1)
+        pop = Population(cfg, rng=rng)
+        protocol = _FakeSSF(alphabet_size=2)
+        adversary().apply(protocol, pop, rng)
+        _, _, memory = protocol.installed
+        assert memory.shape == (16, 2)
+        assert memory.min() >= 0
+        assert memory.sum(axis=1).max() <= protocol.memory_capacity
 
 
 class TestRandomStateAdversary:

@@ -148,6 +148,20 @@ class TestWorkers:
         with pytest.raises(ValueError):
             repeat_trials(_picklable_run_one, trials=4, seed=0, workers=0)
 
+    def test_pool_size_clamped_to_trials(self):
+        from repro.telemetry import AggregatingSink, Telemetry
+
+        serial = repeat_trials(_picklable_run_one, trials=2, seed=13)
+        sink = AggregatingSink()
+        stats = repeat_trials(
+            _picklable_run_one, trials=2, seed=13, workers=8,
+            telemetry=Telemetry([sink]),
+        )
+        # Asking for more workers than trials must not fork idle
+        # processes; the effective pool size is reported as a gauge.
+        assert sink.gauges["trials.pool_size"] == 2
+        assert stats.values == serial.values
+
 
 class TestRunTrials:
     def test_prefers_run_batch_when_serial(self):
