@@ -1,0 +1,7 @@
+"""EXT3 — robustness frontier (delegates to repro.experiments)."""
+
+from .conftest import run_experiment_benchmark
+
+
+def test_ext3_adversarial_robustness(benchmark):
+    run_experiment_benchmark(benchmark, "EXT3", "ext3_adversarial.csv")

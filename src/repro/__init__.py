@@ -84,6 +84,17 @@ from .telemetry import (
     Telemetry,
     TelemetrySink,
 )
+from .faults import (
+    ByzantineDisplayFault,
+    ComposedFaultModel,
+    CrashFault,
+    FaultModel,
+    IdentityFaultModel,
+    NoiseMisspecification,
+    RecoveryTracker,
+    StuckAtFault,
+    misspecified_reduction,
+)
 from .types import coerce_rng, coerce_seed
 
 __version__ = "1.0.0"
@@ -92,8 +103,17 @@ __all__ = [
     "AdversarialInitializer",
     "BatchedPullEngine",
     "BatchedSourceFilter",
+    "ByzantineDisplayFault",
     "ClassicCopySpreading",
+    "ComposedFaultModel",
     "ConfigurationError",
+    "CrashFault",
+    "FaultModel",
+    "IdentityFaultModel",
+    "NoiseMisspecification",
+    "RecoveryTracker",
+    "StuckAtFault",
+    "misspecified_reduction",
     "JsonlSink",
     "MemorySink",
     "NULL_TELEMETRY",

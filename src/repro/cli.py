@@ -27,6 +27,7 @@ import numpy as np
 from .analysis.tables import format_table
 from .analysis.trials import repeat_trials
 from .baselines import NoisyMajorityDynamics, NoisyVoterModel
+from .exceptions import ConfigurationError
 from .model.config import PopulationConfig
 from .noise import NoiseMatrix, noise_reduction, reduction_delta
 from .protocols import FastSelfStabilizingSourceFilter, FastSourceFilter
@@ -96,6 +97,75 @@ def _build_resilience(args: argparse.Namespace):
     )
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--byzantine",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fraction of non-source agents that display the wrong "
+        "opinion every round (model-layer Byzantine fault; repro.faults)",
+    )
+    parser.add_argument(
+        "--crash-rate",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fraction of non-source agents that crash at round 0 and "
+        "display the crash symbol from then on",
+    )
+    parser.add_argument(
+        "--assumed-delta",
+        type=float,
+        default=None,
+        metavar="D",
+        help="size the protocol for this noise level while the channel "
+        "actually applies --delta (Theorem 8 noise misspecification)",
+    )
+
+
+def _build_fault_model(args: argparse.Namespace):
+    """Resolve the fault flags into ``(fault_model, protocol_delta)``.
+
+    The protocol is sized with ``--assumed-delta`` when given (the
+    misspecification fault then substitutes the true ``--delta``
+    channel); otherwise ``protocol_delta`` is just ``--delta``.
+    """
+    byzantine = getattr(args, "byzantine", None)
+    crash = getattr(args, "crash_rate", None)
+    assumed = getattr(args, "assumed_delta", None)
+    if byzantine is None and crash is None and assumed is None:
+        return None, args.delta
+    if args.protocol not in ("sf", "ssf"):
+        raise ConfigurationError(
+            f"protocol {args.protocol!r} does not accept fault models; "
+            "--byzantine/--crash-rate/--assumed-delta need --protocol "
+            "sf or ssf"
+        )
+    from .faults import (
+        ByzantineDisplayFault,
+        ComposedFaultModel,
+        CrashFault,
+        NoiseMisspecification,
+    )
+
+    parts = []
+    if byzantine:
+        parts.append(ByzantineDisplayFault(fraction=byzantine))
+    if crash:
+        parts.append(CrashFault(fraction=crash))
+    protocol_delta = args.delta
+    if assumed is not None:
+        size = 2 if args.protocol == "sf" else 4
+        parts.append(NoiseMisspecification.uniform(args.delta, size=size))
+        protocol_delta = assumed
+    if not parts:
+        return None, protocol_delta
+    if len(parts) == 1:
+        return parts[0], protocol_delta
+    return ComposedFaultModel(parts), protocol_delta
+
+
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry",
@@ -151,20 +221,27 @@ class _RunTrial:
     per-round events flow into the CLI's sinks.
     """
 
-    def __init__(self, protocol: str, config: PopulationConfig, delta: float) -> None:
+    def __init__(
+        self,
+        protocol: str,
+        config: PopulationConfig,
+        delta: float,
+        fault_model=None,
+    ) -> None:
         self.protocol = protocol
         self.config = config
         self.delta = delta
+        self.fault_model = fault_model
 
     def __call__(self, rng: np.random.Generator, telemetry=None) -> object:
         if self.protocol == "sf":
-            return FastSourceFilter(self.config, self.delta).run(
-                rng, telemetry=telemetry
-            )
+            return FastSourceFilter(
+                self.config, self.delta, fault_model=self.fault_model
+            ).run(rng, telemetry=telemetry)
         if self.protocol == "ssf":
-            return FastSelfStabilizingSourceFilter(self.config, self.delta).run(
-                rng=rng, telemetry=telemetry
-            )
+            return FastSelfStabilizingSourceFilter(
+                self.config, self.delta, fault_model=self.fault_model
+            ).run(rng=rng, telemetry=telemetry)
         budget = max(int(8 * self.config.n * math.log(self.config.n)), 100)
         if self.protocol == "voter":
             return NoisyVoterModel(self.config, self.delta).run(budget, rng=rng)
@@ -173,10 +250,15 @@ class _RunTrial:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config(args)
+    try:
+        fault_model, protocol_delta = _build_fault_model(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     telemetry, finish = _build_telemetry(args)
     if args.trials and args.trials > 1:
         stats = repeat_trials(
-            _RunTrial(args.protocol, config, args.delta),
+            _RunTrial(args.protocol, config, protocol_delta, fault_model),
             trials=args.trials,
             seed=args.seed,
             measure=_sweep_measure,
@@ -187,7 +269,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_table([stats.summary()], title=f"{args.protocol} trials"))
         finish()
         return 0
-    trial = _RunTrial(args.protocol, config, args.delta)
+    trial = _RunTrial(args.protocol, config, protocol_delta, fault_model)
     result = trial(np.random.default_rng(args.seed), telemetry=telemetry)
     if args.protocol == "sf":
         print(
@@ -441,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
         "aggregate statistics instead of one outcome",
     )
     _add_workers_arg(run)
+    _add_fault_args(run)
     _add_resilience_args(run)
     _add_telemetry_args(run)
     run.set_defaults(func=_cmd_run)

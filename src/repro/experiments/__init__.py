@@ -29,6 +29,7 @@ from . import abl2_design  # noqa: F401
 from . import abl3_framing  # noqa: F401
 from . import ext1_kary  # noqa: F401
 from . import ext2_faults  # noqa: F401
+from . import ext3_adversarial  # noqa: F401
 
 __all__ = [
     "CheckResult",

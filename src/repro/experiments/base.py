@@ -43,6 +43,10 @@ class ExperimentOutcome:
     checks: List[CheckResult]
     notes: str = ""
     wall_seconds: Optional[float] = None
+    #: Machine-readable reproduction aids that are not result rows —
+    #: e.g. the per-scenario spawned seeds of EXT2's churn section, so
+    #: any single row can be rerun in isolation.
+    metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -80,6 +84,7 @@ class ExperimentOutcome:
                 {"name": c.name, "passed": c.passed, "detail": c.detail}
                 for c in self.checks
             ],
+            "metadata": self.metadata,
         }
 
 
@@ -222,6 +227,7 @@ class Experiment(abc.ABC):
         rows: List[Dict[str, object]],
         checks: List[CheckResult],
         notes: str = "",
+        metadata: Optional[Dict[str, object]] = None,
     ) -> ExperimentOutcome:
         return ExperimentOutcome(
             experiment_id=self.experiment_id,
@@ -229,6 +235,7 @@ class Experiment(abc.ABC):
             rows=rows,
             checks=checks,
             notes=notes,
+            metadata=metadata or {},
         )
 
     @staticmethod

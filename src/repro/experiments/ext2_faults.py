@@ -19,6 +19,14 @@ from .base import CheckResult, Experiment, ExperimentOutcome
 from .registry import register
 
 
+def _seed_record(sequence: np.random.SeedSequence) -> dict:
+    """JSON-serializable (entropy, spawn_key) pair identifying a stream."""
+    return {
+        "entropy": int(sequence.entropy),
+        "spawn_key": [int(k) for k in sequence.spawn_key],
+    }
+
+
 @register
 class FaultTolerance(Experiment):
     """Losses and turnover: where the protocols bend and where they hold."""
@@ -81,6 +89,12 @@ class FaultTolerance(Experiment):
         # spawned from the master seed: raw `seed + 1` arithmetic reused
         # the *same* streams for every grid point, correlating scenarios.
         churn_seeds = spawn_seeds(seed, 2 * len(churn_grid))
+        # Reproduction aid: a SeedSequence is fully determined by
+        # (entropy, spawn_key), so recording both lets any single churn
+        # row be rerun in isolation — rebuild each stream with
+        # ``np.random.SeedSequence(entropy, spawn_key=tuple(spawn_key))``
+        # without replaying the whole grid.
+        churn_seed_records = []
         for scenario, replacements_per_round in enumerate(churn_grid):
             churn_rate = replacements_per_round / churn_n
             population = Population(
@@ -105,6 +119,14 @@ class FaultTolerance(Experiment):
             )
             floor = max(1.0 - 2.0 * expected_wrong / churn_n, 0.0)
             churn_ok &= measured >= floor
+            churn_seed_records.append(
+                {
+                    "fault": f"churn={replacements_per_round}/round",
+                    "churn_rate": churn_rate,
+                    "population_seed": _seed_record(churn_seeds[2 * scenario]),
+                    "run_seed": _seed_record(churn_seeds[2 * scenario + 1]),
+                }
+            )
             rows.append(
                 {
                     "fault": f"churn={replacements_per_round}/round",
@@ -131,4 +153,8 @@ class FaultTolerance(Experiment):
                 f"loss rows: n={n}, h=n; churn rows: n={churn_n}, "
                 f"h={churn_h}, delta=0.05, agent-level SSF"
             ),
+            metadata={
+                "master_seed": seed,
+                "churn_seeds": churn_seed_records,
+            },
         )

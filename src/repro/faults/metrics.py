@@ -1,0 +1,112 @@
+"""Recovery-time and quasi-consensus-floor metrics for faulted runs.
+
+EXT2 established the quasi-consensus floor: under sustained faults full
+consensus is unreachable and the meaningful question becomes *how far
+above the floor* the wrong fraction sits.  :class:`RecoveryTracker`
+turns that into a per-run metric — the number of rounds from fault
+onset until the wrong fraction among evaluated agents re-enters the
+floor (and stays there through the end of the run) — surfaced as
+``faults.*`` telemetry by the engines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["RecoveryTracker", "emit_recovery_batch"]
+
+#: Slack for float comparison against the floor.
+_TOLERANCE = 1e-9
+
+
+class RecoveryTracker:
+    """Track one run's wrong-fraction trajectory against a floor.
+
+    Feed :meth:`observe` with ``(round_index, wrong_fraction)`` whenever
+    the engine measures opinions (wrong fraction over *evaluated* agents
+    only).  A run has *recovered* when the wrong fraction at or after
+    ``onset_round`` drops to ``floor`` (or below) and never leaves it
+    again — leaving resets the clock, so :attr:`recovery_round` is the
+    final re-entry.
+    """
+
+    def __init__(self, onset_round: int = 0, floor: float = 0.0) -> None:
+        self.onset_round = int(onset_round)
+        self.floor = float(floor)
+        self.recovery_round: Optional[int] = None
+        self.final_wrong_fraction: Optional[float] = None
+        self.worst_wrong_fraction: float = 0.0
+
+    def observe(self, round_index: int, wrong_fraction: float) -> None:
+        self.final_wrong_fraction = float(wrong_fraction)
+        if round_index < self.onset_round:
+            return
+        if wrong_fraction > self.worst_wrong_fraction:
+            self.worst_wrong_fraction = float(wrong_fraction)
+        if wrong_fraction <= self.floor + _TOLERANCE:
+            if self.recovery_round is None:
+                self.recovery_round = int(round_index)
+        else:
+            self.recovery_round = None
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_round is not None
+
+    @property
+    def recovery_rounds(self) -> Optional[int]:
+        """Rounds from fault onset to (final) floor re-entry."""
+        if self.recovery_round is None:
+            return None
+        return max(self.recovery_round - self.onset_round, 0)
+
+    def emit(self, tele) -> None:
+        """Record this run's metrics on a Telemetry recorder."""
+        if not tele.enabled:
+            return
+        tele.counter("faults.runs")
+        tele.gauge("faults.onset_round", float(self.onset_round))
+        tele.gauge("faults.quasi_consensus_floor", self.floor)
+        if self.final_wrong_fraction is not None:
+            tele.gauge(
+                "faults.final_wrong_fraction", self.final_wrong_fraction
+            )
+            tele.gauge(
+                "faults.worst_wrong_fraction", self.worst_wrong_fraction
+            )
+        if self.recovered:
+            tele.counter("faults.recovered_runs")
+            tele.gauge("faults.recovery_rounds", float(self.recovery_rounds))
+
+
+def emit_recovery_batch(trackers: Iterable["RecoveryTracker"], tele) -> None:
+    """Aggregate emission for replica-batched runs.
+
+    Counters accumulate across all replicas; gauges carry the batch
+    means (gauges overwrite, so per-replica emission would only keep the
+    last replica).
+    """
+    if not tele.enabled:
+        return
+    trackers = list(trackers)
+    if not trackers:
+        return
+    tele.counter("faults.runs", len(trackers))
+    recovered = [t for t in trackers if t.recovered]
+    tele.counter("faults.recovered_runs", len(recovered))
+    tele.gauge("faults.quasi_consensus_floor", trackers[0].floor)
+    tele.gauge("faults.onset_round", float(trackers[0].onset_round))
+    finals = [
+        t.final_wrong_fraction
+        for t in trackers
+        if t.final_wrong_fraction is not None
+    ]
+    if finals:
+        tele.gauge(
+            "faults.mean_final_wrong_fraction", sum(finals) / len(finals)
+        )
+    if recovered:
+        tele.gauge(
+            "faults.mean_recovery_rounds",
+            sum(t.recovery_rounds for t in recovered) / len(recovered),
+        )

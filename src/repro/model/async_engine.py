@@ -95,6 +95,7 @@ class AsyncPullEngine:
         consensus_patience: int = 0,
         check_every: int = None,
         telemetry: Optional[Telemetry] = None,
+        fault_model=None,
     ) -> AsyncSimulationResult:
         """Simulate up to ``max_activations`` single-agent steps.
 
@@ -103,6 +104,15 @@ class AsyncPullEngine:
         cost amortized.  ``telemetry`` (optional, RNG-neutral) receives
         one ``round`` event per consensus check — the round index is the
         activation count — plus an ``async_engine.run`` phase timer.
+
+        ``fault_model`` (optional :class:`~repro.faults.FaultModel`)
+        rewrites the sampled displays of each activation via
+        ``transform_sampled_displays`` (time is measured in
+        activations), restricts samplability, and substitutes the true
+        channel.  Models needing the global display vector
+        (``requires_global_displays``, e.g. anti-majority Byzantine
+        agents) are rejected — this engine never materializes it.
+        ``None`` keeps the byte-identical legacy path.
         """
         if protocol.alphabet_size != self.noise.size:
             raise ProtocolError(
@@ -118,6 +128,31 @@ class AsyncPullEngine:
         if check_every is None:
             check_every = n
 
+        eval_mask = None
+        n_eval = n
+        tracker = None
+        if fault_model is not None:
+            if fault_model.requires_global_displays:
+                raise ProtocolError(
+                    f"{type(fault_model).__name__} needs the global display "
+                    "vector; the async engine only materializes sampled "
+                    "displays"
+                )
+            fault_model.reset(population, protocol.alphabet_size, generator)
+            eval_mask = fault_model.evaluation_mask()
+            if eval_mask is not None:
+                n_eval = int(np.count_nonzero(eval_mask))
+                if n_eval == 0:
+                    raise ProtocolError(
+                        "fault model excludes every agent from evaluation"
+                    )
+            if correct is not None:
+                from ..faults.metrics import RecoveryTracker
+
+                tracker = RecoveryTracker(
+                    fault_model.onset_round, fault_model.quasi_consensus_floor
+                )
+
         # Pre-draw activation order and samples in blocks for speed.
         block = max(check_every, 1)
         consensus_start: Optional[int] = None
@@ -131,26 +166,45 @@ class AsyncPullEngine:
             samples = generator.integers(0, n, size=(todo, h))
             for i in range(todo):
                 agent = int(actors[i])
+                sample_ids = samples[i]
+                if fault_model is not None:
+                    # Fault time is measured in activations here.
+                    activation = executed + i
+                    visible = fault_model.visible_agents(activation)
+                    if visible is not None:
+                        sample_ids = visible[
+                            generator.integers(0, visible.size, size=h)
+                        ]
                 displayed = np.fromiter(
-                    (protocol.display_of(int(j)) for j in samples[i]),
+                    (protocol.display_of(int(j)) for j in sample_ids),
                     dtype=np.int64,
                     count=h,
                 )
-                observed = self.noise.corrupt(displayed, generator, validate=False)
+                channel = self.noise
+                if fault_model is not None:
+                    displayed = fault_model.transform_sampled_displays(
+                        activation, displayed, sample_ids, generator
+                    )
+                    channel = fault_model.channel(activation, channel)
+                observed = channel.corrupt(displayed, generator, validate=False)
                 protocol.activate(agent, observed)
             executed += todo
 
             if correct is not None:
                 opinions = protocol.opinions()
-                if tele.enabled:
-                    num_correct = int(np.sum(opinions == correct))
-                    tele.round(
-                        executed,
-                        num_correct=num_correct,
-                        fraction_correct=num_correct / n,
-                        opinions=opinions,
-                    )
-                if bool(np.all(opinions == correct)):
+                judged = opinions if eval_mask is None else opinions[eval_mask]
+                if tele.enabled or tracker is not None:
+                    num_correct = int(np.sum(judged == correct))
+                    if tracker is not None:
+                        tracker.observe(executed, 1.0 - num_correct / n_eval)
+                    if tele.enabled:
+                        tele.round(
+                            executed,
+                            num_correct=num_correct,
+                            fraction_correct=num_correct / n_eval,
+                            opinions=opinions,
+                        )
+                if bool(np.all(judged == correct)):
                     if consensus_start is None:
                         consensus_start = executed
                     if (
@@ -162,11 +216,14 @@ class AsyncPullEngine:
                     consensus_start = None
 
         final = np.asarray(protocol.opinions()).copy()
-        converged = correct is not None and bool(np.all(final == correct))
+        judged_final = final if eval_mask is None else final[eval_mask]
+        converged = correct is not None and bool(np.all(judged_final == correct))
         if timer is not None:
             timer.__exit__(None, None, None)
             tele.counter("async_engine.activations", executed)
             tele.counter("async_engine.runs")
+        if tracker is not None:
+            tracker.emit(tele)
         return AsyncSimulationResult(
             converged=converged,
             consensus_activation=consensus_start if converged else None,

@@ -153,6 +153,7 @@ class BatchedPullEngine:
         consensus_patience: int = 0,
         record_trace: bool = False,
         telemetry: Optional[Telemetry] = None,
+        fault_model=None,
     ) -> List[SimulationResult]:
         """Simulate up to ``max_rounds`` rounds of every replica.
 
@@ -183,6 +184,19 @@ class BatchedPullEngine:
             ``batched_engine.run`` phase timer and replica counters.
             RNG-neutral: results are bit-identical with telemetry on or
             off.
+        fault_model:
+            Optional :class:`~repro.faults.FaultModel`.  One faulty
+            subset is resolved per *batch* (from a generator spawned off
+            the root seed — child ``R`` of the root sequence, so it
+            never collides with a replica stream) and shared by all
+            replicas; per-round display transforms run per replica with
+            that replica's generator in ``"spawn"`` mode.  ``None``
+            keeps the byte-identical legacy path and the identity model
+            is bit-for-bit equivalent to it.  Models whose faulty set is
+            random make spawn-mode runs diverge from serial runs (the
+            serial engine resolves the set from the run generator) —
+            pass explicit ``agents=`` when cross-engine bit-identity
+            matters.
 
         Returns
         -------
@@ -212,6 +226,39 @@ class BatchedPullEngine:
         correct = population.correct_opinion
         protocol.reset(population, generators)
 
+        eval_mask = None
+        n_eval = n
+        trackers = None
+        if fault_model is not None:
+            if seed_sequences is not None:
+                fault_root = seed_sequences[0].spawn(1)[0]
+            elif isinstance(rng, np.random.SeedSequence):
+                # _spawn_generators already consumed children 0..R-1 of
+                # this very object, so the next spawn is child R.
+                fault_root = rng.spawn(1)[0]
+            else:
+                fault_root = np.random.SeedSequence(rng).spawn(num_replicas + 1)[-1]
+            fault_model.reset(
+                population, protocol.alphabet_size, np.random.default_rng(fault_root)
+            )
+            eval_mask = fault_model.evaluation_mask()
+            if eval_mask is not None:
+                n_eval = int(np.count_nonzero(eval_mask))
+                if n_eval == 0:
+                    raise ProtocolError(
+                        "fault model excludes every agent from evaluation"
+                    )
+            if correct is not None:
+                from ..faults.metrics import RecoveryTracker
+
+                trackers = [
+                    RecoveryTracker(
+                        fault_model.onset_round,
+                        fault_model.quasi_consensus_floor,
+                    )
+                    for _ in range(num_replicas)
+                ]
+
         active = np.arange(num_replicas)
         streak = np.zeros(num_replicas, dtype=np.int64)
         consensus_start = np.full(num_replicas, -1, dtype=np.int64)
@@ -232,20 +279,53 @@ class BatchedPullEngine:
             displayed = np.asarray(protocol.displays(t))  # (R, n)
             num_active = active.size
             all_active = num_active == num_replicas
+            rows = displayed if all_active else displayed[active]
+            visible = (
+                fault_model.visible_agents(t) if fault_model is not None else None
+            )
+            pool = n if visible is None else visible.size
             if rng_mode == "spawn":
                 sampled = np.empty((num_active, n * h), dtype=np.int64)
                 uniforms = np.empty((num_active, n * h))
+                if fault_model is not None:
+                    faulted_rows: list = [None] * num_active
+                    rows_changed = False
                 for i, r in enumerate(active):
                     g = generators[r]
-                    sampled[i] = g.integers(0, n, size=(n, h)).reshape(n * h)
+                    if fault_model is not None:
+                        # Replica r's transform draws come from its own
+                        # generator *before* its sampling draws — the
+                        # serial engine's order, so spawn bit-identity
+                        # survives deterministic faults.
+                        row = rows[i]
+                        faulted = fault_model.transform_displays(t, row, g)
+                        rows_changed |= faulted is not row
+                        faulted_rows[i] = faulted
+                    sampled[i] = g.integers(0, pool, size=(n, h)).reshape(n * h)
                     uniforms[i] = g.random(n * h)
+                if fault_model is not None and rows_changed:
+                    rows = np.stack(faulted_rows)
             else:
-                sampled = bulk.integers(0, n, size=(num_active, n * h), dtype=np.int32)
+                if fault_model is not None:
+                    faulted_rows = [None] * num_active
+                    rows_changed = False
+                    for i in range(num_active):
+                        row = rows[i]
+                        faulted = fault_model.transform_displays(t, row, bulk)
+                        rows_changed |= faulted is not row
+                        faulted_rows[i] = faulted
+                    if rows_changed:
+                        rows = np.stack(faulted_rows)
+                sampled = bulk.integers(
+                    0, pool, size=(num_active, n * h), dtype=np.int32
+                )
                 uniforms = bulk.random(num_active * n * h)
-            gathered = np.take_along_axis(
-                displayed if all_active else displayed[active], sampled, axis=1
-            )
+            if visible is not None:
+                sampled = visible[sampled]
+            gathered = np.take_along_axis(rows, sampled, axis=1)
             channel = self._matrix_at(t) if self._matrix_at else self.noise
+            if fault_model is not None:
+                channel = fault_model.channel(t, channel)
             observations = channel.corrupt_with_uniforms(
                 gathered, uniforms, dtype=np.int8
             ).reshape(num_active, n, h)
@@ -255,27 +335,39 @@ class BatchedPullEngine:
             if correct is not None:
                 opinions = protocol.opinions()
                 active_opinions = opinions if all_active else opinions[active]
-                all_correct = np.all(active_opinions == correct, axis=1)
+                judged = (
+                    active_opinions
+                    if eval_mask is None
+                    else active_opinions[:, eval_mask]
+                )
+                all_correct = np.all(judged == correct, axis=1)
                 streak[active] = np.where(all_correct, streak[active] + 1, 0)
                 consensus_start[active] = np.where(
                     all_correct,
                     np.where(consensus_start[active] < 0, t, consensus_start[active]),
                     -1,
                 )
-                if record_trace or tele.enabled:
-                    num_correct = np.sum(active_opinions == correct, axis=1)
+                if record_trace or tele.enabled or trackers is not None:
+                    num_correct = np.sum(judged == correct, axis=1)
+                    if trackers is not None:
+                        for i, r in enumerate(active):
+                            trackers[r].observe(
+                                t, 1.0 - int(num_correct[i]) / n_eval
+                            )
                     if record_trace:
                         for i, r in enumerate(active):
                             traces[r].append(
                                 RoundRecord(
-                                    t, int(num_correct[i]) / n, int(num_correct[i])
+                                    t,
+                                    int(num_correct[i]) / n_eval,
+                                    int(num_correct[i]),
                                 )
                             )
                     if tele.enabled:
                         tele.round(
                             t,
                             active_replicas=int(num_active),
-                            mean_fraction_correct=float(num_correct.mean()) / n,
+                            mean_fraction_correct=float(num_correct.mean()) / n_eval,
                             converged_replicas=int(np.count_nonzero(all_correct)),
                         )
                 if stop_on_consensus:
@@ -288,7 +380,8 @@ class BatchedPullEngine:
         results: List[SimulationResult] = []
         for r in range(num_replicas):
             opinions_r = final[r].copy()
-            converged = correct is not None and bool(np.all(opinions_r == correct))
+            judged_r = opinions_r if eval_mask is None else opinions_r[eval_mask]
+            converged = correct is not None and bool(np.all(judged_r == correct))
             results.append(
                 SimulationResult(
                     converged=converged,
@@ -311,4 +404,8 @@ class BatchedPullEngine:
                 "batched_engine.converged_replicas",
                 sum(result.converged for result in results),
             )
+        if trackers is not None:
+            from ..faults.metrics import emit_recovery_batch
+
+            emit_recovery_batch(trackers, tele)
         return results

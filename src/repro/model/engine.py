@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import ProtocolError
+from ..exceptions import ConfigurationError, ProtocolError
 from ..results import RunReport, register_record
 from ..telemetry import Telemetry, ensure_telemetry
 from ..types import RngLike, coerce_rng, seed_of
@@ -130,6 +130,7 @@ class PullEngine:
         skip_reset: bool = False,
         churn_rate: float = 0.0,
         telemetry: Optional[Telemetry] = None,
+        fault_model=None,
     ) -> SimulationResult:
         """Simulate up to ``max_rounds`` rounds.
 
@@ -165,6 +166,16 @@ class PullEngine:
             via ``protocol.reset_agents``) with this probability —
             modelling population turnover.  Requires a protocol exposing
             ``reset_agents(indices, rng)``.
+        fault_model:
+            Optional :class:`~repro.faults.FaultModel` injecting
+            model-layer faults: it may rewrite the displayed messages,
+            restrict which agents are samplable, substitute the true
+            physical channel, and exclude faulty agents from consensus
+            evaluation.  ``None`` (the default) runs the byte-identical
+            legacy path; :class:`~repro.faults.IdentityFaultModel` is
+            bit-for-bit equivalent to it.  With a non-null model and
+            telemetry enabled, recovery metrics are emitted under
+            ``faults.*``.
         """
         if not 0.0 <= churn_rate < 1.0:
             raise ProtocolError(f"churn_rate must lie in [0, 1), got {churn_rate}")
@@ -185,6 +196,24 @@ class PullEngine:
             protocol.reset(population, generator)
 
         correct = population.correct_opinion
+        eval_mask = None
+        n_eval = population.n
+        tracker = None
+        if fault_model is not None:
+            fault_model.reset(population, protocol.alphabet_size, generator)
+            eval_mask = fault_model.evaluation_mask()
+            if eval_mask is not None:
+                n_eval = int(np.count_nonzero(eval_mask))
+                if n_eval == 0:
+                    raise ConfigurationError(
+                        "fault model excludes every agent from evaluation"
+                    )
+            if correct is not None:
+                from ..faults.metrics import RecoveryTracker
+
+                tracker = RecoveryTracker(
+                    fault_model.onset_round, fault_model.quasi_consensus_floor
+                )
         trace: List[RoundRecord] = []
         consensus_start: Optional[int] = None
         streak = 0
@@ -204,8 +233,24 @@ class PullEngine:
                 if churned.size:
                     protocol.reset_agents(churned, generator)
             displayed = protocol.displays(t)
-            sampled = sample_indices(population.n, population.n, population.h, generator)
+            if fault_model is not None:
+                displayed = fault_model.transform_displays(t, displayed, generator)
+                visible = fault_model.visible_agents(t)
+            else:
+                visible = None
+            if visible is None:
+                sampled = sample_indices(
+                    population.n, population.n, population.h, generator
+                )
+            else:
+                sampled = visible[
+                    sample_indices(
+                        visible.size, population.n, population.h, generator
+                    )
+                ]
             channel = self._matrix_at(t) if self._matrix_at else self.noise
+            if fault_model is not None:
+                channel = fault_model.channel(t, channel)
             # The alphabet contract was checked once up front; skip the
             # per-call range scan on the hot path.
             observations = channel.corrupt(displayed[sampled], generator, validate=False)
@@ -213,7 +258,8 @@ class PullEngine:
 
             opinions = protocol.opinions()
             if correct is not None:
-                all_correct = bool(np.all(opinions == correct))
+                judged = opinions if eval_mask is None else opinions[eval_mask]
+                all_correct = bool(np.all(judged == correct))
                 if all_correct:
                     if consensus_start is None:
                         consensus_start = t
@@ -221,11 +267,13 @@ class PullEngine:
                 else:
                     consensus_start = None
                     streak = 0
-                if record_trace or tele.enabled:
-                    num_correct = int(np.sum(opinions == correct))
+                if record_trace or tele.enabled or tracker is not None:
+                    num_correct = int(np.sum(judged == correct))
+                    if tracker is not None:
+                        tracker.observe(t, 1.0 - num_correct / n_eval)
                     if record_trace:
                         trace.append(
-                            RoundRecord(t, num_correct / population.n, num_correct)
+                            RoundRecord(t, num_correct / n_eval, num_correct)
                         )
                 if stop_on_consensus and streak >= consensus_patience + 1:
                     break
@@ -234,20 +282,23 @@ class PullEngine:
                     tele.round(
                         t,
                         num_correct=num_correct,
-                        fraction_correct=num_correct / population.n,
+                        fraction_correct=num_correct / n_eval,
                         opinions=opinions,
                     )
                 else:
                     tele.round(t, opinions=opinions)
 
         final = protocol.opinions()
-        converged = correct is not None and bool(np.all(final == correct))
+        judged_final = final if eval_mask is None else np.asarray(final)[eval_mask]
+        converged = correct is not None and bool(np.all(judged_final == correct))
         if timer is not None:
             timer.__exit__(None, None, None)
             tele.counter("pull_engine.rounds", t + 1)
             tele.counter("pull_engine.runs")
             if converged:
                 tele.counter("pull_engine.converged_runs")
+        if tracker is not None:
+            tracker.emit(tele)
         return SimulationResult(
             converged=converged,
             consensus_round=consensus_start if converged else None,

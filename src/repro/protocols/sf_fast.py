@@ -26,6 +26,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..faults.base import validate_sample_loss
 from ..model.config import PopulationConfig
 from ..noise import NoiseMatrix
 from ..results import RunReport
@@ -104,6 +105,18 @@ class FastSourceFilter:
     schedule:
         Optional pre-built :class:`SFSchedule`; by default Eq. (19) with
         the calibrated constant.
+    fault_model:
+        Optional :class:`~repro.faults.FaultModel`.  The engine stays on
+        its exact phase-batched path when the model is ``None`` or null
+        (bit-identical either way); otherwise it switches to a faulted
+        path that recomputes the per-phase observation probabilities
+        from the transformed display vector.  Only time-invariant,
+        deterministic-display faults are supported here (the exactness
+        argument needs within-phase constancy) — use
+        :class:`~repro.model.PullEngine` for the rest.  A
+        :class:`~repro.faults.NoiseMisspecification` makes the schedule
+        derive from the assumed ``noise`` while the dynamics run at the
+        true level.
     """
 
     def __init__(
@@ -113,14 +126,12 @@ class FastSourceFilter:
         schedule: Optional[SFSchedule] = None,
         constant: Optional[float] = None,
         sample_loss: float = 0.0,
+        fault_model=None,
     ) -> None:
         self.config = config
         self.delta = _uniform_delta(noise)
-        if not 0.0 <= sample_loss < 1.0:
-            raise ConfigurationError(
-                f"sample_loss must lie in [0, 1), got {sample_loss}"
-            )
-        self.sample_loss = sample_loss
+        self.sample_loss = validate_sample_loss(sample_loss)
+        self.fault_model = fault_model
         if schedule is None:
             kwargs = {} if constant is None else {"constant": constant}
             schedule = SFSchedule.from_config(config, self.delta, **kwargs)
@@ -187,6 +198,8 @@ class FastSourceFilter:
         message changes, so these events determine the opinion counts of
         *every* model round, not just the sampled ones.
         """
+        if self.fault_model is not None and not self.fault_model.is_null:
+            return self._run_faulted(rng, telemetry)
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry)
         cfg, sched = self.config, self.schedule
@@ -243,6 +256,186 @@ class FastSourceFilter:
             tele.counter("sf.runs")
             if converged:
                 tele.counter("sf.converged_runs")
+        return SFRunResult(
+            converged=converged,
+            total_rounds=sched.total_rounds,
+            weak_opinions=weak,
+            weak_fraction_correct=weak_fraction,
+            final_opinions=opinions,
+            boost_trace=trace,
+            seed=seed_of(rng),
+        )
+
+    # ------------------------------------------------------------------
+    # Faulted path
+    # ------------------------------------------------------------------
+    def _run_faulted(
+        self, rng: RngLike = None, telemetry: Optional[Telemetry] = None
+    ) -> SFRunResult:
+        """The :meth:`run` semantics under a non-null fault model.
+
+        Still phase-exact: faults supported here are time-invariant with
+        deterministic displays, so within every phase the (transformed)
+        display vector is constant and per-agent tallies remain the
+        exact Binomial law — only ``k`` (symbol counts over the
+        *visible* agents) and ``delta`` (the true channel level under
+        misspecification) change.  Convergence is judged over the fault
+        model's evaluation mask, and recovery metrics are emitted as
+        ``faults.*`` telemetry.
+        """
+        from ..model.population import Population
+
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
+        cfg, sched = self.config, self.schedule
+        fault = self.fault_model
+        population = Population(cfg, shuffle=False)
+        fault.reset(population, 2, generator)
+        if not fault.deterministic_displays:
+            raise ConfigurationError(
+                "the fast SF engine needs deterministic fault displays "
+                "(within-phase constancy is its exactness argument); use "
+                "PullEngine for randomized display faults"
+            )
+        if any(r < sched.total_rounds for r in fault.transition_rounds()):
+            raise ConfigurationError(
+                "the fast SF engine simulates whole phases in one draw and "
+                "supports only time-invariant fault models; use PullEngine "
+                "or the fast SSF engine for scheduled crash/recovery faults"
+            )
+        delta = _uniform_delta(fault.effective_uniform_delta(self.delta))
+        n = cfg.n
+        visible = fault.visible_agents(0)
+        vis = np.arange(n) if visible is None else np.asarray(visible)
+        vis_n = vis.size
+        eval_mask = fault.evaluation_mask()
+        if eval_mask is not None and not eval_mask.any():
+            raise ConfigurationError(
+                "fault model excludes every agent from evaluation"
+            )
+        correct = cfg.correct_opinion
+
+        def visible_count(displays: np.ndarray, round_index: int, symbol: int) -> int:
+            transformed = fault.transform_displays(
+                round_index, displays, generator
+            )
+            return int(np.sum(np.asarray(transformed)[vis] == symbol))
+
+        def judged_fraction(opinions: np.ndarray) -> float:
+            judged = opinions if eval_mask is None else opinions[eval_mask]
+            return float(np.mean(judged == correct))
+
+        tracker = None
+        if correct is not None:
+            from ..faults.metrics import RecoveryTracker
+
+            tracker = RecoveryTracker(
+                fault.onset_round, fault.quasi_consensus_floor
+            )
+
+        samples = sched.phase_rounds * sched.h
+        keep = 1.0 - self.sample_loss
+        with tele.phase("sf.phase01_weak", rounds=2 * sched.phase_rounds):
+            # Phase 0 honest displays: sources show their preference,
+            # non-sources show 0 (the fast engine is positional).
+            phase0 = np.zeros(n, dtype=np.int8)
+            phase0[cfg.s0 : cfg.num_sources] = 1
+            k1 = visible_count(phase0, 0, 1)
+            # Phase 1: non-sources show 1, sources keep their preference.
+            phase1 = np.ones(n, dtype=np.int8)
+            phase1[: cfg.s0] = 0
+            k0 = visible_count(phase1, sched.phase_rounds, 0)
+            q1 = keep * observe_one_probability(k1, vis_n, delta)
+            q0 = keep * observe_one_probability(k0, vis_n, delta)
+            counter1 = generator.binomial(samples, q1, size=n)
+            counter0 = generator.binomial(samples, q0, size=n)
+            weak = (counter1 > counter0).astype(np.int8)
+            ties = counter1 == counter0
+            if ties.any():
+                weak[ties] = generator.integers(
+                    0, 2, size=int(ties.sum())
+                ).astype(np.int8)
+        weak_fraction = judged_fraction(weak) if correct is not None else 0.5
+        if tracker is not None:
+            tracker.observe(2 * sched.phase_rounds - 1, 1.0 - weak_fraction)
+        if tele.enabled:
+            tele.gauge("sf.weak_fraction_correct", weak_fraction)
+            tele.round(
+                2 * sched.phase_rounds - 1,
+                phase="phase1",
+                fraction_correct=weak_fraction,
+                opinions=weak,
+            )
+
+        def boost(opinions: np.ndarray, window: int, round_index: int) -> np.ndarray:
+            k = visible_count(opinions, round_index, 1)
+            q = observe_one_probability(k, vis_n, delta)
+            if self.sample_loss > 0.0:
+                kept = generator.binomial(window, keep, size=n)
+                counts = generator.binomial(kept, q)
+                new = np.where(2 * counts > kept, 1, 0).astype(np.int8)
+                ties = 2 * counts == kept
+            else:
+                counts = generator.binomial(window, q, size=n)
+                new = np.where(2 * counts > window, 1, 0).astype(np.int8)
+                ties = 2 * counts == window
+            if ties.any():
+                new[ties] = generator.integers(
+                    0, 2, size=int(ties.sum())
+                ).astype(np.int8)
+            return new
+
+        opinions = weak.copy()
+        trace: List[float] = []
+        short_window = sched.subphase_rounds * sched.h
+        with tele.phase("sf.boosting", rounds=sched.boosting_rounds):
+            for index in range(sched.num_subphases):
+                round_index = 2 * sched.phase_rounds + index * sched.subphase_rounds
+                opinions = boost(opinions, short_window, round_index)
+                if correct is not None:
+                    fraction = judged_fraction(opinions)
+                    trace.append(fraction)
+                    last_round = (
+                        2 * sched.phase_rounds
+                        + (index + 1) * sched.subphase_rounds
+                        - 1
+                    )
+                    tracker.observe(last_round, 1.0 - fraction)
+                    if tele.enabled:
+                        tele.round(
+                            last_round,
+                            phase="boosting",
+                            subphase=index,
+                            fraction_correct=fraction,
+                            opinions=opinions,
+                        )
+            final_window = sched.final_rounds * sched.h
+            opinions = boost(
+                opinions, final_window, sched.total_rounds - sched.final_rounds
+            )
+            if correct is not None:
+                fraction = judged_fraction(opinions)
+                trace.append(fraction)
+                tracker.observe(sched.total_rounds - 1, 1.0 - fraction)
+                if tele.enabled:
+                    tele.round(
+                        sched.total_rounds - 1,
+                        phase="boosting_final",
+                        fraction_correct=fraction,
+                        opinions=opinions,
+                    )
+
+        if correct is not None:
+            judged = opinions if eval_mask is None else opinions[eval_mask]
+            converged = bool(np.all(judged == correct))
+        else:
+            converged = False
+        if tele.enabled:
+            tele.counter("sf.runs")
+            if converged:
+                tele.counter("sf.converged_runs")
+        if tracker is not None:
+            tracker.emit(tele)
         return SFRunResult(
             converged=converged,
             total_rounds=sched.total_rounds,
@@ -324,6 +517,11 @@ class FastSourceFilter:
         if replicas < 1:
             raise ConfigurationError(
                 f"replicas must be a positive int, got {replicas}"
+            )
+        if self.fault_model is not None and not self.fault_model.is_null:
+            raise ConfigurationError(
+                "run_batch does not support fault models; call run() per "
+                "replica (or use BatchedPullEngine)"
             )
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry)

@@ -21,6 +21,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..faults.base import validate_sample_loss
 from ..model.config import PopulationConfig
 from ..noise import NoiseMatrix
 from ..results import RunReport
@@ -90,6 +91,16 @@ class FastSelfStabilizingSourceFilter:
     schedule:
         Optional pre-built :class:`SSFSchedule` (default: Eq. (30) with
         the calibrated constant).
+    fault_model:
+        Optional :class:`~repro.faults.FaultModel`.  ``None`` or a null
+        model keeps the bit-identical legacy path.  A non-null model must
+        have deterministic displays (gap batching needs within-gap
+        constancy), but — unlike the fast SF engine — *scheduled* faults
+        are supported: the gap loop caps each batch at the model's next
+        :meth:`~repro.faults.FaultModel.transition_rounds` boundary, so
+        crash/recovery schedules stay exact.  This makes the fast SSF
+        engine the self-stabilization showcase: crash agents mid-run and
+        watch the ``faults.*`` recovery metrics.
     """
 
     def __init__(
@@ -99,14 +110,12 @@ class FastSelfStabilizingSourceFilter:
         schedule: Optional[SSFSchedule] = None,
         constant: Optional[float] = None,
         sample_loss: float = 0.0,
+        fault_model=None,
     ) -> None:
         self.config = config
         self.delta = _uniform_delta4(noise)
-        if not 0.0 <= sample_loss < 1.0:
-            raise ConfigurationError(
-                f"sample_loss must lie in [0, 1), got {sample_loss}"
-            )
-        self.sample_loss = sample_loss
+        self.sample_loss = validate_sample_loss(sample_loss)
+        self.fault_model = fault_model
         if schedule is None:
             kwargs = {} if constant is None else {"constant": constant}
             schedule = SSFSchedule.from_config(config, self.delta, **kwargs)
@@ -197,6 +206,28 @@ class FastSelfStabilizingSourceFilter:
         counts[0] = (n - num_sources) - ones
         return self.delta + (counts / n) * (1.0 - 4.0 * self.delta)
 
+    def _faulted_observation_distribution(
+        self, fault, round_index: int, delta: float
+    ) -> np.ndarray:
+        """Faulted analogue of :meth:`_observation_distribution`.
+
+        Materializes the honest positional display vector, routes it
+        through the fault model's display transform, restricts to the
+        samplable agents, and tallies — still exact, because displays
+        are constant within a gap (deterministic faults, gaps capped at
+        transition rounds)."""
+        cfg = self.config
+        disp = np.empty(cfg.n, dtype=np.int64)
+        disp[: cfg.s0] = SYMBOL_SOURCE_0
+        disp[cfg.s0 : cfg.num_sources] = SYMBOL_SOURCE_1
+        disp[cfg.num_sources :] = self.weak[cfg.num_sources :]
+        disp = np.asarray(fault.transform_displays(round_index, disp, self._rng))
+        visible = fault.visible_agents(round_index)
+        if visible is not None:
+            disp = disp[visible]
+        counts = np.bincount(disp, minlength=4).astype(float)
+        return delta + (counts / disp.size) * (1.0 - 4.0 * delta)
+
     def _apply_updates(self, due: np.ndarray) -> None:
         mem = self.memory[due]
         rng = self._rng
@@ -266,6 +297,39 @@ class FastSelfStabilizingSourceFilter:
         correct = self.config.correct_opinion
         patience_rounds = consensus_epochs * sched.epoch_rounds
 
+        fault = self.fault_model
+        fault_active = fault is not None and not fault.is_null
+        eval_mask = None
+        n_eval = self.config.n
+        delta = self.delta
+        tracker = None
+        transitions: tuple = ()
+        if fault_active:
+            from ..model.population import Population as _Population
+
+            fault.reset(_Population(self.config, shuffle=False), 4, generator)
+            if not fault.deterministic_displays:
+                raise ConfigurationError(
+                    "the fast SSF engine needs deterministic fault displays "
+                    "(gap batching requires within-gap constancy); use "
+                    "PullEngine for randomized display faults"
+                )
+            delta = _uniform_delta4(fault.effective_uniform_delta(self.delta))
+            eval_mask = fault.evaluation_mask()
+            if eval_mask is not None:
+                n_eval = int(np.count_nonzero(eval_mask))
+                if n_eval == 0:
+                    raise ConfigurationError(
+                        "fault model excludes every agent from evaluation"
+                    )
+            transitions = fault.transition_rounds()
+            if correct is not None:
+                from ..faults.metrics import RecoveryTracker
+
+                tracker = RecoveryTracker(
+                    fault.onset_round, fault.quasi_consensus_floor
+                )
+
         trace: List[tuple] = []
         consensus_start: Optional[int] = None
         timer = tele.phase("ssf.run") if tele.enabled else None
@@ -279,7 +343,17 @@ class FastSelfStabilizingSourceFilter:
             ).astype(np.int64)
             gap = int(rounds_to_due.min())
             gap = min(gap, max_rounds - t)
-            q = self._observation_distribution()
+            if fault_active:
+                # Never let one batch straddle a fault transition: within
+                # the capped gap the transformed displays are constant, so
+                # the multinomial tallies stay exact.
+                for boundary in transitions:
+                    if t < boundary:
+                        gap = min(gap, boundary - t)
+                        break
+                q = self._faulted_observation_distribution(fault, t, delta)
+            else:
+                q = self._observation_distribution()
             if self.sample_loss > 0.0:
                 # Fault injection: each observation is lost independently.
                 # Thinning a multinomial thins each category binomially,
@@ -297,12 +371,17 @@ class FastSelfStabilizingSourceFilter:
             due = self.fill >= m
             if due.any():
                 self._apply_updates(due)
-                frac = self._fraction_correct()
+                if eval_mask is None:
+                    frac = self._fraction_correct()
+                else:
+                    frac = float(np.mean(self.opinion[eval_mask] == correct))
                 trace.append((t - 1, frac))
+                if tracker is not None:
+                    tracker.observe(t - 1, 1.0 - frac)
                 if tele.enabled:
                     tele.round(
                         t - 1,
-                        num_correct=int(round(frac * self.config.n)),
+                        num_correct=int(round(frac * n_eval)),
                         fraction_correct=frac,
                         opinions=self.opinion,
                     )
@@ -318,13 +397,16 @@ class FastSelfStabilizingSourceFilter:
                 ):
                     break
 
-        converged = correct is not None and bool(np.all(self.opinion == correct))
+        judged = self.opinion if eval_mask is None else self.opinion[eval_mask]
+        converged = correct is not None and bool(np.all(judged == correct))
         if timer is not None:
             timer.__exit__(None, None, None)
             tele.counter("ssf.rounds", t)
             tele.counter("ssf.runs")
             if converged:
                 tele.counter("ssf.converged_runs")
+        if tracker is not None:
+            tracker.emit(tele)
         return SSFRunResult(
             converged=converged,
             consensus_round=consensus_start if converged else None,
@@ -370,6 +452,11 @@ class FastSelfStabilizingSourceFilter:
             raise ConfigurationError(
                 "run_batch requires sample_loss == 0 (lost samples "
                 "desynchronize the shared flush clock); use run() per replica"
+            )
+        if self.fault_model is not None and not self.fault_model.is_null:
+            raise ConfigurationError(
+                "run_batch does not support fault models; call run() per "
+                "replica (or use BatchedPullEngine)"
             )
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry)

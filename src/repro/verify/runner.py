@@ -429,6 +429,133 @@ def _check_resilience(scale: str, budget: FalsePositiveBudget) -> str:
     )
 
 
+def _check_faults(scale: str, budget: FalsePositiveBudget) -> str:
+    """Model-layer fault subsystem conformance.
+
+    Two promises: (1) :class:`~repro.faults.IdentityFaultModel` is
+    bit-for-bit equivalent to ``fault_model=None`` on every engine
+    generation — the fault seams cost nothing when unused; (2) the EXT3
+    shape holds at smoke scale — success degrades monotonically in the
+    Byzantine fraction, and a mildly misspecified noise level still
+    converges w.h.p.
+    """
+    from ..faults import ByzantineDisplayFault, IdentityFaultModel, NoiseMisspecification
+
+    identity = IdentityFaultModel()
+    config = PopulationConfig(n=48, sources=SourceCounts(1, 3), h=4)
+    noise = NoiseMatrix.uniform(0.2, 2)
+    schedule = SFSchedule.from_config(config, 0.2, m=24)
+    legs = []
+
+    def same(name, baseline, faulted):
+        if not np.array_equal(
+            np.asarray(baseline.final_opinions),
+            np.asarray(faulted.final_opinions),
+        ) or baseline.converged != faulted.converged:
+            raise ConfigurationError(
+                f"IdentityFaultModel diverged from fault_model=None on "
+                f"{name} — the null fault path must be bit-identical"
+            )
+        legs.append(name)
+
+    population = Population(config, rng=np.random.default_rng(0))
+    serial = [
+        PullEngine(population, noise).run(
+            SourceFilterProtocol(schedule),
+            max_rounds=schedule.total_rounds,
+            rng=11,
+            fault_model=fault,
+        )
+        for fault in (None, identity)
+    ]
+    same("PullEngine", *serial)
+
+    batch = [
+        BatchedPullEngine(population, noise).run(
+            BatchedSourceFilter(schedule),
+            max_rounds=schedule.total_rounds,
+            replicas=3,
+            rng=11,
+            fault_model=fault,
+        )
+        for fault in (None, identity)
+    ]
+    for replica, (clean, faulted) in enumerate(zip(*batch)):
+        same(f"BatchedPullEngine[{replica}]", clean, faulted)
+
+    ssf_config = PopulationConfig(n=48, sources=SourceCounts(0, 2), h=24)
+    ssf_schedule = SSFSchedule.from_config(ssf_config, 0.05)
+    async_runs = []
+    for fault in (None, identity):
+        protocol = AsyncSelfStabilizingSourceFilter(ssf_schedule)
+        async_runs.append(
+            AsyncPullEngine(
+                Population(ssf_config, rng=np.random.default_rng(1)),
+                NoiseMatrix.uniform(0.05, 4),
+            ).run(
+                protocol,
+                max_activations=ssf_config.n * 4 * ssf_schedule.epoch_rounds,
+                rng=7,
+                fault_model=fault,
+            )
+        )
+    same("AsyncPullEngine", *async_runs)
+
+    same(
+        "FastSourceFilter",
+        FastSourceFilter(config, 0.2, schedule=schedule).run(rng=3),
+        FastSourceFilter(
+            config, 0.2, schedule=schedule, fault_model=identity
+        ).run(rng=3),
+    )
+    same(
+        "FastSelfStabilizingSourceFilter",
+        FastSelfStabilizingSourceFilter(
+            ssf_config, 0.05, schedule=ssf_schedule
+        ).run(rng=3),
+        FastSelfStabilizingSourceFilter(
+            ssf_config, 0.05, schedule=ssf_schedule, fault_model=identity
+        ).run(rng=3),
+    )
+
+    # EXT3 shape at smoke scale: Byzantine monotonicity + benign
+    # misspecification.
+    trials = 6 if scale == "quick" else 20
+    shape_config = PopulationConfig(n=128, sources=SourceCounts(0, 16), h=8)
+    rates = []
+    for frac in (0.0, 0.02, 0.25):
+        fault = (
+            ByzantineDisplayFault(fraction=frac, mode="fixed") if frac else None
+        )
+        engine = FastSourceFilter(shape_config, 0.2, fault_model=fault)
+        ok = sum(
+            engine.run(rng=900 + trial).converged for trial in range(trials)
+        )
+        rates.append(ok / trials)
+    tolerance = 1.5 / trials
+    if not all(b <= a + tolerance for a, b in zip(rates, rates[1:])):
+        raise ConfigurationError(
+            "success must degrade monotonically in the Byzantine "
+            f"fraction, got {rates} for fractions (0, 0.02, 0.25)"
+        )
+    mis = FastSourceFilter(
+        shape_config, 0.1, fault_model=NoiseMisspecification.uniform(0.15)
+    )
+    mis_ok = sum(mis.run(rng=1200 + t).converged for t in range(trials))
+    assert_success_probability(
+        int(mis_ok),
+        trials,
+        0.7,
+        confidence=1 - 1e-6,
+        context="misspecified-noise convergence (true 0.15, assumed 0.1)",
+        budget=budget,
+    )
+    return (
+        f"identity bit-identical on {len(legs)} legs; byzantine success "
+        f"{rates}; misspec {mis_ok}/{trials}"
+    )
+
+
 _CHECKS: List[tuple] = [
     ("reference-vs-batched-sf", "exact", _check_reference_vs_batched),
     ("corrupt-vs-corrupt-with-uniforms", "exact", _check_corrupt_equivalence),
@@ -436,6 +563,7 @@ _CHECKS: List[tuple] = [
     ("reference-vs-fast-ssf", "statistical", _check_reference_vs_fast_ssf),
     ("sync-vs-async-ssf", "statistical", _check_sync_vs_async_ssf),
     ("resilience", "exact", _check_resilience),
+    ("faults", "statistical", _check_faults),
 ]
 
 

@@ -31,6 +31,7 @@ __all__ = [
     "population_configs",
     "noise_matrices",
     "ssf_corrupted_states",
+    "fault_models",
 ]
 
 
@@ -144,3 +145,70 @@ def ssf_corrupted_states(
         return opinions, weak, memory
 
     return st.builds(build, st.integers(min_value=0, max_value=2**31 - 1))
+
+
+def fault_models(
+    alphabet_size: int = 2,
+    *,
+    max_fraction: float = 0.5,
+    allow_composed: bool = True,
+) -> st.SearchStrategy:
+    """Random :class:`~repro.faults.FaultModel` instances for one alphabet.
+
+    Generates identity, Byzantine (all modes), crash (both modes, with
+    and without a recovery schedule), stuck-at (power-of-two alphabets),
+    and — with ``allow_composed`` — two-component compositions.  Every
+    model selects its subset by ``fraction``, so agents resolve at
+    ``reset`` time against whatever population the test supplies; the
+    property tests use these to enforce the adversary contract (symbols
+    stay in Sigma, sources are never owned or excluded).
+    """
+    from ..faults import (
+        ByzantineDisplayFault,
+        ComposedFaultModel,
+        CrashFault,
+        IdentityFaultModel,
+        StuckAtFault,
+    )
+
+    fractions = st.floats(min_value=0.01, max_value=max_fraction)
+
+    identity = st.builds(IdentityFaultModel)
+    byzantine = st.builds(
+        lambda frac, mode: ByzantineDisplayFault(fraction=frac, mode=mode),
+        fractions,
+        st.sampled_from(ByzantineDisplayFault.MODES),
+    )
+    crash = st.builds(
+        lambda frac, mode, crash_round, extra: CrashFault(
+            fraction=frac,
+            mode=mode,
+            symbol=0,
+            crash_round=crash_round,
+            recovery_round=None if extra is None else crash_round + extra,
+        ),
+        fractions,
+        st.sampled_from(CrashFault.MODES),
+        st.integers(min_value=0, max_value=8),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
+    )
+    leaves = [identity, byzantine, crash]
+    if alphabet_size & (alphabet_size - 1) == 0:
+        bits = max(1, alphabet_size.bit_length() - 1)
+        leaves.append(
+            st.builds(
+                lambda frac, bit, value: StuckAtFault(
+                    fraction=frac, bit=bit, value=value
+                ),
+                fractions,
+                st.integers(min_value=0, max_value=bits - 1),
+                st.sampled_from([0, 1]),
+            )
+        )
+    leaf = st.one_of(*leaves)
+    if not allow_composed:
+        return leaf
+    return st.one_of(
+        leaf,
+        st.builds(lambda a, b: ComposedFaultModel([a, b]), leaf, leaf),
+    )

@@ -27,6 +27,7 @@ ALL_IDS = [
     "ABL3",
     "EXT1",
     "EXT2",
+    "EXT3",
 ]
 
 

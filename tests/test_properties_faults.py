@@ -1,0 +1,122 @@
+"""Hypothesis property tests for the model-layer fault contract.
+
+Every generated fault model, applied to every generated population,
+must respect the adversary contract of ``repro.model.adversary``:
+transformed displays stay inside Sigma, source agents are never owned
+by a fault (their displayed preference survives any transform), sources
+are never excluded from sampling or evaluation, and the input display
+array is never mutated in place.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Population
+from repro.verify.strategies import fault_models, population_configs
+
+pytestmark = pytest.mark.faults
+
+populations = population_configs(min_n=16, max_n=256, max_h=32, max_sources=8)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+rounds = st.integers(min_value=0, max_value=32)
+
+PROBE_ALPHABETS = {2: None, 4: None}
+
+
+def _reset(fault, config, alphabet_size, seed):
+    population = Population(config, shuffle=False)
+    fault.reset(population, alphabet_size, np.random.default_rng(seed))
+    return population
+
+
+def _honest_displays(population, alphabet_size):
+    """A display vector in which every source shows its preference."""
+    if alphabet_size == 2:
+        displayed = np.zeros(population.n, dtype=np.int64)
+        displayed[population.source_indices] = population.preferences[
+            population.source_indices
+        ]
+    else:
+        # SSF alphabet: sources display SYMBOL_SOURCE_pref = 2 + pref,
+        # non-sources display their weak bit (here: 0).
+        displayed = np.zeros(population.n, dtype=np.int64)
+        displayed[population.source_indices] = (
+            2 + population.preferences[population.source_indices]
+        )
+    return displayed
+
+
+@pytest.mark.parametrize("alphabet_size", sorted(PROBE_ALPHABETS))
+class TestFaultContract:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), config=populations, seed=seeds, round_index=rounds)
+    def test_displays_stay_in_sigma_and_sources_survive(
+        self, alphabet_size, data, config, seed, round_index
+    ):
+        fault = data.draw(fault_models(alphabet_size=alphabet_size))
+        population = _reset(fault, config, alphabet_size, seed)
+        honest = _honest_displays(population, alphabet_size)
+        original = honest.copy()
+        rng = np.random.default_rng(seed + 1)
+        transformed = np.asarray(
+            fault.transform_displays(round_index, honest, rng)
+        )
+        # Input array is never mutated in place.
+        assert np.array_equal(honest, original)
+        # Symbols stay inside Sigma.
+        assert transformed.min() >= 0
+        assert transformed.max() < alphabet_size
+        # Faults never own sources: their displayed preference survives.
+        sources = population.source_indices
+        assert np.array_equal(transformed[sources], original[sources])
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), config=populations, seed=seeds, round_index=rounds)
+    def test_sources_never_excluded(
+        self, alphabet_size, data, config, seed, round_index
+    ):
+        fault = data.draw(fault_models(alphabet_size=alphabet_size))
+        population = _reset(fault, config, alphabet_size, seed)
+        sources = population.source_indices
+        mask = fault.evaluation_mask()
+        if mask is not None:
+            assert mask.shape == (population.n,)
+            assert bool(mask[sources].all()), (
+                "evaluation mask excluded a source agent"
+            )
+        visible = fault.visible_agents(round_index)
+        if visible is not None:
+            assert np.isin(sources, visible).all(), (
+                "a source agent became unsamplable"
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), config=populations, seed=seeds, round_index=rounds)
+    def test_sampled_seam_matches_contract(
+        self, alphabet_size, data, config, seed, round_index
+    ):
+        fault = data.draw(fault_models(alphabet_size=alphabet_size))
+        if fault.requires_global_displays:
+            return  # the async seam rejects these by design
+        population = _reset(fault, config, alphabet_size, seed)
+        honest = _honest_displays(population, alphabet_size)
+        rng = np.random.default_rng(seed + 2)
+        agent_indices = rng.integers(0, population.n, size=population.h)
+        sampled = honest[agent_indices].copy()
+        original = sampled.copy()
+        transformed = np.asarray(
+            fault.transform_sampled_displays(
+                round_index, sampled, agent_indices, rng
+            )
+        )
+        assert np.array_equal(sampled, original)
+        assert transformed.shape == original.shape
+        assert transformed.min() >= 0
+        assert transformed.max() < alphabet_size
+        # Entries sampled from source agents survive untouched.
+        from_source = population.is_source[agent_indices]
+        assert np.array_equal(
+            transformed[from_source], original[from_source]
+        )
