@@ -1,0 +1,189 @@
+"""Benchmark regression gate: thresholds + staleness for BENCH_*.json.
+
+The repo commits machine-readable benchmark records at its root
+(``BENCH_engine_throughput.json``, ``BENCH_count_engine.json``).  This
+module is the CI gate over them:
+
+* **Thresholds** — the committed numbers must back the performance
+  claims the docs make: the batched exact engine is never slower than
+  the serial loop at n = 1024 (a regression fixed once and kept fixed),
+  and the count-level engine is at least 10x the batched exact engine's
+  extrapolated per-round cost at n = 10^6 (in practice it is >10^3x).
+* **Staleness** — each record stores a digest of the engine source
+  files that produced it.  When those sources change, the digest stops
+  matching and the gate fails until the benchmarks are re-run and the
+  refreshed JSONs committed — numbers in the repo can never silently
+  describe an engine that no longer exists.
+
+Run it directly::
+
+    PYTHONPATH=src python -m benchmarks.check_regression
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+from typing import Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: Source files whose behavior the benchmark records measure.  Editing
+#: any of these invalidates the committed BENCH_*.json records.
+ENGINE_SOURCES = [
+    "src/repro/model/engine.py",
+    "src/repro/model/batched_engine.py",
+    "src/repro/model/count_engine.py",
+    "src/repro/noise/matrix.py",
+    "src/repro/protocols/sf_fast.py",
+    "src/repro/protocols/sf_count.py",
+    "src/repro/protocols/ssf_fast.py",
+    "src/repro/protocols/ssf_count.py",
+    "src/repro/theory/tails.py",
+    "src/repro/analysis/mean_field.py",
+]
+
+ENGINE_THROUGHPUT_JSON = REPO_ROOT / "BENCH_engine_throughput.json"
+COUNT_ENGINE_JSON = REPO_ROOT / "BENCH_count_engine.json"
+
+#: Gate thresholds (see module docstring).
+MIN_BATCHED_SPEEDUP_N1024 = 1.0
+MIN_COUNT_VS_BATCHED_N1E6 = 10.0
+
+
+def engine_sources_digest() -> str:
+    """Stable digest of the engine sources (content, not mtimes)."""
+    hasher = hashlib.sha256()
+    for relative in ENGINE_SOURCES:
+        path = REPO_ROOT / relative
+        hasher.update(relative.encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes() if path.exists() else b"<missing>")
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+def _load(path: pathlib.Path) -> Dict[str, object]:
+    if not path.exists():
+        raise AssertionError(
+            f"{path.name} is missing — run the benchmarks "
+            f"(PYTHONPATH=src python -m pytest benchmarks/"
+            f"bench_engine_throughput.py benchmarks/bench_count_engine.py "
+            f"-q --benchmark-disable) and commit the refreshed records"
+        )
+    return json.loads(path.read_text())
+
+
+def _check_staleness(payload: Dict[str, object], name: str, errors: List[str]):
+    recorded = payload.get("sources_digest")
+    current = engine_sources_digest()
+    if recorded is None:
+        errors.append(
+            f"{name}: no sources_digest recorded — re-run the benchmarks "
+            f"so the record is tied to the engine sources"
+        )
+    elif recorded != current:
+        errors.append(
+            f"{name}: stale — engine sources changed since this record "
+            f"was measured (digest {recorded[:12]}… != {current[:12]}…); "
+            f"re-run the benchmarks and commit the refreshed JSON"
+        )
+
+
+def check(verbose: bool = True) -> List[str]:
+    """Run every gate; return the list of failures (empty = pass)."""
+    errors: List[str] = []
+
+    throughput = _load(ENGINE_THROUGHPUT_JSON)
+    _check_staleness(throughput, ENGINE_THROUGHPUT_JSON.name, errors)
+    n1024 = [
+        case
+        for case in throughput.get("cases", [])
+        if case.get("case") == "batched_vs_serial" and case.get("n") == 1024
+    ]
+    if not n1024:
+        errors.append(
+            f"{ENGINE_THROUGHPUT_JSON.name}: no batched_vs_serial case at "
+            f"n=1024 — the regression that motivated the gate is unmeasured"
+        )
+    for case in n1024:
+        speedup = float(case.get("speedup", 0.0))
+        label = f"batched vs serial n=1024 (mode={case.get('rng_mode')})"
+        if speedup < MIN_BATCHED_SPEEDUP_N1024:
+            errors.append(
+                f"{label}: speedup {speedup:.2f} < "
+                f"{MIN_BATCHED_SPEEDUP_N1024} — the batched engine "
+                f"regressed below the serial loop again"
+            )
+        elif verbose:
+            print(f"  PASS  {label}: speedup {speedup:.2f}x")
+
+    count = _load(COUNT_ENGINE_JSON)
+    _check_staleness(count, COUNT_ENGINE_JSON.name, errors)
+    vs_batched = [
+        case
+        for case in count.get("cases", [])
+        if case.get("case") == "count_vs_batched_per_round"
+        and case.get("n") == 1_000_000
+    ]
+    if not vs_batched:
+        errors.append(
+            f"{COUNT_ENGINE_JSON.name}: no count_vs_batched_per_round "
+            f"case at n=1e6 — the tentpole speedup claim is unmeasured"
+        )
+    for case in vs_batched:
+        ratio = float(case.get("speedup", 0.0))
+        if ratio < MIN_COUNT_VS_BATCHED_N1E6:
+            errors.append(
+                f"count vs batched per-round at n=1e6: {ratio:.1f}x < "
+                f"{MIN_COUNT_VS_BATCHED_N1E6}x — the count-level hot "
+                f"path lost its asymptotic advantage"
+            )
+        elif verbose:
+            print(
+                f"  PASS  count vs batched per-round n=1e6: {ratio:.1f}x"
+            )
+
+    large = [
+        case
+        for case in count.get("cases", [])
+        if case.get("case") == "count_sf_full_run"
+        and case.get("n") == 100_000_000
+    ]
+    if not large:
+        errors.append(
+            f"{COUNT_ENGINE_JSON.name}: no count_sf_full_run case at "
+            f"n=1e8 — the O(|Sigma|) memory/scale claim is unmeasured"
+        )
+    for case in large:
+        peak = int(case.get("peak_bytes", 1 << 62))
+        if peak > 64 * 1024 * 1024:
+            errors.append(
+                f"count SF at n=1e8 allocated {peak / 1e6:.1f} MB — the "
+                f"engine is no longer O(|Sigma|) in memory"
+            )
+        elif verbose:
+            print(
+                f"  PASS  count SF n=1e8: {case.get('seconds')}s, "
+                f"peak {peak / 1e6:.2f} MB"
+            )
+
+    return errors
+
+
+def main() -> int:
+    print("benchmark regression gate")
+    try:
+        errors = check()
+    except AssertionError as exc:
+        errors = [str(exc)]
+    for error in errors:
+        print(f"  FAIL  {error}")
+    print("gate: " + ("FAIL" if errors else "PASS"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,17 @@ TELEMETRY_OVERHEAD_JSON = pathlib.Path(__file__).parent.parent / (
 )
 
 
+#: Count-engine scaling measurements, filled in by
+#: ``bench_count_engine.py`` via :func:`record_count_engine` and flushed
+#: to ``BENCH_count_engine.json`` at the repo root; gated by
+#: ``benchmarks/check_regression.py`` in CI.
+COUNT_ENGINE_RESULTS: List[Dict[str, object]] = []
+
+COUNT_ENGINE_JSON = pathlib.Path(__file__).parent.parent / (
+    "BENCH_count_engine.json"
+)
+
+
 def record_engine_throughput(case: Dict[str, object]) -> None:
     """Queue one throughput measurement for the end-of-session JSON."""
     ENGINE_THROUGHPUT_RESULTS.append(case)
@@ -52,12 +63,23 @@ def record_telemetry_overhead(case: Dict[str, object]) -> None:
     TELEMETRY_OVERHEAD_RESULTS.append(case)
 
 
+def record_count_engine(case: Dict[str, object]) -> None:
+    """Queue one count-engine measurement for the end-of-session JSON."""
+    COUNT_ENGINE_RESULTS.append(case)
+
+
 def pytest_sessionfinish(session, exitstatus):
+    # The digest ties each record to the engine sources it measured so
+    # the check_regression gate can fail on stale numbers.
+    from .check_regression import engine_sources_digest
+
+    digest = engine_sources_digest()
     if ENGINE_THROUGHPUT_RESULTS:
         payload = {
             "benchmark": "engine_throughput",
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "sources_digest": digest,
             "cases": ENGINE_THROUGHPUT_RESULTS,
         }
         ENGINE_THROUGHPUT_JSON.write_text(json.dumps(payload, indent=2) + "\n")
@@ -69,6 +91,15 @@ def pytest_sessionfinish(session, exitstatus):
             "cases": TELEMETRY_OVERHEAD_RESULTS,
         }
         TELEMETRY_OVERHEAD_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    if COUNT_ENGINE_RESULTS:
+        payload = {
+            "benchmark": "count_engine",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "sources_digest": digest,
+            "cases": COUNT_ENGINE_RESULTS,
+        }
+        COUNT_ENGINE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def emit_table(

@@ -13,6 +13,9 @@ from .stats import bootstrap_ci, fit_loglog_slope, median_and_iqr, wilson_interv
 from .tables import format_markdown_table, format_table
 from .io import write_csv, write_json
 from .mean_field import (
+    MeanFieldEngine,
+    MeanFieldHandoff,
+    MeanFieldRunResult,
     MeanFieldTrajectory,
     boosting_map,
     iterate_map,
@@ -42,6 +45,9 @@ __all__ = [
     "bar_chart",
     "line_plot",
     "scatter_plot",
+    "MeanFieldEngine",
+    "MeanFieldHandoff",
+    "MeanFieldRunResult",
     "MeanFieldTrajectory",
     "boosting_map",
     "iterate_map",

@@ -18,13 +18,19 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, List
+from typing import Callable, List, Optional, Union
 
 from ..model.config import PopulationConfig
+from ..results import RunReport
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import RngLike
 from .stats import fit_loglog_slope  # noqa: F401  (re-exported convenience)
 
 __all__ = [
     "MeanFieldTrajectory",
+    "MeanFieldHandoff",
+    "MeanFieldRunResult",
+    "MeanFieldEngine",
     "voter_map",
     "voter_fixed_point",
     "majority_map",
@@ -45,11 +51,20 @@ class MeanFieldTrajectory:
         return self.fractions[-1]
 
     def rounds_to_reach(self, threshold: float) -> int:
-        """First index with fraction >= threshold (-1 if never)."""
+        """First index with fraction >= threshold.
+
+        Raises :class:`ValueError` when the trajectory never reaches the
+        threshold — callers that used to compare against the old ``-1``
+        sentinel should catch the error (or check ``final``) instead.
+        """
         for index, value in enumerate(self.fractions):
             if value >= threshold:
                 return index
-        return -1
+        raise ValueError(
+            f"trajectory never reaches threshold {threshold} "
+            f"(final value {self.final} after {len(self.fractions) - 1} "
+            f"rounds)"
+        )
 
 
 def _observe_one(x: float, delta: float) -> float:
@@ -155,3 +170,152 @@ def iterate_map(
             break
         x = nxt
     return MeanFieldTrajectory(fractions=values)
+
+
+# ----------------------------------------------------------------------
+# Mean-field as a first-class engine
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class MeanFieldHandoff:
+    """Gate deciding when a count draw may be mean-field fast-forwarded.
+
+    The count engine's population draws are ``Binomial(n, p)``; the
+    resulting fraction fluctuates around ``p`` with standard deviation
+    at most ``1/(2*sqrt(n))``.  Far from the critical bias (SF/SSF
+    majority dynamics are bistable around 1/2) the fluctuation cannot
+    move the trajectory across the basin boundary, so replacing the draw
+    by its expectation is statistically invisible; near the critical
+    bias the fluctuation *is* the dynamics and exact sampling is kept.
+
+    ``use_deterministic(p, n)`` approves the fast-forward iff
+    ``|p - critical| > width_constant / sqrt(n)``.  The default
+    ``width_constant = 8`` keeps exact sampling within 16 standard
+    deviations of the critical point: by Hoeffding, the probability a
+    single approved draw deviates by more than its distance to the gate
+    is at most ``2*exp(-2 * width_constant^2) < 1e-55``.  The gate is
+    validated empirically by the ``count`` leg of
+    ``repro-spreading verify`` (hybrid vs fully stochastic success
+    probabilities under one false-positive budget).
+    """
+
+    width_constant: float = 8.0
+    critical: float = 0.5
+
+    def gate_width(self, n: int) -> float:
+        """Half-width of the exact-sampling band around ``critical``."""
+        if n <= 0:
+            raise ValueError(f"population size must be positive, got {n}")
+        return self.width_constant / math.sqrt(n)
+
+    def use_deterministic(self, p: float, n: int) -> bool:
+        """Whether a ``Binomial(n, p)`` draw may become ``round(n*p)``."""
+        return abs(p - self.critical) > self.gate_width(n)
+
+
+@dataclasses.dataclass
+class MeanFieldRunResult(RunReport):
+    """Outcome of one deterministic mean-field SF execution.
+
+    ``converged`` means the final correct fraction rounds to ``n/n`` —
+    the deterministic analogue of all-agents-correct.  ``trace`` holds
+    the correct fraction after each boosting sub-phase, mirroring
+    ``SFRunResult.boost_trace``.
+    """
+
+    _rounds_attr = "total_rounds"
+
+    converged: bool
+    total_rounds: int
+    weak_fraction_correct: float
+    final_fraction_correct: float
+    trace: List[float]
+    seed: Optional[int] = None
+
+
+class MeanFieldEngine:
+    """The n -> infinity SF dynamics behind the engine seam.
+
+    Iterates the *exact finite-n expectation maps* (the same per-agent
+    success probabilities the count engine samples from — weak-opinion
+    comparison law, then one majority tail per boosting sub-phase)
+    without any sampling: the whole run is O(num_subphases) arithmetic
+    and deterministic.  ``run(rng=..., telemetry=...)`` matches the
+    engine seam used by ``repeat_trials``/``run_trials``; the ``rng``
+    argument is accepted and ignored.
+
+    For a stochastic trajectory that fast-forwards deterministically
+    only where it is safe, pass a :class:`MeanFieldHandoff` to
+    :class:`repro.protocols.CountSourceFilter` instead — this class is
+    the pure limit, useful as an oracle and as the fastest possible
+    estimate far from the critical bias.
+    """
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        noise: Union[float, "object"],
+        schedule=None,
+        constant: Optional[float] = None,
+    ) -> None:
+        from ..protocols.parameters import SFSchedule
+        from ..protocols.sf_fast import _uniform_delta
+
+        self.config = config
+        self.delta = _uniform_delta(noise)
+        if schedule is None:
+            kwargs = {} if constant is None else {"constant": constant}
+            schedule = SFSchedule.from_config(config, self.delta, **kwargs)
+        self.schedule = schedule
+
+    def run(
+        self,
+        rng: RngLike = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> MeanFieldRunResult:
+        """Execute the deterministic SF trajectory (rng is ignored)."""
+        from ..theory.tails import (
+            binomial_vs_binomial_probability,
+            majority_success_probability,
+        )
+
+        tele = ensure_telemetry(telemetry)
+        cfg, sched = self.config, self.schedule
+        n = cfg.n
+        delta = self.delta
+        correct = cfg.correct_opinion
+
+        samples = sched.phase_rounds * sched.h
+        q1 = _observe_one(cfg.s1 / n, delta)
+        q0 = _observe_one(cfg.s0 / n, delta)
+        with tele.phase("mean_field.run", rounds=sched.total_rounds):
+            # Expected weak law: the exact P(weak = 1) of Lemma 28.
+            x = binomial_vs_binomial_probability(samples, q1, samples, q0)
+            weak_fraction = _correct_fraction(x, correct)
+            trace: List[float] = []
+            windows = [sched.subphase_rounds * sched.h] * sched.num_subphases
+            windows.append(sched.final_rounds * sched.h)
+            for window in windows:
+                x = majority_success_probability(_observe_one(x, delta), window)
+                trace.append(_correct_fraction(x, correct))
+        final_fraction = _correct_fraction(x, correct)
+        # Deterministic analogue of all-n-agents-correct.
+        converged = correct is not None and round(final_fraction * n) == n
+        if tele.enabled:
+            tele.counter("mean_field.runs")
+            if converged:
+                tele.counter("mean_field.converged_runs")
+        return MeanFieldRunResult(
+            converged=converged,
+            total_rounds=sched.total_rounds,
+            weak_fraction_correct=weak_fraction,
+            final_fraction_correct=final_fraction,
+            trace=trace,
+            seed=None,
+        )
+
+
+def _correct_fraction(x: float, correct: Optional[int]) -> float:
+    """Map the 1-opinion fraction to the correct-opinion fraction."""
+    if correct is None:
+        return 0.5
+    return x if correct == 1 else 1.0 - x

@@ -30,7 +30,12 @@ from .baselines import NoisyMajorityDynamics, NoisyVoterModel
 from .exceptions import ConfigurationError
 from .model.config import PopulationConfig
 from .noise import NoiseMatrix, noise_reduction, reduction_delta
-from .protocols import FastSelfStabilizingSourceFilter, FastSourceFilter
+from .protocols import (
+    CountSelfStabilizingSourceFilter,
+    CountSourceFilter,
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+)
 from .telemetry import JsonlSink, SummarySink, Telemetry
 from .theory import lower_bound_rounds, sf_upper_bound_rounds
 from .types import SourceCounts
@@ -227,18 +232,34 @@ class _RunTrial:
         config: PopulationConfig,
         delta: float,
         fault_model=None,
+        engine: str = "fast",
     ) -> None:
         self.protocol = protocol
         self.config = config
         self.delta = delta
         self.fault_model = fault_model
+        self.engine = engine
 
     def __call__(self, rng: np.random.Generator, telemetry=None) -> object:
         if self.protocol == "sf":
+            if self.engine == "count":
+                return CountSourceFilter(
+                    self.config, self.delta, fault_model=self.fault_model
+                ).run(rng=rng, telemetry=telemetry)
+            if self.engine == "mean-field":
+                from .analysis import MeanFieldEngine
+
+                return MeanFieldEngine(self.config, self.delta).run(
+                    rng=rng, telemetry=telemetry
+                )
             return FastSourceFilter(
                 self.config, self.delta, fault_model=self.fault_model
             ).run(rng, telemetry=telemetry)
         if self.protocol == "ssf":
+            if self.engine == "count":
+                return CountSelfStabilizingSourceFilter(
+                    self.config, self.delta, fault_model=self.fault_model
+                ).run(rng=rng, telemetry=telemetry)
             return FastSelfStabilizingSourceFilter(
                 self.config, self.delta, fault_model=self.fault_model
             ).run(rng=rng, telemetry=telemetry)
@@ -250,15 +271,31 @@ class _RunTrial:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config(args)
+    engine = getattr(args, "engine", "fast")
     try:
         fault_model, protocol_delta = _build_fault_model(args)
+        if engine != "fast":
+            if args.protocol not in ("sf", "ssf"):
+                raise ConfigurationError(
+                    f"--engine {engine} needs --protocol sf or ssf"
+                )
+            if engine == "mean-field" and args.protocol != "sf":
+                raise ConfigurationError(
+                    "--engine mean-field supports --protocol sf only"
+                )
+            if fault_model is not None:
+                raise ConfigurationError(
+                    f"--engine {engine} is agent-blind and does not "
+                    "compose with fault models; drop the fault flags or "
+                    "use --engine fast"
+                )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     telemetry, finish = _build_telemetry(args)
     if args.trials and args.trials > 1:
         stats = repeat_trials(
-            _RunTrial(args.protocol, config, protocol_delta, fault_model),
+            _RunTrial(args.protocol, config, protocol_delta, fault_model, engine),
             trials=args.trials,
             seed=args.seed,
             measure=_sweep_measure,
@@ -269,15 +306,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_table([stats.summary()], title=f"{args.protocol} trials"))
         finish()
         return 0
-    trial = _RunTrial(args.protocol, config, protocol_delta, fault_model)
+    trial = _RunTrial(args.protocol, config, protocol_delta, fault_model, engine)
     result = trial(np.random.default_rng(args.seed), telemetry=telemetry)
-    if args.protocol == "sf":
+    label = (
+        args.protocol.upper() if args.protocol in ("sf", "ssf") else args.protocol
+    )
+    if hasattr(result, "total_rounds") and hasattr(result, "weak_fraction_correct"):
         print(
-            f"SF: converged={result.converged} rounds={result.total_rounds} "
+            f"{label}: converged={result.converged} rounds={result.total_rounds} "
             f"weak_fraction_correct={result.weak_fraction_correct:.4f}"
         )
     else:
-        label = args.protocol.upper() if args.protocol == "ssf" else args.protocol
         print(
             f"{label}: converged={result.converged} "
             f"rounds={result.rounds_executed} "
@@ -439,6 +478,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     for experiment in experiments:
         experiment.workers = args.workers
         experiment.resilience = resilience
+        experiment.engine = getattr(args, "engine", "fast")
         outcome = experiment.run(
             scale=args.scale, seed=args.seed, telemetry=telemetry
         )
@@ -516,6 +556,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="sf",
     )
     run.add_argument(
+        "--engine",
+        choices=("fast", "count", "mean-field"),
+        default="fast",
+        help="simulation backend for sf/ssf: 'fast' (per-agent), "
+        "'count' (count-level, O(|alphabet|) per transition — same law "
+        "at any n), or 'mean-field' (deterministic n->infinity SF "
+        "recursion)",
+    )
+    run.add_argument(
         "--trials",
         type=int,
         default=1,
@@ -570,6 +619,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", choices=("quick", "full"), default="quick")
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--engine",
+        choices=("fast", "count"),
+        default="fast",
+        help="SF simulation backend for the experiments that expose the "
+        "seam (E1/E3/E4): per-agent 'fast' or count-level 'count'",
+    )
     experiment.add_argument(
         "--json", default=None, help="also write outcome(s) to this JSON file"
     )

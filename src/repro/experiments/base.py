@@ -119,6 +119,12 @@ class Experiment(abc.ABC):
     #: completes (retries reuse the original seeds).
     resilience: Optional[ResilienceConfig] = None
 
+    #: Simulation backend for experiments that go through
+    #: :meth:`_sf_engine`: ``"fast"`` (per-agent, O(n) per trial) or
+    #: ``"count"`` (count-level, O(|Sigma|) per transition — same law,
+    #: any n).  Set by the CLI ``experiment --engine`` flag.
+    engine: str = "fast"
+
     def run(
         self,
         scale: str = "full",
@@ -210,6 +216,26 @@ class Experiment(abc.ABC):
             resilience=self.resilience,
             checkpoint_scope=self._next_scope(),
         )
+
+    def _sf_engine(self, config, delta, **kwargs):
+        """Build the SF runner selected by :attr:`engine`.
+
+        Both runners expose ``run(rng=..., telemetry=...)``, a
+        ``schedule`` attribute and success/round reporting through the
+        same :class:`~repro.results.RunReport` seam, so experiment code
+        is backend-agnostic.
+        """
+        if self.engine == "count":
+            from ..protocols import CountSourceFilter
+
+            return CountSourceFilter(config, delta, **kwargs)
+        if self.engine != "fast":
+            raise ValueError(
+                f"engine must be 'fast' or 'count', got {self.engine!r}"
+            )
+        from ..protocols import FastSourceFilter
+
+        return FastSourceFilter(config, delta, **kwargs)
 
     def _next_scope(self) -> str:
         """Checkpoint scope for the next trial batch of this run.

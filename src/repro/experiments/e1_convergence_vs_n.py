@@ -6,7 +6,6 @@ import math
 
 from ..analysis import fit_loglog_slope
 from ..model.config import PopulationConfig
-from ..protocols import FastSourceFilter
 from ..theory import sf_upper_bound_rounds
 from ..types import SourceCounts
 from .base import CheckResult, Experiment, ExperimentOutcome
@@ -37,7 +36,7 @@ class ConvergenceVsN(Experiment):
         rows = []
         for n in sizes:
             config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=n)
-            engine = FastSourceFilter(config, DELTA)
+            engine = self._sf_engine(config, DELTA)
             # Batched serially, process pool when self.workers is set.
             stats = self._engine_trials(engine, trials, seed=seed + n)
             rows.append(

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from ..analysis import repeat_trials
 from ..model.config import PopulationConfig
-from ..protocols import FastSourceFilter
 from ..types import SourceCounts
 from .base import CheckResult, Experiment, ExperimentOutcome
 from .registry import register
@@ -35,7 +34,7 @@ class NoiseDependence(Experiment):
         rows = []
         for delta in deltas:
             config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=h)
-            engine = FastSourceFilter(config, delta)
+            engine = self._sf_engine(config, delta)
             stats = repeat_trials(
                 lambda g: engine.run(g),
                 trials=trials,

@@ -6,7 +6,6 @@ import numpy as np
 
 from ..analysis import fit_loglog_slope, repeat_trials
 from ..model.config import PopulationConfig
-from ..protocols import FastSourceFilter
 from ..types import SourceCounts
 from .base import CheckResult, Experiment, ExperimentOutcome
 from .registry import register
@@ -34,7 +33,7 @@ class BiasDependence(Experiment):
         rows = []
         for s in biases:
             config = PopulationConfig(n=n, sources=SourceCounts(0, s), h=h)
-            engine = FastSourceFilter(config, DELTA)
+            engine = self._sf_engine(config, DELTA)
             stats = repeat_trials(
                 lambda g: engine.run(g), trials=trials, seed=seed + s
             )
@@ -55,13 +54,20 @@ class BiasDependence(Experiment):
             config = PopulationConfig(
                 n=conflict_n, sources=SourceCounts(s0, s1), h=conflict_n
             )
-            engine = FastSourceFilter(config, DELTA)
+            engine = self._sf_engine(config, DELTA)
             point_ok = True
             for t in range(trials):
                 result = engine.run(rng=seed + 31 * s0 + s1 + t)
-                point_ok &= result.converged and bool(
-                    np.all(result.final_opinions == config.correct_opinion)
-                )
+                if hasattr(result, "final_opinions"):
+                    unanimous = bool(
+                        np.all(result.final_opinions == config.correct_opinion)
+                    )
+                else:  # count engine: opinions exist only as counts
+                    unanimous = (
+                        int(result.final_opinion_counts[config.correct_opinion])
+                        == config.n
+                    )
+                point_ok &= result.converged and unanimous
             conflict_ok &= point_ok
             rows.append(
                 {

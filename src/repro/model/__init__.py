@@ -12,6 +12,7 @@ from .population import Population
 from .sampling import sample_indices, sample_observation_counts
 from .engine import PullEngine, PullProtocol, RoundRecord, SimulationResult
 from .batched_engine import BatchedPullEngine, BatchedPullProtocol
+from .count_engine import CountProtocol, CountPullEngine, CountSimulationResult
 from .push_engine import PushEngine, PushProtocol
 from .async_engine import AsyncPullEngine, AsyncPullProtocol, AsyncSimulationResult
 from .adversary import (
@@ -35,6 +36,9 @@ __all__ = [
     "BatchedPullEngine",
     "BatchedPullProtocol",
     "ConsensusTracker",
+    "CountProtocol",
+    "CountPullEngine",
+    "CountSimulationResult",
     "OpinionTrace",
     "Population",
     "PopulationConfig",

@@ -322,7 +322,16 @@ class BatchedPullEngine:
                 uniforms = bulk.random(num_active * n * h)
             if visible is not None:
                 sampled = visible[sampled]
-            gathered = np.take_along_axis(rows, sampled, axis=1)
+            if rows.ndim == 2 and rows.strides[0] == 0:
+                # Broadcast displays (all replicas show the same messages,
+                # e.g. SF listening phases): one 1-D gather, no row offsets.
+                gathered = rows[0].take(sampled)
+            else:
+                # Row-wise gather as one flat 1-D take — measurably
+                # cheaper than np.take_along_axis at large n*h.
+                rows_c = np.ascontiguousarray(rows)
+                offsets = np.arange(num_active, dtype=np.int64) * rows_c.shape[1]
+                gathered = rows_c.reshape(-1).take(sampled + offsets[:, None])
             channel = self._matrix_at(t) if self._matrix_at else self.noise
             if fault_model is not None:
                 channel = fault_model.channel(t, channel)

@@ -1,0 +1,262 @@
+"""Count-level PULL(h) engine: O(|Sigma|) per advance, independent of n.
+
+The model's dynamics are exchangeable: every protocol in this library
+updates an agent from tallies of its own noisy observations, and the
+distribution of those tallies depends on the population only through the
+*counts* of displayed symbols.  Conditioned on the current count vector,
+per-agent tallies are i.i.d., so the next count vector is an exact
+Binomial/Multinomial draw — the population state collapses from O(n)
+per-agent arrays to a length-``|Sigma|`` integer vector, and one
+transition costs O(|Sigma|) arithmetic plus O(1) numpy RNG calls no
+matter whether ``n`` is 10^3 or 10^8.
+
+This module provides the engine seam: :class:`CountPullEngine` drives a
+:class:`CountProtocol` (see :mod:`repro.protocols.sf_count` /
+:mod:`repro.protocols.ssf_count` for the SF/SSF adapters) through gap
+batches, computing the single-observation distribution ``q = p @ N``
+from the display counts and the noise matrix each gap.  Statistical
+equivalence with the agent-level engines is enforced by the ``count``
+leg of ``repro-spreading verify`` and by ``tests/test_count_engine.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..noise import NoiseMatrix
+from ..results import RunReport
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import RngLike, coerce_rng, seed_of
+from .config import PopulationConfig
+from .engine import RoundRecord
+
+__all__ = ["CountProtocol", "CountPullEngine", "CountSimulationResult"]
+
+
+class CountProtocol(abc.ABC):
+    """A protocol expressed over symbol counts instead of agents.
+
+    The engine advances in *gaps* — maximal windows of rounds during
+    which the displayed messages are constant (a listening phase, a
+    boosting sub-phase, an SSF epoch).  Each iteration the engine reads
+    :meth:`display_counts`, prices the single-observation distribution
+    ``q`` through the noise matrix, asks :meth:`gap` how many rounds the
+    current displays remain valid, and hands ``(gap, q)`` to
+    :meth:`advance`, which updates the protocol's count state with O(1)
+    population-level draws.
+    """
+
+    #: Alphabet size ``|Sigma|`` the protocol displays over.
+    alphabet_size: int = 2
+
+    @abc.abstractmethod
+    def reset(self, rng: np.random.Generator) -> None:
+        """Initialize the count state for a fresh run."""
+
+    @abc.abstractmethod
+    def display_counts(self) -> np.ndarray:
+        """Current display counts, shape ``(alphabet_size,)``, summing to n."""
+
+    @abc.abstractmethod
+    def gap(self, round_index: int) -> int:
+        """Rounds (>= 1) the current displays stay constant from here."""
+
+    @abc.abstractmethod
+    def advance(
+        self,
+        round_index: int,
+        gap: int,
+        q: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Consume ``gap`` rounds of observations distributed as ``q``."""
+
+    @abc.abstractmethod
+    def opinion_counts(self) -> np.ndarray:
+        """Current opinion counts ``[#opinion-0, #opinion-1]``."""
+
+    def finished(self, round_index: int) -> bool:
+        """Whether the protocol's schedule is exhausted (fixed horizons)."""
+        return False
+
+
+@dataclasses.dataclass
+class CountSimulationResult(RunReport):
+    """Outcome of one count-level engine run.
+
+    Attributes
+    ----------
+    converged:
+        Every agent held the correct opinion at the end of the run.
+    consensus_round:
+        First round from which consensus held through the end (``None``
+        if it never did).
+    rounds_executed:
+        Total simulated model rounds.
+    final_opinion_counts:
+        ``[#opinion-0, #opinion-1]`` at the end of the run.
+    trace:
+        Per-gap :class:`~repro.model.engine.RoundRecord` entries (indexed
+        by the last round of each gap) when tracing was requested.
+    """
+
+    converged: bool
+    consensus_round: Optional[int]
+    rounds_executed: int
+    final_opinion_counts: np.ndarray
+    trace: List[RoundRecord]
+    seed: Optional[int] = None
+
+
+class CountPullEngine:
+    """Exchangeability-collapsed engine over symbol counts.
+
+    Parameters
+    ----------
+    config:
+        Population parameters (``n``, sources, ``h``).
+    noise:
+        A :class:`NoiseMatrix` over the protocol's alphabet, or a float
+        uniform noise level from which the engine builds the
+        delta-uniform matrix of the protocol's ``alphabet_size`` at run
+        time.  Non-uniform matrices are supported: the engine prices
+        observations as ``q = (counts/n) @ N`` either way.
+    fault_model:
+        Must be ``None`` or a null model.  Faulted populations break the
+        pure count representation (displays stop being a function of the
+        counts alone); use the fast or agent-level engines for faults.
+    """
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        noise: Union[float, NoiseMatrix],
+        fault_model=None,
+    ) -> None:
+        if fault_model is not None and not fault_model.is_null:
+            raise ConfigurationError(
+                "CountPullEngine supports fault_model=None (or a null "
+                "model) only: non-null faults are agent-indexed and do "
+                "not survive the count collapse — use FastSourceFilter / "
+                "FastSelfStabilizingSourceFilter or PullEngine instead"
+            )
+        self.config = config
+        self._noise = noise
+        self.fault_model = fault_model
+
+    # ------------------------------------------------------------------
+    def _resolve_noise(self, alphabet_size: int) -> NoiseMatrix:
+        if isinstance(self._noise, NoiseMatrix):
+            if self._noise.size != alphabet_size:
+                raise ConfigurationError(
+                    f"noise matrix has alphabet size {self._noise.size}, "
+                    f"protocol displays over {alphabet_size} symbols"
+                )
+            return self._noise
+        return NoiseMatrix.uniform(float(self._noise), alphabet_size)
+
+    def run(
+        self,
+        protocol: CountProtocol,
+        max_rounds: int,
+        rng: RngLike = None,
+        stop_on_consensus: bool = False,
+        consensus_patience: int = 0,
+        record_trace: bool = False,
+        telemetry: Optional[Telemetry] = None,
+    ) -> CountSimulationResult:
+        """Drive ``protocol`` for up to ``max_rounds`` model rounds.
+
+        Mirrors :meth:`repro.model.PullEngine.run` semantics where they
+        transfer: consensus is tracked at gap boundaries (the only
+        rounds opinions can change), ``stop_on_consensus`` ends the run
+        once consensus has held ``consensus_patience`` rounds, and
+        ``telemetry`` (RNG-neutral) receives a ``count.run`` phase timer
+        plus one ``round`` event per gap.
+        """
+        if max_rounds < 0:
+            raise ConfigurationError(
+                f"max_rounds must be non-negative, got {max_rounds}"
+            )
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
+        cfg = self.config
+        n = cfg.n
+        correct = cfg.correct_opinion
+        noise = self._resolve_noise(protocol.alphabet_size)
+        protocol.reset(generator)
+
+        trace: List[RoundRecord] = []
+        consensus_start: Optional[int] = None
+        timer = tele.phase("count.run") if tele.enabled else None
+        if timer is not None:
+            timer.__enter__()
+        t = 0
+        while t < max_rounds and not protocol.finished(t):
+            counts = np.asarray(protocol.display_counts(), dtype=np.int64)
+            if counts.shape != (protocol.alphabet_size,):
+                raise ConfigurationError(
+                    f"display_counts must have shape "
+                    f"({protocol.alphabet_size},), got {counts.shape}"
+                )
+            if counts.min() < 0 or int(counts.sum()) != n:
+                raise ConfigurationError(
+                    f"display counts must be non-negative and sum to "
+                    f"n={n}, got {counts.tolist()}"
+                )
+            q = noise.observation_probabilities(counts / n)
+            gap = int(protocol.gap(t))
+            if gap < 1:
+                raise ConfigurationError(
+                    f"protocol gap must be >= 1, got {gap} at round {t}"
+                )
+            gap = min(gap, max_rounds - t)
+            protocol.advance(t, gap, q, generator)
+            t += gap
+
+            opinions = np.asarray(protocol.opinion_counts(), dtype=np.int64)
+            if correct is not None:
+                num_correct = int(opinions[correct])
+                fraction = num_correct / n
+                if record_trace:
+                    trace.append(RoundRecord(t - 1, fraction, num_correct))
+                if tele.enabled:
+                    tele.round(
+                        t - 1,
+                        num_correct=num_correct,
+                        fraction_correct=fraction,
+                        opinion_counts=opinions,
+                    )
+                if num_correct == n:
+                    if consensus_start is None:
+                        consensus_start = t - 1
+                else:
+                    consensus_start = None
+                if (
+                    stop_on_consensus
+                    and consensus_start is not None
+                    and (t - 1) - consensus_start >= consensus_patience
+                ):
+                    break
+
+        final = np.asarray(protocol.opinion_counts(), dtype=np.int64)
+        converged = correct is not None and int(final[correct]) == n
+        if timer is not None:
+            timer.__exit__(None, None, None)
+            tele.counter("count.rounds", t)
+            tele.counter("count.runs")
+            if converged:
+                tele.counter("count.converged_runs")
+        return CountSimulationResult(
+            converged=converged,
+            consensus_round=consensus_start if converged else None,
+            rounds_executed=t,
+            final_opinion_counts=final,
+            trace=trace,
+            seed=seed_of(rng),
+        )

@@ -201,10 +201,25 @@ class NoiseMatrix:
         if self.size == 2:
             # Binary fast path: the observed symbol is 1 exactly when the
             # variate clears the displayed symbol's P(observe 0) — the
-            # same strict comparison as the general branch below.
-            threshold = np.where(flat != 0, self._cumulative[1, 0], self._cumulative[0, 0])
-            observed = (threshold < u).astype(dtype)
-            return observed.reshape(symbols.shape)
+            # same strict comparison as the general branch below.  With
+            # t1 <= t0 the comparison factors into boolean algebra
+            # ((u > t1) and (u > t0 or displayed 1)), which avoids
+            # materializing a float64 threshold array per message — the
+            # engines' hottest per-round allocation.  Results are
+            # bit-identical to the general branch either way.
+            t0 = self._cumulative[0, 0]  # P(observe 0 | displayed 0)
+            t1 = self._cumulative[1, 0]  # P(observe 0 | displayed 1)
+            if t1 <= t0:
+                observed = u > t1
+                observed &= (u > t0) | (flat != 0)
+            else:
+                observed = u > t0
+                observed &= (u > t1) | (flat == 0)
+            if np.dtype(dtype) == np.int8:
+                # A bool array is one byte of 0/1 per element: reuse the
+                # buffer instead of copying it.
+                return observed.view(np.int8).reshape(symbols.shape)
+            return observed.astype(dtype).reshape(symbols.shape)
         # searchsorted per row: count thresholds strictly below the variate.
         # The last cumulative column is exactly 1.0 and the variates lie in
         # [0, 1), so it can never compare below — skip it.

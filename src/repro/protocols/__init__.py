@@ -19,9 +19,11 @@ from .parameters import (
 )
 from .sf import SourceFilterProtocol
 from .sf_batched import BatchedSourceFilter
+from .sf_count import CountSourceFilter
 from .sf_fast import FastSourceFilter, SFRunResult
 from .sf_alternating import FastAlternatingSourceFilter
 from .ssf import SelfStabilizingSourceFilterProtocol
+from .ssf_count import CountSelfStabilizingSourceFilter
 from .ssf_fast import FastSelfStabilizingSourceFilter, SSFRunResult
 from .ssf_async import AsyncSelfStabilizingSourceFilter
 from .multibit import (
@@ -42,6 +44,8 @@ __all__ = [
     "KAryPluralityProtocol",
     "KAryRunResult",
     "binary_population_for",
+    "CountSelfStabilizingSourceFilter",
+    "CountSourceFilter",
     "FastSelfStabilizingSourceFilter",
     "FastSourceFilter",
     "MultiBitResult",

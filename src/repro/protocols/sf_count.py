@@ -1,0 +1,238 @@
+"""Count-level Source Filter: O(1) population draws per phase.
+
+The fast engine (:mod:`.sf_fast`) already collapses time — whole phases
+become one Binomial tally per agent — but still draws O(n) per-agent
+variates.  Exchangeability collapses the agent axis too:
+
+* Weak opinions are i.i.d. across agents (Lemma 28), each equal to 1
+  with probability ``p_weak = P(C1 > C0) + P(C1 = C0)/2`` where
+  ``C1 ~ Bin(S, q1)`` / ``C0 ~ Bin(S, q0)`` are the Phase-0/Phase-1
+  counters, so the *number* of weak 1s is exactly ``Binomial(n,
+  p_weak)`` — one draw.
+* Each boosting sub-phase update is i.i.d. across agents with success
+  probability ``p = P(Bin(window, q) > window/2) + P(tie)/2`` given the
+  current count, so the next 1-count is exactly ``Binomial(n, p)``.
+
+Both probabilities come from :mod:`repro.theory.tails` in O(1), making a
+full SF execution cost O(num_subphases) arithmetic regardless of ``n``
+— n = 10^8 runs in the same milliseconds as n = 10^3.
+
+An optional mean-field handoff (:class:`repro.analysis.MeanFieldHandoff`)
+replaces the Binomial draw by its expectation whenever the success
+probability is far from the critical bias 1/2 — there the O(sqrt(n))
+fluctuation cannot change which basin the trajectory is in, so the
+deterministic fast-forward is statistically indistinguishable (the
+``count`` leg of ``repro-spreading verify`` validates the gate).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model.config import PopulationConfig
+from ..model.count_engine import CountProtocol, CountPullEngine, CountSimulationResult
+from ..noise import NoiseMatrix
+from ..telemetry import Telemetry
+from ..types import RngLike
+from .parameters import SFSchedule
+from .sf_fast import _uniform_delta
+
+__all__ = ["CountSourceFilter"]
+
+
+class CountSourceFilter(CountProtocol):
+    """Count-level SF adapter for :class:`~repro.model.CountPullEngine`.
+
+    Parameters
+    ----------
+    config:
+        Population parameters (``n``, sources, ``h``).
+    noise:
+        Uniform noise level ``delta`` (float) or a uniform 2x2
+        :class:`NoiseMatrix` (matching :class:`.FastSourceFilter`).
+    schedule:
+        Optional pre-built :class:`SFSchedule` (default: Eq. (19) with
+        the calibrated constant).
+    handoff:
+        Optional mean-field handoff policy — any object with
+        ``use_deterministic(p, n) -> bool`` (canonically
+        :class:`repro.analysis.MeanFieldHandoff`).  When it approves,
+        population draws are replaced by their rounded expectation.
+    fault_model:
+        Must be ``None`` or null: faults are agent-indexed and do not
+        survive the count collapse.
+    """
+
+    alphabet_size = 2
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        noise: Union[float, NoiseMatrix],
+        schedule: Optional[SFSchedule] = None,
+        constant: Optional[float] = None,
+        handoff=None,
+        fault_model=None,
+    ) -> None:
+        if fault_model is not None and not fault_model.is_null:
+            raise ConfigurationError(
+                "CountSourceFilter supports fault_model=None (or null) "
+                "only; use FastSourceFilter for faulted runs"
+            )
+        self.config = config
+        self.delta = _uniform_delta(noise)
+        self._noise = noise
+        if schedule is None:
+            kwargs = {} if constant is None else {"constant": constant}
+            schedule = SFSchedule.from_config(config, self.delta, **kwargs)
+        self.schedule = schedule
+        self.handoff = handoff
+        # Stage plan: (kind, rounds) consumed in order by the engine.
+        sched = schedule
+        self._stages: List[tuple] = (
+            [("phase0", sched.phase_rounds), ("phase1", sched.phase_rounds)]
+            + [("boost", sched.subphase_rounds)] * sched.num_subphases
+            + [("boost_final", sched.final_rounds)]
+        )
+        self._stage_index = 0
+        self._phase0_samples = 0
+        self._q1 = 0.0
+        self.opinion_count = 0
+        self.weak_count = 0
+        self.boost_trace: List[float] = []
+
+    # ------------------------------------------------------------------
+    # CountProtocol interface
+    # ------------------------------------------------------------------
+    def reset(self, rng: np.random.Generator) -> None:
+        cfg = self.config
+        self._stage_index = 0
+        self._phase0_samples = 0
+        self._q1 = 0.0
+        self.boost_trace = []
+        # Initial opinions mirror the agent-level engines: random except
+        # sources pinned on their preference.  They only matter for the
+        # trace before the weak commit — SF ignores them otherwise.
+        free = rng.binomial(cfg.n - cfg.num_sources, 0.5)
+        self.opinion_count = cfg.s1 + int(free)
+        self.weak_count = 0
+
+    def display_counts(self) -> np.ndarray:
+        cfg = self.config
+        kind = self._stages[self._stage_index][0]
+        if kind == "phase0":
+            # Sources display their preference, non-sources display 0.
+            ones = cfg.s1
+        elif kind == "phase1":
+            # Non-sources display 1, sources keep their preference.
+            ones = cfg.n - cfg.s0
+        else:
+            ones = self.opinion_count
+        return np.array([cfg.n - ones, ones], dtype=np.int64)
+
+    def gap(self, round_index: int) -> int:
+        return self._stages[self._stage_index][1]
+
+    def advance(
+        self,
+        round_index: int,
+        gap: int,
+        q: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        # Imported lazily: repro.theory.amplification pulls in
+        # repro.analysis, which reaches back into repro.protocols — a
+        # module-level import here would close that cycle.
+        from ..theory.tails import (
+            binomial_vs_binomial_probability,
+            majority_success_probability,
+        )
+
+        cfg = self.config
+        n = cfg.n
+        kind = self._stages[self._stage_index][0]
+        samples = gap * self.schedule.h
+        if kind == "phase0":
+            # Counter1 counts observed 1s while only sources show 1s.
+            self._phase0_samples = samples
+            self._q1 = float(q[1])
+        elif kind == "phase1":
+            # Counter0 counts observed 0s while non-sources show 1s; the
+            # weak opinion is the counter comparison, i.i.d. per agent.
+            p_weak = binomial_vs_binomial_probability(
+                self._phase0_samples, self._q1, samples, float(q[0])
+            )
+            self.weak_count = self._draw(n, p_weak, rng)
+            self.opinion_count = self.weak_count
+        else:
+            p_one = majority_success_probability(float(q[1]), samples)
+            self.opinion_count = self._draw(n, p_one, rng)
+            if cfg.correct_opinion is not None:
+                ones = self.opinion_count
+                correct = ones if cfg.correct_opinion == 1 else n - ones
+                self.boost_trace.append(correct / n)
+        self._stage_index = min(self._stage_index + 1, len(self._stages) - 1)
+
+    def opinion_counts(self) -> np.ndarray:
+        n = self.config.n
+        return np.array([n - self.opinion_count, self.opinion_count], dtype=np.int64)
+
+    def finished(self, round_index: int) -> bool:
+        return round_index >= self.schedule.total_rounds
+
+    # ------------------------------------------------------------------
+    def _draw(self, n: int, p: float, rng: np.random.Generator) -> int:
+        """One population-level draw, mean-field fast-forwarded if gated."""
+        p = min(max(p, 0.0), 1.0)
+        if self.handoff is not None and self.handoff.use_deterministic(p, n):
+            return min(n, max(0, int(round(n * p))))
+        return int(rng.binomial(n, p))
+
+    # ------------------------------------------------------------------
+    # Engine-seam convenience (repeat_trials / run_trials compatible)
+    # ------------------------------------------------------------------
+    @property
+    def weak_fraction_correct(self) -> float:
+        """Fraction of weak opinions equal to the correct opinion."""
+        cfg = self.config
+        if cfg.correct_opinion is None:
+            return 0.5
+        ones = self.weak_count
+        correct = ones if cfg.correct_opinion == 1 else cfg.n - ones
+        return correct / cfg.n
+
+    def run(
+        self,
+        rng: RngLike = None,
+        telemetry: Optional[Telemetry] = None,
+        record_trace: bool = False,
+    ) -> CountSimulationResult:
+        """Execute one full SF run on a :class:`CountPullEngine`."""
+        engine = CountPullEngine(self.config, self._noise)
+        return engine.run(
+            self,
+            max_rounds=self.schedule.total_rounds,
+            rng=rng,
+            record_trace=record_trace,
+            telemetry=telemetry,
+        )
+
+    def expected_weak_probability(self) -> float:
+        """The exact per-agent weak-opinion success probability.
+
+        ``P(weak = 1)`` under the schedule's full listening phases —
+        the count engine's transition law, exposed for the mean-field
+        engine and the theory cross-checks.
+        """
+        from ..theory.tails import binomial_vs_binomial_probability
+
+        cfg, sched = self.config, self.schedule
+        samples = sched.phase_rounds * sched.h
+        frac1 = cfg.s1 / cfg.n
+        frac0 = cfg.s0 / cfg.n
+        q1 = frac1 * (1.0 - self.delta) + (1.0 - frac1) * self.delta
+        q0 = frac0 * (1.0 - self.delta) + (1.0 - frac0) * self.delta
+        return binomial_vs_binomial_probability(samples, q1, samples, q0)

@@ -1,0 +1,196 @@
+"""Count-level Self-stabilizing Source Filter: O(1) draws per epoch.
+
+From a clean start every agent's buffer fills at ``h`` messages per
+round, so the flush clock is global and one epoch holds exactly
+``T = ceil(m/h) * h`` observations per agent, i.i.d.
+``Multinomial(T, q)`` across agents given the display counts.  The two
+per-agent votes collapse to closed-form success probabilities:
+
+* **Opinion** — the vote compares ``M[N1] + M[S1]`` against
+  ``M[0] + M[S0]``; the four tallies sum to ``T``, so the 1-side is
+  exactly ``Binomial(T, q[N1] + q[S1])`` and the per-agent success
+  probability is an O(1) majority tail.  The new 1-opinion count is
+  ``Binomial(n, p_op)`` — exact.
+* **Weak opinion** — compares the two source tallies ``M[S1]`` vs
+  ``M[S0]``, two coordinates of one multinomial:
+  :func:`repro.theory.tails.multinomial_pair_gt_probability`.  Only
+  non-source weak opinions feed back into the displays, so the weak
+  count chain (``Binomial(n - num_sources, p_weak)``) is exact.
+
+Approximation note: within one epoch an agent's weak and opinion votes
+share the same multinomial draw, so the *joint* per-epoch law of
+``(weak count, opinion count)`` has a dependence this adapter drops
+(each is drawn from its exact marginal, independently).  The future of
+the display chain depends only on the weak count and buffers are zeroed
+at every flush, so all marginal trajectories remain exact; only
+same-epoch weak/opinion cross-correlations are approximated.  The
+``count`` verify leg bounds the effect statistically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model.config import PopulationConfig
+from ..model.count_engine import CountProtocol, CountPullEngine, CountSimulationResult
+from ..noise import NoiseMatrix
+from ..telemetry import Telemetry
+from ..types import RngLike
+from .parameters import SSFSchedule
+from .ssf import SYMBOL_NONSOURCE_1, SYMBOL_SOURCE_0, SYMBOL_SOURCE_1
+from .ssf_fast import _uniform_delta4
+
+__all__ = ["CountSelfStabilizingSourceFilter"]
+
+
+class CountSelfStabilizingSourceFilter(CountProtocol):
+    """Count-level SSF adapter for :class:`~repro.model.CountPullEngine`.
+
+    Parameters
+    ----------
+    config:
+        Population parameters.
+    noise:
+        Uniform noise level over the 4-letter alphabet (float in
+        ``[0, 1/4)``) or a uniform 4x4 :class:`NoiseMatrix`.
+    schedule:
+        Optional pre-built :class:`SSFSchedule` (default: Eq. (30) with
+        the calibrated constant).
+    handoff:
+        Optional mean-field handoff policy (``use_deterministic(p, n)``);
+        approved draws become rounded expectations.
+    fault_model:
+        Must be ``None`` or null (the count collapse is agent-blind).
+    """
+
+    alphabet_size = 4
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        noise: Union[float, NoiseMatrix],
+        schedule: Optional[SSFSchedule] = None,
+        constant: Optional[float] = None,
+        handoff=None,
+        fault_model=None,
+    ) -> None:
+        if fault_model is not None and not fault_model.is_null:
+            raise ConfigurationError(
+                "CountSelfStabilizingSourceFilter supports "
+                "fault_model=None (or null) only; use "
+                "FastSelfStabilizingSourceFilter for faulted runs"
+            )
+        self.config = config
+        self.delta = _uniform_delta4(noise)
+        self._noise = noise
+        if schedule is None:
+            kwargs = {} if constant is None else {"constant": constant}
+            schedule = SSFSchedule.from_config(config, self.delta, **kwargs)
+        self.schedule = schedule
+        self.handoff = handoff
+        self.weak_count = 0  # non-source agents with weak opinion 1
+        self.opinion_count = 0  # all agents with opinion 1
+        self._fill = 0
+
+    # ------------------------------------------------------------------
+    # CountProtocol interface
+    # ------------------------------------------------------------------
+    def reset(self, rng: np.random.Generator) -> None:
+        cfg = self.config
+        # Clean start: random opinions (sources pinned on preference),
+        # weak opinions copy opinions — one shared draw keeps the joint
+        # initial law exact.
+        free_ones = int(rng.binomial(cfg.n - cfg.num_sources, 0.5))
+        self.weak_count = free_ones
+        self.opinion_count = cfg.s1 + free_ones
+        self._fill = 0
+
+    def display_counts(self) -> np.ndarray:
+        cfg = self.config
+        counts = np.zeros(4, dtype=np.int64)
+        counts[SYMBOL_SOURCE_0] = cfg.s0
+        counts[SYMBOL_SOURCE_1] = cfg.s1
+        counts[SYMBOL_NONSOURCE_1] = self.weak_count
+        counts[0] = cfg.n - cfg.num_sources - self.weak_count
+        return counts
+
+    def gap(self, round_index: int) -> int:
+        sched = self.schedule
+        remaining = max(sched.m - self._fill, 1)
+        return max(int(np.ceil(remaining / sched.h)), 1)
+
+    def advance(
+        self,
+        round_index: int,
+        gap: int,
+        q: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        # Lazy: a module-level theory import would close the
+        # protocols -> theory -> analysis -> protocols cycle.
+        from ..theory.tails import (
+            majority_success_probability,
+            multinomial_pair_gt_probability,
+        )
+
+        cfg, sched = self.config, self.schedule
+        self._fill += gap * sched.h
+        if self._fill < sched.m:
+            # Truncated gap (engine hit max_rounds): buffers not yet due.
+            return
+        samples = self._fill
+        p_op = majority_success_probability(
+            float(q[SYMBOL_NONSOURCE_1] + q[SYMBOL_SOURCE_1]), samples
+        )
+        p_weak = multinomial_pair_gt_probability(
+            samples, float(q[SYMBOL_SOURCE_1]), float(q[SYMBOL_SOURCE_0])
+        )
+        self.opinion_count = self._draw(cfg.n, p_op, rng)
+        self.weak_count = self._draw(cfg.n - cfg.num_sources, p_weak, rng)
+        self._fill = 0
+
+    def opinion_counts(self) -> np.ndarray:
+        n = self.config.n
+        return np.array([n - self.opinion_count, self.opinion_count], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _draw(self, n: int, p: float, rng: np.random.Generator) -> int:
+        p = min(max(p, 0.0), 1.0)
+        if self.handoff is not None and self.handoff.use_deterministic(p, n):
+            return min(n, max(0, int(round(n * p))))
+        return int(rng.binomial(n, p))
+
+    # ------------------------------------------------------------------
+    # Engine-seam convenience (repeat_trials / run_trials compatible)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: Optional[int] = None,
+        rng: RngLike = None,
+        stop_on_consensus: bool = True,
+        consensus_epochs: int = 2,
+        telemetry: Optional[Telemetry] = None,
+        record_trace: bool = False,
+    ) -> CountSimulationResult:
+        """Simulate SSF until consensus stabilizes or the budget runs out.
+
+        Mirrors :meth:`.FastSelfStabilizingSourceFilter.run` defaults:
+        ``max_rounds = 20 * epoch_rounds`` and early stop once consensus
+        has held ``consensus_epochs`` whole epochs.
+        """
+        sched = self.schedule
+        if max_rounds is None:
+            max_rounds = 20 * sched.epoch_rounds
+        engine = CountPullEngine(self.config, self._noise)
+        return engine.run(
+            self,
+            max_rounds=max_rounds,
+            rng=rng,
+            stop_on_consensus=stop_on_consensus,
+            consensus_patience=consensus_epochs * sched.epoch_rounds,
+            record_trace=record_trace,
+            telemetry=telemetry,
+        )

@@ -48,6 +48,13 @@ from .two_party import (
     whp_round_lower_bound,
 )
 from .memory import bits_for, sf_memory_bits, ssf_memory_bits
+from .tails import (
+    binomial_tail_ge,
+    binomial_vs_binomial_probability,
+    majority_success_probability,
+    multinomial_pair_gt_probability,
+    regularized_incomplete_beta,
+)
 
 __all__ = [
     "bits_for",
@@ -69,6 +76,11 @@ __all__ = [
     "sf_budget_terms",
     "TrinomialStep",
     "binomial_one_lower_bound",
+    "binomial_tail_ge",
+    "binomial_vs_binomial_probability",
+    "majority_success_probability",
+    "multinomial_pair_gt_probability",
+    "regularized_incomplete_beta",
     "chernoff_multiplicative_upper",
     "exact_majority_advantage",
     "hoeffding_deviation_upper",

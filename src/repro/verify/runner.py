@@ -14,6 +14,9 @@ reference ↔ fast SF               pooled weak-opinion law (Hoeffding)
 reference ↔ fast SSF              weak-opinion law + fixed-seed convergence
 sync ↔ async SSF                  convergence + parallel-round scale
 resilient pool ↔ clean serial     bit-identical statistics through chaos
+fast ↔ count SF/SSF               weak-opinion laws + convergence reliability
+stochastic ↔ handoff-gated count  success proportions under the gate
+mean-field ↔ count SF             exact weak probability + fixed-point run
 goldens                           digests of committed reference trajectories
 ================================  ===========================================
 """
@@ -39,6 +42,8 @@ from ..model.async_engine import AsyncPullEngine
 from ..noise import NoiseMatrix
 from ..protocols import (
     BatchedSourceFilter,
+    CountSelfStabilizingSourceFilter,
+    CountSourceFilter,
     FastSelfStabilizingSourceFilter,
     FastSourceFilter,
     SFSchedule,
@@ -556,6 +561,181 @@ def _check_faults(scale: str, budget: FalsePositiveBudget) -> str:
     )
 
 
+def _check_count_engines(scale: str, budget: FalsePositiveBudget) -> str:
+    """Count-level engines vs the per-agent fast engines.
+
+    Four statistical legs plus one exact leg:
+
+    1. *SF weak-opinion law* — the count engine's phase-1 commit is one
+       ``Binomial(n, p_weak)`` draw; the fast engine draws ``n``
+       per-agent counter comparisons.  Both pool to sums of i.i.d.
+       Bernoullis with the same ``p_weak``, so the two-sample Hoeffding
+       proportion check applies exactly.
+    2. *SF convergence + handoff gate* — count-engine success
+       probability is bounded below, and runs with the
+       :class:`~repro.analysis.MeanFieldHandoff` gate enabled must match
+       the fully stochastic success proportion (the gate only fires
+       where the O(1/sqrt(n)) fluctuation cannot change the basin).
+    3. *SSF first-epoch weak law* — non-source weak opinions after one
+       flush, fast vs count, padded by the same 0.05 modelling tolerance
+       as the reference-vs-fast check (agents share the random initial
+       display counts within a trial).
+    4. *SSF convergence reliability* — count SSF reaches stable
+       consensus w.h.p. on the same grid the fast engine is held to.
+    5. *Mean-field exactness* — :class:`~repro.analysis.MeanFieldEngine`
+       must reproduce the count engine's closed-form weak probability
+       bit-for-bit and run to the all-correct fixed point.
+    """
+    from ..analysis import MeanFieldEngine, MeanFieldHandoff
+
+    # Leg 1: SF weak-opinion law, count vs fast, pooled over agents.
+    config, delta, schedule = _sf_weak_setup()
+    trials = 8 if scale == "quick" else 30
+    confidence = 1 - 1e-5
+    fast_correct = 0
+    count_correct = 0
+    for seed in range(trials):
+        weak = FastSourceFilter(
+            config, delta, schedule=schedule
+        ).draw_weak_opinions(np.random.default_rng(seed))
+        fast_correct += int((weak == config.correct_opinion).sum())
+        count_engine = CountSourceFilter(config, delta, schedule=schedule)
+        count_engine.run(rng=np.random.default_rng(20_000 + seed))
+        ones = count_engine.weak_count
+        count_correct += ones if config.correct_opinion == 1 else config.n - ones
+    pooled = trials * config.n
+    assert_proportions_close(
+        fast_correct,
+        pooled,
+        count_correct,
+        pooled,
+        confidence=confidence,
+        context="fast vs count SF weak-opinion law",
+        budget=budget,
+    )
+
+    # Leg 2: SF convergence reliability + the mean-field handoff gate.
+    conv_config = PopulationConfig(n=400, sources=SourceCounts(1, 6), h=8)
+    conv_delta = 0.2
+    seeds = 40 if scale == "quick" else 200
+    count_ok = sum(
+        CountSourceFilter(conv_config, conv_delta).run(rng=seed).converged
+        for seed in range(seeds)
+    )
+    assert_success_probability(
+        int(count_ok),
+        seeds,
+        0.8,
+        confidence=1 - 1e-6,
+        context="count SF convergence reliability",
+        budget=budget,
+    )
+    hybrid_ok = sum(
+        CountSourceFilter(
+            conv_config, conv_delta, handoff=MeanFieldHandoff()
+        ).run(rng=1_000_000 + seed).converged
+        for seed in range(seeds)
+    )
+    assert_proportions_close(
+        int(count_ok),
+        seeds,
+        int(hybrid_ok),
+        seeds,
+        confidence=confidence,
+        context="handoff-gated vs fully stochastic count SF success",
+        budget=budget,
+    )
+
+    # Leg 3: SSF first-epoch weak-opinion law, fast vs count.
+    ssf_config = PopulationConfig(n=80, sources=SourceCounts(1, 3), h=8)
+    ssf_delta = 0.1
+    ssf_schedule = SSFSchedule.from_config(ssf_config, ssf_delta, m=64)
+    ssf_trials = 6 if scale == "quick" else 25
+    nonsources = ssf_config.n - ssf_config.num_sources
+    fast_weak_correct = 0
+    count_weak_correct = 0
+    for seed in range(ssf_trials):
+        fast = FastSelfStabilizingSourceFilter(
+            ssf_config, ssf_delta, schedule=ssf_schedule
+        )
+        fast.run(
+            max_rounds=ssf_schedule.epoch_rounds, rng=seed,
+            stop_on_consensus=False,
+        )
+        fast_weak_correct += int(
+            (fast.weak[ssf_config.num_sources:] == ssf_config.correct_opinion).sum()
+        )
+        protocol = CountSelfStabilizingSourceFilter(
+            ssf_config, ssf_delta, schedule=ssf_schedule
+        )
+        protocol.run(
+            max_rounds=ssf_schedule.epoch_rounds,
+            rng=np.random.default_rng(30_000 + seed),
+            stop_on_consensus=False,
+        )
+        ones = protocol.weak_count
+        count_weak_correct += (
+            ones if ssf_config.correct_opinion == 1 else nonsources - ones
+        )
+    ssf_pooled = ssf_trials * nonsources
+    assert_proportions_close(
+        fast_weak_correct,
+        ssf_pooled,
+        count_weak_correct,
+        ssf_pooled,
+        confidence=confidence,
+        extra_tolerance=0.05,
+        context="fast vs count SSF first-epoch weak-opinion law",
+        budget=budget,
+    )
+
+    # Leg 4: SSF convergence reliability on the fast engine's grid.
+    ssf_conv_config = PopulationConfig(n=64, sources=SourceCounts(0, 2), h=32)
+    ssf_conv_delta = 0.05
+    ssf_seeds = 10 if scale == "quick" else 30
+    ssf_ok = sum(
+        CountSelfStabilizingSourceFilter(ssf_conv_config, ssf_conv_delta)
+        .run(rng=seed)
+        .converged
+        for seed in range(ssf_seeds)
+    )
+    assert_success_probability(
+        int(ssf_ok),
+        ssf_seeds,
+        0.8,
+        confidence=1 - 1e-6,
+        context="count SSF convergence reliability",
+        budget=budget,
+    )
+
+    # Leg 5: mean-field engine is exact on the count engine's weak law
+    # and runs to the all-correct fixed point (deterministic).
+    mf_config = PopulationConfig(n=1_000_000, sources=SourceCounts(0, 4), h=16)
+    mf = MeanFieldEngine(mf_config, conv_delta).run()
+    expected = CountSourceFilter(
+        mf_config, conv_delta
+    ).expected_weak_probability()
+    if abs(mf.weak_fraction_correct - expected) > 1e-12:
+        raise ConfigurationError(
+            f"mean-field weak probability {mf.weak_fraction_correct!r} "
+            f"deviates from the count engine's closed form {expected!r}"
+        )
+    if not mf.converged or mf.final_fraction_correct != 1.0:
+        raise ConfigurationError(
+            f"mean-field SF failed to reach the all-correct fixed point "
+            f"(converged={mf.converged}, "
+            f"final={mf.final_fraction_correct})"
+        )
+    return (
+        f"SF weak rates {fast_correct / pooled:.4f} vs "
+        f"{count_correct / pooled:.4f} over {pooled} agents; "
+        f"count SF {count_ok}/{seeds}, handoff {hybrid_ok}/{seeds}; "
+        f"SSF weak rates {fast_weak_correct / ssf_pooled:.4f} vs "
+        f"{count_weak_correct / ssf_pooled:.4f}; count SSF "
+        f"{ssf_ok}/{ssf_seeds}; mean-field exact + fixed point"
+    )
+
+
 _CHECKS: List[tuple] = [
     ("reference-vs-batched-sf", "exact", _check_reference_vs_batched),
     ("corrupt-vs-corrupt-with-uniforms", "exact", _check_corrupt_equivalence),
@@ -564,6 +744,7 @@ _CHECKS: List[tuple] = [
     ("sync-vs-async-ssf", "statistical", _check_sync_vs_async_ssf),
     ("resilience", "exact", _check_resilience),
     ("faults", "statistical", _check_faults),
+    ("count", "statistical", _check_count_engines),
 ]
 
 

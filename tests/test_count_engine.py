@@ -1,0 +1,392 @@
+"""Tests for the count-level engine stack.
+
+Three layers of evidence that the exchangeability collapse is faithful:
+
+* **exact** — engine mechanics pinned with a deterministic toy protocol,
+  plus a fully mean-field-gated SF run checked against the closed-form
+  weak law;
+* **statistical** — count vs fast conformance on the weak law and on
+  end-to-end convergence rates, under one shared
+  :class:`~repro.verify.FalsePositiveBudget` (the heavyweight version
+  lives in the ``count`` leg of ``repro-spreading verify``);
+* **property** — Hypothesis invariants on the count state through full
+  runs (counts non-negative, conserved, traces in [0, 1]).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import MeanFieldEngine, MeanFieldHandoff
+from repro.exceptions import ConfigurationError
+from repro.faults import ByzantineDisplayFault, IdentityFaultModel
+from repro.model import PopulationConfig
+from repro.model.count_engine import CountProtocol, CountPullEngine
+from repro.noise import NoiseMatrix
+from repro.protocols import (
+    CountSelfStabilizingSourceFilter,
+    CountSourceFilter,
+    FastSelfStabilizingSourceFilter,
+    FastSourceFilter,
+)
+from repro.types import SourceCounts
+from repro.verify import FalsePositiveBudget, assert_proportions_close
+from repro.verify.strategies import population_configs
+
+#: Shared across every statistical assertion in this module so the
+#: family-wise false-positive probability stays below one in a thousand.
+BUDGET = FalsePositiveBudget(total=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Deterministic toy protocol: pins the engine mechanics exactly.
+# ----------------------------------------------------------------------
+class _Ramp(CountProtocol):
+    """1-count climbs by ``step`` per gap — no randomness anywhere."""
+
+    alphabet_size = 2
+
+    def __init__(self, n: int, step: int, gap: int = 2):
+        self.n = n
+        self.step = step
+        self._gap = gap
+        self.ones = 0
+
+    def reset(self, rng):
+        self.ones = 0
+
+    def display_counts(self):
+        return np.array([self.n - self.ones, self.ones], dtype=np.int64)
+
+    def gap(self, round_index):
+        return self._gap
+
+    def advance(self, round_index, gap, q, rng):
+        self.ones = min(self.n, self.ones + self.step)
+
+    def opinion_counts(self):
+        return np.array([self.n - self.ones, self.ones], dtype=np.int64)
+
+
+def _toy_config(n: int = 10) -> PopulationConfig:
+    return PopulationConfig(n=n, sources=SourceCounts(0, 2), h=2)
+
+
+class TestCountPullEngineMechanics:
+    def test_ramp_consensus_tracking(self):
+        config = _toy_config()
+        engine = CountPullEngine(config, 0.1)
+        result = engine.run(
+            _Ramp(10, step=4),
+            max_rounds=20,
+            stop_on_consensus=True,
+            consensus_patience=4,
+            record_trace=True,
+        )
+        # ones: 4 @ t=2, 8 @ t=4, 10 @ t=6 — consensus from round 5,
+        # patience 4 satisfied at round 9 (t = 10).
+        assert result.converged
+        assert result.consensus_round == 5
+        assert result.rounds_executed == 10
+        assert result.final_opinion_counts.tolist() == [0, 10]
+        assert [r.round_index for r in result.trace] == [1, 3, 5, 7, 9]
+        assert [r.fraction_correct for r in result.trace] == [
+            0.4,
+            0.8,
+            1.0,
+            1.0,
+            1.0,
+        ]
+
+    def test_max_rounds_truncates_final_gap(self):
+        result = CountPullEngine(_toy_config(), 0.1).run(
+            _Ramp(10, step=4), max_rounds=3
+        )
+        assert result.rounds_executed == 3
+        assert not result.converged
+
+    def test_zero_max_rounds_runs_nothing(self):
+        result = CountPullEngine(_toy_config(), 0.1).run(
+            _Ramp(10, step=4), max_rounds=0
+        )
+        assert result.rounds_executed == 0
+        assert not result.converged
+        assert result.final_opinion_counts.tolist() == [10, 0]
+
+    def test_seed_recorded(self):
+        result = CountPullEngine(_toy_config(), 0.1).run(
+            _Ramp(10, step=4), max_rounds=4, rng=42
+        )
+        assert result.seed == 42
+
+
+class TestCountPullEngineValidation:
+    def test_negative_max_rounds(self):
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            CountPullEngine(_toy_config(), 0.1).run(
+                _Ramp(10, step=4), max_rounds=-1
+            )
+
+    def test_bad_display_shape(self):
+        class _BadShape(_Ramp):
+            def display_counts(self):
+                return np.zeros(3, dtype=np.int64)
+
+        with pytest.raises(ConfigurationError, match="shape"):
+            CountPullEngine(_toy_config(), 0.1).run(
+                _BadShape(10, step=4), max_rounds=4
+            )
+
+    def test_bad_display_sum(self):
+        class _BadSum(_Ramp):
+            def display_counts(self):
+                return np.array([5, 6], dtype=np.int64)
+
+        with pytest.raises(ConfigurationError, match="sum"):
+            CountPullEngine(_toy_config(), 0.1).run(
+                _BadSum(10, step=4), max_rounds=4
+            )
+
+    def test_bad_gap(self):
+        class _BadGap(_Ramp):
+            def gap(self, round_index):
+                return 0
+
+        with pytest.raises(ConfigurationError, match="gap"):
+            CountPullEngine(_toy_config(), 0.1).run(
+                _BadGap(10, step=4), max_rounds=4
+            )
+
+    def test_noise_matrix_alphabet_mismatch(self):
+        engine = CountPullEngine(_toy_config(), NoiseMatrix.uniform(0.1, 4))
+        with pytest.raises(ConfigurationError, match="alphabet"):
+            engine.run(_Ramp(10, step=4), max_rounds=4)
+
+    def test_non_null_fault_model_rejected(self):
+        fault = ByzantineDisplayFault(fraction=0.25, mode="random")
+        with pytest.raises(ConfigurationError, match="fault"):
+            CountPullEngine(_toy_config(), 0.1, fault_model=fault)
+        with pytest.raises(ConfigurationError, match="fault"):
+            CountSourceFilter(_toy_config(), 0.1, fault_model=fault)
+        with pytest.raises(ConfigurationError, match="fault"):
+            CountSelfStabilizingSourceFilter(
+                _toy_config(), 0.05, fault_model=fault
+            )
+
+    def test_null_fault_model_accepted(self):
+        null = IdentityFaultModel()
+        result = CountSourceFilter(
+            _toy_config(64), 0.1, fault_model=null
+        ).run(rng=0)
+        assert result.final_opinion_counts.sum() == 64
+
+
+# ----------------------------------------------------------------------
+# Mean-field handoff gate
+# ----------------------------------------------------------------------
+class TestMeanFieldHandoff:
+    def test_threshold(self):
+        handoff = MeanFieldHandoff()
+        n = 10_000  # gate half-width 8/sqrt(n) = 0.08
+        assert handoff.gate_width(n) == pytest.approx(0.08)
+        assert handoff.use_deterministic(0.60, n)
+        assert handoff.use_deterministic(0.05, n)
+        assert not handoff.use_deterministic(0.55, n)
+        assert not handoff.use_deterministic(0.5, n)
+
+    def test_custom_critical(self):
+        handoff = MeanFieldHandoff(width_constant=1.0, critical=0.25)
+        assert handoff.use_deterministic(0.5, 100)
+        assert not handoff.use_deterministic(0.3, 100)
+
+    def test_gate_width_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            MeanFieldHandoff().gate_width(0)
+
+    def test_zero_width_handoff_is_fully_deterministic(self):
+        # width_constant = 0 approves every draw with p != 1/2, so two
+        # runs with different seeds must agree bit-for-bit and the weak
+        # count must equal the rounded closed-form law.
+        config = PopulationConfig(n=100_000, sources=SourceCounts(0, 4), h=16)
+        protocols = [
+            CountSourceFilter(
+                config, 0.2, handoff=MeanFieldHandoff(width_constant=0.0)
+            )
+            for _ in range(2)
+        ]
+        results = [p.run(rng=seed) for p, seed in zip(protocols, (1, 2))]
+        assert (
+            results[0].final_opinion_counts.tolist()
+            == results[1].final_opinion_counts.tolist()
+        )
+        assert protocols[0].weak_count == protocols[1].weak_count
+        expected = round(config.n * protocols[0].expected_weak_probability())
+        assert protocols[0].weak_count == expected
+        assert results[0].converged
+
+
+# ----------------------------------------------------------------------
+# Mean-field engine (the pure n -> infinity limit)
+# ----------------------------------------------------------------------
+class TestMeanFieldEngine:
+    CONFIG = PopulationConfig(n=1_000_000, sources=SourceCounts(0, 4), h=16)
+
+    def test_deterministic_and_rng_blind(self):
+        a = MeanFieldEngine(self.CONFIG, 0.2).run(rng=123)
+        b = MeanFieldEngine(self.CONFIG, 0.2).run()
+        assert a == b
+
+    def test_weak_law_matches_count_transition_exactly(self):
+        mf = MeanFieldEngine(self.CONFIG, 0.2).run()
+        law = CountSourceFilter(self.CONFIG, 0.2).expected_weak_probability()
+        assert mf.weak_fraction_correct == pytest.approx(law, abs=1e-12)
+
+    def test_converges_to_fixed_point(self):
+        result = MeanFieldEngine(self.CONFIG, 0.2).run()
+        assert result.converged
+        assert result.final_fraction_correct == 1.0
+        schedule = MeanFieldEngine(self.CONFIG, 0.2).schedule
+        assert len(result.trace) == schedule.num_subphases + 1
+        assert all(0.0 <= f <= 1.0 for f in result.trace)
+        assert result.total_rounds == schedule.total_rounds
+
+
+# ----------------------------------------------------------------------
+# Statistical conformance: count vs fast, one shared budget
+# ----------------------------------------------------------------------
+@pytest.mark.statistical
+class TestCountConformance:
+    def test_sf_weak_law_matches_fast(self):
+        config = PopulationConfig(n=120, sources=SourceCounts(1, 4), h=6)
+        delta, trials = 0.15, 20
+        fast_ones = count_ones = 0
+        for seed in range(trials):
+            weak = FastSourceFilter(config, delta).draw_weak_opinions(
+                np.random.default_rng(seed)
+            )
+            fast_ones += int(weak.sum())
+            protocol = CountSourceFilter(config, delta)
+            protocol.run(rng=np.random.default_rng(10_000 + seed))
+            count_ones += protocol.weak_count
+        assert_proportions_close(
+            fast_ones,
+            trials * config.n,
+            count_ones,
+            trials * config.n,
+            confidence=1 - 1e-5,
+            context="SF weak law, fast vs count",
+            budget=BUDGET,
+        )
+
+    def test_sf_convergence_rate_matches_fast(self):
+        config = PopulationConfig(n=400, sources=SourceCounts(1, 6), h=8)
+        delta, seeds = 0.2, 25
+        fast_ok = sum(
+            FastSourceFilter(config, delta).run(rng=seed).converged
+            for seed in range(seeds)
+        )
+        count_ok = sum(
+            CountSourceFilter(config, delta)
+            .run(rng=np.random.default_rng(500 + seed))
+            .converged
+            for seed in range(seeds)
+        )
+        assert_proportions_close(
+            fast_ok,
+            seeds,
+            count_ok,
+            seeds,
+            confidence=1 - 1e-5,
+            context="SF convergence rate, fast vs count",
+            budget=BUDGET,
+        )
+
+    def test_ssf_convergence_rate_matches_fast(self):
+        config = PopulationConfig(n=64, sources=SourceCounts(0, 2), h=32)
+        delta, seeds = 0.05, 15
+        fast_ok = sum(
+            FastSelfStabilizingSourceFilter(config, delta)
+            .run(rng=seed)
+            .converged
+            for seed in range(seeds)
+        )
+        count_ok = sum(
+            CountSelfStabilizingSourceFilter(config, delta)
+            .run(rng=np.random.default_rng(900 + seed))
+            .converged
+            for seed in range(seeds)
+        )
+        assert_proportions_close(
+            fast_ok,
+            seeds,
+            count_ok,
+            seeds,
+            confidence=1 - 1e-5,
+            context="SSF convergence rate, fast vs count",
+            budget=BUDGET,
+        )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis property tests: count-vector invariants through full runs
+# ----------------------------------------------------------------------
+configs = population_configs(min_n=16, max_n=256, max_h=32, max_sources=4)
+
+
+class TestCountProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        config=configs,
+        delta=st.floats(min_value=0.0, max_value=0.4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_sf_count_invariants(self, config, delta, seed):
+        protocol = CountSourceFilter(config, delta)
+        result = protocol.run(rng=seed)
+        final = result.final_opinion_counts
+        assert final.shape == (2,)
+        assert final.min() >= 0
+        assert int(final.sum()) == config.n
+        assert 0 <= protocol.weak_count <= config.n
+        assert result.rounds_executed == protocol.schedule.total_rounds
+        assert len(protocol.boost_trace) == protocol.schedule.num_subphases + 1
+        assert all(0.0 <= f <= 1.0 for f in protocol.boost_trace)
+        assert result.seed == seed
+        if result.converged:
+            assert int(final[config.correct_opinion]) == config.n
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        config=configs,
+        delta=st.floats(min_value=0.0, max_value=0.2),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_ssf_count_invariants(self, config, delta, seed):
+        protocol = CountSelfStabilizingSourceFilter(config, delta)
+        result = protocol.run(rng=seed)
+        displays = protocol.display_counts()
+        assert displays.shape == (4,)
+        assert displays.min() >= 0
+        assert int(displays.sum()) == config.n
+        assert 0 <= protocol.weak_count <= config.n - config.num_sources
+        final = result.final_opinion_counts
+        assert final.min() >= 0
+        assert int(final.sum()) == config.n
+        assert result.rounds_executed <= 20 * protocol.schedule.epoch_rounds
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        config=configs,
+        delta=st.floats(min_value=0.0, max_value=0.4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_sf_handoff_preserves_invariants(self, config, delta, seed):
+        protocol = CountSourceFilter(
+            config, delta, handoff=MeanFieldHandoff()
+        )
+        result = protocol.run(rng=seed)
+        final = result.final_opinion_counts
+        assert final.min() >= 0
+        assert int(final.sum()) == config.n
+        assert 0 <= protocol.weak_count <= config.n

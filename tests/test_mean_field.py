@@ -116,7 +116,11 @@ class TestIterateMap:
     def test_rounds_to_reach(self):
         trajectory = iterate_map(lambda x: min(x + 0.1, 1.0), 0.0, 20)
         assert trajectory.rounds_to_reach(0.35) == 4
-        assert trajectory.rounds_to_reach(2.0) == -1
+
+    def test_rounds_to_reach_unreachable_raises(self):
+        trajectory = iterate_map(lambda x: min(x + 0.1, 1.0), 0.0, 20)
+        with pytest.raises(ValueError, match="never reaches threshold"):
+            trajectory.rounds_to_reach(2.0)
 
     def test_tolerance_stops_early(self):
         trajectory = iterate_map(lambda x: x, 0.5, 1000, tolerance=1e-9)

@@ -1,0 +1,189 @@
+"""Tests for repro.theory.tails: O(1) binomial tails for the count engine.
+
+Cross-validated against the repo's exact O(n) oracles
+(:func:`repro.verify.binomial_sf`,
+:func:`repro.theory.exact_majority_advantage`) and Monte Carlo.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.theory import exact_majority_advantage
+from repro.theory.tails import (
+    EXACT_COMPARISON_LIMIT,
+    binomial_tail_ge,
+    binomial_vs_binomial_probability,
+    majority_success_probability,
+    multinomial_pair_gt_probability,
+    regularized_incomplete_beta,
+)
+from repro.verify import binomial_sf
+
+
+class TestRegularizedIncompleteBeta:
+    def test_symmetry_identity(self):
+        # I_x(a, b) = 1 - I_{1-x}(b, a)
+        for a, b, x in [(2.0, 5.0, 0.3), (10.0, 1.0, 0.9), (7.5, 7.5, 0.5)]:
+            assert regularized_incomplete_beta(
+                a, b, x
+            ) == pytest.approx(
+                1.0 - regularized_incomplete_beta(b, a, 1.0 - x), abs=1e-12
+            )
+
+    def test_endpoints(self):
+        assert regularized_incomplete_beta(3.0, 4.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(3.0, 4.0, 1.0) == 1.0
+
+    def test_uniform_case(self):
+        # a = b = 1 is the uniform CDF: I_x(1, 1) = x.
+        for x in (0.1, 0.5, 0.93):
+            assert regularized_incomplete_beta(1.0, 1.0, x) == pytest.approx(
+                x, abs=1e-12
+            )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            regularized_incomplete_beta(1.0, -1.0, 0.5)
+
+    def test_out_of_range_x_clamps(self):
+        # x outside [0, 1] clamps to the nearest endpoint (the engine
+        # feeds float-rounded probabilities through here).
+        assert regularized_incomplete_beta(1.0, 1.0, 1.5) == 1.0
+        assert regularized_incomplete_beta(1.0, 1.0, -0.5) == 0.0
+
+
+class TestBinomialTailGe:
+    @pytest.mark.parametrize("n,p", [(10, 0.3), (100, 0.5), (541, 0.17), (2000, 0.85)])
+    def test_matches_exact_sum(self, n, p):
+        for k in [0, 1, n // 3, n // 2, n - 1, n]:
+            assert binomial_tail_ge(k, n, p) == pytest.approx(
+                binomial_sf(k, n, p), abs=1e-10
+            )
+
+    def test_edge_cases(self):
+        assert binomial_tail_ge(0, 10, 0.4) == 1.0
+        assert binomial_tail_ge(-3, 10, 0.4) == 1.0
+        assert binomial_tail_ge(11, 10, 0.4) == 0.0
+        assert binomial_tail_ge(5, 10, 0.0) == 0.0
+        assert binomial_tail_ge(5, 10, 1.0) == 1.0
+        assert binomial_tail_ge(0, 0, 0.3) == 1.0
+
+    def test_large_n_stays_normalized(self):
+        # The continued fraction must stay stable far beyond any exact sum.
+        value = binomial_tail_ge(500_000, 1_000_000, 0.5)
+        assert 0.49 < value < 0.51
+        assert binomial_tail_ge(1, 10**9, 0.5) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMajoritySuccessProbability:
+    @pytest.mark.parametrize("q,w", [(0.6, 11), (0.6, 12), (0.5, 101), (0.9, 4), (0.31, 333)])
+    def test_matches_rademacher_oracle(self, q, w):
+        # P(majority) = (1 + (P(X>0) - P(X<0))) / 2 for X the Rademacher
+        # sum with per-step success q (ties split evenly on both sides).
+        oracle = (1.0 + exact_majority_advantage(q - 0.5, w)) / 2.0
+        assert majority_success_probability(q, w) == pytest.approx(
+            oracle, abs=1e-10
+        )
+
+    def test_zero_window_is_coin_flip(self):
+        assert majority_success_probability(0.7, 0) == 0.5
+
+    def test_symmetry(self):
+        for q, w in [(0.3, 17), (0.45, 40)]:
+            assert majority_success_probability(
+                q, w
+            ) == pytest.approx(
+                1.0 - majority_success_probability(1.0 - q, w), abs=1e-12
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            majority_success_probability(1.2, 10)
+        with pytest.raises(ConfigurationError):
+            majority_success_probability(0.5, -1)
+
+
+class TestBinomialVsBinomial:
+    def test_symmetric_case_is_half(self):
+        # C1 ~ Bin(s, q), C0 ~ Bin(s, q): P(C1 > C0) + P(=)/2 = 1/2.
+        assert binomial_vs_binomial_probability(
+            50, 0.3, 50, 0.3
+        ) == pytest.approx(0.5, abs=1e-12)
+
+    @pytest.mark.statistical
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(7)
+        cases = [(60, 0.25, 40, 0.2), (200, 0.55, 200, 0.5), (30, 0.1, 90, 0.05)]
+        for t1, p1, t0, p0 in cases:
+            samples = 200_000
+            c1 = rng.binomial(t1, p1, size=samples)
+            c0 = rng.binomial(t0, p0, size=samples)
+            estimate = np.mean((c1 > c0) + 0.5 * (c1 == c0))
+            exact = binomial_vs_binomial_probability(t1, p1, t0, p0)
+            # 200k samples: 4-sigma radius ~ 0.0045.
+            assert exact == pytest.approx(estimate, abs=0.005)
+
+    def test_normal_branch_continuity(self):
+        # Exact and normal-approximation branches must agree near the
+        # crossover trial count.
+        t = EXACT_COMPARISON_LIMIT // 2
+        exact = binomial_vs_binomial_probability(t, 0.52, t, 0.5)
+        approx = binomial_vs_binomial_probability(
+            EXACT_COMPARISON_LIMIT, 0.52, EXACT_COMPARISON_LIMIT, 0.5
+        )
+        # Same drift direction and a smooth handoff: the larger sample
+        # is strictly more separating.
+        assert 0.5 < exact < approx < 1.0
+
+    def test_dominant_side_wins(self):
+        assert binomial_vs_binomial_probability(400, 0.8, 400, 0.2) > 1 - 1e-9
+        assert binomial_vs_binomial_probability(400, 0.2, 400, 0.8) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            binomial_vs_binomial_probability(-1, 0.5, 10, 0.5)
+        with pytest.raises(ConfigurationError):
+            binomial_vs_binomial_probability(10, 1.5, 10, 0.5)
+
+
+class TestMultinomialPairGt:
+    def test_zero_mass_is_coin_flip(self):
+        assert multinomial_pair_gt_probability(100, 0.0, 0.0) == 0.5
+        assert multinomial_pair_gt_probability(0, 0.3, 0.2) == 0.5
+
+    def test_symmetric_coordinates_are_half(self):
+        assert multinomial_pair_gt_probability(80, 0.25, 0.25) == pytest.approx(
+            0.5, abs=1e-12
+        )
+
+    @pytest.mark.statistical
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(11)
+        cases = [(64, 0.1, 0.05), (200, 0.3, 0.25), (48, 0.02, 0.01)]
+        for trials, p_plus, p_minus in cases:
+            samples = 200_000
+            draws = rng.multinomial(
+                trials, [p_plus, p_minus, 1.0 - p_plus - p_minus], size=samples
+            )
+            estimate = np.mean(
+                (draws[:, 0] > draws[:, 1]) + 0.5 * (draws[:, 0] == draws[:, 1])
+            )
+            exact = multinomial_pair_gt_probability(trials, p_plus, p_minus)
+            assert exact == pytest.approx(estimate, abs=0.005)
+
+    def test_normal_branch_matches_exact_shape(self):
+        # Force the normal branch with a huge trial count and check it
+        # sits between the exact values of nearby smaller cases.
+        big = multinomial_pair_gt_probability(10 * EXACT_COMPARISON_LIMIT, 0.02, 0.019)
+        assert 0.5 < big < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            multinomial_pair_gt_probability(10, 0.8, 0.3)  # mass > 1
+        with pytest.raises(ConfigurationError):
+            multinomial_pair_gt_probability(-1, 0.1, 0.1)
