@@ -1,14 +1,17 @@
 """Benchmark regression gate: thresholds + staleness for BENCH_*.json.
 
 The repo commits machine-readable benchmark records at its root
-(``BENCH_engine_throughput.json``, ``BENCH_count_engine.json``).  This
-module is the CI gate over them:
+(``BENCH_engine_throughput.json``, ``BENCH_count_engine.json``,
+``BENCH_service_load.json``).  This module is the CI gate over them:
 
 * **Thresholds** — the committed numbers must back the performance
   claims the docs make: the batched exact engine is never slower than
   the serial loop at n = 1024 (a regression fixed once and kept fixed),
   and the count-level engine is at least 10x the batched exact engine's
   extrapolated per-round cost at n = 10^6 (in practice it is >10^3x).
+  The run service's content-addressed cache must serve a hit at least
+  10x faster than cold recomputation, and the HTTP front-end must
+  sustain a floor of ``GET /health`` requests per second.
 * **Staleness** — each record stores a digest of the engine source
   files that produced it.  When those sources change, the digest stops
   matching and the gate fails until the benchmarks are re-run and the
@@ -45,12 +48,28 @@ ENGINE_SOURCES = [
     "src/repro/analysis/mean_field.py",
 ]
 
+#: Source files whose behavior the service-load record measures —
+#: the HTTP front-end, cache, job ledger, and the registry seam the
+#: service routes every run through.
+SERVICE_SOURCES = [
+    "src/repro/service/server.py",
+    "src/repro/service/cache.py",
+    "src/repro/service/jobs.py",
+    "src/repro/service/client.py",
+    "src/repro/engines.py",
+]
+
 ENGINE_THROUGHPUT_JSON = REPO_ROOT / "BENCH_engine_throughput.json"
 COUNT_ENGINE_JSON = REPO_ROOT / "BENCH_count_engine.json"
+SERVICE_LOAD_JSON = REPO_ROOT / "BENCH_service_load.json"
 
 #: Gate thresholds (see module docstring).
 MIN_BATCHED_SPEEDUP_N1024 = 1.0
 MIN_COUNT_VS_BATCHED_N1E6 = 10.0
+#: A cache hit must beat cold recomputation by at least this factor.
+MIN_CACHE_HIT_SPEEDUP = 10.0
+#: Floor on the service's fixed per-request overhead (GET /health).
+MIN_HEALTH_RPS = 25.0
 
 
 def engine_sources_digest() -> str:
@@ -65,20 +84,45 @@ def engine_sources_digest() -> str:
     return hasher.hexdigest()
 
 
+def service_sources_digest() -> str:
+    """Stable digest of the service sources (content, not mtimes)."""
+    hasher = hashlib.sha256()
+    for relative in SERVICE_SOURCES:
+        path = REPO_ROOT / relative
+        hasher.update(relative.encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes() if path.exists() else b"<missing>")
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
+#: Which benchmark module regenerates each committed record.
+_BENCH_FOR = {
+    "BENCH_engine_throughput.json": "bench_engine_throughput.py",
+    "BENCH_count_engine.json": "bench_count_engine.py",
+    "BENCH_service_load.json": "bench_service_load.py",
+}
+
+
 def _load(path: pathlib.Path) -> Dict[str, object]:
     if not path.exists():
+        bench = _BENCH_FOR.get(path.name, "the benchmarks")
         raise AssertionError(
-            f"{path.name} is missing — run the benchmarks "
-            f"(PYTHONPATH=src python -m pytest benchmarks/"
-            f"bench_engine_throughput.py benchmarks/bench_count_engine.py "
-            f"-q --benchmark-disable) and commit the refreshed records"
+            f"{path.name} is missing — run the benchmark "
+            f"(PYTHONPATH=src python -m pytest benchmarks/{bench} "
+            f"-q --benchmark-disable) and commit the refreshed record"
         )
     return json.loads(path.read_text())
 
 
-def _check_staleness(payload: Dict[str, object], name: str, errors: List[str]):
+def _check_staleness(
+    payload: Dict[str, object],
+    name: str,
+    errors: List[str],
+    digest_fn=engine_sources_digest,
+):
     recorded = payload.get("sources_digest")
-    current = engine_sources_digest()
+    current = digest_fn()
     if recorded is None:
         errors.append(
             f"{name}: no sources_digest recorded — re-run the benchmarks "
@@ -168,6 +212,57 @@ def check(verbose: bool = True) -> List[str]:
             print(
                 f"  PASS  count SF n=1e8: {case.get('seconds')}s, "
                 f"peak {peak / 1e6:.2f} MB"
+            )
+
+    service = _load(SERVICE_LOAD_JSON)
+    _check_staleness(
+        service, SERVICE_LOAD_JSON.name, errors,
+        digest_fn=service_sources_digest,
+    )
+    hit_cases = [
+        case
+        for case in service.get("cases", [])
+        if case.get("case") == "run_cache_hit"
+    ]
+    if not hit_cases:
+        errors.append(
+            f"{SERVICE_LOAD_JSON.name}: no run_cache_hit case — the "
+            f"content-addressed cache claim is unmeasured"
+        )
+    for case in hit_cases:
+        speedup = float(case.get("speedup", 0.0))
+        if speedup < MIN_CACHE_HIT_SPEEDUP:
+            errors.append(
+                f"service cache hit: {speedup:.1f}x < "
+                f"{MIN_CACHE_HIT_SPEEDUP}x over cold recomputation — the "
+                f"cache no longer pays for itself"
+            )
+        elif verbose:
+            print(
+                f"  PASS  service cache hit: {speedup:.1f}x vs cold run "
+                f"(hit p99 {case.get('hit_p99_ms')} ms)"
+            )
+    health_cases = [
+        case
+        for case in service.get("cases", [])
+        if case.get("case") == "health_throughput"
+    ]
+    if not health_cases:
+        errors.append(
+            f"{SERVICE_LOAD_JSON.name}: no health_throughput case — the "
+            f"per-request overhead is unmeasured"
+        )
+    for case in health_cases:
+        rps = float(case.get("requests_per_sec", 0.0))
+        if rps < MIN_HEALTH_RPS:
+            errors.append(
+                f"service GET /health: {rps:.1f} req/s < {MIN_HEALTH_RPS} "
+                f"— the front-end's fixed per-request cost regressed"
+            )
+        elif verbose:
+            print(
+                f"  PASS  service GET /health: {rps:.1f} req/s "
+                f"(p99 {case.get('p99_ms')} ms)"
             )
 
     return errors

@@ -53,6 +53,18 @@ COUNT_ENGINE_JSON = pathlib.Path(__file__).parent.parent / (
 )
 
 
+#: Service load measurements, filled in by ``bench_service_load.py``
+#: via :func:`record_service_load` and flushed to
+#: ``BENCH_service_load.json`` at the repo root; gated by
+#: ``benchmarks/check_regression.py`` in CI (cache-hit speedup floor,
+#: request-throughput floor).
+SERVICE_LOAD_RESULTS: List[Dict[str, object]] = []
+
+SERVICE_LOAD_JSON = pathlib.Path(__file__).parent.parent / (
+    "BENCH_service_load.json"
+)
+
+
 def record_engine_throughput(case: Dict[str, object]) -> None:
     """Queue one throughput measurement for the end-of-session JSON."""
     ENGINE_THROUGHPUT_RESULTS.append(case)
@@ -66,6 +78,11 @@ def record_telemetry_overhead(case: Dict[str, object]) -> None:
 def record_count_engine(case: Dict[str, object]) -> None:
     """Queue one count-engine measurement for the end-of-session JSON."""
     COUNT_ENGINE_RESULTS.append(case)
+
+
+def record_service_load(case: Dict[str, object]) -> None:
+    """Queue one service-load measurement for the end-of-session JSON."""
+    SERVICE_LOAD_RESULTS.append(case)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -100,6 +117,17 @@ def pytest_sessionfinish(session, exitstatus):
             "cases": COUNT_ENGINE_RESULTS,
         }
         COUNT_ENGINE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    if SERVICE_LOAD_RESULTS:
+        from .check_regression import service_sources_digest
+
+        payload = {
+            "benchmark": "service_load",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "sources_digest": service_sources_digest(),
+            "cases": SERVICE_LOAD_RESULTS,
+        }
+        SERVICE_LOAD_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def emit_table(

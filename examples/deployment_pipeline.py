@@ -11,10 +11,17 @@ user would run:
 3. **reduce** — build the artificial channel P = N^-1 T (Theorem 8);
 4. **spread** — disseminate an 8-bit payload from two sources with the
    time-multiplexed multi-bit Source Filter, under the *reduced* uniform
-   noise level.
+   noise level;
+5. **validate as a service** — submit a seeded validation sweep at the
+   reduced noise level through the run server (``repro.service``,
+   ``docs/serving.md``) and re-submit it to show the second request
+   coming back from the content-addressed cache.
 
 Run:  python examples/deployment_pipeline.py
 """
+
+import tempfile
+import time
 
 import numpy as np
 
@@ -25,6 +32,7 @@ from repro.noise import (
     probes_needed,
 )
 from repro.protocols import MultiBitSourceFilter
+from repro.service import ServiceClient, ServiceThread
 
 PAYLOAD = 0b10110010  # the 8-bit rumor the sources hold
 
@@ -72,6 +80,42 @@ def main() -> None:
         f"{result.total_rounds} multiplexed rounds"
     )
     assert result.value == PAYLOAD
+
+    # 5. Validate the deployment through the run service.  A fleet (or
+    # CI) would keep one server warm and share its cache; here we spin
+    # an in-process one on an ephemeral port.
+    sweep = dict(
+        engine="fast",
+        protocol="sf",
+        s0=0,
+        s1=2,
+        delta=round(float(reduction.delta_prime), 3),
+        seed=0,
+        trials=5,
+        min_exp=8,
+        max_exp=10,
+        wait=True,
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with ServiceThread(cache_dir=cache_dir) as thread:
+            client = ServiceClient(thread.url)
+            start = time.perf_counter()
+            job = client.sweep(**sweep)
+            cold = time.perf_counter() - start
+            print("\nvalidation sweep via the run service:")
+            for row in job["result"]["rows"]:
+                print(
+                    f"  n={row['n']:5d}: success {row['success_rate']:.0%} "
+                    f"({row['median_rounds']:.0f} median rounds)"
+                )
+            start = time.perf_counter()
+            replay = client.sweep(**sweep)
+            warm = time.perf_counter() - start
+            assert replay["result"]["cached"]
+            print(
+                f"  re-submission served from cache: {cold:.2f}s -> "
+                f"{warm * 1e3:.1f}ms"
+            )
 
 
 if __name__ == "__main__":

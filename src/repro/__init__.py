@@ -24,6 +24,7 @@ from .exceptions import (
     ProtocolError,
     ReproError,
     SingularMatrixError,
+    UnsupportedFeatureError,
 )
 from .types import Role, SourceCounts
 from .noise import (
@@ -156,6 +157,7 @@ __all__ = [
     "SourceFilterProtocol",
     "TargetedAdversary",
     "UndecidedStateDynamics",
+    "UnsupportedFeatureError",
     "artificial_noise_matrix",
     "lower_bound_rounds",
     "noise_reduction",

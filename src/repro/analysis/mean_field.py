@@ -256,10 +256,20 @@ class MeanFieldEngine:
         noise: Union[float, "object"],
         schedule=None,
         constant: Optional[float] = None,
+        fault_model=None,
     ) -> None:
         from ..protocols.parameters import SFSchedule
         from ..protocols.sf_fast import _uniform_delta
 
+        if fault_model is not None and not getattr(fault_model, "is_null", False):
+            from ..exceptions import UnsupportedFeatureError
+
+            raise UnsupportedFeatureError(
+                "MeanFieldEngine is agent-blind (it iterates the "
+                "n -> infinity expectation maps) and does not compose "
+                "with fault models; pass fault_model=None or use the "
+                "per-agent 'fast' engine"
+            )
         self.config = config
         self.delta = _uniform_delta(noise)
         if schedule is None:

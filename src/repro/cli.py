@@ -13,6 +13,9 @@ Subcommands
               the load trajectory
 ``experiment`` run one (or all) of the paper-reproduction experiments
               (FIG1, E1..E10) at quick or full scale
+``serve``     start the HTTP run server: registry-routed runs, sharded
+              trials, and a content-addressed result cache
+              (see docs/serving.md)
 """
 
 from __future__ import annotations
@@ -31,8 +34,6 @@ from .exceptions import ConfigurationError
 from .model.config import PopulationConfig
 from .noise import NoiseMatrix, noise_reduction, reduction_delta
 from .protocols import (
-    CountSelfStabilizingSourceFilter,
-    CountSourceFilter,
     FastSelfStabilizingSourceFilter,
     FastSourceFilter,
 )
@@ -222,8 +223,10 @@ def _config(args: argparse.Namespace) -> PopulationConfig:
 class _RunTrial:
     """One ``run`` trial as a picklable callable (for ``--trials``).
 
-    Accepts the trial runner's ``telemetry=`` so SF/SSF phase timers and
-    per-round events flow into the CLI's sinks.
+    SF/SSF trials route through the engine registry
+    (:func:`repro.engines.create_engine`); baseline dynamics keep their
+    budgeted direct path.  Accepts the trial runner's ``telemetry=`` so
+    SF/SSF phase timers and per-round events flow into the CLI's sinks.
     """
 
     def __init__(
@@ -239,30 +242,18 @@ class _RunTrial:
         self.delta = delta
         self.fault_model = fault_model
         self.engine = engine
+        if protocol in ("sf", "ssf"):
+            from .engines import create_engine
+
+            self.handle = create_engine(
+                engine, protocol, config, delta, fault_model=fault_model
+            )
+        else:
+            self.handle = None
 
     def __call__(self, rng: np.random.Generator, telemetry=None) -> object:
-        if self.protocol == "sf":
-            if self.engine == "count":
-                return CountSourceFilter(
-                    self.config, self.delta, fault_model=self.fault_model
-                ).run(rng=rng, telemetry=telemetry)
-            if self.engine == "mean-field":
-                from .analysis import MeanFieldEngine
-
-                return MeanFieldEngine(self.config, self.delta).run(
-                    rng=rng, telemetry=telemetry
-                )
-            return FastSourceFilter(
-                self.config, self.delta, fault_model=self.fault_model
-            ).run(rng, telemetry=telemetry)
-        if self.protocol == "ssf":
-            if self.engine == "count":
-                return CountSelfStabilizingSourceFilter(
-                    self.config, self.delta, fault_model=self.fault_model
-                ).run(rng=rng, telemetry=telemetry)
-            return FastSelfStabilizingSourceFilter(
-                self.config, self.delta, fault_model=self.fault_model
-            ).run(rng=rng, telemetry=telemetry)
+        if self.handle is not None:
+            return self.handle.run(rng=rng, telemetry=telemetry)
         budget = max(int(8 * self.config.n * math.log(self.config.n)), 100)
         if self.protocol == "voter":
             return NoisyVoterModel(self.config, self.delta).run(budget, rng=rng)
@@ -274,28 +265,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = getattr(args, "engine", "fast")
     try:
         fault_model, protocol_delta = _build_fault_model(args)
-        if engine != "fast":
-            if args.protocol not in ("sf", "ssf"):
-                raise ConfigurationError(
-                    f"--engine {engine} needs --protocol sf or ssf"
-                )
-            if engine == "mean-field" and args.protocol != "sf":
-                raise ConfigurationError(
-                    "--engine mean-field supports --protocol sf only"
-                )
-            if fault_model is not None:
-                raise ConfigurationError(
-                    f"--engine {engine} is agent-blind and does not "
-                    "compose with fault models; drop the fault flags or "
-                    "use --engine fast"
-                )
+        if engine != "fast" and args.protocol not in ("sf", "ssf"):
+            raise ConfigurationError(
+                f"--engine {engine} needs --protocol sf or ssf"
+            )
+        # Registry construction is the validation seam: unsupported
+        # protocols and fault-on-agent-blind-engine combinations raise
+        # typed errors here, before any trial runs.
+        trial = _RunTrial(
+            args.protocol, config, protocol_delta, fault_model, engine
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     telemetry, finish = _build_telemetry(args)
     if args.trials and args.trials > 1:
         stats = repeat_trials(
-            _RunTrial(args.protocol, config, protocol_delta, fault_model, engine),
+            trial,
             trials=args.trials,
             seed=args.seed,
             measure=_sweep_measure,
@@ -306,7 +292,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_table([stats.summary()], title=f"{args.protocol} trials"))
         finish()
         return 0
-    trial = _RunTrial(args.protocol, config, protocol_delta, fault_model, engine)
     result = trial(np.random.default_rng(args.seed), telemetry=telemetry)
     label = (
         args.protocol.upper() if args.protocol in ("sf", "ssf") else args.protocol
@@ -316,12 +301,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{label}: converged={result.converged} rounds={result.total_rounds} "
             f"weak_fraction_correct={result.weak_fraction_correct:.4f}"
         )
-    else:
+    elif hasattr(result, "rounds_executed") and hasattr(result, "consensus_round"):
         print(
             f"{label}: converged={result.converged} "
             f"rounds={result.rounds_executed} "
             f"consensus_round={result.consensus_round}"
         )
+    else:
+        print(f"{label}: converged={result.converged} rounds={result.rounds}")
     finish()
     return 0
 
@@ -348,7 +335,9 @@ class _SweepTrial:
 def _sweep_measure(result: object) -> float:
     value = getattr(result, "total_rounds", None)
     if value is None:
-        value = result.rounds_executed
+        value = getattr(result, "rounds_executed", None)
+    if value is None:
+        value = result.rounds  # RunReport alias (async: activations)
     return float(value)
 
 
@@ -526,6 +515,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        executor_workers=args.jobs,
+    )
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .verify import run_verify
 
@@ -555,14 +556,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("sf", "ssf", "voter", "majority"),
         default="sf",
     )
+    from .engines import list_engines
+
     run.add_argument(
         "--engine",
-        choices=("fast", "count", "mean-field"),
+        choices=tuple(list_engines()),
         default="fast",
-        help="simulation backend for sf/ssf: 'fast' (per-agent), "
-        "'count' (count-level, O(|alphabet|) per transition — same law "
-        "at any n), or 'mean-field' (deterministic n->infinity SF "
-        "recursion)",
+        help="simulation backend for sf/ssf (see repro.engines): "
+        "'fast' (vectorized per-agent), 'count' (count-level, "
+        "O(|alphabet|) per transition — same law at any n), "
+        "'mean-field' (deterministic n->infinity SF recursion), "
+        "'serial'/'batched' (exact agent-level reference engines), or "
+        "'async' (random sequential activations, ssf only)",
     )
     run.add_argument(
         "--trials",
@@ -658,6 +663,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=0, help="also measure over this many runs"
     )
     report.set_defaults(func=_cmd_report)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="start the HTTP run server (see docs/serving.md)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8742)
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=".repro-service-cache",
+        help="content-addressed result cache directory "
+        "(keys: config + seed + code version)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result memoization (every request recomputes)",
+    )
+    serve_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="concurrent job executor threads (each job may itself shard "
+        "trials over a process pool via the request's 'workers' field)",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     verify = sub.add_parser(
         "verify",

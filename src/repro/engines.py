@@ -1,0 +1,485 @@
+"""Unified engine registry: one construction path for every backend.
+
+Six simulation backends reproduce the same SF/SSF laws at different
+cost/fidelity points (``repro.model``, ``repro.protocols``,
+``repro.analysis.mean_field``).  Historically each caller — the CLI, the
+experiment framework, ad-hoc scripts — picked constructors by hand and
+re-implemented the compatibility rules (which engine speaks which
+protocol, which ones compose with fault models).  This module is the
+single seam:
+
+>>> from repro.engines import create_engine, list_engines
+>>> list_engines()
+['async', 'batched', 'count', 'fast', 'mean-field', 'serial']
+>>> handle = create_engine("fast", "sf", config, 0.2)
+>>> report = handle.run(rng=0)
+
+Every handle exposes the canonical run signature
+(:class:`repro.types.EngineRunner`):
+
+``run(max_rounds=None, *, rng=None, seed=None, telemetry=None)``
+
+with ``max_rounds=None`` meaning the engine's own default horizon and
+``rng``/``seed`` the usual alternative spellings
+(:func:`repro.types.coerce_seed`).  Capability violations raise typed
+errors at construction time: an unknown engine or unsupported protocol
+is a :class:`~repro.exceptions.ConfigurationError`; a fault model on an
+agent-blind engine is an
+:class:`~repro.exceptions.UnsupportedFeatureError` — the same error the
+engines themselves raise when constructed directly, so both paths fail
+identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from .exceptions import ConfigurationError, UnsupportedFeatureError
+from .model.config import PopulationConfig
+from .telemetry import Telemetry
+from .types import RngLike, coerce_rng
+
+__all__ = [
+    "EngineSpec",
+    "EngineHandle",
+    "create_engine",
+    "engine_spec",
+    "list_engines",
+    "capability_table",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineSpec:
+    """Declarative capabilities of one registered engine.
+
+    ``agent_blind`` engines collapse the population to exchangeable
+    counts (or the deterministic limit) and therefore cannot compose
+    with per-agent fault models; ``supports_batch`` marks engines with a
+    vectorized ``run_batch`` replica axis.
+    """
+
+    name: str
+    description: str
+    protocols: Tuple[str, ...]
+    supports_faults: bool
+    supports_batch: bool
+    agent_blind: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly capability row (used by the service /health)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "protocols": list(self.protocols),
+            "supports_faults": self.supports_faults,
+            "supports_batch": self.supports_batch,
+            "agent_blind": self.agent_blind,
+        }
+
+
+_REGISTRY: Dict[str, EngineSpec] = {
+    spec.name: spec
+    for spec in (
+        EngineSpec(
+            name="fast",
+            description="vectorized per-agent SF/SSF engine (O(n) per round)",
+            protocols=("sf", "ssf"),
+            supports_faults=True,
+            supports_batch=True,
+            agent_blind=False,
+        ),
+        EngineSpec(
+            name="count",
+            description="count-level engine, O(|Sigma|) per transition at any n",
+            protocols=("sf", "ssf"),
+            supports_faults=False,
+            supports_batch=False,
+            agent_blind=True,
+        ),
+        EngineSpec(
+            name="mean-field",
+            description="deterministic n->infinity SF recursion",
+            protocols=("sf",),
+            supports_faults=False,
+            supports_batch=False,
+            agent_blind=True,
+        ),
+        EngineSpec(
+            name="serial",
+            description="exact agent-level PULL(h) reference engine",
+            protocols=("sf", "ssf"),
+            supports_faults=True,
+            supports_batch=False,
+            agent_blind=False,
+        ),
+        EngineSpec(
+            name="batched",
+            description="exact agent-level engine with a vectorized replica axis",
+            protocols=("sf",),
+            supports_faults=True,
+            supports_batch=True,
+            agent_blind=False,
+        ),
+        EngineSpec(
+            name="async",
+            description="random-sequential-activation engine (SSF only)",
+            protocols=("ssf",),
+            supports_faults=True,
+            supports_batch=False,
+            agent_blind=False,
+        ),
+    )
+}
+
+
+def list_engines() -> List[str]:
+    """Sorted names of every registered engine."""
+    return sorted(_REGISTRY)
+
+
+def engine_spec(name: str) -> EngineSpec:
+    """The capability spec for ``name`` (ConfigurationError if unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(list_engines())}"
+        ) from None
+
+
+def capability_table() -> List[Dict[str, object]]:
+    """Every registered engine's capabilities as JSON-friendly rows."""
+    return [_REGISTRY[name].to_dict() for name in list_engines()]
+
+
+def create_engine(
+    name: str,
+    protocol: str,
+    config: PopulationConfig,
+    noise,
+    *,
+    schedule=None,
+    constant: Optional[float] = None,
+    telemetry: Optional[Telemetry] = None,
+    fault_model=None,
+    **engine_kwargs,
+) -> "EngineHandle":
+    """Build a run handle for engine ``name`` speaking ``protocol``.
+
+    ``noise`` is a uniform noise level (float) or a
+    :class:`~repro.noise.NoiseMatrix` over the protocol's alphabet.
+    ``schedule``/``constant`` override the paper-default SF/SSF
+    schedules; extra keyword arguments flow to the underlying
+    constructor (e.g. ``sample_loss`` for the fast engines, ``handoff``
+    for the count engines).  ``telemetry`` becomes the handle's default
+    recorder; ``run(telemetry=...)`` overrides it per call.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for unknown
+    engines or unsupported protocols and
+    :class:`~repro.exceptions.UnsupportedFeatureError` when a non-null
+    ``fault_model`` is passed to an agent-blind engine.
+    """
+    spec = engine_spec(name)
+    if protocol not in spec.protocols:
+        raise ConfigurationError(
+            f"engine {name!r} supports protocol(s) "
+            f"{', '.join(spec.protocols)}; got {protocol!r}"
+        )
+    if (
+        fault_model is not None
+        and not getattr(fault_model, "is_null", False)
+        and not spec.supports_faults
+    ):
+        raise UnsupportedFeatureError(
+            f"engine {name!r} is agent-blind and does not compose with "
+            f"fault models; drop the fault model or use an agent-level "
+            f"engine (fast, serial, batched, async)"
+        )
+    return EngineHandle(
+        spec=spec,
+        protocol=protocol,
+        config=config,
+        noise=noise,
+        schedule=schedule,
+        constant=constant,
+        telemetry=telemetry,
+        fault_model=fault_model,
+        engine_kwargs=engine_kwargs,
+    )
+
+
+class EngineHandle:
+    """A picklable, uniformly-callable wrapper around one engine.
+
+    Construct via :func:`create_engine`.  The handle builds stateless
+    backends (fast/count/mean-field) eagerly and exposes the underlying
+    runner's attributes (``schedule``, ``run_batch``,
+    ``draw_weak_opinions``, ...) by delegation, so experiment code that
+    used the constructors directly keeps working through the registry.
+    Agent-level backends (serial/batched/async) build their population
+    and protocol per :meth:`run` call from the run's RNG.
+    """
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        protocol: str,
+        config: PopulationConfig,
+        noise,
+        schedule=None,
+        constant: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
+        fault_model=None,
+        engine_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.spec = spec
+        self.protocol = protocol
+        self.config = config
+        self.noise = noise
+        self.constant = constant
+        self.telemetry = telemetry
+        self.fault_model = fault_model
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self._runner = self._build_runner(schedule)
+        self._schedule = schedule
+
+    @property
+    def name(self) -> str:
+        """Registered engine name (``spec.name``)."""
+        return self.spec.name
+
+    # ------------------------------------------------------------------
+    def _build_runner(self, schedule):
+        """Eagerly construct persistent backends; ``None`` for the
+        agent-level ones that need a fresh population per run."""
+        name, protocol = self.spec.name, self.protocol
+        kwargs = dict(self.engine_kwargs)
+        if self.constant is not None:
+            kwargs["constant"] = self.constant
+        if name == "fast":
+            from .protocols import (
+                FastSelfStabilizingSourceFilter,
+                FastSourceFilter,
+            )
+
+            cls = (
+                FastSourceFilter
+                if protocol == "sf"
+                else FastSelfStabilizingSourceFilter
+            )
+            return cls(
+                self.config,
+                self.noise,
+                schedule=schedule,
+                fault_model=self.fault_model,
+                **kwargs,
+            )
+        if name == "count":
+            from .protocols import (
+                CountSelfStabilizingSourceFilter,
+                CountSourceFilter,
+            )
+
+            cls = (
+                CountSourceFilter
+                if protocol == "sf"
+                else CountSelfStabilizingSourceFilter
+            )
+            return cls(
+                self.config,
+                self.noise,
+                schedule=schedule,
+                fault_model=self.fault_model,
+                **kwargs,
+            )
+        if name == "mean-field":
+            from .analysis.mean_field import MeanFieldEngine
+
+            return MeanFieldEngine(
+                self.config,
+                self.noise,
+                schedule=schedule,
+                fault_model=self.fault_model,
+                **kwargs,
+            )
+        # serial / batched / async build per run.
+        return None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_rounds: Optional[int] = None,
+        *,
+        rng: RngLike = None,
+        seed: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+        **kwargs,
+    ):
+        """Execute one run under the canonical keyword contract.
+
+        ``max_rounds=None`` runs the engine's default horizon; engines
+        with a fixed schedule horizon (fast/count/mean-field SF) reject
+        a non-``None`` override with
+        :class:`~repro.exceptions.UnsupportedFeatureError` rather than
+        silently ignoring it.  ``seed`` is accepted as an alternative
+        spelling of an integer ``rng``.
+        """
+        if seed is not None:
+            if rng is not None:
+                raise ConfigurationError(
+                    "pass either rng or seed to EngineHandle.run, not both"
+                )
+            rng = seed
+        telemetry = telemetry if telemetry is not None else self.telemetry
+        name, protocol = self.spec.name, self.protocol
+        if self._runner is not None:
+            if protocol == "ssf":
+                return self._runner.run(
+                    max_rounds=max_rounds, rng=rng, telemetry=telemetry,
+                    **kwargs,
+                )
+            if max_rounds is not None:
+                raise UnsupportedFeatureError(
+                    f"engine {name!r} runs its schedule's fixed SF "
+                    f"horizon; max_rounds is not configurable (got "
+                    f"{max_rounds})"
+                )
+            return self._runner.run(rng=rng, telemetry=telemetry, **kwargs)
+        if name == "serial":
+            return self._run_serial(max_rounds, rng, telemetry, **kwargs)
+        if name == "batched":
+            return self._run_batched(max_rounds, rng, telemetry, **kwargs)
+        return self._run_async(max_rounds, rng, telemetry, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _schedule_for(self, size: int):
+        """The SF/SSF schedule (built from config unless provided)."""
+        if self._schedule is not None:
+            return self._schedule
+        from .protocols import SFSchedule, SSFSchedule
+        from .protocols.sf_fast import _uniform_delta
+
+        delta = _uniform_delta(self.noise) if size == 2 else None
+        if size == 2:
+            kwargs = {} if self.constant is None else {
+                "constant": self.constant
+            }
+            return SFSchedule.from_config(self.config, delta, **kwargs)
+        from .protocols.ssf_fast import _uniform_delta4
+
+        kwargs = {} if self.constant is None else {"constant": self.constant}
+        return SSFSchedule.from_config(
+            self.config, _uniform_delta4(self.noise), **kwargs
+        )
+
+    def _noise_matrix(self, size: int):
+        from .noise import NoiseMatrix
+
+        if isinstance(self.noise, NoiseMatrix):
+            return self.noise
+        return NoiseMatrix.uniform(float(self.noise), size)
+
+    def _run_serial(self, max_rounds, rng, telemetry, **kwargs):
+        from .model import Population, PullEngine
+        from .protocols import (
+            SelfStabilizingSourceFilterProtocol,
+            SourceFilterProtocol,
+        )
+
+        generator = coerce_rng(rng)
+        population = Population(self.config, rng=generator)
+        if self.protocol == "sf":
+            schedule = self._schedule_for(2)
+            protocol = SourceFilterProtocol(schedule)
+            engine = PullEngine(population, self._noise_matrix(2))
+            return engine.run(
+                protocol,
+                max_rounds=max_rounds or schedule.total_rounds,
+                rng=generator,
+                telemetry=telemetry,
+                fault_model=self.fault_model,
+                **kwargs,
+            )
+        schedule = self._schedule_for(4)
+        protocol = SelfStabilizingSourceFilterProtocol(schedule)
+        engine = PullEngine(population, self._noise_matrix(4))
+        kwargs.setdefault("consensus_patience", 2 * schedule.epoch_rounds)
+        return engine.run(
+            protocol,
+            max_rounds=max_rounds or 10 * schedule.epoch_rounds,
+            rng=generator,
+            telemetry=telemetry,
+            fault_model=self.fault_model,
+            **kwargs,
+        )
+
+    def _run_batched(self, max_rounds, rng, telemetry, **kwargs):
+        from .model import BatchedPullEngine, Population
+        from .protocols import BatchedSourceFilter
+
+        generator = coerce_rng(rng)
+        population = Population(self.config, rng=generator)
+        schedule = self._schedule_for(2)
+        engine = BatchedPullEngine(population, self._noise_matrix(2))
+        replicas = kwargs.pop("replicas", 1)
+        # BatchedPullEngine spawns replica streams from a seed, not a
+        # live generator; derive one deterministically from the run RNG.
+        run_seed = int(generator.integers(0, 2**63 - 1))
+        results = engine.run(
+            BatchedSourceFilter(schedule),
+            max_rounds=max_rounds or schedule.total_rounds,
+            replicas=replicas,
+            rng=run_seed,
+            telemetry=telemetry,
+            fault_model=self.fault_model,
+            **kwargs,
+        )
+        return results[0] if replicas == 1 else results
+
+    def _run_async(self, max_rounds, rng, telemetry, **kwargs):
+        from .model import Population
+        from .model.async_engine import AsyncPullEngine
+        from .protocols.ssf_async import AsyncSelfStabilizingSourceFilter
+
+        generator = coerce_rng(rng)
+        population = Population(self.config, rng=generator)
+        schedule = self._schedule_for(4)
+        protocol = AsyncSelfStabilizingSourceFilter(schedule)
+        engine = AsyncPullEngine(population, self._noise_matrix(4))
+        n = self.config.n
+        rounds = max_rounds if max_rounds is not None else (
+            12 * schedule.epoch_rounds
+        )
+        kwargs.setdefault("consensus_patience", n * schedule.epoch_rounds)
+        return engine.run(
+            protocol,
+            max_activations=n * rounds,
+            rng=generator,
+            telemetry=telemetry,
+            fault_model=self.fault_model,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def __getattr__(self, attribute: str):
+        """Delegate non-private attributes to the persistent runner so
+        experiment code can keep touching ``schedule``, ``run_batch``,
+        ``draw_weak_opinions`` etc. through the handle."""
+        if attribute.startswith("_"):
+            raise AttributeError(attribute)
+        runner = self.__dict__.get("_runner")
+        if runner is None:
+            raise AttributeError(
+                f"EngineHandle({self.spec.name!r}) has no attribute "
+                f"{attribute!r} (agent-level engines are built per run)"
+            )
+        return getattr(runner, attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineHandle(name={self.spec.name!r}, "
+            f"protocol={self.protocol!r}, n={self.config.n})"
+        )

@@ -44,6 +44,21 @@ class SingularMatrixError(NoiseMatrixError):
     """
 
 
+class UnsupportedFeatureError(ConfigurationError):
+    """An engine was asked for a capability it does not implement.
+
+    The canonical case: the count-level and mean-field engines are
+    *agent-blind* — they collapse the population to exchangeable counts,
+    so per-agent fault models (``repro.faults``) cannot compose with
+    them.  The engine registry (:mod:`repro.engines`) raises this error
+    at construction time, and the engines themselves raise it when
+    constructed directly, so both paths fail with one typed error.
+
+    Subclasses :class:`ConfigurationError` so existing ``except``
+    clauses keep working.
+    """
+
+
 class ProtocolError(ReproError, RuntimeError):
     """A protocol was driven incorrectly.
 

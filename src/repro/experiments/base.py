@@ -6,6 +6,7 @@ import abc
 import dataclasses
 import pickle
 import time
+import warnings
 from typing import Dict, List, Optional
 
 from ..analysis import (
@@ -120,7 +121,7 @@ class Experiment(abc.ABC):
     resilience: Optional[ResilienceConfig] = None
 
     #: Simulation backend for experiments that go through
-    #: :meth:`_sf_engine`: ``"fast"`` (per-agent, O(n) per trial) or
+    #: :meth:`_engine_handle`: ``"fast"`` (per-agent, O(n) per trial) or
     #: ``"count"`` (count-level, O(|Sigma|) per transition — same law,
     #: any n).  Set by the CLI ``experiment --engine`` flag.
     engine: str = "fast"
@@ -217,25 +218,34 @@ class Experiment(abc.ABC):
             checkpoint_scope=self._next_scope(),
         )
 
-    def _sf_engine(self, config, delta, **kwargs):
-        """Build the SF runner selected by :attr:`engine`.
+    def _engine_handle(self, config, delta, protocol: str = "sf", **kwargs):
+        """Registry handle for the backend selected by :attr:`engine`.
 
-        Both runners expose ``run(rng=..., telemetry=...)``, a
+        Every handle exposes ``run(rng=..., telemetry=...)``, a
         ``schedule`` attribute and success/round reporting through the
         same :class:`~repro.results.RunReport` seam, so experiment code
-        is backend-agnostic.
+        is backend-agnostic (see :func:`repro.engines.create_engine`).
         """
-        if self.engine == "count":
-            from ..protocols import CountSourceFilter
+        from ..engines import create_engine
 
-            return CountSourceFilter(config, delta, **kwargs)
-        if self.engine != "fast":
-            raise ValueError(
-                f"engine must be 'fast' or 'count', got {self.engine!r}"
-            )
-        from ..protocols import FastSourceFilter
+        return create_engine(self.engine, protocol, config, delta, **kwargs)
 
-        return FastSourceFilter(config, delta, **kwargs)
+    def _sf_engine(self, config, delta, **kwargs):
+        """Deprecated spelling of :meth:`_engine_handle`.
+
+        .. deprecated::
+            Use :meth:`_engine_handle` / the
+            :func:`repro.engines.create_engine` registry; this shim
+            keeps old subclasses working but warns so construction
+            converges on the registry.
+        """
+        warnings.warn(
+            "Experiment._sf_engine is deprecated; use "
+            "Experiment._engine_handle (repro.engines.create_engine)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._engine_handle(config, delta, **kwargs)
 
     def _next_scope(self) -> str:
         """Checkpoint scope for the next trial batch of this run.

@@ -36,7 +36,7 @@ class ConvergenceVsN(Experiment):
         rows = []
         for n in sizes:
             config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=n)
-            engine = self._sf_engine(config, DELTA)
+            engine = self._engine_handle(config, DELTA)
             # Batched serially, process pool when self.workers is set.
             stats = self._engine_trials(engine, trials, seed=seed + n)
             rows.append(

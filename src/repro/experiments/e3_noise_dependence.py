@@ -34,9 +34,9 @@ class NoiseDependence(Experiment):
         rows = []
         for delta in deltas:
             config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=h)
-            engine = self._sf_engine(config, delta)
+            engine = self._engine_handle(config, delta)
             stats = repeat_trials(
-                lambda g: engine.run(g),
+                lambda g: engine.run(rng=g),
                 trials=trials,
                 seed=seed + int(delta * 1000),
             )

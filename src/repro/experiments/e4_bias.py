@@ -33,9 +33,9 @@ class BiasDependence(Experiment):
         rows = []
         for s in biases:
             config = PopulationConfig(n=n, sources=SourceCounts(0, s), h=h)
-            engine = self._sf_engine(config, DELTA)
+            engine = self._engine_handle(config, DELTA)
             stats = repeat_trials(
-                lambda g: engine.run(g), trials=trials, seed=seed + s
+                lambda g: engine.run(rng=g), trials=trials, seed=seed + s
             )
             rows.append(
                 {
@@ -54,7 +54,7 @@ class BiasDependence(Experiment):
             config = PopulationConfig(
                 n=conflict_n, sources=SourceCounts(s0, s1), h=conflict_n
             )
-            engine = self._sf_engine(config, DELTA)
+            engine = self._engine_handle(config, DELTA)
             point_ok = True
             for t in range(trials):
                 result = engine.run(rng=seed + 31 * s0 + s1 + t)

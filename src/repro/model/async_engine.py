@@ -25,7 +25,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..exceptions import ProtocolError
+from ..exceptions import ConfigurationError, ProtocolError
 from ..noise import NoiseMatrix
 from ..results import RunReport
 from ..telemetry import Telemetry, ensure_telemetry
@@ -89,15 +89,23 @@ class AsyncPullEngine:
     def run(
         self,
         protocol: AsyncPullProtocol,
-        max_activations: int,
+        max_activations: Optional[int] = None,
         rng: RngLike = None,
         stop_on_consensus: bool = True,
         consensus_patience: int = 0,
         check_every: int = None,
         telemetry: Optional[Telemetry] = None,
         fault_model=None,
+        max_rounds: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> AsyncSimulationResult:
         """Simulate up to ``max_activations`` single-agent steps.
+
+        ``max_rounds`` is the canonical-contract spelling of the horizon
+        in expected *parallel* rounds (one parallel round = ``n``
+        activations); exactly one of ``max_activations``/``max_rounds``
+        must be given.  ``seed`` is the canonical alternative spelling
+        of an integer ``rng`` (:func:`repro.types.coerce_seed`).
 
         Consensus is checked every ``check_every`` activations (default:
         ``n``, i.e. once per expected parallel round) to keep the check
@@ -119,6 +127,25 @@ class AsyncPullEngine:
                 f"protocol alphabet size {protocol.alphabet_size} does not "
                 f"match noise matrix size {self.noise.size}"
             )
+        if max_rounds is not None:
+            if max_activations is not None:
+                raise ConfigurationError(
+                    "pass either max_activations or max_rounds (parallel "
+                    "rounds), not both"
+                )
+            max_activations = max_rounds * self.population.n
+        if max_activations is None:
+            raise ConfigurationError(
+                "AsyncPullEngine.run needs a horizon: pass "
+                "max_activations or max_rounds"
+            )
+        if seed is not None:
+            if rng is not None:
+                raise ConfigurationError(
+                    "pass either rng or seed, not both: they are "
+                    "alternative spellings of the master seed"
+                )
+            rng = seed
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry)
         population = self.population

@@ -44,7 +44,7 @@ import numpy as np
 
 from ..exceptions import ProtocolError
 from ..telemetry import Telemetry, ensure_telemetry
-from ..types import seed_of
+from ..types import merge_rng_seed, seed_of
 from .engine import RoundRecord, SimulationResult
 from .population import Population
 
@@ -154,6 +154,7 @@ class BatchedPullEngine:
         record_trace: bool = False,
         telemetry: Optional[Telemetry] = None,
         fault_model=None,
+        seed: Optional[int] = None,
     ) -> List[SimulationResult]:
         """Simulate up to ``max_rounds`` rounds of every replica.
 
@@ -202,6 +203,7 @@ class BatchedPullEngine:
         -------
         One :class:`SimulationResult` per replica, in replica order.
         """
+        rng = merge_rng_seed(rng, seed)
         if rng_mode not in ("spawn", "shared"):
             raise ValueError(f"rng_mode must be 'spawn' or 'shared', got {rng_mode!r}")
         if protocol.alphabet_size != self.noise.size:

@@ -27,11 +27,11 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, UnsupportedFeatureError
 from ..noise import NoiseMatrix
 from ..results import RunReport
 from ..telemetry import Telemetry, ensure_telemetry
-from ..types import RngLike, coerce_rng, seed_of
+from ..types import RngLike, coerce_rng, merge_rng_seed, seed_of
 from .config import PopulationConfig
 from .engine import RoundRecord
 
@@ -139,7 +139,7 @@ class CountPullEngine:
         fault_model=None,
     ) -> None:
         if fault_model is not None and not fault_model.is_null:
-            raise ConfigurationError(
+            raise UnsupportedFeatureError(
                 "CountPullEngine supports fault_model=None (or a null "
                 "model) only: non-null faults are agent-indexed and do "
                 "not survive the count collapse — use FastSourceFilter / "
@@ -169,6 +169,7 @@ class CountPullEngine:
         consensus_patience: int = 0,
         record_trace: bool = False,
         telemetry: Optional[Telemetry] = None,
+        seed: Optional[int] = None,
     ) -> CountSimulationResult:
         """Drive ``protocol`` for up to ``max_rounds`` model rounds.
 
@@ -183,6 +184,7 @@ class CountPullEngine:
             raise ConfigurationError(
                 f"max_rounds must be non-negative, got {max_rounds}"
             )
+        rng = merge_rng_seed(rng, seed)
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry)
         cfg = self.config

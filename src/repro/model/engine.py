@@ -25,7 +25,7 @@ import numpy as np
 from ..exceptions import ConfigurationError, ProtocolError
 from ..results import RunReport, register_record
 from ..telemetry import Telemetry, ensure_telemetry
-from ..types import RngLike, coerce_rng, seed_of
+from ..types import RngLike, coerce_rng, merge_rng_seed, seed_of
 from .population import Population
 from .sampling import sample_indices
 
@@ -131,6 +131,7 @@ class PullEngine:
         churn_rate: float = 0.0,
         telemetry: Optional[Telemetry] = None,
         fault_model=None,
+        seed: Optional[int] = None,
     ) -> SimulationResult:
         """Simulate up to ``max_rounds`` rounds.
 
@@ -189,6 +190,7 @@ class PullEngine:
                 f"protocol alphabet size {protocol.alphabet_size} does not match "
                 f"noise matrix size {self.noise.size}"
             )
+        rng = merge_rng_seed(rng, seed)
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry, observers)
         population = self.population

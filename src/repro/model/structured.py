@@ -129,8 +129,34 @@ class StableFlooding:
         source_bit: int = 1,
         rng: RngLike = None,
         max_stages: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        seed: Optional[int] = None,
+        telemetry=None,
     ) -> FloodingResult:
-        """Flood ``source_bit`` from ``source_nodes`` across the graph."""
+        """Flood ``source_bit`` from ``source_nodes`` across the graph.
+
+        ``max_rounds``/``seed``/``telemetry`` are the canonical-contract
+        spellings (:class:`repro.types.EngineRunner`): ``max_rounds`` is
+        an alias of ``max_stages`` (exactly one may be given), ``seed``
+        an alternative spelling of an integer ``rng``, and ``telemetry``
+        receives a ``flooding.run`` phase timer (RNG-neutral).
+        """
+        from ..telemetry import ensure_telemetry
+
+        if max_rounds is not None:
+            if max_stages is not None:
+                raise ConfigurationError(
+                    "pass either max_stages or max_rounds (aliases), not both"
+                )
+            max_stages = max_rounds
+        if seed is not None:
+            if rng is not None:
+                raise ConfigurationError(
+                    "pass either rng or seed, not both: they are "
+                    "alternative spellings of the master seed"
+                )
+            rng = seed
+        tele = ensure_telemetry(telemetry)
         generator = coerce_rng(rng)
         n = self.graph.number_of_nodes()
         if not source_nodes:
@@ -143,6 +169,28 @@ class StableFlooding:
             informed[node] = True
             bits[node] = source_bit
 
+        stages = 0
+        R = self.repetitions
+        with tele.phase("flooding.run", max_stages=max_stages):
+            stages = self._flood(
+                generator, informed, bits, max_stages
+            )
+
+        accuracy = float(np.mean(bits == source_bit))
+        converged = bool(informed.all()) and accuracy == 1.0
+        if tele.enabled:
+            tele.counter("flooding.runs")
+            tele.gauge("flooding.stages", stages)
+        return FloodingResult(
+            converged=converged,
+            rounds=stages * R,
+            stages=stages,
+            accuracy=accuracy,
+            final_bits=bits,
+        )
+
+    def _flood(self, generator, informed, bits, max_stages) -> int:
+        """The flooding waves themselves; returns executed stage count."""
         stages = 0
         R = self.repetitions
         while not informed.all() and stages < max_stages:
@@ -166,13 +214,4 @@ class StableFlooding:
                     bits[node] = int(generator.integers(0, 2))
                 informed[node] = True
             stages += 1
-
-        accuracy = float(np.mean(bits == source_bit))
-        converged = bool(informed.all()) and accuracy == 1.0
-        return FloodingResult(
-            converged=converged,
-            rounds=stages * R,
-            stages=stages,
-            accuracy=accuracy,
-            final_bits=bits,
-        )
+        return stages

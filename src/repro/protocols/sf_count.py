@@ -31,7 +31,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, UnsupportedFeatureError
 from ..model.config import PopulationConfig
 from ..model.count_engine import CountProtocol, CountPullEngine, CountSimulationResult
 from ..noise import NoiseMatrix
@@ -78,7 +78,7 @@ class CountSourceFilter(CountProtocol):
         fault_model=None,
     ) -> None:
         if fault_model is not None and not fault_model.is_null:
-            raise ConfigurationError(
+            raise UnsupportedFeatureError(
                 "CountSourceFilter supports fault_model=None (or null) "
                 "only; use FastSourceFilter for faulted runs"
             )

@@ -33,7 +33,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, UnsupportedFeatureError
 from ..model.config import PopulationConfig
 from ..model.count_engine import CountProtocol, CountPullEngine, CountSimulationResult
 from ..noise import NoiseMatrix
@@ -78,7 +78,7 @@ class CountSelfStabilizingSourceFilter(CountProtocol):
         fault_model=None,
     ) -> None:
         if fault_model is not None and not fault_model.is_null:
-            raise ConfigurationError(
+            raise UnsupportedFeatureError(
                 "CountSelfStabilizingSourceFilter supports "
                 "fault_model=None (or null) only; use "
                 "FastSelfStabilizingSourceFilter for faulted runs"

@@ -1,0 +1,46 @@
+"""Spreading-as-a-service: HTTP run server, result cache, job ledger.
+
+The service layer turns the library's run/sweep/experiment entry points
+into a long-running shard-and-memoize server (stdlib only — asyncio
+HTTP front-end, process-pool sharding through
+:func:`repro.analysis.repeat_trials`, content-addressed result cache
+keyed on *(config, seed, code version)*).  See ``docs/serving.md`` for
+the endpoint reference and deployment example.
+
+Programmatic use without sockets goes through the ``execute_*``
+functions; in-process integration tests use :class:`ServiceThread`; the
+CLI entry point is ``repro-spreading serve``.
+"""
+
+from .cache import ResultCache, canonical_key, code_version
+from .client import ServiceClient, ServiceError
+from .jobs import JOB_STATES, Job, JobStore
+from .server import (
+    ServiceServer,
+    ServiceThread,
+    SpreadingService,
+    execute_experiment,
+    execute_run,
+    execute_sweep,
+    normalize_request,
+    serve,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobStore",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceThread",
+    "SpreadingService",
+    "canonical_key",
+    "code_version",
+    "execute_experiment",
+    "execute_run",
+    "execute_sweep",
+    "normalize_request",
+    "serve",
+]

@@ -1,0 +1,114 @@
+"""Minimal stdlib client for the run service.
+
+Wraps ``urllib`` so scripts and the examples can talk to a
+:class:`~repro.service.server.ServiceServer` without extra
+dependencies::
+
+    client = ServiceClient("http://127.0.0.1:8742")
+    client.health()["status"]            # 'ok'
+    response = client.run(n=512, seed=0, wait=True)
+    report = response["result"]["report"]
+
+Every method returns the decoded JSON payload; non-2xx responses raise
+:class:`ServiceError` carrying the HTTP status and the server's error
+body.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with a non-2xx status (or unreachable)."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+
+
+class ServiceClient:
+    """HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                detail = {"error": str(exc)}
+            raise ServiceError(exc.code, detail) from None
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """``GET /health``."""
+        return self._request("GET", "/health")
+
+    def engines(self) -> Dict[str, object]:
+        """``GET /engines`` — the registry capability table."""
+        return self._request("GET", "/engines")
+
+    def run(self, **request: object) -> Dict[str, object]:
+        """``POST /run`` (keyword arguments become the JSON body)."""
+        return self._request("POST", "/run", request)
+
+    def sweep(self, **request: object) -> Dict[str, object]:
+        """``POST /sweep``."""
+        return self._request("POST", "/sweep", request)
+
+    def experiment(self, experiment_id: str, **request: object) -> Dict[str, object]:
+        """``POST /experiment``."""
+        request = dict(request)
+        request["id"] = experiment_id
+        return self._request("POST", "/experiment", request)
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/<id>``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, object]:
+        """``GET /jobs``."""
+        return self._request("GET", "/jobs")
+
+    def wait_for(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.05
+    ) -> Dict[str, object]:
+        """Poll ``GET /jobs/<id>`` until the job leaves pending/running."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    504, {"error": f"job {job_id} still {job['status']} "
+                                   f"after {timeout}s"}
+                )
+            time.sleep(poll)

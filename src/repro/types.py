@@ -13,6 +13,11 @@ import enum
 import warnings
 from typing import Optional, Union
 
+try:  # Python >= 3.8 always has typing.Protocol
+    from typing import Protocol
+except ImportError:  # pragma: no cover - typing_extensions fallback
+    Protocol = object
+
 import numpy as np
 
 from .results import register_record
@@ -135,6 +140,58 @@ def coerce_seed(seed: Optional[int] = None, rng: RngLike = None) -> Optional[int
     if isinstance(rng, np.random.SeedSequence):
         return int(rng.generate_state(1, dtype=np.uint64)[0] >> 1)
     return int(coerce_rng(rng).integers(0, 2**63 - 1))
+
+
+def merge_rng_seed(rng: RngLike, seed: Optional[int]) -> RngLike:
+    """Fold the canonical ``seed=`` spelling into the ``rng`` argument.
+
+    Engines accept both ``rng`` (any :data:`RngLike`) and ``seed`` (an
+    integer master seed) per the canonical run contract
+    (:class:`EngineRunner`).  Exactly one may be given; passing both is
+    ambiguous and raises ``ValueError``.
+    """
+    if seed is None:
+        return rng
+    if rng is not None:
+        raise ValueError(
+            "pass either rng= or seed=, not both: they are alternative "
+            "spellings of the same master-seed input"
+        )
+    return seed
+
+
+class EngineRunner(Protocol):
+    """The canonical engine run contract (structural type).
+
+    Every engine handle returned by :func:`repro.engines.create_engine`
+    — and every backend the registry wraps — accepts this keyword
+    family:
+
+    * ``max_rounds`` — round horizon; ``None`` means the engine's own
+      default (typically the paper schedule's fixed horizon).  Engines
+      whose horizon is structurally fixed raise
+      :class:`~repro.exceptions.UnsupportedFeatureError` on a non-None
+      override instead of silently ignoring it.
+    * ``rng`` / ``seed`` — alternative spellings of the master seed
+      (:func:`coerce_seed`); ``rng`` also accepts a live generator.
+    * ``telemetry`` — an optional :class:`repro.telemetry.Telemetry`
+      recorder; recording is RNG-neutral, results are unchanged.
+
+    The return value is a :class:`repro.results.RunReport` (or a list of
+    them for batched replicas) exposing at least ``converged``,
+    ``rounds`` and ``seed``.
+    """
+
+    def run(
+        self,
+        max_rounds: Optional[int] = None,
+        *,
+        rng: RngLike = None,
+        seed: Optional[int] = None,
+        telemetry=None,
+    ) -> object:
+        """Execute one run and return its report."""
+        ...
 
 
 def as_generator(rng: RngLike) -> np.random.Generator:

@@ -17,6 +17,7 @@ resilient pool ↔ clean serial     bit-identical statistics through chaos
 fast ↔ count SF/SSF               weak-opinion laws + convergence reliability
 stochastic ↔ handoff-gated count  success proportions under the gate
 mean-field ↔ count SF             exact weak probability + fixed-point run
+service cache ↔ recomputation     byte-identical envelopes, identical reports
 goldens                           digests of committed reference trajectories
 ================================  ===========================================
 """
@@ -736,6 +737,78 @@ def _check_count_engines(scale: str, budget: FalsePositiveBudget) -> str:
     )
 
 
+def _check_service_cache(scale: str, budget: FalsePositiveBudget) -> str:
+    """Service result cache: a hit is bit-identical to a recomputation.
+
+    Drives the service execution core directly (no sockets): a seeded
+    serial-engine run is computed cold, replayed from the cache, and
+    recomputed with caching disabled.  The cached and recomputed
+    envelopes must be byte-identical JSON, and the decoded reports must
+    pass :func:`~repro.verify.conformance.assert_results_identical` —
+    the same bit-identity bar the batched engine is held to.  A second
+    leg asserts the key actually separates seeds.
+    """
+    import json
+    import tempfile
+
+    from ..results import report_from_dict
+    from ..service import ResultCache, canonical_key, execute_run
+    from .conformance import assert_results_identical
+
+    seeds = (2025,) if scale == "quick" else (2025, 2026, 2027)
+    request = {
+        "engine": "serial", "protocol": "sf", "n": 48,
+        "s0": 1, "s1": 3, "h": 4, "delta": 0.2,
+    }
+    envelope_fields = ("kind", "request", "report", "code_version")
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        for seed in seeds:
+            seeded = dict(request, seed=seed)
+            cold = execute_run(dict(seeded), cache=cache)
+            if cold["cached"]:
+                raise ConfigurationError(
+                    f"first service run of seed {seed} claimed a cache hit"
+                )
+            hit = execute_run(dict(seeded), cache=cache)
+            if not hit["cached"]:
+                raise ConfigurationError(
+                    f"repeat service run of seed {seed} missed the cache"
+                )
+            fresh = execute_run(dict(seeded), cache=None)
+            stored_json = json.dumps(
+                {f: hit[f] for f in envelope_fields}, sort_keys=True
+            )
+            fresh_json = json.dumps(
+                {f: fresh[f] for f in envelope_fields}, sort_keys=True
+            )
+            if stored_json != fresh_json:
+                raise ConfigurationError(
+                    f"cached envelope for seed {seed} is not byte-identical "
+                    f"to its recomputation — the cache returned a different "
+                    f"artifact than the engines produce"
+                )
+            assert_results_identical(
+                report_from_dict(hit["report"]),
+                report_from_dict(fresh["report"]),
+                context=f"service cache seed {seed}",
+                compare_trace=False,
+            )
+        keys = {
+            canonical_key("run", dict(request, seed=seed, trials=1,
+                                      max_rounds=None))
+            for seed in range(16)
+        }
+        if len(keys) != 16:
+            raise ConfigurationError(
+                f"cache keys collided across seeds: {len(keys)}/16 distinct"
+            )
+    return (
+        f"{len(seeds)} seeded serial run(s) cached byte-identical to "
+        f"recomputation; 16/16 seed keys distinct"
+    )
+
+
 _CHECKS: List[tuple] = [
     ("reference-vs-batched-sf", "exact", _check_reference_vs_batched),
     ("corrupt-vs-corrupt-with-uniforms", "exact", _check_corrupt_equivalence),
@@ -745,6 +818,7 @@ _CHECKS: List[tuple] = [
     ("resilience", "exact", _check_resilience),
     ("faults", "statistical", _check_faults),
     ("count", "statistical", _check_count_engines),
+    ("service", "exact", _check_service_cache),
 ]
 
 

@@ -72,9 +72,30 @@ class TestDocsDirectory:
     @pytest.mark.parametrize(
         "page",
         ["model.md", "protocols.md", "theory.md", "reproduction_guide.md",
-         "api.md", "extensions.md"],
+         "api.md", "extensions.md", "serving.md"],
     )
     def test_pages_exist_and_nonempty(self, page):
         path = ROOT / "docs" / page
         assert path.exists()
         assert len(path.read_text()) > 500
+
+
+class TestServingDoc:
+    def test_documents_every_endpoint(self):
+        text = (ROOT / "docs" / "serving.md").read_text()
+        for endpoint in ("/health", "/engines", "/run", "/sweep",
+                         "/experiment", "/jobs"):
+            assert endpoint in text, f"{endpoint} undocumented"
+        assert "repro-spreading serve" in text
+
+    def test_registry_engines_listed_in_api_doc(self):
+        from repro.engines import list_engines
+
+        text = (ROOT / "docs" / "api.md").read_text()
+        for name in list_engines():
+            assert name in text, f"engine {name!r} missing from api.md"
+
+    def test_bench_record_referenced(self):
+        text = (ROOT / "docs" / "serving.md").read_text()
+        assert "BENCH_service_load.json" in text
+        assert (ROOT / "BENCH_service_load.json").exists()
