@@ -2,7 +2,8 @@
 
 The repo commits machine-readable benchmark records at its root
 (``BENCH_engine_throughput.json``, ``BENCH_count_engine.json``,
-``BENCH_service_load.json``).  This module is the CI gate over them:
+``BENCH_service_load.json``, ``BENCH_net_roundtrip.json``).  This
+module is the CI gate over them:
 
 * **Thresholds** — the committed numbers must back the performance
   claims the docs make: the batched exact engine is never slower than
@@ -11,7 +12,9 @@ The repo commits machine-readable benchmark records at its root
   extrapolated per-round cost at n = 10^6 (in practice it is >10^3x).
   The run service's content-addressed cache must serve a hit at least
   10x faster than cold recomputation, and the HTTP front-end must
-  sustain a floor of ``GET /health`` requests per second.
+  sustain a floor of ``GET /health`` requests per second.  The
+  networked deployment must keep a 64-peer cluster progressing at a
+  floor of full PULL rounds per second.
 * **Staleness** — each record stores a digest of the engine source
   files that produced it.  When those sources change, the digest stops
   matching and the gate fails until the benchmarks are re-run and the
@@ -59,9 +62,20 @@ SERVICE_SOURCES = [
     "src/repro/engines.py",
 ]
 
+#: Source files whose behavior the net-roundtrip record measures — the
+#: whole networked-deployment package, globbed so a new module under
+#: src/repro/net/ invalidates the record without a list edit here.
+def _net_sources() -> List[str]:
+    return sorted(
+        str(path.relative_to(REPO_ROOT))
+        for path in (REPO_ROOT / "src" / "repro" / "net").glob("*.py")
+    )
+
+
 ENGINE_THROUGHPUT_JSON = REPO_ROOT / "BENCH_engine_throughput.json"
 COUNT_ENGINE_JSON = REPO_ROOT / "BENCH_count_engine.json"
 SERVICE_LOAD_JSON = REPO_ROOT / "BENCH_service_load.json"
+NET_ROUNDTRIP_JSON = REPO_ROOT / "BENCH_net_roundtrip.json"
 
 #: Gate thresholds (see module docstring).
 MIN_BATCHED_SPEEDUP_N1024 = 1.0
@@ -70,6 +84,10 @@ MIN_COUNT_VS_BATCHED_N1E6 = 10.0
 MIN_CACHE_HIT_SPEEDUP = 10.0
 #: Floor on the service's fixed per-request overhead (GET /health).
 MIN_HEALTH_RPS = 25.0
+#: Floor on 64-peer cluster progress: a full PULL round (64 peers x h
+#: samples, request/response datagrams + barrier) per second.  Measured
+#: ~15 rounds/s on a dev box; 1.0 keeps the gate robust to slow CI.
+MIN_NET_ROUNDS_PER_SEC = 1.0
 
 
 def engine_sources_digest() -> str:
@@ -96,11 +114,24 @@ def service_sources_digest() -> str:
     return hasher.hexdigest()
 
 
+def net_sources_digest() -> str:
+    """Stable digest of src/repro/net/*.py (content, not mtimes)."""
+    hasher = hashlib.sha256()
+    for relative in _net_sources():
+        path = REPO_ROOT / relative
+        hasher.update(relative.encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
 #: Which benchmark module regenerates each committed record.
 _BENCH_FOR = {
     "BENCH_engine_throughput.json": "bench_engine_throughput.py",
     "BENCH_count_engine.json": "bench_count_engine.py",
     "BENCH_service_load.json": "bench_service_load.py",
+    "BENCH_net_roundtrip.json": "bench_net_roundtrip.py",
 }
 
 
@@ -263,6 +294,34 @@ def check(verbose: bool = True) -> List[str]:
             print(
                 f"  PASS  service GET /health: {rps:.1f} req/s "
                 f"(p99 {case.get('p99_ms')} ms)"
+            )
+
+    net = _load(NET_ROUNDTRIP_JSON)
+    _check_staleness(
+        net, NET_ROUNDTRIP_JSON.name, errors, digest_fn=net_sources_digest
+    )
+    roundtrip_cases = [
+        case
+        for case in net.get("cases", [])
+        if case.get("case") == "cluster_roundtrip" and case.get("peers") == 64
+    ]
+    if not roundtrip_cases:
+        errors.append(
+            f"{NET_ROUNDTRIP_JSON.name}: no cluster_roundtrip case at "
+            f"64 peers — the deployment's round throughput is unmeasured"
+        )
+    for case in roundtrip_cases:
+        rps = float(case.get("rounds_per_sec", 0.0))
+        if rps < MIN_NET_ROUNDS_PER_SEC:
+            errors.append(
+                f"net cluster round-trip (64 peers): {rps:.2f} rounds/s < "
+                f"{MIN_NET_ROUNDS_PER_SEC} — the UDP round barrier "
+                f"regressed"
+            )
+        elif verbose:
+            print(
+                f"  PASS  net cluster 64 peers: {rps:.1f} rounds/s "
+                f"({case.get('datagrams_per_sec')} datagrams/s)"
             )
 
     return errors

@@ -65,6 +65,17 @@ SERVICE_LOAD_JSON = pathlib.Path(__file__).parent.parent / (
 )
 
 
+#: Networked-deployment round-trip measurements, filled in by
+#: ``bench_net_roundtrip.py`` via :func:`record_net_roundtrip` and
+#: flushed to ``BENCH_net_roundtrip.json`` at the repo root; gated by
+#: ``benchmarks/check_regression.py`` in CI (rounds/sec floor).
+NET_ROUNDTRIP_RESULTS: List[Dict[str, object]] = []
+
+NET_ROUNDTRIP_JSON = pathlib.Path(__file__).parent.parent / (
+    "BENCH_net_roundtrip.json"
+)
+
+
 def record_engine_throughput(case: Dict[str, object]) -> None:
     """Queue one throughput measurement for the end-of-session JSON."""
     ENGINE_THROUGHPUT_RESULTS.append(case)
@@ -83,6 +94,11 @@ def record_count_engine(case: Dict[str, object]) -> None:
 def record_service_load(case: Dict[str, object]) -> None:
     """Queue one service-load measurement for the end-of-session JSON."""
     SERVICE_LOAD_RESULTS.append(case)
+
+
+def record_net_roundtrip(case: Dict[str, object]) -> None:
+    """Queue one cluster round-trip measurement for the session JSON."""
+    NET_ROUNDTRIP_RESULTS.append(case)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -128,6 +144,17 @@ def pytest_sessionfinish(session, exitstatus):
             "cases": SERVICE_LOAD_RESULTS,
         }
         SERVICE_LOAD_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    if NET_ROUNDTRIP_RESULTS:
+        from .check_regression import net_sources_digest
+
+        payload = {
+            "benchmark": "net_roundtrip",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "sources_digest": net_sources_digest(),
+            "cases": NET_ROUNDTRIP_RESULTS,
+        }
+        NET_ROUNDTRIP_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def emit_table(

@@ -566,8 +566,10 @@ def build_parser() -> argparse.ArgumentParser:
         "'fast' (vectorized per-agent), 'count' (count-level, "
         "O(|alphabet|) per transition — same law at any n), "
         "'mean-field' (deterministic n->infinity SF recursion), "
-        "'serial'/'batched' (exact agent-level reference engines), or "
-        "'async' (random sequential activations, ssf only)",
+        "'serial'/'batched' (exact agent-level reference engines), "
+        "'async' (random sequential activations, ssf only), or "
+        "'net' (localhost asyncio UDP deployment, one real peer per "
+        "agent; see docs/networking.md)",
     )
     run.add_argument(
         "--trials",

@@ -1,8 +1,8 @@
 """Unified engine registry: one construction path for every backend.
 
-Six simulation backends reproduce the same SF/SSF laws at different
+Seven simulation backends reproduce the same SF/SSF laws at different
 cost/fidelity points (``repro.model``, ``repro.protocols``,
-``repro.analysis.mean_field``).  Historically each caller — the CLI, the
+``repro.analysis.mean_field``, ``repro.net``).  Historically each caller — the CLI, the
 experiment framework, ad-hoc scripts — picked constructors by hand and
 re-implemented the compatibility rules (which engine speaks which
 protocol, which ones compose with fault models).  This module is the
@@ -10,7 +10,7 @@ single seam:
 
 >>> from repro.engines import create_engine, list_engines
 >>> list_engines()
-['async', 'batched', 'count', 'fast', 'mean-field', 'serial']
+['async', 'batched', 'count', 'fast', 'mean-field', 'net', 'serial']
 >>> handle = create_engine("fast", "sf", config, 0.2)
 >>> report = handle.run(rng=0)
 
@@ -130,6 +130,16 @@ _REGISTRY: Dict[str, EngineSpec] = {
             supports_batch=False,
             agent_blind=False,
         ),
+        EngineSpec(
+            name="net",
+            description=(
+                "localhost asyncio UDP deployment: one real peer per agent"
+            ),
+            protocols=("sf", "ssf"),
+            supports_faults=False,
+            supports_batch=False,
+            agent_blind=False,
+        ),
     )
 }
 
@@ -193,11 +203,21 @@ def create_engine(
         and not getattr(fault_model, "is_null", False)
         and not spec.supports_faults
     ):
+        if spec.agent_blind:
+            raise UnsupportedFeatureError(
+                f"engine {name!r} is agent-blind and does not compose "
+                f"with fault models; drop the fault model or use an "
+                f"agent-level engine (fast, serial, batched, async)"
+            )
         raise UnsupportedFeatureError(
-            f"engine {name!r} is agent-blind and does not compose with "
-            f"fault models; drop the fault model or use an agent-level "
-            f"engine (fast, serial, batched, async)"
+            f"engine {name!r} does not compose with model-layer fault "
+            f"models; the net backend injects faults at the link layer "
+            f"instead (drop_probability=..., byzantine_fraction=... "
+            f"engine kwargs) — use an in-process agent-level engine "
+            f"(fast, serial, batched, async) for repro.faults models"
         )
+    if name == "net":
+        _validate_net_kwargs(config, engine_kwargs)
     return EngineHandle(
         spec=spec,
         protocol=protocol,
@@ -211,6 +231,45 @@ def create_engine(
     )
 
 
+#: Engine kwargs the net backend understands; anything else is a typed
+#: capability error at construction time (the networked runtime cannot
+#: honor simulation-only knobs like the count engines' ``handoff``).
+_NET_KWARGS = frozenset(
+    {
+        "drop_probability",
+        "byzantine_fraction",
+        "host",
+        "round_timeout",
+        "retry_interval",
+        "max_retries",
+    }
+)
+
+
+def _validate_net_kwargs(config: PopulationConfig, engine_kwargs) -> None:
+    """Typed construction-time checks for the net backend.
+
+    The cluster constructor re-validates (direct construction fails
+    identically), but the registry checks up front so a handle is never
+    built for a run that cannot boot.
+    """
+    from .net import NET_MAX_PEERS
+
+    if config.n > NET_MAX_PEERS:
+        raise UnsupportedFeatureError(
+            f"engine 'net' launches one localhost UDP peer per agent and "
+            f"is capped at NET_MAX_PEERS={NET_MAX_PEERS}; n={config.n} "
+            f"needs an in-process engine"
+        )
+    unknown = sorted(set(engine_kwargs) - _NET_KWARGS)
+    if unknown:
+        raise UnsupportedFeatureError(
+            f"engine 'net' does not accept engine kwarg(s) "
+            f"{', '.join(map(repr, unknown))}; supported: "
+            f"{', '.join(sorted(_NET_KWARGS))}"
+        )
+
+
 class EngineHandle:
     """A picklable, uniformly-callable wrapper around one engine.
 
@@ -219,8 +278,9 @@ class EngineHandle:
     runner's attributes (``schedule``, ``run_batch``,
     ``draw_weak_opinions``, ...) by delegation, so experiment code that
     used the constructors directly keeps working through the registry.
-    Agent-level backends (serial/batched/async) build their population
-    and protocol per :meth:`run` call from the run's RNG.
+    Agent-level backends (serial/batched/async) and the networked
+    backend (net) build their population and protocol per :meth:`run`
+    call from the run's RNG.
     """
 
     def __init__(
@@ -352,6 +412,8 @@ class EngineHandle:
             return self._run_serial(max_rounds, rng, telemetry, **kwargs)
         if name == "batched":
             return self._run_batched(max_rounds, rng, telemetry, **kwargs)
+        if name == "net":
+            return self._run_net(max_rounds, rng, telemetry, **kwargs)
         return self._run_async(max_rounds, rng, telemetry, **kwargs)
 
     # ------------------------------------------------------------------
@@ -461,6 +523,22 @@ class EngineHandle:
             telemetry=telemetry,
             fault_model=self.fault_model,
             **kwargs,
+        )
+
+    def _run_net(self, max_rounds, rng, telemetry, **kwargs):
+        from .net import ClusterRunner
+
+        size = 2 if self.protocol == "sf" else 4
+        runner = ClusterRunner(
+            self.protocol,
+            self.config,
+            self._noise_matrix(size),
+            schedule=self._schedule_for(size),
+            constant=self.constant,
+            **self.engine_kwargs,
+        )
+        return runner.run(
+            max_rounds, rng=rng, telemetry=telemetry, **kwargs
         )
 
     # ------------------------------------------------------------------

@@ -67,6 +67,26 @@ class ProtocolError(ReproError, RuntimeError):
     """
 
 
+class MessageCodecError(ReproError, ValueError):
+    """A network datagram could not be encoded or decoded.
+
+    Raised by :mod:`repro.net.messages` for payloads that are not valid
+    JSON, carry an unknown type tag, miss a required field, or carry a
+    field of the wrong type or out of range.  Peers treat such datagrams
+    as line noise: they count and drop them rather than crash.
+    """
+
+
+class ClusterError(ReproError, RuntimeError):
+    """A networked cluster run failed to make progress.
+
+    Raised by :mod:`repro.net` when peers fail to join within the
+    bootstrap window, a round stalls past its retry budget, or the
+    cluster as a whole exceeds its deadline.  The message names the
+    stragglers so hangs are debuggable.
+    """
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """A simulation failed to converge within its round budget."""
 

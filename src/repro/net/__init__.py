@@ -1,0 +1,59 @@
+"""repro.net — SF/SSF as real asyncio peers over noisy localhost UDP.
+
+The simulation engines abstract the paper's noisy PULL model as array
+updates; this package runs the *same protocol objects* as a deployed
+system: one UDP endpoint per agent, PULL request/response datagrams
+carrying displayed symbols, a :class:`NoisyLink` applying the
+:class:`~repro.noise.NoiseMatrix` per observation, a bootstrap
+coordinator for membership and the round barrier, and a
+:class:`ClusterRunner` producing a standard
+:class:`~repro.results.RunReport`.
+
+Registered as the ``net`` backend of :func:`repro.engines.create_engine`
+and gated by the ``net`` verify leg, whose differential check requires
+the deployment to agree statistically with the in-process fast engine.
+See ``docs/networking.md`` for the architecture and wire format.
+"""
+
+from .agent import NetAgent
+from .bootstrap import BootstrapCoordinator
+from .cluster import NET_MAX_PEERS, ClusterRunner, NetRunResult
+from .link import NoisyLink
+from .messages import (
+    MAX_DATAGRAM_BYTES,
+    Join,
+    Message,
+    PullRequest,
+    PullResponse,
+    RoundDone,
+    RoundGo,
+    Stop,
+    Welcome,
+    decode_message,
+    encode_message,
+)
+from .peer import PeerNode
+from .ports import bound_port, open_udp_endpoint
+
+__all__ = [
+    "NET_MAX_PEERS",
+    "MAX_DATAGRAM_BYTES",
+    "BootstrapCoordinator",
+    "ClusterRunner",
+    "Join",
+    "Message",
+    "NetAgent",
+    "NetRunResult",
+    "NoisyLink",
+    "PeerNode",
+    "PullRequest",
+    "PullResponse",
+    "RoundDone",
+    "RoundGo",
+    "Stop",
+    "Welcome",
+    "bound_port",
+    "decode_message",
+    "encode_message",
+    "open_udp_endpoint",
+]

@@ -1,0 +1,140 @@
+"""Own-row adapter: one networked peer driving a vectorised protocol.
+
+The in-process engines run one vectorised
+:class:`~repro.protocols.SourceFilterProtocol` (or SSF) instance over
+the whole population.  A networked peer *is* a single agent, but we do
+not fork a scalar reimplementation of the protocols — the differential
+guarantee of the ``net`` backend rests on executing the exact same
+protocol code.  Instead each peer owns a full protocol instance and
+touches only its own row:
+
+* ``display`` reads ``protocol.displays(t)[i]``;
+* ``deliver`` feeds an ``(n, h)`` observation matrix whose row ``i``
+  holds the peer's pulled symbols and whose other rows are zero.
+
+This is sound because both protocols update rows independently: counter
+sums, buffer tallies, phase commits and flushes for row ``i`` depend
+only on row ``i`` of every observation matrix ever received.  The only
+cross-row coupling is the *order* in which tie-breaking coins are drawn
+from the RNG — each row's coin remains an i.i.d. fair coin, so the
+per-agent law is exactly the in-process law (bit-identity across rows
+is not claimed, distributional identity is).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model import Population
+from ..protocols import (
+    SFSchedule,
+    SSFSchedule,
+    SelfStabilizingSourceFilterProtocol,
+    SourceFilterProtocol,
+)
+
+__all__ = ["NetAgent"]
+
+_ALPHABET = {"sf": 2, "ssf": 4}
+
+
+class NetAgent:
+    """One agent's view of the protocol, addressed by its population row.
+
+    Parameters
+    ----------
+    protocol_name:
+        ``"sf"`` or ``"ssf"``.
+    schedule:
+        The protocol schedule (shared verbatim across the cluster).
+    population:
+        The shared immutable :class:`Population`; every peer holds the
+        same instance, built once from the cluster seed, so roles agree
+        without any wire transfer.
+    index:
+        This peer's row in the population.
+    rng:
+        Per-peer protocol stream (initial preferences + tie coins).
+    """
+
+    def __init__(
+        self,
+        protocol_name: str,
+        schedule,
+        population: Population,
+        index: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if protocol_name == "sf":
+            if not isinstance(schedule, SFSchedule):
+                raise ConfigurationError(
+                    f"protocol 'sf' needs an SFSchedule, got "
+                    f"{type(schedule).__name__}"
+                )
+            self.protocol = SourceFilterProtocol(schedule)
+        elif protocol_name == "ssf":
+            if not isinstance(schedule, SSFSchedule):
+                raise ConfigurationError(
+                    f"protocol 'ssf' needs an SSFSchedule, got "
+                    f"{type(schedule).__name__}"
+                )
+            self.protocol = SelfStabilizingSourceFilterProtocol(schedule)
+        else:
+            raise ConfigurationError(
+                f"unknown protocol {protocol_name!r}; the net backend "
+                f"supports 'sf' and 'ssf'"
+            )
+        if not 0 <= index < population.config.n:
+            raise ConfigurationError(
+                f"peer index {index} out of range for n={population.config.n}"
+            )
+        self.protocol_name = protocol_name
+        self.population = population
+        self.index = int(index)
+        self.h = int(population.config.h)
+        self.protocol.reset(population, rng)
+
+    @property
+    def alphabet_size(self) -> int:
+        return _ALPHABET[self.protocol_name]
+
+    def display(self, round_index: int) -> int:
+        """The symbol this agent shows in ``round_index`` (pure read)."""
+        return int(self.protocol.displays(round_index)[self.index])
+
+    def deliver(self, round_index: int, observations: Sequence[int]) -> None:
+        """Feed this round's ``h`` pulled (post-channel) symbols.
+
+        Builds the ``(n, h)`` matrix the vectorised protocol expects,
+        with zeros in every foreign row — provably unread for row
+        ``index`` (see module docstring).
+        """
+        symbols = np.asarray(observations, dtype=np.int64)
+        if symbols.shape != (self.h,):
+            raise ConfigurationError(
+                f"peer {self.index} needs exactly h={self.h} observations "
+                f"per round, got shape {symbols.shape}"
+            )
+        matrix = np.zeros((self.population.config.n, self.h), dtype=np.int64)
+        matrix[self.index] = symbols
+        self.protocol.receive(round_index, matrix)
+
+    def opinion(self) -> int:
+        return int(self.protocol.opinions()[self.index])
+
+    def weak(self) -> Optional[int]:
+        """This agent's weak opinion, or None before it is committed."""
+        weak = self.protocol.weak_opinions
+        if weak is None:
+            return None
+        value = weak[self.index]
+        # SF stores -1 (or masked values) before the Phase-1 commit.
+        if value < 0:
+            return None
+        return int(value)
+
+    def finished(self, round_index: int) -> bool:
+        return bool(self.protocol.finished(round_index))

@@ -1,0 +1,269 @@
+"""Bootstrap/membership service and round coordinator.
+
+The coordinator is one UDP endpoint with two jobs:
+
+* **Peer discovery** — collect :class:`~repro.net.messages.Join`
+  datagrams until every expected peer has announced its port, then send
+  each peer a :class:`Welcome` with the full membership table.  Peers
+  never exchange addresses among themselves; the coordinator is the
+  single source of truth, like the bootstrap node of a gossip overlay.
+* **Round barrier** — release round ``t`` with a :class:`RoundGo`
+  broadcast, collect one :class:`RoundDone` per peer, snapshot the
+  opinion vector (fraction correct, consensus streak — the same
+  bookkeeping as :meth:`repro.model.PullEngine.run`), and either
+  release ``t + 1`` or broadcast :class:`Stop`.
+
+Control-plane datagrams (join/welcome/go/done/stop) bypass the
+:class:`~repro.net.link.NoisyLink` on purpose: the paper's channel
+models *observation* noise, not a faulty orchestrator.  Robustness to
+genuine loss comes from the watchdog (:meth:`check_watchdog`): a stalled
+round triggers a ``RoundGo`` re-broadcast, which peers answer
+idempotently (finished peers re-send their ``RoundDone``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ClusterError, MessageCodecError
+from ..model import Population
+from ..model.engine import RoundRecord
+from .messages import (
+    Join,
+    RoundDone,
+    RoundGo,
+    Stop,
+    Welcome,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["BootstrapCoordinator"]
+
+
+class BootstrapCoordinator(asyncio.DatagramProtocol):
+    """Single-endpoint bootstrap service + round barrier.
+
+    Parameters
+    ----------
+    population:
+        The shared population (for ``correct_opinion``).
+    expected_peers:
+        Cluster size ``n``; bootstrap completes when every id in
+        ``range(n)`` has joined.
+    horizon:
+        Maximum number of rounds to execute.
+    stop_on_consensus / consensus_patience:
+        Early-stop rule, identical to :meth:`PullEngine.run`: stop once
+        consensus has held for ``consensus_patience + 1`` rounds.
+    eval_mask:
+        Boolean array selecting the peers judged for consensus (False
+        for Byzantine peers), or None for everyone.
+    """
+
+    def __init__(
+        self,
+        *,
+        population: Population,
+        expected_peers: int,
+        horizon: int,
+        stop_on_consensus: bool = False,
+        consensus_patience: int = 0,
+        eval_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        self.population = population
+        self.expected_peers = int(expected_peers)
+        self.horizon = int(horizon)
+        self.stop_on_consensus = bool(stop_on_consensus)
+        self.consensus_patience = int(consensus_patience)
+        self.eval_mask = eval_mask
+
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.port: Optional[int] = None
+        self.addresses: Dict[int, Tuple[str, int]] = {}
+        self.trace: List[RoundRecord] = []
+        self.counters: Dict[str, int] = {
+            "datagrams_received": 0,
+            "malformed_dropped": 0,
+            "go_rebroadcasts": 0,
+        }
+
+        self.current_round: Optional[int] = None
+        self.rounds_executed = 0
+        self._reports: Dict[int, RoundDone] = {}
+        self._opinions = np.zeros(self.expected_peers, dtype=np.int64)
+        self._weak: List[Optional[int]] = [None] * self.expected_peers
+        self._consensus_start: Optional[int] = None
+        self._streak = 0
+        self._round_started_at = 0.0
+        self._round_rebroadcasts = 0
+
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self.finished: "asyncio.Future[dict]" = loop.create_future()
+
+    # -- asyncio.DatagramProtocol hooks --------------------------------
+    def connection_made(self, transport) -> None:  # pragma: no cover - trivial
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.counters["datagrams_received"] += 1
+        try:
+            message = decode_message(data)
+        except MessageCodecError:
+            self.counters["malformed_dropped"] += 1
+            return
+        if isinstance(message, Join):
+            self._on_join(message, addr)
+        elif isinstance(message, RoundDone):
+            self._on_done(message)
+
+    # -- bootstrap -------------------------------------------------------
+    def _on_join(self, message: Join, addr) -> None:
+        if self.current_round is not None:
+            return  # late duplicate after bootstrap completed
+        if not 0 <= message.peer_id < self.expected_peers:
+            self.counters["malformed_dropped"] += 1
+            return
+        self.addresses[message.peer_id] = (addr[0], message.port)
+        if len(self.addresses) == self.expected_peers:
+            table = tuple(
+                (pid, self.addresses[pid][1])
+                for pid in sorted(self.addresses)
+            )
+            for pid, peer_addr in self.addresses.items():
+                self._sendto(Welcome(peer_id=pid, peers=table), peer_addr)
+            self._begin_round(0)
+
+    # -- round barrier ---------------------------------------------------
+    def _begin_round(self, round_index: int) -> None:
+        self.current_round = round_index
+        self._reports = {}
+        self._round_rebroadcasts = 0
+        self._round_started_at = self._loop.time()
+        self._broadcast(RoundGo(round_index=round_index))
+
+    def _on_done(self, message: RoundDone) -> None:
+        if (
+            message.round_index != self.current_round
+            or message.peer_id in self._reports
+            or not 0 <= message.peer_id < self.expected_peers
+        ):
+            return
+        self._reports[message.peer_id] = message
+        if len(self._reports) == self.expected_peers:
+            self._complete_round()
+
+    def _complete_round(self) -> None:
+        t = self.current_round
+        assert t is not None
+        for pid, report in self._reports.items():
+            self._opinions[pid] = report.opinion
+            if report.weak is not None:
+                self._weak[pid] = report.weak
+        self.rounds_executed = t + 1
+
+        correct = self.population.correct_opinion
+        judged = (
+            self._opinions
+            if self.eval_mask is None
+            else self._opinions[self.eval_mask]
+        )
+        num_correct = int(np.sum(judged == correct))
+        n_eval = int(judged.size)
+        self.trace.append(RoundRecord(t, num_correct / n_eval, num_correct))
+        if num_correct == n_eval:
+            if self._consensus_start is None:
+                self._consensus_start = t
+            self._streak += 1
+        else:
+            self._consensus_start = None
+            self._streak = 0
+
+        early = (
+            self.stop_on_consensus
+            and self._streak >= self.consensus_patience + 1
+        )
+        if t + 1 >= self.horizon or early:
+            self._broadcast(Stop(round_index=t))
+            self._finish()
+        else:
+            self._begin_round(t + 1)
+
+    def _finish(self) -> None:
+        if self.finished.done():
+            return
+        correct = self.population.correct_opinion
+        judged = (
+            self._opinions
+            if self.eval_mask is None
+            else self._opinions[self.eval_mask]
+        )
+        converged = bool(np.all(judged == correct))
+        weak: Optional[np.ndarray] = None
+        if all(value is not None for value in self._weak):
+            weak = np.array(self._weak, dtype=np.int64)
+        self.finished.set_result(
+            {
+                "converged": converged,
+                "consensus_round": (
+                    self._consensus_start if converged else None
+                ),
+                "rounds_executed": self.rounds_executed,
+                "final_opinions": self._opinions.copy(),
+                "weak_opinions": weak,
+                "trace": list(self.trace),
+            }
+        )
+
+    def fail(self, error: BaseException) -> None:
+        """Resolve the run exceptionally (peer crash, watchdog expiry)."""
+        if not self.finished.done():
+            self.finished.set_exception(error)
+
+    def check_watchdog(self, round_timeout: float) -> None:
+        """Re-release a stalled round; called periodically by the runner.
+
+        A round is stalled when ``round_timeout`` elapsed without every
+        peer reporting.  The re-broadcast is idempotent: peers that
+        already finished the round re-send their ``RoundDone``, peers
+        mid-round ignore it.
+        """
+        if self.current_round is None or self.finished.done():
+            return
+        if self._loop.time() - self._round_started_at < round_timeout:
+            return
+        missing = sorted(
+            set(range(self.expected_peers)) - set(self._reports)
+        )
+        self.counters["go_rebroadcasts"] += 1
+        self._round_rebroadcasts += 1
+        self._round_started_at = self._loop.time()
+        self._broadcast(RoundGo(round_index=self.current_round))
+        if self._round_rebroadcasts > 10:
+            self.fail(
+                ClusterError(
+                    f"round {self.current_round} stalled: peers {missing} "
+                    f"never reported after repeated re-broadcasts"
+                )
+            )
+
+    def stragglers(self) -> List[int]:
+        """Peer ids that have not reported the current round."""
+        if self.current_round is None:
+            return sorted(
+                set(range(self.expected_peers)) - set(self.addresses)
+            )
+        return sorted(set(range(self.expected_peers)) - set(self._reports))
+
+    # -- plumbing --------------------------------------------------------
+    def _broadcast(self, message) -> None:
+        for addr in self.addresses.values():
+            self._sendto(message, addr)
+
+    def _sendto(self, message, addr) -> None:
+        if self.transport is not None:
+            self.transport.sendto(encode_message(message), addr)

@@ -1,0 +1,107 @@
+"""Link-layer noise and loss for the networked PULL deployment.
+
+The paper's noisy PULL model puts the noise on the *observation*: each
+of the ``h`` symbols an agent pulls per round independently traverses
+the channel ``P`` (the :class:`~repro.noise.NoiseMatrix`).  In the
+networked deployment that channel lives at the link: every
+``PullResponse`` datagram a peer accepts is corrupted by one
+independent draw from ``P`` before the protocol sees it.
+
+Beyond the paper's channel, the link models two deployment hazards:
+
+* **Datagram loss** (``drop_probability``) — requests and responses are
+  independently dropped with probability ``p``.  The peer's retry loop
+  recovers losses by re-requesting the *same* target (the nonce pins
+  the target), so the delivered observation distribution is unchanged:
+  the protocol still receives exactly ``h`` uniform-with-replacement
+  observations per round, each corrupted once.
+* **Byzantine displays** (selected by the cluster from its seed) — a
+  Byzantine peer answers every PULL with an adversarially wrong symbol
+  while its internal state keeps evolving honestly; this mirrors the
+  "display-rewriting" adversary of :mod:`repro.faults` at the wire.
+
+Corruption is applied by the *requester*, vectorised over the round's
+``h`` accepted symbols in nonce order from a dedicated noise RNG
+stream.  This is statistically identical to corrupting each datagram in
+flight (the draws are independent either way) and keeps a cluster run
+bit-reproducible for a fixed seed: arrival order influences neither
+which noise draw an observation gets nor any other stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..noise import NoiseMatrix
+
+__all__ = ["NoisyLink"]
+
+
+class NoisyLink:
+    """Per-datagram channel: symbol corruption plus Bernoulli loss.
+
+    Parameters
+    ----------
+    noise:
+        The observation channel, as a :class:`NoiseMatrix` or a uniform
+        noise level ``delta`` (requires ``alphabet_size``).
+    drop_probability:
+        Probability, in ``[0, 1)``, that any single request or response
+        datagram is lost in flight.  Strictly below 1 so the retry loop
+        terminates almost surely.
+    alphabet_size:
+        Required when ``noise`` is a float; checked against the matrix
+        otherwise.
+    """
+
+    def __init__(
+        self,
+        noise: Union[NoiseMatrix, float],
+        *,
+        drop_probability: float = 0.0,
+        alphabet_size: Optional[int] = None,
+    ) -> None:
+        if isinstance(noise, NoiseMatrix):
+            matrix = noise
+        else:
+            if alphabet_size is None:
+                raise ConfigurationError(
+                    "alphabet_size is required when noise is a uniform level"
+                )
+            matrix = NoiseMatrix.uniform(float(noise), size=alphabet_size)
+        if alphabet_size is not None and matrix.size != alphabet_size:
+            raise ConfigurationError(
+                f"noise matrix is {matrix.size}x{matrix.size} but the "
+                f"protocol alphabet has {alphabet_size} symbols"
+            )
+        drop = float(drop_probability)
+        if not 0.0 <= drop < 1.0:
+            raise ConfigurationError(
+                f"drop_probability must lie in [0, 1), got {drop_probability}"
+            )
+        self.matrix = matrix
+        self.drop_probability = drop
+
+    @property
+    def alphabet_size(self) -> int:
+        return self.matrix.size
+
+    def drops(self, rng: np.random.Generator) -> bool:
+        """One Bernoulli loss draw for a single datagram."""
+        if self.drop_probability == 0.0:
+            return False
+        return bool(rng.random() < self.drop_probability)
+
+    def corrupt(
+        self, symbols: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Send each symbol through the channel once (vectorised)."""
+        flat = np.asarray(symbols, dtype=np.int64)
+        if flat.size and (flat.min() < 0 or flat.max() >= self.matrix.size):
+            raise ConfigurationError(
+                f"symbols out of alphabet range [0, {self.matrix.size})"
+            )
+        return self.matrix.corrupt(flat, rng, validate=False)

@@ -1,0 +1,282 @@
+"""Datagram codec for the networked PULL deployment.
+
+Every message that crosses a socket in :mod:`repro.net` is one UDP
+datagram carrying a small JSON object with a short type tag ``"t"``.
+Only *symbols* and *membership* travel over the wire — configuration,
+schedules, and population roles are handed to each peer out-of-band by
+the :class:`~repro.net.cluster.ClusterRunner`, exactly like the
+simulation engines hand them to a protocol instance.
+
+Wire messages
+-------------
+
+==========  =======================================================
+tag         dataclass / direction
+==========  =======================================================
+``join``    :class:`Join` — peer -> coordinator (bootstrap)
+``welcome`` :class:`Welcome` — coordinator -> peer (membership)
+``go``      :class:`RoundGo` — coordinator -> peers (round barrier)
+``pull``    :class:`PullRequest` — peer -> peer (PULL sample)
+``resp``    :class:`PullResponse` — peer -> peer (displayed symbol)
+``done``    :class:`RoundDone` — peer -> coordinator (round report)
+``stop``    :class:`Stop` — coordinator -> peers (shutdown)
+==========  =======================================================
+
+Malformed payloads (non-JSON bytes, unknown tags, missing fields,
+wrong-typed or out-of-range values) raise
+:class:`~repro.exceptions.MessageCodecError`; receivers count and drop
+them instead of crashing, mirroring how a real deployment must survive
+line noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional, Tuple, Type, Union
+
+from ..exceptions import MessageCodecError
+
+__all__ = [
+    "Join",
+    "Welcome",
+    "RoundGo",
+    "PullRequest",
+    "PullResponse",
+    "RoundDone",
+    "Stop",
+    "Message",
+    "encode_message",
+    "decode_message",
+    "MAX_DATAGRAM_BYTES",
+]
+
+#: Hard ceiling on one encoded datagram; far below typical UDP limits
+#: but large enough for a 256-peer membership table.
+MAX_DATAGRAM_BYTES = 60_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Join:
+    """A peer announces itself to the bootstrap coordinator."""
+
+    peer_id: int
+    port: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Welcome:
+    """The coordinator's membership reply: every ``(peer_id, port)``."""
+
+    peer_id: int
+    peers: Tuple[Tuple[int, int], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundGo:
+    """Round barrier release: peers may execute ``round_index``."""
+
+    round_index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PullRequest:
+    """One PULL observation request.
+
+    ``nonce`` identifies the observation slot (``0 .. h-1``) on the
+    requesting peer so retries and duplicates are idempotent.
+    """
+
+    round_index: int
+    sender: int
+    nonce: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PullResponse:
+    """The displayed symbol answering one :class:`PullRequest`."""
+
+    round_index: int
+    sender: int
+    nonce: int
+    symbol: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundDone:
+    """A peer's end-of-round report to the coordinator."""
+
+    round_index: int
+    peer_id: int
+    opinion: int
+    weak: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Stop:
+    """Coordinator shutdown broadcast after the final round."""
+
+    round_index: int
+
+
+Message = Union[Join, Welcome, RoundGo, PullRequest, PullResponse, RoundDone, Stop]
+
+_TAG_FOR: Dict[type, str] = {
+    Join: "join",
+    Welcome: "welcome",
+    RoundGo: "go",
+    PullRequest: "pull",
+    PullResponse: "resp",
+    RoundDone: "done",
+    Stop: "stop",
+}
+
+_TYPE_FOR: Dict[str, type] = {tag: cls for cls, tag in _TAG_FOR.items()}
+
+
+def _require_int(
+    payload: Dict[str, object],
+    key: str,
+    *,
+    minimum: int = 0,
+    maximum: Optional[int] = None,
+) -> int:
+    if key not in payload:
+        raise MessageCodecError(f"datagram is missing required field {key!r}")
+    value = payload[key]
+    # bool is an int subclass; a boolean round index is still malformed.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise MessageCodecError(
+            f"field {key!r} must be an integer, got {type(value).__name__}"
+        )
+    if value < minimum or (maximum is not None and value > maximum):
+        raise MessageCodecError(
+            f"field {key!r} out of range: {value} (expected >= {minimum}"
+            + (f", <= {maximum}" if maximum is not None else "")
+            + ")"
+        )
+    return value
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize one message to a UTF-8 JSON datagram."""
+    tag = _TAG_FOR.get(type(message))
+    if tag is None:
+        raise MessageCodecError(
+            f"cannot encode object of type {type(message).__name__}; "
+            f"expected one of {sorted(_TYPE_FOR)}"
+        )
+    payload: Dict[str, object] = {"t": tag}
+    for field in dataclasses.fields(message):
+        value = getattr(message, field.name)
+        if field.name == "peers":
+            value = [[int(pid), int(port)] for pid, port in value]
+        payload[field.name] = value
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_DATAGRAM_BYTES:
+        raise MessageCodecError(
+            f"encoded {tag!r} datagram is {len(data)} bytes, above the "
+            f"{MAX_DATAGRAM_BYTES}-byte ceiling"
+        )
+    return data
+
+
+def _decode_join(payload: Dict[str, object]) -> Join:
+    return Join(
+        peer_id=_require_int(payload, "peer_id"),
+        port=_require_int(payload, "port", minimum=1, maximum=65_535),
+    )
+
+
+def _decode_welcome(payload: Dict[str, object]) -> Welcome:
+    peer_id = _require_int(payload, "peer_id")
+    raw = payload.get("peers")
+    if not isinstance(raw, list):
+        raise MessageCodecError("field 'peers' must be a list of [id, port] pairs")
+    peers = []
+    for entry in raw:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or any(isinstance(x, bool) or not isinstance(x, int) for x in entry)
+        ):
+            raise MessageCodecError(
+                f"malformed membership entry {entry!r}; expected [peer_id, port]"
+            )
+        pid, port = entry
+        if pid < 0 or not 1 <= port <= 65_535:
+            raise MessageCodecError(f"membership entry out of range: {entry!r}")
+        peers.append((pid, port))
+    return Welcome(peer_id=peer_id, peers=tuple(peers))
+
+
+def _decode_go(payload: Dict[str, object]) -> RoundGo:
+    return RoundGo(round_index=_require_int(payload, "round_index"))
+
+
+def _decode_pull(payload: Dict[str, object]) -> PullRequest:
+    return PullRequest(
+        round_index=_require_int(payload, "round_index"),
+        sender=_require_int(payload, "sender"),
+        nonce=_require_int(payload, "nonce"),
+    )
+
+
+def _decode_resp(payload: Dict[str, object]) -> PullResponse:
+    return PullResponse(
+        round_index=_require_int(payload, "round_index"),
+        sender=_require_int(payload, "sender"),
+        nonce=_require_int(payload, "nonce"),
+        symbol=_require_int(payload, "symbol"),
+    )
+
+
+def _decode_done(payload: Dict[str, object]) -> RoundDone:
+    weak: Optional[int] = None
+    if payload.get("weak") is not None:
+        weak = _require_int(payload, "weak")
+    return RoundDone(
+        round_index=_require_int(payload, "round_index"),
+        peer_id=_require_int(payload, "peer_id"),
+        opinion=_require_int(payload, "opinion"),
+        weak=weak,
+    )
+
+
+def _decode_stop(payload: Dict[str, object]) -> Stop:
+    return Stop(round_index=_require_int(payload, "round_index"))
+
+
+_DECODER = {
+    "join": _decode_join,
+    "welcome": _decode_welcome,
+    "go": _decode_go,
+    "pull": _decode_pull,
+    "resp": _decode_resp,
+    "done": _decode_done,
+    "stop": _decode_stop,
+}
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse one datagram; raise :class:`MessageCodecError` if malformed."""
+    if len(data) > MAX_DATAGRAM_BYTES:
+        raise MessageCodecError(
+            f"datagram is {len(data)} bytes, above the "
+            f"{MAX_DATAGRAM_BYTES}-byte ceiling"
+        )
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MessageCodecError(f"datagram is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise MessageCodecError(
+            f"datagram must be a JSON object, got {type(payload).__name__}"
+        )
+    tag = payload.get("t")
+    decoder = _DECODER.get(tag) if isinstance(tag, str) else None
+    if decoder is None:
+        raise MessageCodecError(
+            f"unknown message tag {tag!r}; expected one of {sorted(_DECODER)}"
+        )
+    return decoder(payload)

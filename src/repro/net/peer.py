@@ -1,0 +1,327 @@
+"""One networked agent: the asyncio UDP node loop.
+
+A :class:`PeerNode` is a :class:`asyncio.DatagramProtocol` bound to its
+own ephemeral UDP port.  Its life cycle:
+
+1. **Bootstrap** — send :class:`~repro.net.messages.Join` to the
+   coordinator, wait for the :class:`Welcome` carrying the full
+   ``peer_id -> port`` membership table.
+2. **Rounds** — on each :class:`RoundGo` barrier release for round
+   ``t``: cache the displayed symbol for ``t``, sample ``h`` targets
+   uniformly with replacement (including itself) from its own sampling
+   stream, send one :class:`PullRequest` per observation slot, gather
+   the matching :class:`PullResponse` datagrams (retrying slots whose
+   response has not arrived), corrupt the gathered symbols through the
+   :class:`~repro.net.link.NoisyLink` in one vectorised call, feed them
+   to the protocol via :class:`~repro.net.agent.NetAgent.deliver`, and
+   report :class:`RoundDone` to the coordinator.
+3. **Stop** — tear down on the coordinator's :class:`Stop` broadcast.
+
+Answering PULLs is decoupled from the peer's own round progress: the
+round barrier guarantees every peer has finished round ``t - 1`` before
+anyone asks about round ``t``, so a peer can answer ``PullRequest(t)``
+before it has seen its own ``RoundGo(t)``.  Displays are answered from
+a small cache that is filled *before* the round's updates are applied —
+recomputing after the update would leak post-round state.
+
+Determinism: each peer draws from four independent streams (protocol,
+sampling, noise, loss), so with ``drop_probability == 0`` a cluster run
+is bit-reproducible for a fixed seed regardless of datagram arrival
+order.  Loss coins are consumed in arrival order but live on their own
+stream, so enabling drops perturbs nothing else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ClusterError, MessageCodecError
+from .agent import NetAgent
+from .link import NoisyLink
+from .messages import (
+    Join,
+    Message,
+    PullRequest,
+    PullResponse,
+    RoundDone,
+    RoundGo,
+    Stop,
+    Welcome,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["PeerNode"]
+
+#: Sentinel queued when the coordinator broadcasts Stop.
+_STOP = object()
+
+
+class PeerNode(asyncio.DatagramProtocol):
+    """A single agent's UDP endpoint, node loop, and display cache.
+
+    Parameters
+    ----------
+    peer_id:
+        This peer's population row (also its wire identity).
+    agent:
+        The own-row protocol adapter.
+    link:
+        Shared channel description (noise matrix + loss probability).
+    sample_rng / noise_rng / link_rng:
+        Independent per-peer streams for target sampling, observation
+        corruption, and loss coins (see module docstring).
+    coordinator:
+        ``(host, port)`` of the bootstrap coordinator.
+    byzantine_symbol:
+        When not None, every PULL is answered with this fixed
+        adversarial symbol instead of the honest display.
+    retry_interval / max_retries:
+        Gather-loop cadence: how long to wait for responses before
+        re-requesting missing slots, and how many re-request sweeps to
+        tolerate before declaring the round stalled.
+    """
+
+    def __init__(
+        self,
+        peer_id: int,
+        agent: NetAgent,
+        link: NoisyLink,
+        *,
+        sample_rng: np.random.Generator,
+        noise_rng: np.random.Generator,
+        link_rng: np.random.Generator,
+        coordinator: Tuple[str, int],
+        host: str = "127.0.0.1",
+        byzantine_symbol: Optional[int] = None,
+        retry_interval: float = 0.05,
+        max_retries: int = 200,
+    ) -> None:
+        self.peer_id = int(peer_id)
+        self.agent = agent
+        self.link = link
+        self.host = host
+        self.coordinator = coordinator
+        self.byzantine_symbol = byzantine_symbol
+        self.retry_interval = float(retry_interval)
+        self.max_retries = int(max_retries)
+        self._sample_rng = sample_rng
+        self._noise_rng = noise_rng
+        self._link_rng = link_rng
+
+        self.port: Optional[int] = None
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.membership: Dict[int, Tuple[str, int]] = {}
+        self.counters: Dict[str, int] = {
+            "datagrams_sent": 0,
+            "datagrams_received": 0,
+            "requests_dropped": 0,
+            "responses_dropped": 0,
+            "pulls_retried": 0,
+            "malformed_dropped": 0,
+        }
+        self.error: Optional[BaseException] = None
+
+        self._welcomed = asyncio.Event()
+        self._control: "asyncio.Queue[object]" = asyncio.Queue()
+        self._display_cache: Dict[int, int] = {}
+        self._completed = -1
+        self._last_go = -1
+        self._current_round: Optional[int] = None
+        self._pending: Dict[int, int] = {}
+        self._arrived: Dict[int, int] = {}
+        self._progress = asyncio.Event()
+
+    # -- asyncio.DatagramProtocol hooks --------------------------------
+    def connection_made(self, transport) -> None:  # pragma: no cover - trivial
+        self.transport = transport
+
+    def connection_lost(self, exc) -> None:  # pragma: no cover - teardown
+        if exc is not None and self.error is None:
+            self.error = exc
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.counters["datagrams_received"] += 1
+        try:
+            message = decode_message(data)
+        except MessageCodecError:
+            # Line noise: count it, never crash the node loop.
+            self.counters["malformed_dropped"] += 1
+            return
+        if isinstance(message, Welcome):
+            self._on_welcome(message)
+        elif isinstance(message, RoundGo):
+            self._on_go(message)
+        elif isinstance(message, PullRequest):
+            self._on_pull(message)
+        elif isinstance(message, PullResponse):
+            self._on_response(message)
+        elif isinstance(message, Stop):
+            self._control.put_nowait(_STOP)
+        # Join/RoundDone are coordinator-bound; a peer ignores them.
+
+    # -- message handlers -----------------------------------------------
+    def _on_welcome(self, message: Welcome) -> None:
+        if message.peer_id != self.peer_id:
+            return
+        self.membership = {
+            pid: (self.host, port) for pid, port in message.peers
+        }
+        self._welcomed.set()
+
+    def _on_go(self, message: RoundGo) -> None:
+        if message.round_index <= self._last_go:
+            # Watchdog re-broadcast of a round we already saw: if we
+            # finished it, the coordinator may have missed our report.
+            if message.round_index <= self._completed:
+                self._send_done(message.round_index)
+            return
+        self._last_go = message.round_index
+        self._control.put_nowait(message.round_index)
+
+    def _on_pull(self, message: PullRequest) -> None:
+        symbol = self._display_for(message.round_index)
+        if symbol is None:
+            return  # not answerable yet; the requester will retry
+        self._sendto(
+            PullResponse(
+                round_index=message.round_index,
+                sender=self.peer_id,
+                nonce=message.nonce,
+                symbol=symbol,
+            ),
+            self.membership.get(message.sender),
+        )
+
+    def _on_response(self, message: PullResponse) -> None:
+        if (
+            message.round_index != self._current_round
+            or message.nonce in self._arrived
+            or message.nonce not in self._pending
+        ):
+            return  # stale round or duplicate slot
+        if self.link.drops(self._link_rng):
+            self.counters["responses_dropped"] += 1
+            return
+        self._arrived[message.nonce] = message.symbol
+        self._progress.set()
+
+    # -- node loop -------------------------------------------------------
+    async def run(self) -> None:
+        """Wait for membership, then execute rounds until Stop."""
+        try:
+            await self._welcomed.wait()
+            while True:
+                item = await self._control.get()
+                if item is _STOP:
+                    return
+                round_index = int(item)  # type: ignore[arg-type]
+                if round_index <= self._completed:
+                    self._send_done(round_index)
+                    continue
+                await self._run_round(round_index)
+        except BaseException as exc:
+            self.error = exc
+            raise
+
+    async def _run_round(self, round_index: int) -> None:
+        agent = self.agent
+        # Cache the display before any update so late PULLs for this
+        # round keep seeing the pre-update symbol.
+        self._display_for(round_index)
+        n = len(self.membership)
+        targets = self._sample_rng.integers(0, n, size=agent.h)
+        self._pending = {nonce: int(t) for nonce, t in enumerate(targets)}
+        self._arrived = {}
+        self._current_round = round_index
+        self._progress = asyncio.Event()
+        self._send_pulls(round_index, tuple(self._pending))
+        sweeps = 0
+        while len(self._arrived) < agent.h:
+            try:
+                await asyncio.wait_for(
+                    self._progress.wait(), self.retry_interval
+                )
+                self._progress.clear()
+            except asyncio.TimeoutError:
+                sweeps += 1
+                missing = [
+                    nonce for nonce in self._pending
+                    if nonce not in self._arrived
+                ]
+                if sweeps > self.max_retries:
+                    raise ClusterError(
+                        f"peer {self.peer_id} stalled in round "
+                        f"{round_index}: {len(missing)} of {agent.h} "
+                        f"observations missing after {sweeps} retry sweeps "
+                        f"(targets {sorted(set(self._pending[m] for m in missing))})"
+                    )
+                self.counters["pulls_retried"] += len(missing)
+                self._send_pulls(round_index, missing)
+        self._current_round = None
+        raw = np.array(
+            [self._arrived[nonce] for nonce in range(agent.h)],
+            dtype=np.int64,
+        )
+        observations = self.link.corrupt(raw, self._noise_rng)
+        agent.deliver(round_index, observations)
+        self._completed = round_index
+        # Keep only the displays a straggling requester can still ask
+        # for (the barrier bounds requesters to completed + 1).
+        for stale in [t for t in self._display_cache if t < round_index]:
+            del self._display_cache[stale]
+        self._send_done(round_index)
+
+    # -- helpers ---------------------------------------------------------
+    def _display_for(self, round_index: int) -> Optional[int]:
+        cached = self._display_cache.get(round_index)
+        if cached is not None:
+            return cached
+        if round_index > self._completed + 1:
+            return None
+        if self.byzantine_symbol is not None:
+            symbol = int(self.byzantine_symbol)
+        else:
+            symbol = self.agent.display(round_index)
+        self._display_cache[round_index] = symbol
+        return symbol
+
+    def _send_pulls(self, round_index: int, nonces) -> None:
+        for nonce in nonces:
+            if self.link.drops(self._link_rng):
+                self.counters["requests_dropped"] += 1
+                continue
+            self._sendto(
+                PullRequest(
+                    round_index=round_index,
+                    sender=self.peer_id,
+                    nonce=nonce,
+                ),
+                self.membership[self._pending[nonce]],
+            )
+
+    def _send_done(self, round_index: int) -> None:
+        self._sendto(
+            RoundDone(
+                round_index=round_index,
+                peer_id=self.peer_id,
+                opinion=self.agent.opinion(),
+                weak=self.agent.weak(),
+            ),
+            self.coordinator,
+        )
+
+    def join(self) -> None:
+        """Announce this peer to the bootstrap coordinator."""
+        if self.port is None:
+            raise ClusterError("peer has no bound port; open its endpoint first")
+        self._sendto(Join(peer_id=self.peer_id, port=self.port), self.coordinator)
+
+    def _sendto(self, message: Message, addr: Optional[Tuple[str, int]]) -> None:
+        if addr is None or self.transport is None:
+            return
+        self.transport.sendto(encode_message(message), addr)
+        self.counters["datagrams_sent"] += 1

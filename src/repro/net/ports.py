@@ -1,0 +1,58 @@
+"""Ephemeral-port allocation helpers shared by the service and net layers.
+
+Both :class:`repro.service.ServiceServer` and the UDP peers in
+:mod:`repro.net` need "give me any free localhost port" semantics.  The
+racy way to get one is to probe for a free port and then bind it in a
+second step — two concurrent processes can probe the same port and
+collide.  These helpers keep the kernel in charge instead: bind port
+``0``, let the kernel pick, and read the *actual* port back off the
+bound socket.  Two concurrent clusters (or a cluster and a service)
+can therefore never be handed the same port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Tuple
+
+__all__ = ["bound_port", "open_udp_endpoint"]
+
+
+def bound_port(bound: object) -> int:
+    """Return the kernel-assigned local port of a bound asyncio object.
+
+    Accepts an :class:`asyncio.AbstractServer` (reads the first listen
+    socket) or a transport (reads ``sockname`` extra info).  Use this
+    after binding port 0 so the reported port is the one actually held,
+    never a guess.
+    """
+    sockets = getattr(bound, "sockets", None)
+    if sockets:
+        return int(sockets[0].getsockname()[1])
+    get_extra_info = getattr(bound, "get_extra_info", None)
+    if get_extra_info is not None:
+        sockname = get_extra_info("sockname")
+        if sockname is not None:
+            return int(sockname[1])
+    raise ValueError(
+        f"cannot determine bound port of {type(bound).__name__}; expected "
+        "an asyncio server or transport"
+    )
+
+
+async def open_udp_endpoint(
+    protocol_factory: Callable[[], asyncio.DatagramProtocol],
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[asyncio.DatagramTransport, asyncio.DatagramProtocol, int]:
+    """Bind a UDP endpoint and report the real port (default: ephemeral).
+
+    Returns ``(transport, protocol, port)`` where ``port`` is read back
+    from the bound socket, so a requested port of ``0`` yields the
+    kernel's collision-free choice.
+    """
+    loop = asyncio.get_running_loop()
+    transport, protocol = await loop.create_datagram_endpoint(
+        protocol_factory, local_addr=(host, port)
+    )
+    return transport, protocol, bound_port(transport)

@@ -46,6 +46,7 @@ from ..analysis import ResilienceConfig, repeat_trials
 from ..engines import capability_table, create_engine, list_engines
 from ..exceptions import ConfigurationError
 from ..model.config import PopulationConfig
+from ..net.ports import bound_port
 from ..telemetry import MemorySink, Telemetry
 from ..theory import lower_bound_rounds, sf_upper_bound_rounds
 from ..types import SourceCounts
@@ -523,11 +524,17 @@ class ServiceServer:
         )
 
     async def start(self) -> None:
-        """Bind the listening socket (resolves an ephemeral port)."""
+        """Bind the listening socket (resolves an ephemeral port).
+
+        Delegates the bind-then-report-port step to
+        :func:`repro.net.ports.bound_port` so the service and the UDP
+        cluster share one race-free allocation path: the kernel assigns
+        the port at bind time and we read it back, never probe-then-bind.
+        """
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        self.port = bound_port(self._server)
 
     async def close(self) -> None:
         if self._server is not None:

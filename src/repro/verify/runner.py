@@ -18,6 +18,7 @@ fast ↔ count SF/SSF               weak-opinion laws + convergence reliability
 stochastic ↔ handoff-gated count  success proportions under the gate
 mean-field ↔ count SF             exact weak probability + fixed-point run
 service cache ↔ recomputation     byte-identical envelopes, identical reports
+net cluster ↔ fast SF             differential: success/weak/rounds agreement
 goldens                           digests of committed reference trajectories
 ================================  ===========================================
 """
@@ -809,6 +810,148 @@ def _check_service_cache(scale: str, budget: FalsePositiveBudget) -> str:
     )
 
 
+def _check_net(scale: str, budget: FalsePositiveBudget) -> str:
+    """Differential verification: networked deployment vs fast engine.
+
+    Boots real localhost UDP clusters (:class:`repro.net.ClusterRunner`)
+    and requires them to agree statistically with the in-process fast
+    engine running the *same* truncated SF schedule — same population
+    law, same channel, different substrate.  Four legs:
+
+    * **registry** — ``create_engine("net", ...)`` satisfies the
+      conformance grid: it returns a :class:`NetRunResult` that runs the
+      schedule's full horizon and reports its seed.
+    * **weak-opinion law** (Hoeffding, exactly valid) — weak opinions
+      are independent across agents, so pooled correct-counts from the
+      cluster and the fast engine are two binomial samples of the same
+      parameter.
+    * **success probability** (Hoeffding) — per-trial convergence
+      proportions must agree.
+    * **rounds-to-consensus** (deterministic band) — the mean number of
+      boosting sub-phases before stable full consensus, read off the
+      cluster's per-round trace at sub-phase boundaries and off the
+      fast engine's ``boost_trace``, must agree within 1.5 sub-phases
+      (no alpha charged; both laws are identical, the band absorbs the
+      small-sample noise of the expensive networked trials).
+    """
+    from ..engines import create_engine
+    from ..net import ClusterRunner, NetRunResult
+
+    delta = 0.2
+    confidence = 1 - 1e-5
+
+    # Leg 1: registry conformance on a small cluster.
+    small_config = PopulationConfig(n=12, sources=SourceCounts(s0=0, s1=2), h=6)
+    small_schedule = SFSchedule.from_config(
+        small_config, delta, m=12, boost_numerator=8, subphase_factor=0.5
+    )
+    handle = create_engine(
+        "net", "sf", small_config, delta, schedule=small_schedule
+    )
+    report = handle.run(seed=123)
+    if not isinstance(report, NetRunResult):
+        raise ConfigurationError(
+            f"create_engine('net').run returned {type(report).__name__}, "
+            f"expected NetRunResult"
+        )
+    if report.rounds != small_schedule.total_rounds:
+        raise ConfigurationError(
+            f"net run executed {report.rounds} rounds, expected the "
+            f"schedule horizon {small_schedule.total_rounds}"
+        )
+    if report.seed != 123:
+        raise ConfigurationError(
+            f"net report carries seed {report.seed}, expected 123"
+        )
+
+    # Differential legs: 64-peer deployment vs fast engine.
+    config = PopulationConfig(n=64, sources=SourceCounts(s0=0, s1=4), h=16)
+    schedule = SFSchedule.from_config(
+        config, delta, m=48, boost_numerator=24, subphase_factor=1.0
+    )
+    net_trials = 4 if scale == "quick" else 8
+    fast_trials = 30 if scale == "quick" else 60
+    correct = config.correct_opinion
+    boundaries = [
+        2 * schedule.phase_rounds + k * schedule.subphase_rounds - 1
+        for k in range(1, schedule.num_subphases + 1)
+    ] + [schedule.total_rounds - 1]
+
+    def consensus_subphase(fractions):
+        """1-based sub-phase from which full consensus holds to the end
+        (censored at ``len + 1`` when it never stabilizes)."""
+        stable = len(fractions) + 1
+        for index in range(len(fractions) - 1, -1, -1):
+            if fractions[index] == 1.0:
+                stable = index + 1
+            else:
+                break
+        return stable
+
+    runner = ClusterRunner("sf", config, delta, schedule=schedule)
+    net_success = net_weak_correct = 0
+    net_subphases = []
+    for seed in range(net_trials):
+        result = runner.run(seed=seed)
+        net_success += int(result.converged)
+        net_weak_correct += int((result.weak_opinions == correct).sum())
+        by_round = {
+            record.round_index: record.fraction_correct
+            for record in result.trace
+        }
+        net_subphases.append(
+            consensus_subphase([by_round[b] for b in boundaries])
+        )
+
+    fast_engine = FastSourceFilter(config, delta, schedule=schedule)
+    fast_success = fast_weak_correct = 0
+    fast_subphases = []
+    for seed in range(fast_trials):
+        fast_result = fast_engine.run(np.random.default_rng(10_000 + seed))
+        fast_success += int(fast_result.converged)
+        fast_weak_correct += int(
+            (fast_result.weak_opinions == correct).sum()
+        )
+        fast_subphases.append(consensus_subphase(list(fast_result.boost_trace)))
+
+    pooled_net = net_trials * config.n
+    pooled_fast = fast_trials * config.n
+    assert_proportions_close(
+        net_weak_correct,
+        pooled_net,
+        fast_weak_correct,
+        pooled_fast,
+        confidence=confidence,
+        context="net vs fast SF pooled weak-opinion law",
+        budget=budget,
+    )
+    assert_proportions_close(
+        net_success,
+        net_trials,
+        fast_success,
+        fast_trials,
+        confidence=confidence,
+        context="net vs fast SF success probability",
+        budget=budget,
+    )
+    mean_net = float(np.mean(net_subphases))
+    mean_fast = float(np.mean(fast_subphases))
+    if abs(mean_net - mean_fast) > 1.5:
+        raise ConfigurationError(
+            f"rounds-to-consensus diverged: cluster stabilizes at mean "
+            f"sub-phase {mean_net:.2f}, fast engine at {mean_fast:.2f} "
+            f"(band 1.5 sub-phases of {schedule.subphase_rounds} rounds)"
+        )
+    return (
+        f"64-peer cluster vs fast engine: weak "
+        f"{net_weak_correct / pooled_net:.4f} vs "
+        f"{fast_weak_correct / pooled_fast:.4f}, success "
+        f"{net_success}/{net_trials} vs {fast_success}/{fast_trials}, "
+        f"consensus sub-phase {mean_net:.2f} vs {mean_fast:.2f}; "
+        f"registry grid OK"
+    )
+
+
 _CHECKS: List[tuple] = [
     ("reference-vs-batched-sf", "exact", _check_reference_vs_batched),
     ("corrupt-vs-corrupt-with-uniforms", "exact", _check_corrupt_equivalence),
@@ -819,6 +962,7 @@ _CHECKS: List[tuple] = [
     ("faults", "statistical", _check_faults),
     ("count", "statistical", _check_count_engines),
     ("service", "exact", _check_service_cache),
+    ("net", "statistical", _check_net),
 ]
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "noise_matrices",
     "ssf_corrupted_states",
     "fault_models",
+    "net_messages",
 ]
 
 
@@ -211,4 +212,69 @@ def fault_models(
     return st.one_of(
         leaf,
         st.builds(lambda a, b: ComposedFaultModel([a, b]), leaf, leaf),
+    )
+
+
+def net_messages(
+    max_peers: int = 256, alphabet_sizes: Sequence[int] = (2, 4)
+) -> st.SearchStrategy:
+    """Wire messages of the :mod:`repro.net` datagram codec.
+
+    Draws every message type the peers and coordinator exchange, with
+    symbols confined to the drawn alphabet and ports to the valid UDP
+    range, so ``decode_message(encode_message(m)) == m`` is a total
+    property over the protocol's whole vocabulary.
+    """
+    from ..net.messages import (
+        Join,
+        PullRequest,
+        PullResponse,
+        RoundDone,
+        RoundGo,
+        Stop,
+        Welcome,
+    )
+
+    peer_ids = st.integers(min_value=0, max_value=max_peers - 1)
+    ports = st.integers(min_value=1, max_value=65_535)
+    rounds = st.integers(min_value=0, max_value=10_000)
+    nonces = st.integers(min_value=0, max_value=1_023)
+    symbols = st.sampled_from(list(alphabet_sizes)).flatmap(
+        lambda size: st.integers(min_value=0, max_value=size - 1)
+    )
+
+    def build_welcome(peer_id: int, table) -> Welcome:
+        # Distinct peer ids, like the coordinator's sorted table.
+        peers = tuple(
+            (pid, port)
+            for pid, port in sorted(dict(table).items())
+        )
+        return Welcome(peer_id=peer_id, peers=peers)
+
+    return st.one_of(
+        st.builds(Join, peer_id=peer_ids, port=ports),
+        st.builds(
+            build_welcome,
+            peer_ids,
+            st.lists(st.tuples(peer_ids, ports), max_size=16),
+        ),
+        st.builds(RoundGo, round_index=rounds),
+        st.builds(
+            PullRequest, round_index=rounds, sender=peer_ids, nonce=nonces
+        ),
+        st.builds(
+            PullResponse,
+            round_index=rounds,
+            sender=peer_ids,
+            nonce=nonces,
+            symbol=symbols,
+        ),
+        st.builds(
+            RoundDone,
+            round_index=rounds,
+            peer_id=peer_ids,
+            opinion=symbols,
+            weak=st.one_of(st.none(), symbols),
+        ),
+        st.builds(Stop, round_index=rounds),
     )

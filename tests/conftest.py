@@ -63,3 +63,28 @@ def conflicting_config() -> PopulationConfig:
 def pairwise_config() -> PopulationConfig:
     """The h = 1 pairwise-interaction regime."""
     return PopulationConfig(n=64, sources=SourceCounts(s0=0, s1=1), h=1)
+
+
+@pytest.fixture
+def cluster():
+    """Factory for localhost UDP clusters with leak-checked teardown.
+
+    Yields a callable with the :class:`repro.net.ClusterRunner`
+    signature.  Every runner built through it is leak-checked at
+    teardown: a test that leaves peer tasks running or sockets open
+    fails in :meth:`ClusterRunner.assert_closed`.  Ports are always
+    kernel-assigned ephemerals (the runner binds port 0), so parallel
+    clusters never collide.
+    """
+    from repro.net import ClusterRunner
+
+    created = []
+
+    def factory(protocol, config, noise, **kwargs):
+        runner = ClusterRunner(protocol, config, noise, **kwargs)
+        created.append(runner)
+        return runner
+
+    yield factory
+    for runner in created:
+        runner.assert_closed()

@@ -30,6 +30,12 @@ def _canonical_cases():
     config = _config()
     short_sf = SFSchedule.from_config(config, 0.2, m=24)
     ssf_config = PopulationConfig(n=32, sources=SourceCounts(0, 1), h=16)
+    # The net case boots a real localhost UDP cluster, so it stays tiny:
+    # 12 peers on a deliberately truncated schedule (~14 rounds).
+    net_config = PopulationConfig(n=12, sources=SourceCounts(0, 2), h=6)
+    net_schedule = SFSchedule.from_config(
+        net_config, 0.2, m=12, boost_numerator=8, subphase_factor=0.5
+    )
     return [
         ("fast", "sf", config, 0.2, {"schedule": short_sf}),
         ("count", "sf", config, 0.2, {"schedule": short_sf}),
@@ -37,6 +43,7 @@ def _canonical_cases():
         ("serial", "sf", config, 0.2, {"schedule": short_sf}),
         ("batched", "sf", config, 0.2, {"schedule": short_sf}),
         ("async", "ssf", ssf_config, 0.05, {}),
+        ("net", "sf", net_config, 0.2, {"schedule": net_schedule}),
     ]
 
 
@@ -45,7 +52,8 @@ class TestRegistry:
         names = list_engines()
         assert names == sorted(names)
         assert names == [
-            "async", "batched", "count", "fast", "mean-field", "serial",
+            "async", "batched", "count", "fast", "mean-field", "net",
+            "serial",
         ]
 
     def test_capability_table_rows(self):
@@ -168,6 +176,51 @@ class TestFaultCapabilityErrors:
             fault_model=ByzantineDisplayFault(fraction=0.05),
         )
         assert handle.run(seed=0).rounds > 0
+
+
+class TestNetCapabilityErrors:
+    """The net backend mirrors the capability grid: every unsupported
+    feature is one typed UnsupportedFeatureError at construction time,
+    identically through the registry and under direct construction."""
+
+    def test_model_layer_faults_rejected_with_link_layer_pointer(self):
+        # Faults on the net backend live at the link layer
+        # (drop_probability / byzantine_fraction), not in repro.faults.
+        with pytest.raises(UnsupportedFeatureError, match="link layer"):
+            create_engine(
+                "net", "sf", _config(), 0.2,
+                fault_model=ByzantineDisplayFault(fraction=0.1),
+            )
+
+    def test_null_fault_model_accepted(self):
+        handle = create_engine(
+            "net", "sf", _config(), 0.2, fault_model=IdentityFaultModel()
+        )
+        assert handle.name == "net"
+
+    def test_peer_cap_rejected_at_registry_and_directly(self):
+        from repro.net import NET_MAX_PEERS, ClusterRunner
+
+        big = PopulationConfig(
+            n=NET_MAX_PEERS + 1, sources=SourceCounts(0, 2), h=4
+        )
+        with pytest.raises(UnsupportedFeatureError, match="peer"):
+            create_engine("net", "sf", big, 0.2)
+        with pytest.raises(UnsupportedFeatureError, match="peer"):
+            ClusterRunner("sf", big, 0.2)
+
+    def test_simulation_only_kwargs_rejected(self):
+        # ``handoff`` belongs to the count engines; the networked
+        # runtime cannot honor it and must say so, not silently ignore.
+        with pytest.raises(UnsupportedFeatureError, match="handoff"):
+            create_engine("net", "sf", _config(), 0.2, handoff=True)
+
+    def test_link_layer_kwargs_accepted(self):
+        handle = create_engine(
+            "net", "sf", _config(), 0.2,
+            drop_probability=0.1, byzantine_fraction=0.05, round_timeout=2.0,
+        )
+        assert handle.name == "net"
 
 
 class TestDeprecatedShims:

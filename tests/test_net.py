@@ -1,0 +1,415 @@
+"""Networked deployment: codec, link, own-row agent, cluster runtime.
+
+Everything here is marked ``net`` (its own CI lane) but stays fast
+enough for the default tier-1 run: clusters are small (n <= 12) with
+deliberately truncated schedules.  The statistical conformance of the
+deployment against the in-process engines lives in
+``tests/test_net_differential.py`` and the ``net`` verify leg.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import (
+    ClusterError,
+    ConfigurationError,
+    MessageCodecError,
+    UnsupportedFeatureError,
+)
+from repro.model import Population, PopulationConfig
+from repro.net import (
+    NET_MAX_PEERS,
+    ClusterRunner,
+    NetAgent,
+    NetRunResult,
+    NoisyLink,
+    PullRequest,
+    PullResponse,
+    RoundDone,
+    Welcome,
+    decode_message,
+    encode_message,
+)
+from repro.noise import NoiseMatrix
+from repro.protocols import SFSchedule, SSFSchedule, SourceFilterProtocol
+from repro.results import report_from_dict
+from repro.types import SourceCounts
+from repro.verify.strategies import net_messages
+
+pytestmark = pytest.mark.net
+
+
+def tiny_sf_config():
+    config = PopulationConfig(n=8, sources=SourceCounts(s0=0, s1=2), h=4)
+    schedule = SFSchedule.from_config(
+        config, 0.2, m=4, boost_numerator=4, subphase_factor=0.5
+    )
+    return config, schedule
+
+
+# ---------------------------------------------------------------------------
+# datagram codec
+# ---------------------------------------------------------------------------
+
+
+class TestMessageCodec:
+    @settings(deadline=None)
+    @given(message=net_messages())
+    def test_roundtrip_total_over_vocabulary(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @settings(deadline=None)
+    @given(message=net_messages(alphabet_sizes=(2, 3, 4, 8)))
+    def test_roundtrip_across_alphabet_sizes(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"\xff\xfe not utf-8",
+            b"not json at all",
+            b"[1, 2, 3]",
+            b'{"no_tag": 1}',
+            b'{"t": "warp"}',
+            b'{"t": 7}',
+            b'{"t": "pull", "round_index": 3, "sender": 0}',
+            b'{"t": "pull", "round_index": "three", "sender": 0, "nonce": 0}',
+            b'{"t": "pull", "round_index": true, "sender": 0, "nonce": 0}',
+            b'{"t": "resp", "round_index": 0, "sender": 0, "nonce": 0, "symbol": -1}',
+            b'{"t": "join", "peer_id": 0, "port": 0}',
+            b'{"t": "join", "peer_id": 0, "port": 70000}',
+            b'{"t": "welcome", "peer_id": 0, "peers": 3}',
+            b'{"t": "welcome", "peer_id": 0, "peers": [[0]]}',
+            b'{"t": "welcome", "peer_id": 0, "peers": [[0, 1, 2]]}',
+            b'{"t": "welcome", "peer_id": 0, "peers": [["a", 9]]}',
+            b'{"t": "done", "round_index": 0, "peer_id": 0}',
+            b'{"t": "go"}',
+        ],
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(MessageCodecError):
+            decode_message(payload)
+
+    def test_oversized_datagram_rejected_both_ways(self):
+        blob = b'{"t": "go", "round_index": 1, "pad": "' + b"x" * 70_000 + b'"}'
+        with pytest.raises(MessageCodecError):
+            decode_message(blob)
+        huge = Welcome(
+            peer_id=0,
+            peers=tuple((i, 1 + i % 65_000) for i in range(8_000)),
+        )
+        with pytest.raises(MessageCodecError):
+            encode_message(huge)
+
+    def test_encode_rejects_foreign_objects(self):
+        with pytest.raises(MessageCodecError):
+            encode_message({"t": "pull"})
+
+    def test_weak_none_survives_roundtrip(self):
+        done = RoundDone(round_index=2, peer_id=1, opinion=1, weak=None)
+        assert decode_message(encode_message(done)).weak is None
+
+
+# ---------------------------------------------------------------------------
+# noisy link
+# ---------------------------------------------------------------------------
+
+
+class TestNoisyLink:
+    def test_zero_noise_is_identity(self, rng):
+        link = NoisyLink(0.0, alphabet_size=2)
+        symbols = np.array([0, 1, 1, 0, 1])
+        assert np.array_equal(link.corrupt(symbols, rng), symbols)
+
+    @pytest.mark.statistical
+    def test_uniform_noise_flips_at_delta_rate(self):
+        link = NoisyLink(0.25, alphabet_size=2)
+        rng = np.random.default_rng(5)
+        draws = 4000
+        flipped = int((link.corrupt(np.zeros(draws, dtype=int), rng) == 1).sum())
+        # Binomial(4000, 0.25): +-6 sigma around the mean.
+        sigma = (draws * 0.25 * 0.75) ** 0.5
+        assert abs(flipped - draws * 0.25) < 6 * sigma
+
+    def test_drop_coin_extremes(self, rng):
+        assert not NoisyLink(0.0, alphabet_size=2).drops(rng)
+        lossy = NoisyLink(0.0, alphabet_size=2, drop_probability=0.999)
+        assert any(lossy.drops(rng) for _ in range(64))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NoisyLink(0.1, alphabet_size=2, drop_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            NoisyLink(0.1)  # float noise needs the alphabet size
+        with pytest.raises(ConfigurationError):
+            NoisyLink(NoiseMatrix.uniform(0.1, 2), alphabet_size=4)
+        link = NoisyLink(NoiseMatrix.uniform(0.1, 2))
+        with pytest.raises(ConfigurationError):
+            link.corrupt(np.array([2]), np.random.default_rng(0))
+
+
+# ---------------------------------------------------------------------------
+# own-row agent adapter
+# ---------------------------------------------------------------------------
+
+
+class TestNetAgent:
+    def test_display_matches_vectorized_row(self):
+        config, schedule = tiny_sf_config()
+        population = Population(config, rng=np.random.default_rng(1))
+        reference = SourceFilterProtocol(schedule)
+        reference.reset(population, np.random.default_rng(2))
+        displays = reference.displays(0)
+        for index in range(config.n):
+            agent = NetAgent(
+                "sf", schedule, population, index, np.random.default_rng(2)
+            )
+            assert agent.display(0) == displays[index]
+
+    def test_deliver_advances_own_row_only(self):
+        config, schedule = tiny_sf_config()
+        population = Population(config, rng=np.random.default_rng(1))
+        agent = NetAgent("sf", schedule, population, 3, np.random.default_rng(2))
+        for round_index in range(schedule.total_rounds):
+            agent.deliver(round_index, [agent.display(round_index)] * config.h)
+        assert agent.opinion() in (0, 1)
+        assert agent.weak() in (0, 1)
+
+    def test_deliver_rejects_wrong_arity(self):
+        config, schedule = tiny_sf_config()
+        population = Population(config, rng=np.random.default_rng(1))
+        agent = NetAgent("sf", schedule, population, 0, np.random.default_rng(2))
+        with pytest.raises(ConfigurationError):
+            agent.deliver(0, [0] * (config.h + 1))
+
+    def test_constructor_validation(self):
+        config, schedule = tiny_sf_config()
+        population = Population(config, rng=np.random.default_rng(1))
+        with pytest.raises(ConfigurationError):
+            NetAgent("voter", schedule, population, 0, np.random.default_rng(2))
+        with pytest.raises(ConfigurationError):
+            NetAgent("ssf", schedule, population, 0, np.random.default_rng(2))
+        with pytest.raises(ConfigurationError):
+            NetAgent("sf", schedule, population, config.n, np.random.default_rng(2))
+
+    def test_ssf_agent_runs(self):
+        config = PopulationConfig(n=8, sources=SourceCounts(s0=0, s1=2), h=4)
+        schedule = SSFSchedule.from_config(config, 0.05, m=8)
+        population = Population(config, rng=np.random.default_rng(1))
+        agent = NetAgent("ssf", schedule, population, 1, np.random.default_rng(2))
+        assert agent.alphabet_size == 4
+        for round_index in range(3 * schedule.epoch_rounds):
+            symbol = agent.display(round_index)
+            assert 0 <= symbol < 4
+            agent.deliver(round_index, [symbol] * config.h)
+        assert agent.weak() in (0, 1)
+
+
+# ---------------------------------------------------------------------------
+# cluster runtime: membership, rounds, determinism, faults, teardown
+# ---------------------------------------------------------------------------
+
+
+class TestClusterRuntime:
+    def test_bootstrap_and_full_run(self, cluster):
+        config, schedule = tiny_sf_config()
+        runner = cluster("sf", config, 0.2, schedule=schedule)
+        result = runner.run(seed=7)
+        assert isinstance(result, NetRunResult)
+        assert result.peers == config.n
+        assert result.rounds_executed == schedule.total_rounds
+        assert result.final_opinions.shape == (config.n,)
+        assert len(result.trace) == schedule.total_rounds
+        assert result.weak_opinions is not None
+        assert result.datagrams["datagrams_sent"] > 0
+        # Every peer plus the coordinator got its own ephemeral port.
+        assert len(set(runner.last_ports)) == config.n + 1
+
+    def test_fixed_seed_runs_are_bit_identical(self, cluster):
+        config, schedule = tiny_sf_config()
+        first = cluster("sf", config, 0.2, schedule=schedule).run(seed=21)
+        second = cluster("sf", config, 0.2, schedule=schedule).run(seed=21)
+        assert np.array_equal(first.final_opinions, second.final_opinions)
+        assert np.array_equal(first.weak_opinions, second.weak_opinions)
+        assert first.consensus_round == second.consensus_round
+        assert [r.fraction_correct for r in first.trace] == [
+            r.fraction_correct for r in second.trace
+        ]
+
+    def test_datagram_loss_is_recovered_by_retries(self, cluster):
+        config, schedule = tiny_sf_config()
+        runner = cluster(
+            "sf",
+            config,
+            0.2,
+            schedule=schedule,
+            drop_probability=0.2,
+            retry_interval=0.02,
+        )
+        result = runner.run(seed=3)
+        assert result.rounds_executed == schedule.total_rounds
+        dropped = (
+            result.datagrams["requests_dropped"]
+            + result.datagrams["responses_dropped"]
+        )
+        assert dropped > 0
+        assert result.datagrams["pulls_retried"] >= dropped / 2
+
+    def test_byzantine_peers_excluded_from_evaluation(self, cluster):
+        config = PopulationConfig(n=10, sources=SourceCounts(s0=0, s1=2), h=4)
+        schedule = SFSchedule.from_config(
+            config, 0.2, m=8, boost_numerator=8, subphase_factor=0.5
+        )
+        runner = cluster(
+            "sf", config, 0.2, schedule=schedule, byzantine_fraction=0.2
+        )
+        result = runner.run(seed=5)
+        assert result.rounds_executed == schedule.total_rounds
+        # 2 of 10 peers are Byzantine; the trace judges the other 8.
+        assert max(record.num_correct for record in result.trace) <= 8
+
+    def test_byzantine_fraction_validation(self):
+        config, schedule = tiny_sf_config()
+        with pytest.raises(ConfigurationError):
+            ClusterRunner(
+                "sf", config, 0.2, schedule=schedule, byzantine_fraction=1.0
+            )
+        # 8 agents, 2 sources: only 6 non-source candidates < 7 requested.
+        runner = ClusterRunner(
+            "sf", config, 0.2, schedule=schedule, byzantine_fraction=0.9
+        )
+        with pytest.raises(ConfigurationError):
+            runner.run(seed=0)
+
+    def test_ssf_cluster_stops_on_consensus(self, cluster):
+        config = PopulationConfig(n=8, sources=SourceCounts(s0=0, s1=2), h=8)
+        schedule = SSFSchedule.from_config(config, 0.05, m=16)
+        runner = cluster("ssf", config, 0.05, schedule=schedule)
+        result = runner.run(seed=3, stop_on_consensus=True)
+        assert result.converged
+        assert result.rounds_executed < 10 * schedule.epoch_rounds
+
+    def test_run_rejects_nested_event_loop(self, cluster):
+        import asyncio
+
+        config, schedule = tiny_sf_config()
+        runner = cluster("sf", config, 0.2, schedule=schedule)
+
+        async def inside():
+            with pytest.raises(ClusterError):
+                runner.run(seed=0)
+
+        asyncio.run(inside())
+
+    def test_constructor_validation(self):
+        config, schedule = tiny_sf_config()
+        with pytest.raises(UnsupportedFeatureError):
+            ClusterRunner("voter", config, 0.2)
+        with pytest.raises(UnsupportedFeatureError):
+            ClusterRunner(
+                "sf",
+                PopulationConfig(
+                    n=NET_MAX_PEERS + 1, sources=SourceCounts(s0=0, s1=2), h=4
+                ),
+                0.2,
+            )
+        with pytest.raises(ConfigurationError):
+            ClusterRunner("sf", config, NoiseMatrix.uniform(0.05, 4))
+
+    def test_report_roundtrips_through_jsonl_dicts(self, cluster):
+        config, schedule = tiny_sf_config()
+        result = cluster("sf", config, 0.2, schedule=schedule).run(seed=9)
+        revived = report_from_dict(result.to_dict())
+        assert isinstance(revived, NetRunResult)
+        assert revived.success == result.success
+        assert revived.rounds == result.rounds
+        assert np.array_equal(revived.final_opinions, result.final_opinions)
+        assert revived.datagrams == result.datagrams
+
+
+# ---------------------------------------------------------------------------
+# ephemeral ports: two concurrent clusters never collide
+# ---------------------------------------------------------------------------
+
+
+class TestEphemeralPorts:
+    def test_concurrent_clusters_get_disjoint_ports(self, cluster):
+        config, schedule = tiny_sf_config()
+        runners = [
+            cluster("sf", config, 0.2, schedule=schedule) for _ in range(2)
+        ]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            results = list(
+                pool.map(
+                    lambda pair: pair[0].run(seed=pair[1]),
+                    zip(runners, (1, 2)),
+                )
+            )
+        for result in results:
+            assert result.rounds_executed == schedule.total_rounds
+        ports_a, ports_b = (set(r.last_ports) for r in runners)
+        assert len(ports_a) == len(ports_b) == config.n + 1
+        assert ports_a.isdisjoint(ports_b)
+
+    def test_service_and_cluster_share_the_helper(self):
+        # The refactored ServiceServer resolves its ephemeral port via
+        # the same bound_port helper the cluster uses.
+        import asyncio
+
+        from repro.net.ports import bound_port
+        from repro.service.server import ServiceServer
+
+        async def exercise():
+            server = ServiceServer()
+            await server.start()
+            try:
+                assert server.port == bound_port(server._server)
+                assert server.port > 0
+            finally:
+                await server.close()
+
+        asyncio.run(exercise())
+
+    def test_bound_port_rejects_unbound_objects(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            from repro.net.ports import bound_port
+
+            bound_port(object())
+
+
+# ---------------------------------------------------------------------------
+# registry integration
+# ---------------------------------------------------------------------------
+
+
+class TestNetEngineHandle:
+    def test_handle_runs_and_pickles(self):
+        from repro.engines import create_engine
+
+        config, schedule = tiny_sf_config()
+        handle = create_engine("net", "sf", config, 0.2, schedule=schedule)
+        clone = pickle.loads(pickle.dumps(handle))
+        report = clone.run(seed=4)
+        assert isinstance(report, NetRunResult)
+        assert report.rounds == schedule.total_rounds
+        assert report.seed == 4
+
+    def test_handle_matches_direct_cluster(self, cluster):
+        from repro.engines import create_engine
+
+        config, schedule = tiny_sf_config()
+        handle = create_engine("net", "sf", config, 0.2, schedule=schedule)
+        via_registry = handle.run(seed=11)
+        direct = cluster("sf", config, 0.2, schedule=schedule).run(seed=11)
+        assert np.array_equal(
+            via_registry.final_opinions, direct.final_opinions
+        )
+        assert via_registry.consensus_round == direct.consensus_round

@@ -233,7 +233,8 @@ class TestLiveServer:
         assert health["status"] == "ok"
         assert health["code_version"] == code_version()
         assert [row["name"] for row in health["engines"]] == [
-            "async", "batched", "count", "fast", "mean-field", "serial",
+            "async", "batched", "count", "fast", "mean-field", "net",
+            "serial",
         ]
         assert set(JOB_STATES) <= set(health["jobs"])
         assert "hits" in health["cache"]
