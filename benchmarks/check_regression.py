@@ -2,8 +2,8 @@
 
 The repo commits machine-readable benchmark records at its root
 (``BENCH_engine_throughput.json``, ``BENCH_count_engine.json``,
-``BENCH_service_load.json``, ``BENCH_net_roundtrip.json``).  This
-module is the CI gate over them:
+``BENCH_service_load.json``, ``BENCH_net_roundtrip.json``,
+``BENCH_topology_pull.json``).  This module is the CI gate over them:
 
 * **Thresholds** — the committed numbers must back the performance
   claims the docs make: the batched exact engine is never slower than
@@ -72,10 +72,22 @@ def _net_sources() -> List[str]:
     )
 
 
+#: Source files whose behavior the topology-pull record measures — the
+#: whole topology package plus the graph builders, globbed so a new
+#: sampler module invalidates the record without a list edit here.
+def _topology_sources() -> List[str]:
+    globbed = sorted(
+        str(path.relative_to(REPO_ROOT))
+        for path in (REPO_ROOT / "src" / "repro" / "topology").glob("*.py")
+    )
+    return globbed + ["src/repro/model/structured.py"]
+
+
 ENGINE_THROUGHPUT_JSON = REPO_ROOT / "BENCH_engine_throughput.json"
 COUNT_ENGINE_JSON = REPO_ROOT / "BENCH_count_engine.json"
 SERVICE_LOAD_JSON = REPO_ROOT / "BENCH_service_load.json"
 NET_ROUNDTRIP_JSON = REPO_ROOT / "BENCH_net_roundtrip.json"
+TOPOLOGY_PULL_JSON = REPO_ROOT / "BENCH_topology_pull.json"
 
 #: Gate thresholds (see module docstring).
 MIN_BATCHED_SPEEDUP_N1024 = 1.0
@@ -88,6 +100,13 @@ MIN_HEALTH_RPS = 25.0
 #: samples, request/response datagrams + barrier) per second.  Measured
 #: ~15 rounds/s on a dev box; 1.0 keeps the gate robust to slow CI.
 MIN_NET_ROUNDS_PER_SEC = 1.0
+#: Floor on CSR neighbor sampling at n=4096, h=8.  The vectorized
+#: gather measures ~1e7 samples/s on a dev box; 1e5 keeps the gate
+#: robust to slow CI while still catching a fallback to Python loops.
+MIN_TOPOLOGY_SAMPLES_PER_SEC = 1e5
+#: The EXT4 record must compare SF and hybrid on at least this many
+#: graph families for the docs' topology-frontier claim to be measured.
+MIN_TOPOLOGY_FAMILIES = 3
 
 
 def engine_sources_digest() -> str:
@@ -126,12 +145,25 @@ def net_sources_digest() -> str:
     return hasher.hexdigest()
 
 
+def topology_sources_digest() -> str:
+    """Stable digest of the topology sources (content, not mtimes)."""
+    hasher = hashlib.sha256()
+    for relative in _topology_sources():
+        path = REPO_ROOT / relative
+        hasher.update(relative.encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes() if path.exists() else b"<missing>")
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
 #: Which benchmark module regenerates each committed record.
 _BENCH_FOR = {
     "BENCH_engine_throughput.json": "bench_engine_throughput.py",
     "BENCH_count_engine.json": "bench_count_engine.py",
     "BENCH_service_load.json": "bench_service_load.py",
     "BENCH_net_roundtrip.json": "bench_net_roundtrip.py",
+    "BENCH_topology_pull.json": "bench_topology_pull.py",
 }
 
 
@@ -323,6 +355,52 @@ def check(verbose: bool = True) -> List[str]:
                 f"  PASS  net cluster 64 peers: {rps:.1f} rounds/s "
                 f"({case.get('datagrams_per_sec')} datagrams/s)"
             )
+
+    topology = _load(TOPOLOGY_PULL_JSON)
+    _check_staleness(
+        topology, TOPOLOGY_PULL_JSON.name, errors,
+        digest_fn=topology_sources_digest,
+    )
+    sampler_cases = [
+        case
+        for case in topology.get("cases", [])
+        if case.get("case") == "sampler_throughput"
+    ]
+    if not sampler_cases:
+        errors.append(
+            f"{TOPOLOGY_PULL_JSON.name}: no sampler_throughput case — "
+            f"the CSR neighbor-sampling hot path is unmeasured"
+        )
+    for case in sampler_cases:
+        rate = float(case.get("samples_per_sec", 0.0))
+        label = f"topology sampler ({case.get('family')}, n={case.get('n')})"
+        if rate < MIN_TOPOLOGY_SAMPLES_PER_SEC:
+            errors.append(
+                f"{label}: {rate:.3g} samples/s < "
+                f"{MIN_TOPOLOGY_SAMPLES_PER_SEC:.0e} — graph sampling "
+                f"regressed off the vectorized gather path"
+            )
+        elif verbose:
+            print(f"  PASS  {label}: {rate:.3g} samples/s")
+    comparison_families = {
+        case.get("family")
+        for case in topology.get("cases", [])
+        if case.get("case") == "sf_vs_hybrid"
+        and case.get("sf_success") is not None
+        and case.get("hybrid_success") is not None
+    }
+    if len(comparison_families) < MIN_TOPOLOGY_FAMILIES:
+        errors.append(
+            f"{TOPOLOGY_PULL_JSON.name}: sf_vs_hybrid covers only "
+            f"{sorted(comparison_families)} — the EXT4 comparison needs "
+            f"at least {MIN_TOPOLOGY_FAMILIES} graph families"
+        )
+    elif verbose:
+        print(
+            f"  PASS  sf_vs_hybrid compared on "
+            f"{len(comparison_families)} families: "
+            f"{sorted(comparison_families)}"
+        )
 
     return errors
 

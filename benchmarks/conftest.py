@@ -76,6 +76,18 @@ NET_ROUNDTRIP_JSON = pathlib.Path(__file__).parent.parent / (
 )
 
 
+#: Topology-sampler throughput + EXT4 comparison records, filled in by
+#: ``bench_topology_pull.py`` via :func:`record_topology_pull` and
+#: flushed to ``BENCH_topology_pull.json`` at the repo root; gated by
+#: ``benchmarks/check_regression.py`` in CI (samples/sec floor, >= 3
+#: graph families compared).
+TOPOLOGY_PULL_RESULTS: List[Dict[str, object]] = []
+
+TOPOLOGY_PULL_JSON = pathlib.Path(__file__).parent.parent / (
+    "BENCH_topology_pull.json"
+)
+
+
 def record_engine_throughput(case: Dict[str, object]) -> None:
     """Queue one throughput measurement for the end-of-session JSON."""
     ENGINE_THROUGHPUT_RESULTS.append(case)
@@ -99,6 +111,11 @@ def record_service_load(case: Dict[str, object]) -> None:
 def record_net_roundtrip(case: Dict[str, object]) -> None:
     """Queue one cluster round-trip measurement for the session JSON."""
     NET_ROUNDTRIP_RESULTS.append(case)
+
+
+def record_topology_pull(case: Dict[str, object]) -> None:
+    """Queue one topology-sampler measurement for the session JSON."""
+    TOPOLOGY_PULL_RESULTS.append(case)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -155,6 +172,17 @@ def pytest_sessionfinish(session, exitstatus):
             "cases": NET_ROUNDTRIP_RESULTS,
         }
         NET_ROUNDTRIP_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    if TOPOLOGY_PULL_RESULTS:
+        from .check_regression import topology_sources_digest
+
+        payload = {
+            "benchmark": "topology_pull",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "sources_digest": topology_sources_digest(),
+            "cases": TOPOLOGY_PULL_RESULTS,
+        }
+        TOPOLOGY_PULL_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def emit_table(

@@ -12,7 +12,7 @@ Subcommands
 ``transport`` run the crazy-ant cooperative-transport scenario and render
               the load trajectory
 ``experiment`` run one (or all) of the paper-reproduction experiments
-              (FIG1, E1..E10) at quick or full scale
+              (FIG1, E1..E10, ABL1..3, EXT1..4) at quick or full scale
 ``serve``     start the HTTP run server: registry-routed runs, sharded
               trials, and a content-addressed result cache
               (see docs/serving.md)
@@ -236,19 +236,31 @@ class _RunTrial:
         delta: float,
         fault_model=None,
         engine: str = "fast",
+        topology=None,
     ) -> None:
         self.protocol = protocol
         self.config = config
         self.delta = delta
         self.fault_model = fault_model
         self.engine = engine
+        self.topology = topology
         if protocol in ("sf", "ssf"):
             from .engines import create_engine
 
             self.handle = create_engine(
-                engine, protocol, config, delta, fault_model=fault_model
+                engine,
+                protocol,
+                config,
+                delta,
+                fault_model=fault_model,
+                topology=topology,
             )
         else:
+            if topology is not None:
+                raise ConfigurationError(
+                    f"protocol {self.protocol!r} does not accept --topology; "
+                    "graph-structured sampling needs --protocol sf or ssf"
+                )
             self.handle = None
 
     def __call__(self, rng: np.random.Generator, telemetry=None) -> object:
@@ -258,6 +270,18 @@ class _RunTrial:
         if self.protocol == "voter":
             return NoisyVoterModel(self.config, self.delta).run(budget, rng=rng)
         return NoisyMajorityDynamics(self.config, self.delta).run(budget, rng=rng)
+
+
+def _build_topology(args: argparse.Namespace):
+    """Resolve --topology/--topology-degree into a sampler spec."""
+    spec = getattr(args, "topology", None)
+    if spec is None:
+        return None
+    from .topology import create_topology
+
+    return create_topology(
+        spec, degree=getattr(args, "topology_degree", None) or 8
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -270,10 +294,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"--engine {engine} needs --protocol sf or ssf"
             )
         # Registry construction is the validation seam: unsupported
-        # protocols and fault-on-agent-blind-engine combinations raise
-        # typed errors here, before any trial runs.
+        # protocols, fault-on-agent-blind-engine combinations, and
+        # topology-on-agent-blind-engine combinations raise typed
+        # errors here, before any trial runs.
         trial = _RunTrial(
-            args.protocol, config, protocol_delta, fault_model, engine
+            args.protocol,
+            config,
+            protocol_delta,
+            fault_model,
+            engine,
+            topology=_build_topology(args),
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -570,6 +600,24 @@ def build_parser() -> argparse.ArgumentParser:
         "'async' (random sequential activations, ssf only), or "
         "'net' (localhost asyncio UDP deployment, one real peer per "
         "agent; see docs/networking.md)",
+    )
+    from .topology import TOPOLOGY_KINDS
+
+    run.add_argument(
+        "--topology",
+        choices=tuple(TOPOLOGY_KINDS),
+        default=None,
+        help="sample PULL(h) neighbors from this graph family instead "
+        "of the uniform population (repro.topology; sf/ssf on a "
+        "topology-capable engine — 'complete' is bit-identical to the "
+        "default uniform sampler)",
+    )
+    run.add_argument(
+        "--topology-degree",
+        type=int,
+        default=None,
+        metavar="D",
+        help="degree for --topology regular/churn (default 8)",
     )
     run.add_argument(
         "--trials",

@@ -56,8 +56,10 @@ class EngineSpec:
 
     ``agent_blind`` engines collapse the population to exchangeable
     counts (or the deterministic limit) and therefore cannot compose
-    with per-agent fault models; ``supports_batch`` marks engines with a
-    vectorized ``run_batch`` replica axis.
+    with per-agent fault models — nor with graph topologies, which is
+    why every agent-blind engine has ``supports_topology=False``;
+    ``supports_batch`` marks engines with a vectorized ``run_batch``
+    replica axis.
     """
 
     name: str
@@ -66,6 +68,7 @@ class EngineSpec:
     supports_faults: bool
     supports_batch: bool
     agent_blind: bool
+    supports_topology: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly capability row (used by the service /health)."""
@@ -76,6 +79,7 @@ class EngineSpec:
             "supports_faults": self.supports_faults,
             "supports_batch": self.supports_batch,
             "agent_blind": self.agent_blind,
+            "supports_topology": self.supports_topology,
         }
 
 
@@ -89,6 +93,7 @@ _REGISTRY: Dict[str, EngineSpec] = {
             supports_faults=True,
             supports_batch=True,
             agent_blind=False,
+            supports_topology=True,
         ),
         EngineSpec(
             name="count",
@@ -113,6 +118,7 @@ _REGISTRY: Dict[str, EngineSpec] = {
             supports_faults=True,
             supports_batch=False,
             agent_blind=False,
+            supports_topology=True,
         ),
         EngineSpec(
             name="batched",
@@ -121,6 +127,7 @@ _REGISTRY: Dict[str, EngineSpec] = {
             supports_faults=True,
             supports_batch=True,
             agent_blind=False,
+            supports_topology=True,
         ),
         EngineSpec(
             name="async",
@@ -187,12 +194,50 @@ def create_engine(
     for the count engines).  ``telemetry`` becomes the handle's default
     recorder; ``run(telemetry=...)`` overrides it per call.
 
+    ``topology`` (an engine kwarg accepted by the topology-capable
+    engines — see ``supports_topology`` in :func:`capability_table`)
+    restricts PULL(h) samples to graph neighbors; any spec
+    :func:`repro.topology.create_topology` accepts works.  ``None`` and
+    the complete graph are dropped up front (every engine *is* the
+    complete-graph sampler), keeping ``topology="complete"``
+    bit-identical to no topology on every backend.
+
     Raises :class:`~repro.exceptions.ConfigurationError` for unknown
     engines or unsupported protocols and
     :class:`~repro.exceptions.UnsupportedFeatureError` when a non-null
-    ``fault_model`` is passed to an agent-blind engine.
+    ``fault_model`` is passed to an agent-blind engine, when a graph
+    topology is passed to an engine without ``supports_topology``, or
+    when both a graph topology and a non-null fault model are given.
     """
     spec = engine_spec(name)
+    topology = engine_kwargs.pop("topology", None)
+    if topology is not None:
+        from .topology import create_topology
+
+        sampler = create_topology(topology)
+        if sampler.is_uniform:
+            # Uniform sampling == the legacy path on every engine.
+            topology = None
+        elif not spec.supports_topology:
+            if spec.agent_blind:
+                raise UnsupportedFeatureError(
+                    f"engine {name!r} is agent-blind (it tracks symbol "
+                    f"counts, not agents) and cannot sample from a graph "
+                    f"topology; use a topology-capable engine "
+                    f"(fast, serial, batched)"
+                )
+            raise UnsupportedFeatureError(
+                f"engine {name!r} does not support graph topologies; "
+                f"topology-capable engines: fast, serial, batched"
+            )
+        elif fault_model is not None and not getattr(
+            fault_model, "is_null", False
+        ):
+            raise UnsupportedFeatureError(
+                "graph topologies do not compose with fault models "
+                "(the fault seam reasons about the globally-sampled "
+                "population); drop one of the two"
+            )
     if protocol not in spec.protocols:
         raise ConfigurationError(
             f"engine {name!r} supports protocol(s) "
@@ -228,6 +273,7 @@ def create_engine(
         telemetry=telemetry,
         fault_model=fault_model,
         engine_kwargs=engine_kwargs,
+        topology=topology,
     )
 
 
@@ -294,6 +340,7 @@ class EngineHandle:
         telemetry: Optional[Telemetry] = None,
         fault_model=None,
         engine_kwargs: Optional[dict] = None,
+        topology=None,
     ) -> None:
         self.spec = spec
         self.protocol = protocol
@@ -302,6 +349,7 @@ class EngineHandle:
         self.constant = constant
         self.telemetry = telemetry
         self.fault_model = fault_model
+        self.topology = topology
         self.engine_kwargs = dict(engine_kwargs or {})
         self._runner = self._build_runner(schedule)
         self._schedule = schedule
@@ -335,6 +383,7 @@ class EngineHandle:
                 self.noise,
                 schedule=schedule,
                 fault_model=self.fault_model,
+                topology=self.topology,
                 **kwargs,
             )
         if name == "count":
@@ -463,6 +512,7 @@ class EngineHandle:
                 rng=generator,
                 telemetry=telemetry,
                 fault_model=self.fault_model,
+                topology=self.topology,
                 **kwargs,
             )
         schedule = self._schedule_for(4)
@@ -475,6 +525,7 @@ class EngineHandle:
             rng=generator,
             telemetry=telemetry,
             fault_model=self.fault_model,
+            topology=self.topology,
             **kwargs,
         )
 
@@ -497,6 +548,7 @@ class EngineHandle:
             rng=run_seed,
             telemetry=telemetry,
             fault_model=self.fault_model,
+            topology=self.topology,
             **kwargs,
         )
         return results[0] if replicas == 1 else results

@@ -30,6 +30,7 @@ from . import abl3_framing  # noqa: F401
 from . import ext1_kary  # noqa: F401
 from . import ext2_faults  # noqa: F401
 from . import ext3_adversarial  # noqa: F401
+from . import ext4_topology  # noqa: F401
 
 __all__ = [
     "CheckResult",

@@ -155,6 +155,7 @@ class BatchedPullEngine:
         telemetry: Optional[Telemetry] = None,
         fault_model=None,
         seed: Optional[int] = None,
+        topology=None,
     ) -> List[SimulationResult]:
         """Simulate up to ``max_rounds`` rounds of every replica.
 
@@ -198,6 +199,18 @@ class BatchedPullEngine:
             serial engine resolves the set from the run generator) —
             pass explicit ``agents=`` when cross-engine bit-identity
             matters.
+        topology:
+            Optional :class:`~repro.topology.TopologySampler` (or spec)
+            restricting samples to graph neighbors.  The whole batch
+            shares *one* realized graph (quenched disorder): an unbound
+            sampler binds from child ``R`` of the root sequence — the
+            same slot fault models use, which is why a graph topology
+            does not compose with ``fault_model`` here (typed
+            :class:`~repro.exceptions.UnsupportedFeatureError`); use the
+            serial engine per replica for independent graph draws.
+            Dynamic (churn) topologies are likewise rejected — their
+            evolution has no replica-safe stream.  ``None`` and the
+            complete graph keep the untouched, bit-identical path.
 
         Returns
         -------
@@ -226,6 +239,42 @@ class BatchedPullEngine:
         population = self.population
         n, h = population.n, population.h
         correct = population.correct_opinion
+
+        sampler = None
+        if topology is not None:
+            from ..exceptions import UnsupportedFeatureError
+            from ..topology import create_topology
+
+            sampler = create_topology(topology)
+            if sampler.is_uniform:
+                sampler.ensure_bound(n)
+                sampler = None
+            else:
+                if fault_model is not None:
+                    raise UnsupportedFeatureError(
+                        "BatchedPullEngine composes a graph topology or a "
+                        "fault model, not both: each binds its randomness "
+                        "to child R of the root seed sequence — run the "
+                        "serial engine per replica instead"
+                    )
+                if sampler.dynamic:
+                    raise UnsupportedFeatureError(
+                        f"dynamic topology {sampler.kind!r} has no "
+                        f"replica-safe evolution stream in the batched "
+                        f"engine; use the serial PullEngine"
+                    )
+                if seed_sequences is not None:
+                    topo_root = seed_sequences[0].spawn(1)[0]
+                elif isinstance(rng, np.random.SeedSequence):
+                    # Children 0..R-1 belong to the replicas; the next
+                    # spawn is child R (the fault-model slot, free here).
+                    topo_root = rng.spawn(1)[0]
+                else:
+                    topo_root = np.random.SeedSequence(rng).spawn(
+                        num_replicas + 1
+                    )[-1]
+                sampler.ensure_bound(n, np.random.default_rng(topo_root))
+
         protocol.reset(population, generators)
 
         eval_mask = None
@@ -303,7 +352,10 @@ class BatchedPullEngine:
                         faulted = fault_model.transform_displays(t, row, g)
                         rows_changed |= faulted is not row
                         faulted_rows[i] = faulted
-                    sampled[i] = g.integers(0, pool, size=(n, h)).reshape(n * h)
+                    if sampler is not None:
+                        sampled[i] = sampler.sample(None, h, g).reshape(n * h)
+                    else:
+                        sampled[i] = g.integers(0, pool, size=(n, h)).reshape(n * h)
                     uniforms[i] = g.random(n * h)
                 if fault_model is not None and rows_changed:
                     rows = np.stack(faulted_rows)
@@ -318,9 +370,14 @@ class BatchedPullEngine:
                         faulted_rows[i] = faulted
                     if rows_changed:
                         rows = np.stack(faulted_rows)
-                sampled = bulk.integers(
-                    0, pool, size=(num_active, n * h), dtype=np.int32
-                )
+                if sampler is not None:
+                    sampled = np.empty((num_active, n * h), dtype=np.int64)
+                    for i in range(num_active):
+                        sampled[i] = sampler.sample(None, h, bulk).reshape(n * h)
+                else:
+                    sampled = bulk.integers(
+                        0, pool, size=(num_active, n * h), dtype=np.int32
+                    )
                 uniforms = bulk.random(num_active * n * h)
             if visible is not None:
                 sampled = visible[sampled]

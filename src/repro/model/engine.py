@@ -132,6 +132,7 @@ class PullEngine:
         telemetry: Optional[Telemetry] = None,
         fault_model=None,
         seed: Optional[int] = None,
+        topology=None,
     ) -> SimulationResult:
         """Simulate up to ``max_rounds`` rounds.
 
@@ -177,6 +178,17 @@ class PullEngine:
             bit-for-bit equivalent to it.  With a non-null model and
             telemetry enabled, recovery metrics are emitted under
             ``faults.*``.
+        topology:
+            Optional :class:`~repro.topology.TopologySampler` (or any
+            spec :func:`~repro.topology.create_topology` accepts)
+            restricting each agent's ``h`` samples to graph neighbors.
+            ``None`` and the complete graph run the untouched uniform
+            path (bit-identical for fixed seeds); an unbound sampler is
+            bound from the run generator before ``protocol.reset``.
+            Graph topologies do not compose with non-null fault models
+            (the fault seam reasons about globally-visible agent sets)
+            — that combination raises
+            :class:`~repro.exceptions.UnsupportedFeatureError`.
         """
         if not 0.0 <= churn_rate < 1.0:
             raise ProtocolError(f"churn_rate must lie in [0, 1), got {churn_rate}")
@@ -194,6 +206,21 @@ class PullEngine:
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry, observers)
         population = self.population
+        sampler = None
+        if topology is not None:
+            from ..topology import resolve_topology
+
+            sampler = resolve_topology(topology, population.n, generator)
+            if sampler is not None and fault_model is not None and not getattr(
+                fault_model, "is_null", False
+            ):
+                from ..exceptions import UnsupportedFeatureError
+
+                raise UnsupportedFeatureError(
+                    "graph topologies do not compose with fault models: "
+                    "visible_agents/transform_displays reason about the "
+                    "globally-sampled population — drop one of the two"
+                )
         if not skip_reset:
             protocol.reset(population, generator)
 
@@ -240,7 +267,10 @@ class PullEngine:
                 visible = fault_model.visible_agents(t)
             else:
                 visible = None
-            if visible is None:
+            if sampler is not None:
+                sampler.begin_round(t, generator)
+                sampled = sampler.sample(None, population.h, generator)
+            elif visible is None:
                 sampled = sample_indices(
                     population.n, population.n, population.h, generator
                 )

@@ -77,8 +77,15 @@ class PushEngine:
         stop_on_consensus: bool = False,
         record_trace: bool = False,
         observers: Sequence["object"] = (),
+        topology=None,
     ) -> SimulationResult:
-        """Simulate up to ``max_rounds`` rounds of noisy PUSH(h)."""
+        """Simulate up to ``max_rounds`` rounds of noisy PUSH(h).
+
+        ``topology`` optionally restricts each sender's ``h`` targets to
+        graph neighbors (any spec
+        :func:`~repro.topology.create_topology` accepts); ``None`` and
+        the complete graph run the untouched uniform path.
+        """
         if protocol.alphabet_size != self.noise.size:
             raise ProtocolError(
                 f"protocol alphabet size {protocol.alphabet_size} does not match "
@@ -86,6 +93,11 @@ class PushEngine:
             )
         generator = coerce_rng(rng)
         population = self.population
+        sampler = None
+        if topology is not None:
+            from ..topology import resolve_topology
+
+            sampler = resolve_topology(topology, population.n, generator)
         protocol.reset(population, generator)
 
         correct = population.correct_opinion
@@ -98,13 +110,29 @@ class PushEngine:
                 t -= 1
                 break
             pushed = np.asarray(protocol.pushes(t))
+            invalid = (pushed != SILENT) & (
+                (pushed < 0) | (pushed >= self.noise.size)
+            )
+            if invalid.any():
+                bad = np.unique(pushed[invalid])[:8]
+                raise ProtocolError(
+                    f"pushes() returned symbol(s) {bad.tolist()} outside "
+                    f"{{SILENT}} u Sigma (alphabet size {self.noise.size}) "
+                    f"at round {t}; they would silently corrupt the "
+                    f"observation tally"
+                )
+            if sampler is not None:
+                sampler.begin_round(t, generator)
             senders = np.flatnonzero(pushed != SILENT)
             if senders.size:
                 # Each sender picks h targets with replacement; flatten to a
                 # delivery list.  Content is corrupted, intent is not.
-                targets = generator.integers(
-                    0, population.n, size=(senders.size, population.h)
-                )
+                if sampler is not None:
+                    targets = sampler.sample(senders, population.h, generator)
+                else:
+                    targets = generator.integers(
+                        0, population.n, size=(senders.size, population.h)
+                    )
                 symbols = np.repeat(pushed[senders], population.h)
                 noisy = self.noise.corrupt(symbols, generator, validate=False)
                 protocol.receive(t, targets.ravel(), noisy)

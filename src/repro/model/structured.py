@@ -32,6 +32,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..results import RunReport
+from ..rng import derive_seed
 from ..types import RngLike, coerce_rng
 
 __all__ = ["StableFlooding", "FloodingResult", "build_graph"]
@@ -41,10 +42,11 @@ def build_graph(kind: str, n: int, degree: int = 4, rng: RngLike = None) -> nx.G
     """Construct a named test topology.
 
     ``kind`` is one of ``"complete"``, ``"path"``, ``"cycle"``,
-    ``"regular"`` (random d-regular) or ``"grid"`` (near-square 2-d
-    lattice).
+    ``"regular"`` (random d-regular) or ``"grid"`` (a near-square
+    ``side x ceil(n/side)`` 2-d lattice with ``side = isqrt(n)``,
+    trimmed to exactly ``n`` nodes; exact squares build the usual
+    ``side x side`` lattice).
     """
-    generator = coerce_rng(rng)
     if kind == "complete":
         return nx.complete_graph(n)
     if kind == "path":
@@ -54,14 +56,24 @@ def build_graph(kind: str, n: int, degree: int = 4, rng: RngLike = None) -> nx.G
     if kind == "regular":
         if (n * degree) % 2 != 0:
             raise ConfigurationError("n * degree must be even for a regular graph")
-        seed = int(generator.integers(0, 2**31))
-        return nx.random_regular_graph(degree, n, seed=seed)
+        # networkx wants a plain integer seed; derive it through the
+        # SeedSequence-spawn convention so the full 64-bit seed space is
+        # reachable (a raw generator.integers(0, 2**31) draw is not).
+        return nx.random_regular_graph(degree, n, seed=derive_seed(rng))
     if kind == "grid":
-        side = int(math.isqrt(n))
-        if side * side != n:
-            raise ConfigurationError(f"grid requires a square n, got {n}")
-        graph = nx.grid_2d_graph(side, side)
-        return nx.convert_node_labels_to_integers(graph)
+        side = max(int(math.isqrt(n)), 1)
+        if side * side == n:
+            graph = nx.grid_2d_graph(side, side)
+            return nx.convert_node_labels_to_integers(graph)
+        cols = -(-n // side)  # ceil(n / side)
+        graph = nx.grid_2d_graph(side, cols)
+        graph = nx.convert_node_labels_to_integers(graph)
+        # grid_2d_graph enumerates nodes row-major, so integer labels
+        # n..side*cols-1 are the tail of the last row; dropping them
+        # keeps the lattice connected (every survivor still has its
+        # up/left neighbour).
+        graph.remove_nodes_from(range(n, side * cols))
+        return graph
     raise ConfigurationError(f"unknown graph kind {kind!r}")
 
 

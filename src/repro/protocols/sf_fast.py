@@ -117,6 +117,14 @@ class FastSourceFilter:
         :class:`~repro.faults.NoiseMisspecification` makes the schedule
         derive from the assumed ``noise`` while the dynamics run at the
         true level.
+    topology:
+        Optional topology spec (:func:`~repro.topology.create_topology`).
+        ``None``/complete runs the uniform phase-batched path
+        (bit-identical); a static graph switches to the structured path
+        (:meth:`_run_structured`) whose per-agent observation
+        probabilities come from neighbor symbol counts.  Dynamic (churn)
+        topologies and graph+fault combinations raise
+        :class:`~repro.exceptions.UnsupportedFeatureError`.
     """
 
     def __init__(
@@ -127,11 +135,34 @@ class FastSourceFilter:
         constant: Optional[float] = None,
         sample_loss: float = 0.0,
         fault_model=None,
+        topology=None,
     ) -> None:
         self.config = config
         self.delta = _uniform_delta(noise)
         self.sample_loss = validate_sample_loss(sample_loss)
         self.fault_model = fault_model
+        self.topology = topology
+        if topology is not None:
+            from ..exceptions import UnsupportedFeatureError
+            from ..topology import create_topology
+
+            sampler = create_topology(topology)
+            if not sampler.is_uniform:
+                if sampler.dynamic:
+                    raise UnsupportedFeatureError(
+                        f"the fast SF engine simulates whole phases in "
+                        f"one draw and needs a static graph; dynamic "
+                        f"topology {sampler.kind!r} requires the serial "
+                        f"PullEngine"
+                    )
+                if fault_model is not None and not getattr(
+                    fault_model, "is_null", True
+                ):
+                    raise UnsupportedFeatureError(
+                        "the fast SF engine composes a graph topology or "
+                        "a fault model, not both (the fault seam counts "
+                        "symbols over the globally-visible population)"
+                    )
         if schedule is None:
             kwargs = {} if constant is None else {"constant": constant}
             schedule = SFSchedule.from_config(config, self.delta, **kwargs)
@@ -200,6 +231,12 @@ class FastSourceFilter:
         """
         if self.fault_model is not None and not self.fault_model.is_null:
             return self._run_faulted(rng, telemetry)
+        if self.topology is not None:
+            from ..topology import create_topology
+
+            sampler = create_topology(self.topology)
+            if not sampler.is_uniform:
+                return self._run_structured(sampler, rng, telemetry)
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry)
         cfg, sched = self.config, self.schedule
@@ -447,6 +484,143 @@ class FastSourceFilter:
         )
 
     # ------------------------------------------------------------------
+    # Topology-structured path
+    # ------------------------------------------------------------------
+    def _run_structured(
+        self,
+        sampler,
+        rng: RngLike = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> SFRunResult:
+        """The :meth:`run` semantics on a static graph topology.
+
+        Still phase-exact: on a fixed graph each agent's looks land
+        uniformly on its own neighborhood, so within a phase its tally
+        of the counted symbol is ``Binomial(rounds * h, q_i)`` with
+        ``q_i = (k_i/deg_i)(1-delta) + (1-k_i/deg_i)delta`` and ``k_i``
+        the number of *neighbors* displaying that symbol — the uniform
+        law with the global count replaced by a per-agent neighbor
+        count (numpy's vector-``p`` binomial draws each agent exactly).
+
+        Like :meth:`_run_faulted`, the engine is positional: agents
+        ``0..s0-1`` are the 0-preferring sources and ``s0..s-1`` the
+        1-preferring ones, occupying whatever graph nodes carry those
+        labels (random families label nodes randomly, so this is a
+        uniformly random placement).  A string/unbound spec realizes a
+        fresh graph from the run generator every run; a pre-bound
+        sampler pins one quenched graph across runs.
+        """
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
+        cfg, sched = self.config, self.schedule
+        sampler.ensure_bound(cfg.n, generator)
+        n = cfg.n
+        correct = cfg.correct_opinion
+        delta = self.delta
+        keep = 1.0 - self.sample_loss
+        degrees = sampler.degrees().astype(np.float64)
+
+        def q_vector(neighbor_counts: np.ndarray) -> np.ndarray:
+            frac = neighbor_counts / degrees
+            return keep * (frac * (1.0 - delta) + (1.0 - frac) * delta)
+
+        def coin_ties(values: np.ndarray, ties: np.ndarray) -> np.ndarray:
+            if ties.any():
+                values[ties] = generator.integers(
+                    0, 2, size=int(ties.sum())
+                ).astype(np.int8)
+            return values
+
+        samples = sched.phase_rounds * sched.h
+        with tele.phase(
+            "sf.phase01_weak", rounds=2 * sched.phase_rounds, topology=sampler.kind
+        ):
+            # Phase 0: sources display their preference, non-sources 0.
+            phase0 = np.zeros(n, dtype=np.int8)
+            phase0[cfg.s0 : cfg.num_sources] = 1
+            q1 = q_vector(sampler.neighbor_symbol_counts(phase0, 1))
+            # Phase 1: non-sources display 1, sources keep preferences.
+            phase1 = np.ones(n, dtype=np.int8)
+            phase1[: cfg.s0] = 0
+            q0 = q_vector(sampler.neighbor_symbol_counts(phase1, 0))
+            counter1 = generator.binomial(samples, q1)
+            counter0 = generator.binomial(samples, q0)
+            weak = (counter1 > counter0).astype(np.int8)
+            weak = coin_ties(weak, counter1 == counter0)
+        weak_fraction = (
+            float(np.mean(weak == correct)) if correct is not None else 0.5
+        )
+        if tele.enabled:
+            tele.gauge("sf.weak_fraction_correct", weak_fraction)
+            tele.round(
+                2 * sched.phase_rounds - 1,
+                phase="phase1",
+                fraction_correct=weak_fraction,
+                opinions=weak,
+            )
+
+        def boost(opinions: np.ndarray, window: int) -> np.ndarray:
+            q = q_vector(sampler.neighbor_symbol_counts(opinions, 1))
+            if self.sample_loss > 0.0:
+                kept = generator.binomial(window, keep, size=n)
+                counts = generator.binomial(kept, q)
+                new = np.where(2 * counts > kept, 1, 0).astype(np.int8)
+                ties = 2 * counts == kept
+            else:
+                counts = generator.binomial(window, q)
+                new = np.where(2 * counts > window, 1, 0).astype(np.int8)
+                ties = 2 * counts == window
+            return coin_ties(new, ties)
+
+        opinions = weak.copy()
+        trace: List[float] = []
+        short_window = sched.subphase_rounds * sched.h
+        with tele.phase(
+            "sf.boosting", rounds=sched.boosting_rounds, topology=sampler.kind
+        ):
+            for index in range(sched.num_subphases):
+                opinions = boost(opinions, short_window)
+                if correct is not None:
+                    fraction = float(np.mean(opinions == correct))
+                    trace.append(fraction)
+                    if tele.enabled:
+                        tele.round(
+                            2 * sched.phase_rounds
+                            + (index + 1) * sched.subphase_rounds
+                            - 1,
+                            phase="boosting",
+                            subphase=index,
+                            fraction_correct=fraction,
+                            opinions=opinions,
+                        )
+            opinions = boost(opinions, sched.final_rounds * sched.h)
+            if correct is not None:
+                fraction = float(np.mean(opinions == correct))
+                trace.append(fraction)
+                if tele.enabled:
+                    tele.round(
+                        sched.total_rounds - 1,
+                        phase="boosting_final",
+                        fraction_correct=fraction,
+                        opinions=opinions,
+                    )
+
+        converged = correct is not None and bool(np.all(opinions == correct))
+        if tele.enabled:
+            tele.counter("sf.runs")
+            if converged:
+                tele.counter("sf.converged_runs")
+        return SFRunResult(
+            converged=converged,
+            total_rounds=sched.total_rounds,
+            weak_opinions=weak,
+            weak_fraction_correct=weak_fraction,
+            final_opinions=opinions,
+            boost_trace=trace,
+            seed=seed_of(rng),
+        )
+
+    # ------------------------------------------------------------------
     # Replica batching
     # ------------------------------------------------------------------
     def _draw_weak_opinions_batch(
@@ -523,6 +697,17 @@ class FastSourceFilter:
                 "run_batch does not support fault models; call run() per "
                 "replica (or use BatchedPullEngine)"
             )
+        if self.topology is not None:
+            from ..topology import create_topology
+
+            if not create_topology(self.topology).is_uniform:
+                from ..exceptions import UnsupportedFeatureError
+
+                raise UnsupportedFeatureError(
+                    "run_batch does not support graph topologies; call "
+                    "run() per replica (each realizes its own graph) or "
+                    "use BatchedPullEngine with topology="
+                )
         generator = coerce_rng(rng)
         tele = ensure_telemetry(telemetry)
         cfg, sched = self.config, self.schedule

@@ -111,11 +111,26 @@ class FastSelfStabilizingSourceFilter:
         constant: Optional[float] = None,
         sample_loss: float = 0.0,
         fault_model=None,
+        topology=None,
     ) -> None:
         self.config = config
         self.delta = _uniform_delta4(noise)
         self.sample_loss = validate_sample_loss(sample_loss)
         self.fault_model = fault_model
+        self.topology = topology
+        if topology is not None:
+            from ..exceptions import UnsupportedFeatureError
+            from ..topology import create_topology
+
+            if not create_topology(topology).is_uniform:
+                # SSF's window accounting assumes exchangeable uniform
+                # sampling throughout; only the complete graph is exact.
+                raise UnsupportedFeatureError(
+                    "the fast SSF engine supports only the complete "
+                    "(uniform) topology; run SSF on a graph through the "
+                    "serial engine: create_engine('serial', 'ssf', ..., "
+                    "topology=...)"
+                )
         if schedule is None:
             kwargs = {} if constant is None else {"constant": constant}
             schedule = SSFSchedule.from_config(config, self.delta, **kwargs)

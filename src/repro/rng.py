@@ -16,7 +16,10 @@ import numpy as np
 
 from .types import RngLike, coerce_rng
 
-__all__ = ["spawn_generators", "spawn_seeds", "generator_stream", "fork"]
+__all__ = [
+    "spawn_generators", "spawn_seeds", "generator_stream", "fork",
+    "derive_seed",
+]
 
 
 def spawn_seeds(seed: Optional[int], count: int) -> List[np.random.SeedSequence]:
@@ -45,6 +48,27 @@ def generator_stream(seed: Optional[int]) -> Iterator[np.random.Generator]:
     while True:
         (child,) = master.spawn(1)
         yield np.random.default_rng(child)
+
+
+def derive_seed(rng: RngLike = None) -> int:
+    """One full-range 64-bit seed derived by the ``spawn`` convention.
+
+    Libraries that take an integer seed (e.g. networkx graph generators)
+    sit outside numpy's generator protocol; this helper bridges them
+    without truncating the seed space.  A :class:`~numpy.random.SeedSequence`
+    or plain integer is expanded through ``SeedSequence.spawn`` — the same
+    derivation :func:`spawn_seeds` uses everywhere else — while a live
+    generator contributes one draw of its own stream (like :func:`fork`,
+    so two derivations from the same parent do not collide).
+    """
+    if isinstance(rng, np.random.Generator):
+        root = np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+    elif isinstance(rng, np.random.SeedSequence):
+        root = rng
+    else:
+        root = np.random.SeedSequence(rng)
+    (child,) = root.spawn(1)
+    return int(child.generate_state(1, np.uint64)[0])
 
 
 def fork(rng: RngLike, count: int) -> List[np.random.Generator]:

@@ -1,0 +1,48 @@
+"""Graph-structured sampling for noisy PULL(h) — see docs/model.md.
+
+Public surface:
+
+* :class:`TopologySampler` — the sampling seam (complete graph ==
+  uniform sampling reproduces the legacy engines bit-for-bit).
+* Families: :class:`CompleteTopology`, :class:`RandomRegularTopology`,
+  :class:`GeometricTopology`, :class:`LatticeTopology`,
+  :class:`ChurnTopology`, :class:`ExplicitGraphTopology`.
+* :func:`create_topology` / :func:`resolve_topology` — spec
+  normalization used by every engine and the registry
+  (``create_engine(..., topology=...)``).
+* :class:`HybridPushPull` — the push-until-half-informed, pull-as-
+  recovery baseline compared against SF in experiment EXT4.
+"""
+
+from .base import CompleteTopology, GraphTopology, TopologySampler
+from .factory import (
+    TOPOLOGY_KINDS,
+    TopologyLike,
+    create_topology,
+    resolve_topology,
+)
+from .graphs import (
+    ChurnTopology,
+    ExplicitGraphTopology,
+    GeometricTopology,
+    LatticeTopology,
+    RandomRegularTopology,
+)
+from .hybrid import HybridPushPull, HybridRunResult
+
+__all__ = [
+    "TopologySampler",
+    "CompleteTopology",
+    "GraphTopology",
+    "ExplicitGraphTopology",
+    "RandomRegularTopology",
+    "LatticeTopology",
+    "GeometricTopology",
+    "ChurnTopology",
+    "TOPOLOGY_KINDS",
+    "TopologyLike",
+    "create_topology",
+    "resolve_topology",
+    "HybridPushPull",
+    "HybridRunResult",
+]

@@ -1,0 +1,98 @@
+"""Constructing and resolving topology specs.
+
+Engines accept a *spec* — ``None``, a family name, a networkx graph or
+a ready :class:`TopologySampler` — and normalize it in two steps:
+:func:`create_topology` turns the spec into a sampler,
+:func:`resolve_topology` binds it to the run's population and collapses
+uniform samplers to ``None`` so the legacy (bit-identical) code path
+keeps serving the complete graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..exceptions import ConfigurationError
+from .base import CompleteTopology, TopologySampler
+from .graphs import (
+    ChurnTopology,
+    ExplicitGraphTopology,
+    GeometricTopology,
+    LatticeTopology,
+    RandomRegularTopology,
+)
+
+__all__ = ["TopologyLike", "TOPOLOGY_KINDS", "create_topology", "resolve_topology"]
+
+#: Spellings :func:`create_topology` accepts for its ``spec`` argument.
+TopologyLike = Union[None, str, TopologySampler, object]
+
+#: Named families (besides explicit graphs/samplers).
+TOPOLOGY_KINDS = (
+    "complete",
+    "regular",
+    "geometric",
+    "grid",
+    "cycle",
+    "path",
+    "churn",
+)
+
+
+def create_topology(
+    spec: TopologyLike,
+    *,
+    degree: int = 8,
+    radius: Optional[float] = None,
+    churn_rate: float = 0.05,
+) -> TopologySampler:
+    """Normalize a topology spec into an (unbound) sampler.
+
+    ``spec`` may be a family name from :data:`TOPOLOGY_KINDS`, a
+    networkx graph (or any object with ``number_of_nodes``), or an
+    existing :class:`TopologySampler` (returned as-is — keyword
+    parameters apply to named families only).
+    """
+    if isinstance(spec, TopologySampler):
+        return spec
+    if spec is None:
+        return CompleteTopology()
+    if hasattr(spec, "number_of_nodes"):
+        return ExplicitGraphTopology(spec)
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"topology spec must be a family name, graph or "
+            f"TopologySampler; got {type(spec).__name__}"
+        )
+    if spec == "complete":
+        return CompleteTopology()
+    if spec == "regular":
+        return RandomRegularTopology(degree=degree)
+    if spec == "geometric":
+        return GeometricTopology(radius=radius)
+    if spec in ("grid", "cycle", "path"):
+        return LatticeTopology(kind=spec)
+    if spec == "churn":
+        return ChurnTopology(degree=degree, churn_rate=churn_rate)
+    raise ConfigurationError(
+        f"unknown topology {spec!r}; named families: "
+        f"{', '.join(TOPOLOGY_KINDS)}"
+    )
+
+
+def resolve_topology(
+    spec: TopologyLike, n: int, rng=None
+) -> Optional[TopologySampler]:
+    """Bind a spec for a run of ``n`` agents; ``None`` means uniform.
+
+    Uniform samplers (the complete graph) resolve to ``None`` so engines
+    take their untouched legacy sampling path — the mechanism behind the
+    bit-identity guarantee of ``topology="complete"``.  Unbound samplers
+    bind here, drawing any random structure from ``rng`` (usually the
+    run generator); pre-bound samplers only have their ``n`` checked.
+    """
+    if spec is None:
+        return None
+    sampler = create_topology(spec)
+    sampler.ensure_bound(n, rng)
+    return None if sampler.is_uniform else sampler

@@ -1,0 +1,218 @@
+"""Concrete topology families: regular, lattice, geometric, churn.
+
+Random families draw their structure at :meth:`~TopologySampler.bind`
+time from the bind RNG (engines bind unbound samplers from the run
+generator, so each run realizes a fresh graph reproducibly).  The
+networkx-backed families import it lazily — the core engines must stay
+importable on a numpy-only install.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import GraphTopology
+
+__all__ = [
+    "ExplicitGraphTopology",
+    "RandomRegularTopology",
+    "LatticeTopology",
+    "GeometricTopology",
+    "ChurnTopology",
+]
+
+
+class ExplicitGraphTopology(GraphTopology):
+    """Sampling over a caller-supplied graph (networkx or neighbor lists)."""
+
+    kind = "explicit"
+
+    def __init__(self, graph) -> None:
+        super().__init__()
+        self._graph = graph
+
+    def _build(self, n: int, generator: np.random.Generator) -> None:
+        self._set_adjacency(self._graph)
+
+
+class RandomRegularTopology(GraphTopology):
+    """A random d-regular graph — the expander end of the sparse regime."""
+
+    kind = "regular"
+
+    def __init__(self, degree: int = 8) -> None:
+        super().__init__()
+        if degree < 1:
+            raise ConfigurationError(f"degree must be positive, got {degree}")
+        self.degree = int(degree)
+
+    def _build(self, n: int, generator: np.random.Generator) -> None:
+        from ..model.structured import build_graph
+
+        degree = min(self.degree, n - 1)
+        if (n * degree) % 2 != 0:
+            degree -= 1
+        if degree < 1:
+            raise ConfigurationError(
+                f"no valid regular degree <= {self.degree} for n={n}"
+            )
+        self._set_adjacency(build_graph("regular", n, degree=degree, rng=generator))
+
+
+class LatticeTopology(GraphTopology):
+    """Deterministic lattices: near-square ``grid``, ``cycle`` or ``path``."""
+
+    kind = "lattice"
+
+    def __init__(self, kind: str = "grid") -> None:
+        super().__init__()
+        if kind not in ("grid", "cycle", "path"):
+            raise ConfigurationError(
+                f"lattice kind must be grid, cycle or path, got {kind!r}"
+            )
+        self.kind = kind
+
+    def _build(self, n: int, generator: np.random.Generator) -> None:
+        from ..model.structured import build_graph
+
+        self._set_adjacency(build_graph(self.kind, n))
+
+
+class GeometricTopology(GraphTopology):
+    """Random geometric graph: points in the unit square, radius links.
+
+    The default radius ``sqrt(1.5 * log(n) / (pi * n))`` sits just above
+    the connectivity threshold, so the graph is connected with high
+    probability while staying genuinely spatial (hop counts scale like
+    ``1/r``).  Any node the radius leaves isolated is attached to its
+    nearest neighbor so sampling never stalls.
+    """
+
+    kind = "geometric"
+
+    def __init__(self, radius: Optional[float] = None) -> None:
+        super().__init__()
+        if radius is not None and not 0.0 < radius <= math.sqrt(2.0):
+            raise ConfigurationError(
+                f"radius must lie in (0, sqrt(2)], got {radius}"
+            )
+        self.radius = radius
+
+    def _build(self, n: int, generator: np.random.Generator) -> None:
+        radius = self.radius
+        if radius is None:
+            radius = math.sqrt(1.5 * math.log(max(n, 2)) / (math.pi * n))
+        points = generator.random((n, 2))
+        self.points = points
+        neighbor_lists = [[] for _ in range(n)]
+        nearest = np.zeros(n, dtype=np.int64)
+        r2 = radius * radius
+        # Chunk the pairwise-distance scan so memory stays O(chunk * n).
+        chunk = max(1, min(n, 8 * 1024 * 1024 // (n * 8 or 1)))
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            diff = points[start:stop, None, :] - points[None, :, :]
+            dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+            rows = np.arange(start, stop)
+            dist2[rows - start, rows] = np.inf
+            nearest[start:stop] = np.argmin(dist2, axis=1)
+            within = dist2 <= r2
+            for row in range(start, stop):
+                neighbor_lists[row] = np.flatnonzero(within[row - start]).tolist()
+        for agent in range(n):
+            if not neighbor_lists[agent]:
+                other = int(nearest[agent])
+                neighbor_lists[agent].append(other)
+                if agent not in neighbor_lists[other]:
+                    neighbor_lists[other].append(agent)
+        self._set_adjacency(neighbor_lists)
+
+
+class ChurnTopology(GraphTopology):
+    """A time-evolving graph under population churn.
+
+    Starts from a random d-regular graph; at the start of every round
+    each agent independently *departs* with probability ``churn_rate``
+    and is replaced by an arrival that wires ``degree`` fresh uniform
+    edges — the old agent's edges vanish with it.  The stationary
+    degree distribution stays concentrated around ``degree`` while the
+    edge set fully decorrelates every ``~1/churn_rate`` rounds.
+
+    ``dynamic`` — the evolution consumes the run generator in
+    :meth:`begin_round`, so only round-by-round engines (serial pull,
+    push, hybrid) can honor it; phase-batched engines reject it with a
+    typed error.
+    """
+
+    kind = "churn"
+    dynamic = True
+
+    def __init__(self, degree: int = 8, churn_rate: float = 0.05) -> None:
+        super().__init__()
+        if degree < 1:
+            raise ConfigurationError(f"degree must be positive, got {degree}")
+        if not 0.0 <= churn_rate < 1.0:
+            raise ConfigurationError(
+                f"churn_rate must lie in [0, 1), got {churn_rate}"
+            )
+        self.degree = int(degree)
+        self.churn_rate = float(churn_rate)
+        self._adjacency = None
+        self._dirty = False
+
+    def _build(self, n: int, generator: np.random.Generator) -> None:
+        from ..model.structured import build_graph
+
+        degree = min(self.degree, n - 1)
+        if (n * degree) % 2 != 0:
+            degree -= 1
+        degree = max(degree, 1)
+        graph = build_graph("regular", n, degree=degree, rng=generator)
+        self._adjacency = [set(graph.neighbors(node)) for node in range(n)]
+        self._dirty = True
+
+    def begin_round(
+        self, round_index: int, generator: np.random.Generator
+    ) -> None:
+        n = self._require_bound()
+        departed = np.flatnonzero(generator.random(n) < self.churn_rate)
+        if departed.size == 0:
+            return
+        adjacency = self._adjacency
+        for agent in departed:
+            agent = int(agent)
+            for other in adjacency[agent]:
+                adjacency[other].discard(agent)
+            adjacency[agent] = set()
+        # Arrivals rewire: `degree` uniform partners each (dedup, no
+        # self-edges), drawn from the same run generator.
+        partners = generator.integers(0, n, size=(departed.size, self.degree))
+        for row, agent in enumerate(departed):
+            agent = int(agent)
+            for other in partners[row]:
+                other = int(other)
+                if other != agent:
+                    adjacency[agent].add(other)
+                    adjacency[other].add(agent)
+        self._dirty = True
+
+    def _refresh(self) -> None:
+        if self._dirty:
+            self._set_adjacency(self._adjacency)
+            self._dirty = False
+
+    def sample(self, agents, h, generator):
+        self._refresh()
+        return super().sample(agents, h, generator)
+
+    def degrees(self) -> np.ndarray:
+        self._refresh()
+        return super().degrees()
+
+    def neighbor_symbol_counts(self, values, symbol) -> np.ndarray:
+        self._refresh()
+        return super().neighbor_symbol_counts(values, symbol)

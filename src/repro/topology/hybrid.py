@@ -1,0 +1,288 @@
+"""Phase-switching hybrid spreading: push until ~half informed, pull to finish.
+
+The ``LazyProbabilisticBroadcast`` exemplar (SNIPPETS.md) composes two
+epidemic primitives: an eager *push* phase that grows the informed set
+exponentially while it is small, and a *pull* recovery phase that mops
+up once most of the population is informed — exactly the regime where
+pull's per-round hit probability stops being the bottleneck.  This
+module is that composition for the noisy model: the staged
+:class:`~repro.baselines.push_spreading.PushSpreadingProtocol` runs on
+:class:`~repro.model.push_engine.PushEngine` until the informed
+fraction crosses ``switch_fraction`` (checked at stage boundaries, where
+the majority votes land), then the carried bit vector seeds a
+majority-window pull protocol on :class:`~repro.model.engine.PullEngine`.
+
+Both phases run under the *same* :class:`~repro.noise.NoiseMatrix` and
+the same :class:`~repro.topology.TopologySampler`, so EXT4 can compare
+the hybrid against SF head-to-head per graph family: SF leans on
+well-mixed sampling for its weak phase, the hybrid only ever needs
+edge-local progress.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..baselines.push_spreading import PushSpreadingProtocol
+from ..exceptions import ConfigurationError
+from ..model.config import PopulationConfig
+from ..model.engine import PullEngine, PullProtocol
+from ..model.population import Population
+from ..model.push_engine import PushEngine
+from ..noise import NoiseMatrix
+from ..results import RunReport
+from ..telemetry import Telemetry, ensure_telemetry
+from ..types import RngLike, coerce_rng, merge_rng_seed, seed_of
+from .factory import TopologyLike, create_topology
+
+__all__ = ["HybridPushPull", "HybridRunResult"]
+
+
+@dataclasses.dataclass
+class HybridRunResult(RunReport):
+    """Outcome of one hybrid push-then-pull run.
+
+    Attributes
+    ----------
+    converged:
+        All agents ended on the sources' bit.
+    total_rounds:
+        Push rounds plus pull rounds actually executed.
+    push_rounds / pull_rounds:
+        Rounds spent in each phase.
+    informed_fraction_at_switch:
+        Informed fraction when the push phase handed over.
+    accuracy:
+        Fraction of agents holding the correct bit at the end.
+    """
+
+    _rounds_attr = "total_rounds"
+
+    converged: bool
+    total_rounds: int
+    push_rounds: int
+    pull_rounds: int
+    informed_fraction_at_switch: float
+    accuracy: float
+    final_bits: np.ndarray
+    seed: Optional[int] = None
+
+
+class _SwitchingPushSpreading(PushSpreadingProtocol):
+    """Push spreading that yields once the informed set is large enough.
+
+    The switch fires at stage boundaries only — mid-stage the receipt
+    tallies have not voted yet, so the informed fraction is stale.
+    """
+
+    def __init__(self, switch_fraction: float, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.switch_fraction = switch_fraction
+
+    def finished(self, round_index: int) -> bool:
+        if super().finished(round_index):
+            return True
+        return (
+            round_index > 0
+            and round_index % self.repetitions == 0
+            and self.informed_fraction >= self.switch_fraction
+        )
+
+
+class _MajorityPullRecovery(PullProtocol):
+    """Windowed-majority pull: everyone displays, everyone re-votes.
+
+    Seeded with the bit vector the push phase produced.  Each agent
+    displays its current bit; every ``window`` rounds each non-source
+    adopts the majority of the ``window * h`` noisy observations it
+    gathered — the same redundancy argument as SF's boosting phase,
+    restricted to graph neighbors when a topology is active.
+    """
+
+    alphabet_size = 2
+
+    def __init__(self, window: int, initial_bits: np.ndarray) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._initial_bits = np.asarray(initial_bits, dtype=np.int8)
+        self._population: Optional[Population] = None
+        self._rng: Optional[np.random.Generator] = None
+        self._bits: Optional[np.ndarray] = None
+        self._counts: Optional[np.ndarray] = None
+
+    def reset(self, population: Population, rng: RngLike = None) -> None:
+        if self._initial_bits.shape != (population.n,):
+            raise ConfigurationError(
+                f"initial_bits has shape {self._initial_bits.shape}, "
+                f"expected ({population.n},)"
+            )
+        self._population = population
+        self._rng = coerce_rng(rng)
+        self._bits = self._initial_bits.copy()
+        self._counts = np.zeros((population.n, 2), dtype=np.int64)
+
+    def displays(self, round_index: int) -> np.ndarray:
+        return self._bits
+
+    def receive(self, round_index: int, observations: np.ndarray) -> None:
+        self._counts[:, 1] += (observations == 1).sum(axis=1)
+        self._counts[:, 0] += (observations == 0).sum(axis=1)
+        if (round_index + 1) % self.window == 0:
+            total = self._counts.sum(axis=1)
+            new_bits = (self._counts[:, 1] * 2 > total).astype(np.int8)
+            ties = self._counts[:, 1] * 2 == total
+            if ties.any():
+                new_bits[ties] = self._rng.integers(
+                    0, 2, size=int(ties.sum())
+                ).astype(np.int8)
+            adopt = ~self._population.is_source
+            self._bits[adopt] = new_bits[adopt]
+            self._counts[:] = 0
+
+    def opinions(self) -> np.ndarray:
+        return self._bits
+
+
+class HybridPushPull:
+    """Push-then-pull spreading under one noise channel and one topology.
+
+    Parameters
+    ----------
+    config:
+        Population parameters (``n``, sources, ``h``).
+    noise:
+        Uniform binary noise level (float) or a 2x2
+        :class:`~repro.noise.NoiseMatrix`; shared by both phases.
+    topology:
+        Anything :func:`~repro.topology.create_topology` accepts; the
+        *same* sampler serves both phases (a dynamic churn graph keeps
+        evolving across the phase switch).  ``None`` is the complete
+        graph.
+    repetitions:
+        Rounds per push stage and per pull majority window; default
+        ``ceil(3 * log(n) / (1 - 2*delta)^2)``.
+    switch_fraction:
+        Informed fraction that hands over to pull (default 0.5 — the
+        exemplar's "half infected" switch).
+    max_push_stages / max_pull_windows:
+        Phase budgets; defaults ``2 * ceil(log2 n) + 4`` stages and 8
+        windows.
+    """
+
+    def __init__(
+        self,
+        config: PopulationConfig,
+        noise: Union[float, NoiseMatrix],
+        topology: TopologyLike = None,
+        *,
+        repetitions: Optional[int] = None,
+        switch_fraction: float = 0.5,
+        max_push_stages: Optional[int] = None,
+        max_pull_windows: int = 8,
+    ) -> None:
+        if not 0.0 < switch_fraction <= 1.0:
+            raise ConfigurationError(
+                f"switch_fraction must lie in (0, 1], got {switch_fraction}"
+            )
+        if max_pull_windows < 1:
+            raise ConfigurationError(
+                f"max_pull_windows must be >= 1, got {max_pull_windows}"
+            )
+        self.config = config
+        self.noise = (
+            noise
+            if isinstance(noise, NoiseMatrix)
+            else NoiseMatrix.uniform(float(noise), 2)
+        )
+        self.delta = self.noise.uniform_delta
+        self.topology = topology
+        if repetitions is None:
+            repetitions = max(
+                int(
+                    math.ceil(
+                        3.0 * math.log(config.n) / (1.0 - 2.0 * self.delta) ** 2
+                    )
+                ),
+                1,
+            )
+        self.repetitions = int(repetitions)
+        self.switch_fraction = float(switch_fraction)
+        if max_push_stages is None:
+            max_push_stages = 2 * int(math.ceil(math.log2(max(config.n, 2)))) + 4
+        self.max_push_stages = int(max_push_stages)
+        self.max_pull_windows = int(max_pull_windows)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        rng: RngLike = None,
+        telemetry: Optional[Telemetry] = None,
+        seed: Optional[int] = None,
+    ) -> HybridRunResult:
+        """Execute one hybrid run: push to the switch, pull to consensus."""
+        rng = merge_rng_seed(rng, seed)
+        generator = coerce_rng(rng)
+        tele = ensure_telemetry(telemetry)
+        config = self.config
+        population = Population(config, rng=generator)
+        sampler = None
+        if self.topology is not None:
+            sampler = create_topology(self.topology)
+            sampler.ensure_bound(config.n, generator)
+
+        R = self.repetitions
+        push_protocol = _SwitchingPushSpreading(
+            self.switch_fraction,
+            repetitions=R,
+            delta=self.delta,
+            max_stages=self.max_push_stages,
+        )
+        push_engine = PushEngine(population, self.noise)
+        with tele.phase("hybrid.push", repetitions=R):
+            push_result = push_engine.run(
+                push_protocol,
+                max_rounds=self.max_push_stages * R,
+                rng=generator,
+                topology=sampler,
+            )
+        informed_at_switch = push_protocol.informed_fraction
+        if tele.enabled:
+            tele.gauge("hybrid.informed_at_switch", informed_at_switch)
+
+        pull_protocol = _MajorityPullRecovery(
+            window=R, initial_bits=push_protocol.opinions()
+        )
+        pull_engine = PullEngine(population, self.noise)
+        with tele.phase("hybrid.pull", window=R):
+            pull_result = pull_engine.run(
+                pull_protocol,
+                max_rounds=self.max_pull_windows * R,
+                rng=generator,
+                stop_on_consensus=True,
+                consensus_patience=R,
+                topology=sampler,
+            )
+
+        bits = np.asarray(pull_result.final_opinions)
+        correct = population.correct_opinion
+        accuracy = float(np.mean(bits == correct)) if correct is not None else 0.0
+        converged = correct is not None and bool(np.all(bits == correct))
+        if tele.enabled:
+            tele.counter("hybrid.runs")
+            if converged:
+                tele.counter("hybrid.converged_runs")
+        return HybridRunResult(
+            converged=converged,
+            total_rounds=push_result.rounds_executed + pull_result.rounds_executed,
+            push_rounds=push_result.rounds_executed,
+            pull_rounds=pull_result.rounds_executed,
+            informed_fraction_at_switch=informed_at_switch,
+            accuracy=accuracy,
+            final_bits=bits.copy(),
+            seed=seed_of(rng),
+        )

@@ -19,6 +19,7 @@ stochastic ↔ handoff-gated count  success proportions under the gate
 mean-field ↔ count SF             exact weak probability + fixed-point run
 service cache ↔ recomputation     byte-identical envelopes, identical reports
 net cluster ↔ fast SF             differential: success/weak/rounds agreement
+topology seam ↔ uniform engines   complete-graph bit-identity + EXT4 shape
 goldens                           digests of committed reference trajectories
 ================================  ===========================================
 """
@@ -952,6 +953,127 @@ def _check_net(scale: str, budget: FalsePositiveBudget) -> str:
     )
 
 
+def _check_topology(scale: str, budget: FalsePositiveBudget) -> str:
+    """Topology seam conformance.
+
+    Three promises: (1) the complete graph is the model — every engine
+    generation run with ``topology="complete"`` is bit-identical to the
+    untopologized run, so the seam costs nothing when unused; (2) the
+    capability grid is typed — agent-blind engines reject graph
+    topologies with :class:`~repro.exceptions.UnsupportedFeatureError`
+    at construction; (3) the EXT4 shape holds at smoke scale — SF stays
+    near-unanimous w.h.p. on a dense regular graph, and the hybrid
+    push-pull baseline does so on the spatial grid where SF collapses.
+    """
+    from ..engines import create_engine
+    from ..exceptions import UnsupportedFeatureError
+    from ..topology import HybridPushPull, RandomRegularTopology
+
+    config = PopulationConfig(n=48, sources=SourceCounts(1, 3), h=4)
+    noise = NoiseMatrix.uniform(0.2, 2)
+    schedule = SFSchedule.from_config(config, 0.2, m=24)
+    legs = []
+
+    def same(name, baseline, topologized):
+        if not np.array_equal(
+            np.asarray(baseline.final_opinions),
+            np.asarray(topologized.final_opinions),
+        ) or baseline.converged != topologized.converged:
+            raise ConfigurationError(
+                f"topology='complete' diverged from topology=None on "
+                f"{name} — the complete graph must take the untouched "
+                f"uniform path"
+            )
+        legs.append(name)
+
+    population = Population(config, rng=np.random.default_rng(0))
+    serial = [
+        PullEngine(population, noise).run(
+            SourceFilterProtocol(schedule),
+            max_rounds=schedule.total_rounds,
+            rng=11,
+            topology=topology,
+        )
+        for topology in (None, "complete")
+    ]
+    same("PullEngine", *serial)
+
+    batch = [
+        BatchedPullEngine(population, noise).run(
+            BatchedSourceFilter(schedule),
+            max_rounds=schedule.total_rounds,
+            replicas=3,
+            rng=11,
+            topology=topology,
+        )
+        for topology in (None, "complete")
+    ]
+    for replica, (clean, topologized) in enumerate(zip(*batch)):
+        same(f"BatchedPullEngine[{replica}]", clean, topologized)
+
+    same(
+        "create_engine('fast')",
+        create_engine("fast", "sf", config, 0.2, schedule=schedule).run(
+            seed=3
+        ),
+        create_engine(
+            "fast", "sf", config, 0.2, schedule=schedule,
+            topology="complete",
+        ).run(seed=3),
+    )
+
+    for engine in ("count", "mean-field"):
+        try:
+            create_engine(engine, "sf", config, 0.2, topology="regular")
+        except UnsupportedFeatureError:
+            pass
+        else:
+            raise ConfigurationError(
+                f"agent-blind engine {engine!r} accepted a graph "
+                f"topology; it must raise UnsupportedFeatureError"
+            )
+
+    # EXT4 shape at smoke scale: SF near-unanimous on a dense regular
+    # graph, hybrid near-unanimous on the grid where SF coin-flips.
+    trials = 8 if scale == "quick" else 20
+    n = 144
+    shape_config = PopulationConfig(n=n, sources=SourceCounts(0, n // 16), h=8)
+    sf_ok = 0
+    for trial in range(trials):
+        result = FastSourceFilter(
+            shape_config, 0.1, topology=RandomRegularTopology(degree=n // 2)
+        ).run(rng=np.random.default_rng(700 + trial))
+        sf_ok += float(np.mean(result.final_opinions == 1)) >= 0.95
+    assert_success_probability(
+        int(sf_ok),
+        trials,
+        0.7,
+        confidence=1 - 1e-6,
+        context="SF near-unanimity on dense regular graph",
+        budget=budget,
+    )
+    hybrid_ok = 0
+    for trial in range(trials):
+        result = HybridPushPull(
+            shape_config, 0.1, topology="grid",
+            switch_fraction=0.85, max_pull_windows=16,
+        ).run(rng=np.random.default_rng(800 + trial))
+        hybrid_ok += result.accuracy >= 0.95
+    assert_success_probability(
+        int(hybrid_ok),
+        trials,
+        0.7,
+        confidence=1 - 1e-6,
+        context="hybrid push-pull near-unanimity on grid",
+        budget=budget,
+    )
+    return (
+        f"complete bit-identical on {len(legs)} legs; agent-blind "
+        f"engines typed-reject; SF dense {sf_ok}/{trials}, hybrid grid "
+        f"{hybrid_ok}/{trials}"
+    )
+
+
 _CHECKS: List[tuple] = [
     ("reference-vs-batched-sf", "exact", _check_reference_vs_batched),
     ("corrupt-vs-corrupt-with-uniforms", "exact", _check_corrupt_equivalence),
@@ -963,6 +1085,7 @@ _CHECKS: List[tuple] = [
     ("count", "statistical", _check_count_engines),
     ("service", "exact", _check_service_cache),
     ("net", "statistical", _check_net),
+    ("topology", "statistical", _check_topology),
 ]
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "noise_matrices",
     "ssf_corrupted_states",
     "fault_models",
+    "graph_topologies",
     "net_messages",
 ]
 
@@ -212,6 +213,53 @@ def fault_models(
     return st.one_of(
         leaf,
         st.builds(lambda a, b: ComposedFaultModel([a, b]), leaf, leaf),
+    )
+
+
+def graph_topologies(
+    min_n: int = 8,
+    max_n: int = 96,
+    kinds: Sequence[str] = (
+        "complete", "regular", "geometric", "grid", "cycle", "path", "churn"
+    ),
+    *,
+    bound: bool = True,
+) -> st.SearchStrategy:
+    """Random bound :class:`~repro.topology.TopologySampler` instances.
+
+    Draws a family, a population size and a binding seed, then returns
+    the bound sampler (or, with ``bound=False``, ``(sampler, n, seed)``
+    tuples for tests that bind themselves).  Regular degrees are clamped
+    to the feasibility region — even ``n * degree`` and
+    ``degree <= n - 1`` — so every example constructs; seeds are drawn
+    so shrinking stays reproducible.
+    """
+    from ..topology import create_topology
+
+    unknown = set(kinds) - {
+        "complete", "regular", "geometric", "grid", "cycle", "path", "churn"
+    }
+    if unknown:
+        raise ValueError(f"unknown topology kinds: {sorted(unknown)}")
+
+    def build(kind: str, n: int, degree_half: int, seed: int):
+        degree = max(2, min(2 * degree_half, 2 * ((n - 1) // 2)))
+        if kind == "regular":
+            sampler = create_topology(kind, degree=degree)
+        elif kind == "churn":
+            sampler = create_topology(kind, degree=degree, churn_rate=0.05)
+        else:
+            sampler = create_topology(kind)
+        if not bound:
+            return sampler, n, seed
+        return sampler.ensure_bound(n, np.random.default_rng(seed))
+
+    return st.builds(
+        build,
+        st.sampled_from(list(kinds)),
+        st.integers(min_value=min_n, max_value=max_n),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
     )
 
 

@@ -62,7 +62,7 @@ class TestRegistry:
         for row in table:
             assert set(row) == {
                 "name", "description", "protocols", "supports_faults",
-                "supports_batch", "agent_blind",
+                "supports_batch", "agent_blind", "supports_topology",
             }
             assert row["protocols"], f"{row['name']} registers no protocol"
             # Agent-blind engines can never support per-agent faults.

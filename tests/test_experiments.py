@@ -28,6 +28,7 @@ ALL_IDS = [
     "EXT1",
     "EXT2",
     "EXT3",
+    "EXT4",
 ]
 
 

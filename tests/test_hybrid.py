@@ -1,0 +1,77 @@
+"""The hybrid push-then-pull baseline (repro.topology.hybrid)."""
+
+import numpy as np
+import pytest
+
+from repro import PopulationConfig, SourceCounts
+from repro.results import report_from_dict
+from repro.topology import HybridPushPull, HybridRunResult, RandomRegularTopology
+
+pytestmark = pytest.mark.topology
+
+CONFIG = PopulationConfig(n=96, sources=SourceCounts(0, 6), h=8)
+
+
+class TestHybridPushPull:
+    def test_converges_on_complete_graph(self):
+        result = HybridPushPull(CONFIG, 0.1).run(rng=0)
+        assert isinstance(result, HybridRunResult)
+        assert result.converged
+        assert result.accuracy == 1.0
+        assert result.total_rounds == result.push_rounds + result.pull_rounds
+
+    def test_determinism(self):
+        a = HybridPushPull(CONFIG, 0.1, topology="regular").run(seed=42)
+        b = HybridPushPull(CONFIG, 0.1, topology="regular").run(seed=42)
+        assert np.array_equal(a.final_bits, b.final_bits)
+        assert (a.push_rounds, a.pull_rounds) == (b.push_rounds, b.pull_rounds)
+        assert a.seed == 42
+
+    def test_switch_happens_past_threshold(self):
+        result = HybridPushPull(
+            CONFIG, 0.1, switch_fraction=0.6
+        ).run(rng=1)
+        assert result.informed_fraction_at_switch >= 0.6
+        assert result.push_rounds % HybridPushPull(CONFIG, 0.1).repetitions == 0
+
+    def test_sources_hold_their_bit(self):
+        result = HybridPushPull(CONFIG, 0.1, topology="regular").run(rng=3)
+        # Sources are agents 0..s-1 with the correct bit, by construction.
+        assert np.all(result.final_bits[: CONFIG.num_sources] == 1)
+
+    def test_phase_budget_caps_rounds(self):
+        hybrid = HybridPushPull(
+            CONFIG, 0.1, max_push_stages=1, max_pull_windows=1
+        )
+        result = hybrid.run(rng=0)
+        assert result.push_rounds <= hybrid.repetitions
+        assert result.pull_rounds <= 2 * hybrid.repetitions
+
+    def test_repetitions_scale_with_noise(self):
+        quiet = HybridPushPull(CONFIG, 0.05).repetitions
+        loud = HybridPushPull(CONFIG, 0.2).repetitions
+        assert loud > quiet
+
+    def test_invalid_switch_fraction_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            HybridPushPull(CONFIG, 0.1, switch_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HybridPushPull(CONFIG, 0.1, switch_fraction=1.5)
+
+    def test_report_roundtrip(self):
+        result = HybridPushPull(CONFIG, 0.1).run(seed=7)
+        clone = report_from_dict(result.to_dict())
+        assert isinstance(clone, HybridRunResult)
+        assert clone.converged == result.converged
+        assert np.array_equal(clone.final_bits, result.final_bits)
+        assert clone.rounds == result.total_rounds
+
+    def test_shared_sampler_across_phases(self):
+        # Both phases must see the same quenched graph: binding a
+        # sampler up front and passing it through run() keeps push and
+        # pull on identical edges.
+        sampler = RandomRegularTopology(degree=8).bind(CONFIG.n, 5)
+        result = HybridPushPull(CONFIG, 0.1, topology=sampler).run(rng=0)
+        assert result.accuracy >= 0.9

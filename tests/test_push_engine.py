@@ -89,6 +89,45 @@ class TestDelivery:
         with pytest.raises(ProtocolError):
             engine.run(protocol, max_rounds=1, rng=rng)
 
+    @pytest.mark.parametrize("bad_symbol", [-7, 2, 99])
+    def test_out_of_alphabet_push_rejected(self, push_setup, rng, bad_symbol):
+        # Regression: pushed values outside {SILENT} u Sigma used to be
+        # corrupted as if they were real symbols, silently skewing the
+        # delivered tally.  The engine now validates before delivery.
+        pop, engine = push_setup
+
+        class BadProtocol(RecordingPushProtocol):
+            def pushes(self, round_index):
+                out = super().pushes(round_index)
+                out[out != SILENT] = bad_symbol
+                return out
+
+        with pytest.raises(ProtocolError, match="outside"):
+            engine.run(BadProtocol(), max_rounds=1, rng=rng)
+
+    def test_silent_sentinel_still_allowed(self, push_setup, rng):
+        pop, engine = push_setup
+        protocol = SilentProtocol()
+        result = engine.run(protocol, max_rounds=1, rng=rng)
+        assert result.rounds_executed == 1
+
+    def test_graph_topology_restricts_targets(self, rng):
+        # Senders on a cycle may only deliver to their two neighbors.
+        from repro.topology import LatticeTopology
+
+        cfg = PopulationConfig(n=24, sources=SourceCounts(0, 4), h=6)
+        pop = Population(cfg, rng=rng)
+        engine = PushEngine(pop, NoiseMatrix.uniform(0.1, 2))
+        protocol = RecordingPushProtocol()
+        sampler = LatticeTopology("cycle").bind(cfg.n)
+        engine.run(protocol, max_rounds=3, rng=rng, topology=sampler)
+        sources = np.flatnonzero(pop.is_source)
+        allowed = set()
+        for s in sources:
+            allowed |= {(s - 1) % cfg.n, (s + 1) % cfg.n}
+        for receivers, _ in protocol.deliveries:
+            assert set(receivers) <= allowed
+
 
 class TestPushRunLoop:
     def test_rounds_executed(self, push_setup, rng):

@@ -3,10 +3,12 @@
 import math
 
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.model import StableFlooding, build_graph
+from repro.rng import derive_seed
 
 
 class TestBuildGraph:
@@ -30,9 +32,41 @@ class TestBuildGraph:
         graph = build_graph("grid", 16)
         assert graph.number_of_nodes() == 16
 
-    def test_grid_requires_square(self):
-        with pytest.raises(ConfigurationError):
-            build_graph("grid", 10)
+    def test_grid_exact_square_unchanged(self):
+        # Exact squares keep the historical side x side lattice
+        # bit-identically — same node set, same edge set.
+        graph = build_graph("grid", 16)
+        reference = nx.convert_node_labels_to_integers(
+            nx.grid_2d_graph(4, 4), ordering="sorted"
+        )
+        assert set(graph.edges) == set(reference.edges)
+
+    def test_grid_non_square(self):
+        # The old contract raised on non-squares; build_graph now
+        # produces a near-square side x ceil(n/side) lattice trimmed
+        # to exactly n nodes, and it stays connected.
+        for n in (10, 23, 240):
+            graph = build_graph("grid", n)
+            assert graph.number_of_nodes() == n
+            assert set(graph.nodes) == set(range(n))
+            assert nx.is_connected(graph)
+            degrees = [d for _, d in graph.degree()]
+            assert max(degrees) <= 4 and min(degrees) >= 1
+
+    def test_regular_seed_derivation(self):
+        # Regression for the seeding bugfix: the regular builder used to
+        # seed networkx with generator.integers(0, 2**31) — a biased,
+        # range-truncated draw.  It now derives the seed through
+        # SeedSequence spawning (derive_seed), which changes the graphs
+        # for a fixed rng...
+        old_seed = int(np.random.default_rng(0).integers(0, 2**31))
+        new_graph = build_graph("regular", 20, degree=4, rng=0)
+        old_graph = nx.random_regular_graph(4, 20, seed=old_seed)
+        assert set(new_graph.edges) != set(old_graph.edges)
+        # ...and pins the new behavior: the graph IS the networkx graph
+        # built from the derived seed.
+        expected = nx.random_regular_graph(4, 20, seed=derive_seed(0))
+        assert set(new_graph.edges) == set(expected.edges)
 
     def test_unknown_kind(self):
         with pytest.raises(ConfigurationError):

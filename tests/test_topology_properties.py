@@ -1,0 +1,94 @@
+"""Hypothesis property tests for the topology samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import CompleteTopology
+from repro.verify.strategies import graph_topologies
+
+pytestmark = pytest.mark.topology
+
+
+class TestSamplerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sampler=graph_topologies(),
+        h=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_samples_are_valid_agent_indices(self, sampler, h, seed):
+        generator = np.random.default_rng(seed)
+        sampler.begin_round(0, generator)
+        sampled = sampler.sample(None, h, generator)
+        assert sampled.shape == (sampler.n, h)
+        assert sampled.min() >= 0
+        assert sampled.max() < sampler.n
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sampler=graph_topologies(
+            kinds=("regular", "geometric", "grid", "cycle", "path")
+        ),
+        h=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_samples_respect_the_edge_set(self, sampler, h, seed):
+        # Static graph families: every sample is a graph neighbor.
+        sampled = sampler.sample(None, h, np.random.default_rng(seed))
+        indptr, indices = sampler._indptr, sampler._indices
+        for agent in range(sampler.n):
+            neighbors = set(indices[indptr[agent]:indptr[agent + 1]])
+            assert set(sampled[agent]) <= neighbors
+
+    @settings(max_examples=40, deadline=None)
+    @given(sampler=graph_topologies())
+    def test_degree_bounds(self, sampler):
+        degrees = sampler.degrees()
+        assert degrees.shape == (sampler.n,)
+        assert degrees.min() >= 1
+        assert degrees.max() <= sampler.n
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sampler=graph_topologies(
+            kinds=("regular", "geometric", "grid", "cycle", "path")
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_neighbor_counts_bounded_by_degree(self, sampler, seed):
+        values = np.random.default_rng(seed).integers(0, 2, size=sampler.n)
+        counts = sampler.neighbor_symbol_counts(values, 1)
+        complement = sampler.neighbor_symbol_counts(values, 0)
+        assert np.all(counts >= 0)
+        assert np.array_equal(counts + complement, sampler.degrees())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=256),
+        h=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_complete_sampler_is_bitwise_uniform(self, n, h, seed):
+        # The untopologized engines draw integers(0, n, size=(n, h));
+        # CompleteTopology must emit the exact same stream.
+        sampled = CompleteTopology().bind(n).sample(
+            None, h, np.random.default_rng(seed)
+        )
+        expected = np.random.default_rng(seed).integers(0, n, size=(n, h))
+        assert np.array_equal(sampled, expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sampler=graph_topologies(kinds=("churn",), max_n=48),
+        rounds=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_churn_evolution_keeps_invariants(self, sampler, rounds, seed):
+        generator = np.random.default_rng(seed)
+        for round_index in range(rounds):
+            sampler.begin_round(round_index, generator)
+            sampled = sampler.sample(None, 4, generator)
+            assert sampled.min() >= 0 and sampled.max() < sampler.n
+            assert sampler.degrees().min() >= 1
