@@ -83,11 +83,26 @@ def _topology_sources() -> List[str]:
     return globbed + ["src/repro/model/structured.py"]
 
 
+#: Source files whose behavior the adversary-search record measures —
+#: the whole search package plus the sequential-testing module its
+#: SPRT savings claim depends on, globbed so a new module under
+#: src/repro/adversary_search/ invalidates the record without an edit.
+def _adversary_sources() -> List[str]:
+    globbed = sorted(
+        str(path.relative_to(REPO_ROOT))
+        for path in (
+            REPO_ROOT / "src" / "repro" / "adversary_search"
+        ).glob("*.py")
+    )
+    return globbed + ["src/repro/analysis/sequential.py"]
+
+
 ENGINE_THROUGHPUT_JSON = REPO_ROOT / "BENCH_engine_throughput.json"
 COUNT_ENGINE_JSON = REPO_ROOT / "BENCH_count_engine.json"
 SERVICE_LOAD_JSON = REPO_ROOT / "BENCH_service_load.json"
 NET_ROUNDTRIP_JSON = REPO_ROOT / "BENCH_net_roundtrip.json"
 TOPOLOGY_PULL_JSON = REPO_ROOT / "BENCH_topology_pull.json"
+ADVERSARY_SEARCH_JSON = REPO_ROOT / "BENCH_adversary_search.json"
 
 #: Gate thresholds (see module docstring).
 MIN_BATCHED_SPEEDUP_N1024 = 1.0
@@ -107,6 +122,14 @@ MIN_TOPOLOGY_SAMPLES_PER_SEC = 1e5
 #: The EXT4 record must compare SF and hybrid on at least this many
 #: graph families for the docs' topology-frontier claim to be measured.
 MIN_TOPOLOGY_FAMILIES = 3
+#: SPRT-gated candidate screening must beat fixed-size testing by at
+#: least this factor on the benchmark's mixed benign/damaging pool
+#: (measured ~2-3x; 1.3 keeps the gate robust to unlucky trial draws).
+MIN_SPRT_TRIAL_SAVINGS = 1.3
+#: Floor on end-to-end adversary-search evaluations per second —
+#: lenient for slow CI, but catches a fallback off the vectorized
+#: engines (measured hundreds/s on a dev box).
+MIN_ADVERSARY_EVALS_PER_SEC = 1.0
 
 
 def engine_sources_digest() -> str:
@@ -157,6 +180,18 @@ def topology_sources_digest() -> str:
     return hasher.hexdigest()
 
 
+def adversary_sources_digest() -> str:
+    """Stable digest of the adversary-search sources (content)."""
+    hasher = hashlib.sha256()
+    for relative in _adversary_sources():
+        path = REPO_ROOT / relative
+        hasher.update(relative.encode())
+        hasher.update(b"\0")
+        hasher.update(path.read_bytes() if path.exists() else b"<missing>")
+        hasher.update(b"\0")
+    return hasher.hexdigest()
+
+
 #: Which benchmark module regenerates each committed record.
 _BENCH_FOR = {
     "BENCH_engine_throughput.json": "bench_engine_throughput.py",
@@ -164,6 +199,7 @@ _BENCH_FOR = {
     "BENCH_service_load.json": "bench_service_load.py",
     "BENCH_net_roundtrip.json": "bench_net_roundtrip.py",
     "BENCH_topology_pull.json": "bench_topology_pull.py",
+    "BENCH_adversary_search.json": "bench_adversary_search.py",
 }
 
 
@@ -401,6 +437,59 @@ def check(verbose: bool = True) -> List[str]:
             f"{len(comparison_families)} families: "
             f"{sorted(comparison_families)}"
         )
+
+    adversary = _load(ADVERSARY_SEARCH_JSON)
+    _check_staleness(
+        adversary, ADVERSARY_SEARCH_JSON.name, errors,
+        digest_fn=adversary_sources_digest,
+    )
+    savings_cases = [
+        case
+        for case in adversary.get("cases", [])
+        if case.get("case") == "sprt_trial_savings"
+    ]
+    if not savings_cases:
+        errors.append(
+            f"{ADVERSARY_SEARCH_JSON.name}: no sprt_trial_savings case — "
+            f"the SPRT-gated screening claim is unmeasured"
+        )
+    for case in savings_cases:
+        ratio = float(case.get("savings_ratio", 0.0))
+        if ratio < MIN_SPRT_TRIAL_SAVINGS:
+            errors.append(
+                f"adversary SPRT screening: {ratio:.2f}x < "
+                f"{MIN_SPRT_TRIAL_SAVINGS}x savings over fixed-size "
+                f"testing — sequential early stopping regressed"
+            )
+        elif verbose:
+            print(
+                f"  PASS  adversary SPRT screening: {ratio:.2f}x trial "
+                f"savings ({case.get('sequential_trials')} vs "
+                f"{case.get('fixed_trials')} fixed)"
+            )
+    throughput_cases = [
+        case
+        for case in adversary.get("cases", [])
+        if case.get("case") == "search_throughput"
+    ]
+    if not throughput_cases:
+        errors.append(
+            f"{ADVERSARY_SEARCH_JSON.name}: no search_throughput case — "
+            f"the end-to-end search cost is unmeasured"
+        )
+    for case in throughput_cases:
+        rate = float(case.get("evals_per_sec", 0.0))
+        if rate < MIN_ADVERSARY_EVALS_PER_SEC:
+            errors.append(
+                f"adversary search throughput: {rate:.2f} evaluations/s "
+                f"< {MIN_ADVERSARY_EVALS_PER_SEC} — the search fell off "
+                f"the vectorized engine path"
+            )
+        elif verbose:
+            print(
+                f"  PASS  adversary search: {rate:.1f} evaluations/s "
+                f"({case.get('trials')} trials in {case.get('seconds')}s)"
+            )
 
     return errors
 

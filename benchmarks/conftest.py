@@ -88,6 +88,19 @@ TOPOLOGY_PULL_JSON = pathlib.Path(__file__).parent.parent / (
 )
 
 
+#: Adversary-search cost records (SPRT trial savings, search
+#: throughput), filled in by ``bench_adversary_search.py`` via
+#: :func:`record_adversary_search` and flushed to
+#: ``BENCH_adversary_search.json`` at the repo root; gated by
+#: ``benchmarks/check_regression.py`` in CI (savings floor,
+#: evaluations/sec floor).
+ADVERSARY_SEARCH_RESULTS: List[Dict[str, object]] = []
+
+ADVERSARY_SEARCH_JSON = pathlib.Path(__file__).parent.parent / (
+    "BENCH_adversary_search.json"
+)
+
+
 def record_engine_throughput(case: Dict[str, object]) -> None:
     """Queue one throughput measurement for the end-of-session JSON."""
     ENGINE_THROUGHPUT_RESULTS.append(case)
@@ -116,6 +129,11 @@ def record_net_roundtrip(case: Dict[str, object]) -> None:
 def record_topology_pull(case: Dict[str, object]) -> None:
     """Queue one topology-sampler measurement for the session JSON."""
     TOPOLOGY_PULL_RESULTS.append(case)
+
+
+def record_adversary_search(case: Dict[str, object]) -> None:
+    """Queue one adversary-search measurement for the session JSON."""
+    ADVERSARY_SEARCH_RESULTS.append(case)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -183,6 +201,17 @@ def pytest_sessionfinish(session, exitstatus):
             "cases": TOPOLOGY_PULL_RESULTS,
         }
         TOPOLOGY_PULL_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    if ADVERSARY_SEARCH_RESULTS:
+        from .check_regression import adversary_sources_digest
+
+        payload = {
+            "benchmark": "adversary_search",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "sources_digest": adversary_sources_digest(),
+            "cases": ADVERSARY_SEARCH_RESULTS,
+        }
+        ADVERSARY_SEARCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def emit_table(

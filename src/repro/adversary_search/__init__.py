@@ -1,0 +1,60 @@
+"""Adaptive adversary search: certified worst-case robustness frontiers.
+
+EXT3 reports robustness from a *fixed* grid of fault configurations —
+an upper bound on what an adversary can do, since the worst cases in
+noisy rumor spreading are structured (timing- and placement-sensitive)
+rather than grid-aligned.  This package searches the adversary space
+instead, with every statistical decision certified:
+
+* :class:`FaultConfigSpace` / :class:`AdversaryConfig` — parameterized
+  adversaries (Byzantine strategies, crash schedules with recovery,
+  noise-misspecification deltas) over the composable ``repro.faults``
+  models.
+* :class:`CandidateEvaluator` — SPRT-gated evaluation (benign
+  candidates rejected in a handful of trials) with an O(1) count-engine
+  fast path for agent-blind-compatible candidates; all accept/reject
+  error mass ledgered in a shared
+  :class:`~repro.verify.statistical.FalsePositiveBudget`.
+* :func:`search_worst_case` / :func:`run_search` — successive halving
+  plus coordinate-descent refinement at pinned adversary budget,
+  checkpoint/resume through :class:`EvaluationLedger`.
+* :class:`CertifiedFrontier` / :class:`FrontierPoint` — the result
+  record: bias/budget → worst found failure probability with an exact
+  per-point Clopper–Pearson lower bound.
+
+See ``docs/resilience.md`` ("certified robustness frontiers"), the
+EXT5 experiment, CLI ``repro-spreading search`` and the ``adversary``
+verify leg.
+"""
+
+from .evaluate import (
+    CandidateEvaluation,
+    CandidateEvaluator,
+    failure_lower_bound,
+    failure_upper_bound,
+)
+from .frontier import CertifiedFrontier, FrontierPoint
+from .search import (
+    EvaluationLedger,
+    SearchSettings,
+    WorstCase,
+    run_search,
+    search_worst_case,
+)
+from .space import AdversaryConfig, FaultConfigSpace
+
+__all__ = [
+    "AdversaryConfig",
+    "FaultConfigSpace",
+    "CandidateEvaluation",
+    "CandidateEvaluator",
+    "failure_lower_bound",
+    "failure_upper_bound",
+    "CertifiedFrontier",
+    "FrontierPoint",
+    "EvaluationLedger",
+    "SearchSettings",
+    "WorstCase",
+    "run_search",
+    "search_worst_case",
+]

@@ -1,0 +1,102 @@
+"""Certified worst-case frontier records.
+
+A :class:`CertifiedFrontier` is a :class:`~repro.results.RunReport`: it
+serializes through ``to_dict``/``from_dict`` and the JSONL report
+helpers like every other result in the library, so frontier tables
+persist next to ordinary run records and survive round-trips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..results import RunReport, register_record
+
+__all__ = ["FrontierPoint", "CertifiedFrontier"]
+
+
+@register_record
+@dataclasses.dataclass
+class FrontierPoint:
+    """One certified cell of the frontier: (family, budget) → worst case.
+
+    ``certified_failure_lower_bound`` is the exact Clopper–Pearson
+    lower bound from the final fixed-size certification run: with
+    confidence ``confidence`` the found configuration fails at least
+    that often.  ``sprt_decision`` is the last sequential verdict on the
+    winning candidate during the search ("accept" = damaging at the
+    search's ``p1``); ``evaluations``/``sequential_trials`` record how
+    much searching the point cost.
+    """
+
+    family: str
+    bias: int
+    budget: float
+    config: Dict[str, object]
+    trials: int
+    failures: int
+    failure_rate: float
+    certified_failure_lower_bound: float
+    confidence: float
+    engine: str
+    sprt_decision: Optional[str]
+    evaluations: int
+    sequential_trials: int
+
+
+@dataclasses.dataclass
+class CertifiedFrontier(RunReport):
+    """Worst-case robustness frontier for one protocol configuration.
+
+    ``converged`` means the search completed and certified every
+    requested (family, budget) cell; ``rounds_executed`` counts the
+    total protocol trials spent (sequential + certification), the
+    search's natural cost unit.  ``error_spent``/``error_total`` report
+    the shared :class:`~repro.verify.statistical.FalsePositiveBudget`
+    ledger across every accept/reject decision and certification bound.
+    """
+
+    protocol: str
+    n: int
+    h: int
+    s0: int
+    s1: int
+    assumed_delta: float
+    seed: int
+    points: List[FrontierPoint]
+    error_spent: float
+    error_total: float
+    converged: bool
+    rounds_executed: int
+
+    def worst(self, family: Optional[str] = None) -> Optional[FrontierPoint]:
+        """The point with the highest certified failure lower bound."""
+        points = [
+            p for p in self.points if family is None or p.family == family
+        ]
+        if not points:
+            return None
+        return max(
+            points,
+            key=lambda p: (p.certified_failure_lower_bound, p.failure_rate),
+        )
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Frontier table rows (one dict per certified point)."""
+        return [
+            {
+                "family": p.family,
+                "bias": p.bias,
+                "budget": p.budget,
+                "config": p.config,
+                "failure_rate": round(p.failure_rate, 4),
+                "certified_lower_bound": round(
+                    p.certified_failure_lower_bound, 4
+                ),
+                "confidence": p.confidence,
+                "engine": p.engine,
+                "trials": p.trials,
+            }
+            for p in self.points
+        ]

@@ -1,0 +1,447 @@
+"""Adaptive worst-case search drivers with certified accounting.
+
+``search_worst_case`` runs one (family, budget) cell: successive
+halving over sampled candidates — every evaluation an SPRT, so benign
+candidates are rejected in a handful of trials — followed by a
+coordinate-descent/local-mutation refinement at pinned budget, and a
+final fixed-size certification run.  ``run_search`` sweeps cells into a
+:class:`~repro.adversary_search.frontier.CertifiedFrontier`.
+
+Reproducibility contract: every random choice derives from the master
+seed through ``SeedSequence.spawn`` (sampling, mutation and per-
+evaluation trial streams each get their own spawn child), and every
+evaluation is ledgered in an :class:`EvaluationLedger` — the same
+versioned append-only JSONL scheme as the trial checkpoints in
+:mod:`repro.analysis.resilience`, scoped by ``(version, seed, scope)``
+— so the same seed yields the same frontier and a resumed search
+replays cached evaluations bit-for-bit without changing any certified
+value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..model.config import PopulationConfig
+from ..verify.statistical import FalsePositiveBudget
+from .evaluate import CandidateEvaluator, failure_lower_bound
+from .frontier import CertifiedFrontier, FrontierPoint
+from .space import AdversaryConfig, FaultConfigSpace
+
+__all__ = [
+    "EvaluationLedger",
+    "SearchSettings",
+    "WorstCase",
+    "run_search",
+    "search_worst_case",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+class EvaluationLedger:
+    """Append-only JSONL cache of candidate evaluations.
+
+    Mirrors the resilience checkpoint conventions
+    (:class:`repro.analysis.resilience._Checkpoint`): versioned records
+    scoped by ``(v, seed, scope)``, appended with an immediate flush so
+    a killed search loses at most the evaluation in flight.  Records
+    from other seeds/scopes in the same file are ignored on load, so
+    one ledger file can back a whole frontier sweep.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: PathLike, seed: int, scope: str) -> None:
+        if seed is None:
+            raise ConfigurationError(
+                "evaluation ledgers need an integer master seed; "
+                "seed=None runs are not replayable"
+            )
+        self.path = pathlib.Path(path)
+        self.seed = int(seed)
+        self.scope = str(scope)
+        self._cache: Dict[str, Dict[str, object]] = {}
+        self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write from a killed run
+            if (
+                record.get("v") != self.VERSION
+                or record.get("seed") != self.seed
+                or record.get("scope") != self.scope
+            ):
+                continue
+            key = record.get("key")
+            if key is not None:
+                self._cache[key] = {
+                    "engine": record["engine"],
+                    "decision": record["decision"],
+                    "trials": record["trials"],
+                    "failures": record["failures"],
+                }
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        return self._cache.get(key)
+
+    def record(self, key: str, payload: Dict[str, object]) -> None:
+        self._cache[key] = dict(payload)
+        record = {
+            "v": self.VERSION,
+            "seed": self.seed,
+            "scope": self.scope,
+            "key": key,
+        }
+        record.update(payload)
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "EvaluationLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclasses.dataclass
+class SearchSettings:
+    """Knobs of one worst-case search cell.
+
+    The SPRT brackets test "failure probability <= p0" (benign, reject)
+    against ">= p1" (damaging, accept) at errors ``alpha``/``beta`` per
+    evaluation; rung ``r`` of successive halving caps each evaluation
+    at ``base_trials * 2**r`` trials.  Certification runs
+    ``cert_trials`` fixed fresh trials and claims the exact lower bound
+    at one-sided error ``cert_alpha``.
+    """
+
+    num_candidates: int = 8
+    rungs: int = 3
+    base_trials: int = 12
+    p0: float = 0.05
+    p1: float = 0.35
+    alpha: float = 0.02
+    beta: float = 0.02
+    refine_steps: int = 6
+    cert_trials: int = 80
+    cert_alpha: float = 1e-3
+    horizon_epochs: int = 10
+    ledger_total: float = 0.9  # advisory union-bound budget per search
+
+    def __post_init__(self) -> None:
+        if self.num_candidates < 1:
+            raise ConfigurationError("need at least one candidate")
+        if not 0.0 < self.p0 < self.p1 < 1.0:
+            raise ConfigurationError(
+                f"need 0 < p0 < p1 < 1, got p0={self.p0}, p1={self.p1}"
+            )
+
+
+@dataclasses.dataclass
+class WorstCase:
+    """Result of one (family, budget) search cell."""
+
+    candidate: AdversaryConfig
+    engine: str
+    sprt_decision: Optional[str]
+    pooled_trials: int
+    pooled_failures: int
+    cert_trials: int
+    cert_failures: int
+    certified_lower_bound: float
+    confidence: float
+    evaluations: int
+    sequential_trials: int
+
+    @property
+    def cert_failure_rate(self) -> float:
+        return (
+            self.cert_failures / self.cert_trials if self.cert_trials else 0.0
+        )
+
+
+def _eval_seed(root: np.random.SeedSequence) -> int:
+    """Next per-evaluation trial seed (stateful spawn, replay-stable)."""
+    (child,) = root.spawn(1)
+    return int(child.generate_state(1, np.uint64)[0])
+
+
+def search_worst_case(
+    space: FaultConfigSpace,
+    evaluator: CandidateEvaluator,
+    *,
+    family: str,
+    budget_value: float,
+    seed: int,
+    settings: Optional[SearchSettings] = None,
+    ledger: Optional[EvaluationLedger] = None,
+    fp_budget: Optional[FalsePositiveBudget] = None,
+    extra_candidates: Sequence[AdversaryConfig] = (),
+) -> WorstCase:
+    """Find the failure-maximizing configuration at one pinned budget.
+
+    ``extra_candidates`` seeds the pool with explicit configurations
+    (e.g. the EXT3 grid point at this budget, so the search result
+    dominates the grid by construction, or a planted known-bad
+    configuration in the verify leg).  The pool always includes the
+    space's deterministic :meth:`FaultConfigSpace.boundary_candidates`
+    probes — worst cases of scheduled fault models concentrate at
+    coordinate extremes, and probing them outright keeps the search's
+    result a deterministic function of the seed even when random
+    sampling misses a narrow failure region.
+    """
+    settings = settings or SearchSettings()
+    sample_seq, mutate_seq, eval_root = np.random.SeedSequence(seed).spawn(3)
+    rng_sample = np.random.default_rng(sample_seq)
+    rng_mutate = np.random.default_rng(mutate_seq)
+
+    candidates: List[AdversaryConfig] = []
+    seen = set()
+    pool = (
+        list(extra_candidates)
+        + list(space.boundary_candidates(family, budget_value))
+        + [
+            space.sample(rng_sample, family=family, budget=budget_value)
+            for _ in range(settings.num_candidates)
+        ]
+    )
+    for candidate in pool:
+        if candidate.family != family:
+            raise ConfigurationError(
+                f"candidate family {candidate.family!r} does not match "
+                f"the search cell family {family!r}"
+            )
+        candidate_budget = candidate.budget(space.assumed_delta)
+        if abs(candidate_budget - budget_value) > 1e-6:
+            raise ConfigurationError(
+                f"candidate budget {candidate_budget} does not match the "
+                f"search cell's pinned budget {budget_value} — a frontier "
+                f"point must only report adversaries at its own budget"
+            )
+        if candidate.key() not in seen:
+            seen.add(candidate.key())
+            candidates.append(candidate)
+
+    stats: Dict[str, List[int]] = {}  # key -> [trials, failures]
+    engines: Dict[str, str] = {}
+    last_decision: Dict[str, Optional[str]] = {}
+    evaluations = 0
+    sequential_trials = 0
+
+    def pooled_rate(candidate: AdversaryConfig) -> float:
+        trials, failures = stats.get(candidate.key(), (0, 0))
+        return failures / trials if trials else 0.0
+
+    def run_stage(candidate: AdversaryConfig, stage: str, cap: int):
+        nonlocal evaluations, sequential_trials
+        evaluation = evaluator.evaluate(
+            candidate,
+            stage=stage,
+            seed=_eval_seed(eval_root),
+            p0=settings.p0,
+            p1=settings.p1,
+            alpha=settings.alpha,
+            beta=settings.beta,
+            max_trials=cap,
+            budget=fp_budget,
+            ledger=ledger,
+        )
+        entry = stats.setdefault(candidate.key(), [0, 0])
+        entry[0] += evaluation.trials
+        entry[1] += evaluation.failures
+        engines[candidate.key()] = evaluation.engine
+        last_decision[candidate.key()] = evaluation.decision
+        evaluations += 1
+        sequential_trials += evaluation.trials
+        return evaluation
+
+    # -- successive halving -------------------------------------------
+    survivors = candidates
+    for rung in range(settings.rungs):
+        cap = settings.base_trials * (2 ** rung)
+        alive: List[AdversaryConfig] = []
+        for candidate in survivors:
+            evaluation = run_stage(candidate, f"rung{rung}", cap)
+            if evaluation.decision != "reject":
+                alive.append(candidate)
+        if not alive:
+            # Everything is provably benign at this budget; keep the
+            # empirically worst so the cell still certifies a point.
+            alive = [
+                max(survivors, key=lambda c: (pooled_rate(c), c.key()))
+            ]
+        alive.sort(key=lambda c: (-pooled_rate(c), c.key()))
+        survivors = alive[: max(1, math.ceil(len(alive) / 2))]
+        if len(survivors) == 1:
+            break
+
+    best = survivors[0]
+
+    # -- local-mutation refinement at pinned budget -------------------
+    refine_cap = settings.base_trials * (2 ** max(0, settings.rungs - 1))
+    for step in range(settings.refine_steps):
+        challenger = space.mutate(best, rng_mutate, budget=budget_value)
+        if challenger.key() == best.key():
+            continue
+        if challenger.key() not in stats:
+            run_stage(challenger, f"refine{step}", refine_cap)
+        if (pooled_rate(challenger), challenger.key()) > (
+            pooled_rate(best), best.key()
+        ):
+            best = challenger
+
+    # -- exact certification ------------------------------------------
+    cert = evaluator.certify(
+        best,
+        stage="certify",
+        seed=_eval_seed(eval_root),
+        trials=settings.cert_trials,
+        alpha=settings.cert_alpha,
+        budget=fp_budget,
+        ledger=ledger,
+    )
+    lower = failure_lower_bound(
+        cert.failures, cert.trials, settings.cert_alpha
+    )
+    pooled = stats.get(best.key(), [0, 0])
+    return WorstCase(
+        candidate=best,
+        engine=cert.engine,
+        sprt_decision=last_decision.get(best.key()),
+        pooled_trials=pooled[0],
+        pooled_failures=pooled[1],
+        cert_trials=cert.trials,
+        cert_failures=cert.failures,
+        certified_lower_bound=lower,
+        confidence=1.0 - settings.cert_alpha,
+        evaluations=evaluations,
+        sequential_trials=sequential_trials,
+    )
+
+
+def run_search(
+    protocol: str,
+    config: PopulationConfig,
+    *,
+    assumed_delta: float,
+    budgets: Dict[str, Sequence[float]],
+    seed: int,
+    settings: Optional[SearchSettings] = None,
+    checkpoint: Optional[PathLike] = None,
+    fp_budget: Optional[FalsePositiveBudget] = None,
+    space: Optional[FaultConfigSpace] = None,
+    extra_candidates: Optional[
+        Dict[str, Sequence[AdversaryConfig]]
+    ] = None,
+) -> CertifiedFrontier:
+    """Sweep (family, budget) cells into a :class:`CertifiedFrontier`.
+
+    ``budgets`` maps each scenario family to its adversary-budget grid
+    (e.g. ``{"byzantine": [0.05, 0.1]}``); cells are searched in
+    deterministic (family, budget) enumeration order with per-cell
+    spawn-derived seeds, so adding a cell never shifts another cell's
+    streams.  ``checkpoint`` names the JSONL evaluation ledger for
+    resume.
+    """
+    settings = settings or SearchSettings()
+    if space is None:
+        space = FaultConfigSpace(
+            protocol=protocol,
+            assumed_delta=assumed_delta,
+            families=tuple(budgets),
+        )
+    if fp_budget is None:
+        fp_budget = FalsePositiveBudget(total=settings.ledger_total)
+    evaluator = CandidateEvaluator(
+        space, config, horizon_epochs=settings.horizon_epochs
+    )
+    cells = [
+        (family, float(budget))
+        for family in budgets
+        for budget in budgets[family]
+    ]
+    cell_seeds = np.random.SeedSequence(seed).spawn(len(cells))
+    ledger = None
+    if checkpoint is not None:
+        scope = f"{protocol}/n={config.n}/s1={config.s1}"
+        ledger = EvaluationLedger(checkpoint, seed, scope)
+    bias = config.s1 - config.s0
+    points: List[FrontierPoint] = []
+    try:
+        for (family, budget_value), cell_seq in zip(cells, cell_seeds):
+            extras = tuple(
+                c
+                for c in (
+                    extra_candidates.get(family, ())
+                    if extra_candidates
+                    else ()
+                )
+                if abs(c.budget(space.assumed_delta) - budget_value) <= 1e-6
+            )
+            worst = search_worst_case(
+                space,
+                evaluator,
+                family=family,
+                budget_value=budget_value,
+                seed=int(cell_seq.generate_state(1, np.uint64)[0]),
+                settings=settings,
+                ledger=ledger,
+                fp_budget=fp_budget,
+                extra_candidates=extras,
+            )
+            points.append(
+                FrontierPoint(
+                    family=family,
+                    bias=bias,
+                    budget=round(budget_value, 6),
+                    config=worst.candidate.describe(),
+                    trials=worst.cert_trials,
+                    failures=worst.cert_failures,
+                    failure_rate=worst.cert_failure_rate,
+                    certified_failure_lower_bound=worst.certified_lower_bound,
+                    confidence=worst.confidence,
+                    engine=worst.engine,
+                    sprt_decision=worst.sprt_decision,
+                    evaluations=worst.evaluations,
+                    sequential_trials=worst.sequential_trials,
+                )
+            )
+    finally:
+        if ledger is not None:
+            ledger.close()
+    total_trials = sum(p.sequential_trials + p.trials for p in points)
+    return CertifiedFrontier(
+        protocol=protocol,
+        n=config.n,
+        h=config.h,
+        s0=config.s0,
+        s1=config.s1,
+        assumed_delta=float(assumed_delta),
+        seed=int(seed),
+        points=points,
+        error_spent=fp_budget.spent,
+        error_total=fp_budget.total,
+        converged=len(points) == len(cells),
+        rounds_executed=total_trials,
+    )

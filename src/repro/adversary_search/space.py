@@ -1,0 +1,399 @@
+"""Parameterized adversary configurations and their search space.
+
+EXT3 probes robustness on a *fixed* grid of fault configurations; the
+worst cases in noisy rumor spreading are structured (timing- and
+placement-sensitive), not grid-aligned.  :class:`FaultConfigSpace`
+describes the parameterized adversaries the search drivers explore —
+Byzantine display strategies, scheduled crash/recovery windows,
+:class:`~repro.faults.NoiseMisspecification` deltas — and builds
+concrete :mod:`repro.faults` models from sampled points.
+
+The *adversary budget* of a configuration is the resource-normalized
+knob the frontier is indexed by, so searched points stay comparable to
+the EXT3 grid: the corrupted fraction for Byzantine and crash families,
+and the total-variation-style deviation ``2 * |true - assumed|`` for
+misspecification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..faults import (
+    ByzantineDisplayFault,
+    CrashFault,
+    FaultModel,
+    NoiseMisspecification,
+)
+
+__all__ = ["AdversaryConfig", "FaultConfigSpace"]
+
+FAMILIES = ("byzantine", "misspec", "crash")
+
+
+@dataclasses.dataclass(frozen=True)
+class AdversaryConfig:
+    """One point of the adversary space (immutable, hashable).
+
+    Only the coordinates of the point's ``family`` are meaningful; the
+    rest stay ``None``.  ``crash_start``/``crash_length`` are measured
+    in protocol epochs so the same configuration transfers across
+    schedule sizes.
+    """
+
+    family: str
+    fraction: Optional[float] = None  # byzantine / crash budget
+    mode: str = "fixed"  # byzantine: fixed | anti-majority; crash: symbol
+    symbol: Optional[int] = None  # fixed byzantine / crash display
+    true_delta: Optional[float] = None  # misspec true noise level
+    crash_start: Optional[float] = None  # epochs before the crash
+    crash_length: Optional[float] = None  # epochs crashed
+
+    def budget(self, assumed_delta: float) -> float:
+        """Resource-normalized adversary budget of this configuration."""
+        if self.family == "misspec":
+            return round(2.0 * abs(self.true_delta - assumed_delta), 6)
+        return round(float(self.fraction), 6)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly description (``None`` coordinates dropped)."""
+        out: Dict[str, object] = {"family": self.family, "mode": self.mode}
+        for name in ("fraction", "symbol", "true_delta", "crash_start",
+                     "crash_length"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    def key(self) -> str:
+        """Stable digest identifying this configuration in ledgers."""
+        payload = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class FaultConfigSpace:
+    """The set of adversaries a search explores, per protocol.
+
+    Parameters
+    ----------
+    protocol:
+        ``"sf"`` (binary alphabet) or ``"ssf"`` (4-letter alphabet; the
+        only protocol with scheduled crash/recovery, matching the fast
+        engines' capabilities).
+    assumed_delta:
+        The uniform noise level the protocol schedule is sized from;
+        misspecification budgets are deviations from it.
+    families:
+        Scenario families to draw from (default: every family the
+        protocol supports).
+    max_fraction:
+        Budget ceiling for the fraction-based families.
+    max_deviation:
+        Budget ceiling for misspecification (kept inside the channel's
+        valid uniform range automatically).
+    crash_window:
+        ``(max_start, min_length, max_length)`` in epochs for crash
+        schedules.
+    """
+
+    def __init__(
+        self,
+        protocol: str = "sf",
+        assumed_delta: float = 0.2,
+        families: Optional[Sequence[str]] = None,
+        max_fraction: float = 0.2,
+        max_deviation: float = 0.25,
+        crash_window: Tuple[float, float, float] = (6.0, 0.5, 4.0),
+    ) -> None:
+        if protocol not in ("sf", "ssf"):
+            raise ConfigurationError(
+                f"protocol must be 'sf' or 'ssf', got {protocol!r}"
+            )
+        supported = (
+            ("byzantine", "misspec") if protocol == "sf" else FAMILIES
+        )
+        families = tuple(families) if families is not None else supported
+        for family in families:
+            if family not in supported:
+                raise ConfigurationError(
+                    f"family {family!r} not supported for protocol "
+                    f"{protocol!r} (supported: {supported})"
+                )
+        if not families:
+            raise ConfigurationError("need at least one scenario family")
+        if not 0.0 < max_fraction <= 0.5:
+            raise ConfigurationError(
+                f"max_fraction must lie in (0, 0.5], got {max_fraction}"
+            )
+        self.protocol = protocol
+        self.assumed_delta = float(assumed_delta)
+        self.families = families
+        self.max_fraction = float(max_fraction)
+        # The uniform channel caps delta at 1/2 (SF) or 1/4 (SSF);
+        # keep a hair inside the open boundary.
+        delta_cap = 0.49 if protocol == "sf" else 0.2499
+        self.delta_lo = 0.0
+        self.delta_hi = min(
+            delta_cap, self.assumed_delta + max_deviation / 2.0
+        )
+        self.max_deviation = float(max_deviation)
+        self.crash_window = tuple(float(x) for x in crash_window)
+        self.alphabet_size = 2 if protocol == "sf" else 4
+        self.byzantine_modes = ("fixed", "anti-majority")
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        rng: np.random.Generator,
+        family: Optional[str] = None,
+        budget: Optional[float] = None,
+    ) -> AdversaryConfig:
+        """Draw one configuration; ``budget`` pins the budget coordinate."""
+        if family is None:
+            family = self.families[int(rng.integers(len(self.families)))]
+        elif family not in self.families:
+            raise ConfigurationError(
+                f"family {family!r} not in this space ({self.families})"
+            )
+        if family == "byzantine":
+            mode = self.byzantine_modes[
+                int(rng.integers(len(self.byzantine_modes)))
+            ]
+            symbol = (
+                int(rng.integers(self.alphabet_size))
+                if mode == "fixed"
+                else None
+            )
+            return AdversaryConfig(
+                family="byzantine",
+                fraction=self._fraction(rng, budget),
+                mode=mode,
+                symbol=symbol,
+            )
+        if family == "misspec":
+            return AdversaryConfig(
+                family="misspec",
+                mode="uniform",
+                true_delta=self._true_delta(rng, budget),
+            )
+        max_start, min_len, max_len = self.crash_window
+        return AdversaryConfig(
+            family="crash",
+            fraction=self._fraction(rng, budget),
+            mode="symbol",
+            symbol=int(rng.integers(self.alphabet_size)),
+            crash_start=round(float(rng.uniform(0.0, max_start)), 3),
+            crash_length=round(float(rng.uniform(min_len, max_len)), 3),
+        )
+
+    def mutate(
+        self,
+        config: AdversaryConfig,
+        rng: np.random.Generator,
+        budget: Optional[float] = None,
+    ) -> AdversaryConfig:
+        """Perturb one free coordinate (the coordinate-descent move).
+
+        When ``budget`` is pinned the budget coordinate is never
+        touched, so refinement explores *strategy* at equal adversary
+        resources.
+        """
+        fields = dataclasses.asdict(config)
+        if config.family == "byzantine":
+            moves = ["mode"]
+            if config.mode == "fixed":
+                moves.append("symbol")
+            if budget is None:
+                moves.append("fraction")
+            move = moves[int(rng.integers(len(moves)))]
+            if move == "mode":
+                flipped = (
+                    "anti-majority" if config.mode == "fixed" else "fixed"
+                )
+                fields["mode"] = flipped
+                fields["symbol"] = (
+                    int(rng.integers(self.alphabet_size))
+                    if flipped == "fixed"
+                    else None
+                )
+            elif move == "symbol":
+                fields["symbol"] = int(rng.integers(self.alphabet_size))
+            else:
+                fields["fraction"] = self._jitter_fraction(
+                    config.fraction, rng
+                )
+        elif config.family == "misspec":
+            if budget is None:
+                lo, hi = self.delta_lo, self.delta_hi
+                step = 0.05 * (hi - lo)
+                delta = config.true_delta + float(rng.normal(0.0, step))
+                fields["true_delta"] = round(min(hi, max(lo, delta)), 6)
+            else:
+                # At pinned deviation the only free move is the sign.
+                mirrored = 2.0 * self.assumed_delta - config.true_delta
+                if self.delta_lo <= mirrored <= self.delta_hi:
+                    fields["true_delta"] = round(mirrored, 6)
+        else:  # crash
+            moves = ["symbol", "crash_start", "crash_length"]
+            if budget is None:
+                moves.append("fraction")
+            move = moves[int(rng.integers(len(moves)))]
+            max_start, min_len, max_len = self.crash_window
+            if move == "symbol":
+                fields["symbol"] = int(rng.integers(self.alphabet_size))
+            elif move == "crash_start":
+                start = config.crash_start + float(rng.normal(0.0, 0.5))
+                fields["crash_start"] = round(
+                    min(max_start, max(0.0, start)), 3
+                )
+            elif move == "crash_length":
+                length = config.crash_length + float(rng.normal(0.0, 0.5))
+                fields["crash_length"] = round(
+                    min(max_len, max(min_len, length)), 3
+                )
+            else:
+                fields["fraction"] = self._jitter_fraction(
+                    config.fraction, rng
+                )
+        return AdversaryConfig(**fields)
+
+    # ------------------------------------------------------------------
+    def boundary_candidates(
+        self, family: str, budget: float
+    ) -> Tuple[AdversaryConfig, ...]:
+        """Deterministic boundary probes for one (family, budget) cell.
+
+        Boundary value analysis for adversaries: discrete strategy
+        coordinates are enumerated exhaustively and continuous timing
+        coordinates are probed at their extremes (the earliest and the
+        latest schedulable window), because worst cases in scheduled
+        fault models concentrate at range boundaries — a late crash
+        window that is never recovered from, a display symbol that is
+        maximally misleading.  The probes are a deterministic function
+        of the space, so searches stay reproducible and the benign ones
+        cost only a handful of SPRT trials each.
+        """
+        if family not in self.families:
+            raise ConfigurationError(
+                f"family {family!r} not in this space ({self.families})"
+            )
+        if budget is None:
+            raise ConfigurationError("boundary probes need a pinned budget")
+        if family == "byzantine":
+            fraction = self._fraction(None, budget)
+            fixed = tuple(
+                AdversaryConfig(
+                    family="byzantine",
+                    fraction=fraction,
+                    mode="fixed",
+                    symbol=symbol,
+                )
+                for symbol in range(self.alphabet_size)
+            )
+            return fixed + (
+                AdversaryConfig(
+                    family="byzantine", fraction=fraction, mode="anti-majority"
+                ),
+            )
+        if family == "misspec":
+            half = budget / 2.0
+            return tuple(
+                AdversaryConfig(
+                    family="misspec", mode="uniform", true_delta=round(d, 6)
+                )
+                for d in (
+                    self.assumed_delta + half,
+                    self.assumed_delta - half,
+                )
+                if self.delta_lo <= d <= self.delta_hi
+            )
+        fraction = self._fraction(None, budget)
+        max_start, _, max_len = self.crash_window
+        return tuple(
+            AdversaryConfig(
+                family="crash",
+                fraction=fraction,
+                mode="symbol",
+                symbol=symbol,
+                crash_start=round(start, 3),
+                crash_length=round(max_len, 3),
+            )
+            for start in (0.0, max_start)
+            for symbol in range(self.alphabet_size)
+        )
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        config: AdversaryConfig,
+        epoch_rounds: Optional[int] = None,
+    ) -> FaultModel:
+        """Materialize a :mod:`repro.faults` model for ``config``.
+
+        Crash schedules need ``epoch_rounds`` (from the protocol's
+        schedule) to convert epoch-denominated timing into rounds.
+        """
+        if config.family == "byzantine":
+            return ByzantineDisplayFault(
+                fraction=config.fraction,
+                mode=config.mode,
+                symbol=config.symbol if config.mode == "fixed" else None,
+            )
+        if config.family == "misspec":
+            return NoiseMisspecification.uniform(
+                config.true_delta, size=self.alphabet_size
+            )
+        if epoch_rounds is None:
+            raise ConfigurationError(
+                "crash configurations need epoch_rounds to place the "
+                "crash window (pass the schedule's epoch_rounds)"
+            )
+        crash_round = max(0, int(round(config.crash_start * epoch_rounds)))
+        length = max(1, int(round(config.crash_length * epoch_rounds)))
+        return CrashFault(
+            fraction=config.fraction,
+            mode="symbol",
+            symbol=config.symbol,
+            crash_round=crash_round,
+            recovery_round=crash_round + length,
+        )
+
+    # ------------------------------------------------------------------
+    def _fraction(self, rng, budget: Optional[float]) -> float:
+        if budget is not None:
+            if not 0.0 < budget <= self.max_fraction:
+                raise ConfigurationError(
+                    f"pinned fraction budget {budget} outside "
+                    f"(0, {self.max_fraction}]"
+                )
+            return round(float(budget), 6)
+        return round(float(rng.uniform(0.005, self.max_fraction)), 6)
+
+    def _jitter_fraction(self, fraction: float, rng) -> float:
+        jittered = fraction * float(np.exp(rng.normal(0.0, 0.25)))
+        return round(min(self.max_fraction, max(0.005, jittered)), 6)
+
+    def _true_delta(self, rng, budget: Optional[float]) -> float:
+        if budget is not None:
+            half = budget / 2.0
+            options = [
+                d
+                for d in (
+                    self.assumed_delta + half,
+                    self.assumed_delta - half,
+                )
+                if self.delta_lo <= d <= self.delta_hi
+            ]
+            if not options:
+                raise ConfigurationError(
+                    f"pinned deviation budget {budget} leaves the valid "
+                    f"uniform range [{self.delta_lo}, {self.delta_hi}]"
+                )
+            return round(options[int(rng.integers(len(options)))], 6)
+        return round(float(rng.uniform(self.delta_lo, self.delta_hi)), 6)

@@ -12,6 +12,22 @@ with error probabilities ``alpha`` (accepting H1 under H0) and ``beta``
 equivalent fixed-size test.  ``sequential_success_test`` runs the
 boundary bookkeeping; ``adaptive_trials`` drives a trial callable until
 a decision (or a trial cap).
+
+Error accounting
+----------------
+Sequential decisions consume false-positive mass exactly like the exact
+binomial assertions in :mod:`repro.verify.statistical`, so they share
+the same union-bound ledger: :meth:`SPRT.spend` charges a completed test
+to a :class:`~repro.verify.statistical.FalsePositiveBudget`, and
+``adaptive_trials(..., budget=...)`` does so automatically.
+
+Cap-hit semantics: a run that exhausts ``max_trials`` without crossing a
+boundary (``decision is None``) certifies *nothing* by itself — but any
+rule the caller applies to resolve it (e.g. the sign of the terminal log
+likelihood ratio) errs with probability at most ``alpha + beta``, the
+total mass Wald's boundaries allocate.  ``spend`` therefore charges
+``alpha + beta`` once per run regardless of outcome — decided or capped
+— so truncated runs can no longer escape the ledger.
 """
 
 from __future__ import annotations
@@ -61,11 +77,13 @@ class SPRT:
         if not (0.0 < alpha < 1.0 and 0.0 < beta < 1.0):
             raise ValueError("alpha and beta must lie in (0, 1)")
         self.p0, self.p1 = p0, p1
+        self.alpha, self.beta = alpha, beta
         self.upper = math.log((1.0 - beta) / alpha)
         self.lower = math.log(beta / (1.0 - alpha))
         self._step_success = math.log(p1 / p0)
         self._step_failure = math.log((1.0 - p1) / (1.0 - p0))
         self.log_ratio = 0.0
+        self._spent = False
 
     def update(self, success: bool) -> Optional[str]:
         """Feed one Bernoulli observation; return the decision if reached."""
@@ -76,9 +94,29 @@ class SPRT:
             return "reject"
         return None
 
+    def spend(self, budget=None, label: str = "sprt") -> float:
+        """Charge this test's error mass to a shared union-bound ledger.
+
+        Charges ``alpha + beta`` — the total error mass the boundaries
+        allocate, which also upper-bounds the error of any decision rule
+        applied to a truncated (cap-hit) run — to ``budget`` (default:
+        :data:`repro.verify.statistical.GLOBAL_BUDGET`).  Idempotent per
+        run: repeated calls before :meth:`reset` charge nothing, so a
+        driver may spend defensively.  Returns the mass charged.
+        """
+        if self._spent:
+            return 0.0
+        from ..verify.statistical import _charge
+
+        cost = self.alpha + self.beta
+        _charge(budget, cost, label)
+        self._spent = True
+        return cost
+
     def reset(self) -> None:
-        """Restart the test."""
+        """Restart the test (a fresh run may be spent again)."""
         self.log_ratio = 0.0
+        self._spent = False
 
 
 def adaptive_trials(
@@ -89,11 +127,17 @@ def adaptive_trials(
     beta: float = 0.01,
     max_trials: int = 1000,
     seed: Optional[int] = None,
+    budget=None,
+    label: str = "adaptive_trials",
 ) -> SPRTDecision:
     """Run trials until the SPRT decides (or ``max_trials`` is hit).
 
     ``run_one`` receives a fresh independent generator per trial and
-    returns whether the trial succeeded.
+    returns whether the trial succeeded.  When ``budget`` is given, the
+    run's error mass (``alpha + beta``, see :meth:`SPRT.spend`) is
+    charged to it whether or not a boundary was reached — cap-hit runs
+    are charged too, because callers routinely fall back on the
+    empirical rate of a truncated run.
     """
     if max_trials < 1:
         raise ValueError(f"max_trials must be positive, got {max_trials}")
@@ -102,12 +146,16 @@ def adaptive_trials(
     trials = 0
     for generator in generator_stream(seed):
         if trials >= max_trials:
+            if budget is not None:
+                test.spend(budget, label)
             return SPRTDecision(decision=None, trials=trials, successes=successes)
         outcome = bool(run_one(generator))
         trials += 1
         successes += outcome
         decision = test.update(outcome)
         if decision is not None:
+            if budget is not None:
+                test.spend(budget, label)
             return SPRTDecision(
                 decision=decision, trials=trials, successes=successes
             )

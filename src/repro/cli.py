@@ -12,7 +12,9 @@ Subcommands
 ``transport`` run the crazy-ant cooperative-transport scenario and render
               the load trajectory
 ``experiment`` run one (or all) of the paper-reproduction experiments
-              (FIG1, E1..E10, ABL1..3, EXT1..4) at quick or full scale
+              (FIG1, E1..E10, ABL1..3, EXT1..5) at quick or full scale
+``search``    adaptive adversary search: certify a worst-case robustness
+              frontier over fault configurations (docs/resilience.md)
 ``serve``     start the HTTP run server: registry-routed runs, sharded
               trials, and a content-addressed result cache
               (see docs/serving.md)
@@ -557,6 +559,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .adversary_search import FaultConfigSpace, SearchSettings, run_search
+    from .analysis import write_json
+
+    config = _config(args)
+    seed = args.seed if args.seed is not None else 0
+    default_budget = {"byzantine": 0.1, "misspec": 0.24, "crash": 0.25}
+    if args.budget:
+        budgets = {}
+        for spec in args.budget:
+            family, _, values = spec.partition("=")
+            if not values:
+                raise ConfigurationError(
+                    f"--budget wants FAMILY=V1[,V2...], got {spec!r}"
+                )
+            budgets[family] = [float(v) for v in values.split(",")]
+    else:
+        families = (
+            ("byzantine", "misspec")
+            if args.protocol == "sf"
+            else ("byzantine", "misspec", "crash")
+        )
+        budgets = {family: [default_budget[family]] for family in families}
+    space = FaultConfigSpace(
+        protocol=args.protocol,
+        assumed_delta=args.delta,
+        families=tuple(budgets),
+        max_fraction=args.max_fraction,
+    )
+    settings = SearchSettings(
+        num_candidates=args.candidates,
+        rungs=args.rungs,
+        base_trials=args.base_trials,
+        refine_steps=args.refine_steps,
+        cert_trials=args.cert_trials,
+        cert_alpha=args.cert_alpha,
+    )
+    frontier = run_search(
+        args.protocol,
+        config,
+        assumed_delta=args.delta,
+        budgets=budgets,
+        seed=seed,
+        settings=settings,
+        checkpoint=args.checkpoint,
+        space=space,
+    )
+    rows = [
+        {**row, "config": _json.dumps(row["config"], sort_keys=True)}
+        for row in frontier.rows()
+    ]
+    print(format_table(rows))
+    worst = frontier.worst()
+    if worst is not None:
+        print(
+            f"\nworst case: {worst.config} — failure rate "
+            f"{worst.failure_rate:.4f}, certified >= "
+            f"{worst.certified_failure_lower_bound:.4f} at confidence "
+            f"{worst.confidence}"
+        )
+    print(
+        f"error ledger: spent {frontier.error_spent:.4f} of "
+        f"{frontier.error_total} across {frontier.rounds_executed} trials"
+    )
+    if args.json:
+        path = write_json(frontier.to_dict(), args.json)
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .verify import run_verify
 
@@ -739,6 +813,63 @@ def build_parser() -> argparse.ArgumentParser:
         "trials over a process pool via the request's 'workers' field)",
     )
     serve_cmd.set_defaults(func=_cmd_serve)
+
+    search = sub.add_parser(
+        "search",
+        help="adaptive adversary search: certified worst-case frontier "
+        "over fault configurations (see docs/resilience.md)",
+    )
+    _add_population_args(search)
+    search.add_argument(
+        "--protocol", choices=("sf", "ssf"), default="sf"
+    )
+    search.add_argument(
+        "--budget",
+        action="append",
+        default=None,
+        metavar="FAMILY=V1[,V2...]",
+        help="adversary-budget grid for one scenario family (byzantine/"
+        "crash: corrupted fraction; misspec: deviation 2|true-assumed|); "
+        "repeatable, default: one representative budget per family the "
+        "protocol supports",
+    )
+    search.add_argument(
+        "--max-fraction",
+        type=float,
+        default=0.3,
+        help="fraction ceiling of the Byzantine/crash families",
+    )
+    search.add_argument(
+        "--candidates", type=int, default=8,
+        help="random candidates per (family, budget) cell (deterministic "
+        "boundary probes and the successive-halving/refinement loop come "
+        "on top)",
+    )
+    search.add_argument("--rungs", type=int, default=3)
+    search.add_argument(
+        "--base-trials", type=int, default=12,
+        help="SPRT trial cap of the first successive-halving rung "
+        "(doubles per rung)",
+    )
+    search.add_argument("--refine-steps", type=int, default=6)
+    search.add_argument(
+        "--cert-trials", type=int, default=80,
+        help="fixed fresh trials behind each certified frontier point",
+    )
+    search.add_argument(
+        "--cert-alpha", type=float, default=1e-3,
+        help="one-sided error of the exact Clopper-Pearson lower bound",
+    )
+    search.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL evaluation ledger: resume an interrupted search with "
+        "identical certified values (requires --seed)",
+    )
+    search.add_argument(
+        "--json", default=None, help="also write the frontier report here"
+    )
+    search.set_defaults(func=_cmd_search)
 
     verify = sub.add_parser(
         "verify",

@@ -205,7 +205,9 @@ def create_engine(
     Raises :class:`~repro.exceptions.ConfigurationError` for unknown
     engines or unsupported protocols and
     :class:`~repro.exceptions.UnsupportedFeatureError` when a non-null
-    ``fault_model`` is passed to an agent-blind engine, when a graph
+    ``fault_model`` is passed to an agent-blind engine (except uniform
+    ``NoiseMisspecification`` on the count engines, whose whole effect
+    is an effective noise level), when a graph
     topology is passed to an engine without ``supports_topology``, or
     when both a graph topology and a non-null fault model are given.
     """
@@ -248,19 +250,31 @@ def create_engine(
         and not getattr(fault_model, "is_null", False)
         and not spec.supports_faults
     ):
-        if spec.agent_blind:
+        from .faults import agent_blind_uniform_delta
+
+        # The count engines honor agent-blind-compatible fault models
+        # (uniform NoiseMisspecification, possibly composed): their
+        # whole effect is an effective noise level, which survives the
+        # count collapse.  Anything agent-indexed still raises.
+        if not (
+            spec.name == "count"
+            and agent_blind_uniform_delta(fault_model, 0.0) is not None
+        ):
+            if spec.agent_blind:
+                raise UnsupportedFeatureError(
+                    f"engine {name!r} is agent-blind and composes only "
+                    f"with agent-blind fault models (uniform "
+                    f"NoiseMisspecification on the count engine); drop "
+                    f"the fault model or use an agent-level engine "
+                    f"(fast, serial, batched, async)"
+                )
             raise UnsupportedFeatureError(
-                f"engine {name!r} is agent-blind and does not compose "
-                f"with fault models; drop the fault model or use an "
-                f"agent-level engine (fast, serial, batched, async)"
+                f"engine {name!r} does not compose with model-layer fault "
+                f"models; the net backend injects faults at the link layer "
+                f"instead (drop_probability=..., byzantine_fraction=... "
+                f"engine kwargs) — use an in-process agent-level engine "
+                f"(fast, serial, batched, async) for repro.faults models"
             )
-        raise UnsupportedFeatureError(
-            f"engine {name!r} does not compose with model-layer fault "
-            f"models; the net backend injects faults at the link layer "
-            f"instead (drop_probability=..., byzantine_fraction=... "
-            f"engine kwargs) — use an in-process agent-level engine "
-            f"(fast, serial, batched, async) for repro.faults models"
-        )
     if name == "net":
         _validate_net_kwargs(config, engine_kwargs)
     return EngineHandle(

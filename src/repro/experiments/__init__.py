@@ -31,6 +31,7 @@ from . import ext1_kary  # noqa: F401
 from . import ext2_faults  # noqa: F401
 from . import ext3_adversarial  # noqa: F401
 from . import ext4_topology  # noqa: F401
+from . import ext5_adversary  # noqa: F401
 
 __all__ = [
     "CheckResult",

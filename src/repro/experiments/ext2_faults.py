@@ -7,7 +7,6 @@ import numpy as np
 from ..analysis import repeat_trials, time_average
 from ..model import Population, PopulationConfig, PullEngine
 from ..noise import NoiseMatrix
-from ..rng import spawn_seeds
 from ..protocols import (
     FastSelfStabilizingSourceFilter,
     FastSourceFilter,
@@ -25,6 +24,11 @@ def _seed_record(sequence: np.random.SeedSequence) -> dict:
         "entropy": int(sequence.entropy),
         "spawn_key": [int(k) for k in sequence.spawn_key],
     }
+
+
+def _seq_seed(sequence: np.random.SeedSequence) -> int:
+    """Integer seed for APIs that take one (full 64-bit range)."""
+    return int(sequence.generate_state(1, np.uint64)[0])
 
 
 @register
@@ -50,18 +54,34 @@ class FaultTolerance(Experiment):
         losses = [0.0, 0.3, 0.6] if scale == "full" else [0.0, 0.4]
         config = PopulationConfig(n=n, sources=SourceCounts(0, 1), h=n)
         loss_ok = True
-        for loss in losses:
+        # Hierarchical seed streams: one root per section, one spawned
+        # child per (grid point, protocol).  Spawn indexing is prefix-
+        # stable, so extending a grid appends new streams without
+        # shifting existing ones; raw `seed + int(loss * 100)`
+        # arithmetic collided across sections and correlated points.
+        loss_root, churn_root = np.random.SeedSequence(seed).spawn(2)
+        loss_seeds = loss_root.spawn(2 * len(losses))
+        loss_seed_records = []
+        for index, loss in enumerate(losses):
+            sf_seq, ssf_seq = loss_seeds[2 * index : 2 * index + 2]
             sf_engine = FastSourceFilter(config, 0.2, sample_loss=loss)
             sf_stats = repeat_trials(
                 lambda g: sf_engine.run(g), trials=trials,
-                seed=seed + int(loss * 100),
+                seed=_seq_seed(sf_seq),
             )
             ssf_stats = repeat_trials(
                 lambda g: FastSelfStabilizingSourceFilter(
                     config, 0.1, sample_loss=loss
                 ).run(rng=g),
                 trials=trials,
-                seed=seed + 50 + int(loss * 100),
+                seed=_seq_seed(ssf_seq),
+            )
+            loss_seed_records.append(
+                {
+                    "fault": f"loss={loss}",
+                    "sf_seed": _seed_record(sf_seq),
+                    "ssf_seed": _seed_record(ssf_seq),
+                }
             )
             loss_ok &= (
                 sf_stats.success_rate >= 0.9 and ssf_stats.success_rate >= 0.9
@@ -86,9 +106,10 @@ class FaultTolerance(Experiment):
         churn_grid = [0.05, 0.2] if scale == "full" else [0.1]
         churn_ok = True
         # One independent (population, run) seed pair per churn scenario,
-        # spawned from the master seed: raw `seed + 1` arithmetic reused
-        # the *same* streams for every grid point, correlating scenarios.
-        churn_seeds = spawn_seeds(seed, 2 * len(churn_grid))
+        # spawned from this section's root: raw `seed + 1` arithmetic
+        # reused the *same* streams for every grid point, correlating
+        # scenarios.
+        churn_seeds = churn_root.spawn(2 * len(churn_grid))
         # Reproduction aid: a SeedSequence is fully determined by
         # (entropy, spawn_key), so recording both lets any single churn
         # row be rerun in isolation — rebuild each stream with
@@ -155,6 +176,7 @@ class FaultTolerance(Experiment):
             ),
             metadata={
                 "master_seed": seed,
+                "loss_seeds": loss_seed_records,
                 "churn_seeds": churn_seed_records,
             },
         )

@@ -16,6 +16,7 @@ from ..protocols import FastSelfStabilizingSourceFilter, FastSourceFilter
 from ..telemetry import MemorySink, Telemetry
 from ..types import SourceCounts
 from .base import CheckResult, Experiment, ExperimentOutcome
+from .ext2_faults import _seed_record, _seq_seed
 from .registry import register
 
 
@@ -54,10 +55,19 @@ class AdversarialRobustness(Experiment):
         )
         monotone = True
         frontier = {}
+        # Hierarchical seed streams (one root per section, one child per
+        # grid point): spawn indexing is prefix-stable, so adding grid
+        # points appends streams without shifting existing ones — the
+        # raw `seed + 101 * offset + ...` arithmetic could collide
+        # between cells and correlated grid points across sections.
+        byz_root, mis_root, crash_root = np.random.SeedSequence(seed).spawn(3)
+        bias_roots = byz_root.spawn(len(biases))
+        seed_records = {"byzantine": [], "misspec": [], "crash": None}
         for offset, s in enumerate(biases):
             config = PopulationConfig(n=n, sources=SourceCounts(0, s), h=h)
             successes = []
-            for frac in fractions:
+            fraction_seqs = bias_roots[offset].spawn(len(fractions))
+            for frac, cell_seq in zip(fractions, fraction_seqs):
                 fault = (
                     ByzantineDisplayFault(fraction=frac, mode="fixed")
                     if frac
@@ -65,8 +75,13 @@ class AdversarialRobustness(Experiment):
                 )
                 protocol = FastSourceFilter(config, 0.2, fault_model=fault)
                 stats = self._trials(
-                    protocol.run, trials,
-                    seed=seed + 101 * offset + int(frac * 1000),
+                    protocol.run, trials, seed=_seq_seed(cell_seq)
+                )
+                seed_records["byzantine"].append(
+                    {
+                        "scenario": f"byzantine f={frac} s={s}",
+                        "seed": _seed_record(cell_seq),
+                    }
                 )
                 successes.append(stats.success_rate)
                 rows.append(
@@ -94,15 +109,20 @@ class AdversarialRobustness(Experiment):
         true_grid = [0.1, 0.22] if quick else [0.1, 0.15, 0.22, 0.3]
         config = PopulationConfig(n=n, sources=SourceCounts(0, biases[-1]), h=h)
         mis_success = []
-        for true_delta in true_grid:
+        mis_seqs = mis_root.spawn(len(true_grid))
+        for true_delta, cell_seq in zip(true_grid, mis_seqs):
             fault = (
                 NoiseMisspecification.uniform(true_delta, size=2)
                 if true_delta != assumed
                 else None
             )
             protocol = FastSourceFilter(config, assumed, fault_model=fault)
-            stats = self._trials(
-                protocol.run, trials, seed=seed + 7000 + int(true_delta * 1000)
+            stats = self._trials(protocol.run, trials, seed=_seq_seed(cell_seq))
+            seed_records["misspec"].append(
+                {
+                    "scenario": f"misspec true={true_delta}",
+                    "seed": _seed_record(cell_seq),
+                }
             )
             mis_success.append(stats.success_rate)
             rows.append(
@@ -164,8 +184,10 @@ class AdversarialRobustness(Experiment):
         )
         sink = MemorySink()
         telemetry = Telemetry(sinks=[sink])
+        crash_seq = crash_root.spawn(1)[0]
+        seed_records["crash"] = _seed_record(crash_seq)
         result = protocol.run(
-            rng=np.random.default_rng(seed + 90001),
+            rng=np.random.default_rng(crash_seq),
             max_rounds=10 * epoch,
             stop_on_consensus=False,
             telemetry=telemetry,
@@ -230,5 +252,9 @@ class AdversarialRobustness(Experiment):
                 "grid point; crash row: fast SSF, delta=0.1, "
                 f"epoch={epoch} rounds"
             ),
-            metadata={"master_seed": seed, "byzantine_frontier": frontier},
+            metadata={
+                "master_seed": seed,
+                "byzantine_frontier": frontier,
+                "seed_streams": seed_records,
+            },
         )

@@ -19,6 +19,7 @@ from .metrics import RecoveryTracker, emit_recovery_batch
 from .misspecification import (
     MisspecifiedReduction,
     NoiseMisspecification,
+    agent_blind_uniform_delta,
     default_projection_margin,
     misspecified_reduction,
     project_to_stochastic,
@@ -37,6 +38,7 @@ __all__ = [
     "emit_recovery_batch",
     "MisspecifiedReduction",
     "NoiseMisspecification",
+    "agent_blind_uniform_delta",
     "default_projection_margin",
     "misspecified_reduction",
     "project_to_stochastic",

@@ -40,6 +40,7 @@ __all__ = [
     "MisspecifiedReduction",
     "misspecified_reduction",
     "NoiseMisspecification",
+    "agent_blind_uniform_delta",
 ]
 
 #: Per-entry floating-point dust attributable to one inverse-times-matrix
@@ -250,3 +251,39 @@ class NoiseMisspecification(FaultModel):
                 "or use an index-level engine"
             )
         return self.true_uniform_delta
+
+
+def agent_blind_uniform_delta(fault_model, assumed_delta: float):
+    """Effective uniform delta when ``fault_model`` is agent-blind.
+
+    The count engines collapse the agent axis, so they can only honor
+    fault models that never look at individual agents: the null models
+    and :class:`NoiseMisspecification` with a *uniform* true channel
+    (whose whole effect is "run the dynamics at the true delta while
+    the schedule stays sized from the assumed one").  Returns the
+    effective uniform noise level for such models — chaining through a
+    :class:`~repro.faults.ComposedFaultModel` of them — and ``None``
+    for anything agent-indexed (Byzantine displays, crashes, stuck-at),
+    which needs an agent-level engine.
+    """
+    if fault_model is None or fault_model.is_null:
+        return float(assumed_delta)
+    from .base import ComposedFaultModel
+
+    models = (
+        fault_model.models
+        if isinstance(fault_model, ComposedFaultModel)
+        else [fault_model]
+    )
+    delta = float(assumed_delta)
+    for model in models:
+        if model.is_null:
+            continue
+        if (
+            isinstance(model, NoiseMisspecification)
+            and model.true_uniform_delta is not None
+        ):
+            delta = model.effective_uniform_delta(delta)
+            continue
+        return None
+    return delta

@@ -62,8 +62,12 @@ class CountSourceFilter(CountProtocol):
         :class:`repro.analysis.MeanFieldHandoff`).  When it approves,
         population draws are replaced by their rounded expectation.
     fault_model:
-        Must be ``None`` or null: faults are agent-indexed and do not
-        survive the count collapse.
+        ``None``, null, or agent-blind-compatible (a uniform
+        :class:`~repro.faults.NoiseMisspecification`, possibly
+        composed): agent-indexed faults do not survive the count
+        collapse.  Under misspecification the schedule stays sized from
+        the assumed ``noise`` while the dynamics run at the true level
+        (matching :class:`.FastSourceFilter`).
     """
 
     alphabet_size = 2
@@ -77,14 +81,24 @@ class CountSourceFilter(CountProtocol):
         handoff=None,
         fault_model=None,
     ) -> None:
-        if fault_model is not None and not fault_model.is_null:
-            raise UnsupportedFeatureError(
-                "CountSourceFilter supports fault_model=None (or null) "
-                "only; use FastSourceFilter for faulted runs"
-            )
         self.config = config
         self.delta = _uniform_delta(noise)
         self._noise = noise
+        self._dynamics_noise = noise
+        self.dynamics_delta = self.delta
+        if fault_model is not None and not fault_model.is_null:
+            from ..faults import agent_blind_uniform_delta
+
+            effective = agent_blind_uniform_delta(fault_model, self.delta)
+            if effective is None:
+                raise UnsupportedFeatureError(
+                    "CountSourceFilter supports fault_model=None, null, "
+                    "or a uniform NoiseMisspecification only (the count "
+                    "collapse is agent-blind); use FastSourceFilter for "
+                    "agent-indexed faults"
+                )
+            self.dynamics_delta = float(effective)
+            self._dynamics_noise = self.dynamics_delta
         if schedule is None:
             kwargs = {} if constant is None else {"constant": constant}
             schedule = SFSchedule.from_config(config, self.delta, **kwargs)
@@ -211,7 +225,7 @@ class CountSourceFilter(CountProtocol):
         record_trace: bool = False,
     ) -> CountSimulationResult:
         """Execute one full SF run on a :class:`CountPullEngine`."""
-        engine = CountPullEngine(self.config, self._noise)
+        engine = CountPullEngine(self.config, self._dynamics_noise)
         return engine.run(
             self,
             max_rounds=self.schedule.total_rounds,
@@ -231,8 +245,9 @@ class CountSourceFilter(CountProtocol):
 
         cfg, sched = self.config, self.schedule
         samples = sched.phase_rounds * sched.h
+        delta = self.dynamics_delta
         frac1 = cfg.s1 / cfg.n
         frac0 = cfg.s0 / cfg.n
-        q1 = frac1 * (1.0 - self.delta) + (1.0 - frac1) * self.delta
-        q0 = frac0 * (1.0 - self.delta) + (1.0 - frac0) * self.delta
+        q1 = frac1 * (1.0 - delta) + (1.0 - frac1) * delta
+        q0 = frac0 * (1.0 - delta) + (1.0 - frac0) * delta
         return binomial_vs_binomial_probability(samples, q1, samples, q0)

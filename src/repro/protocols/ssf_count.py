@@ -63,7 +63,11 @@ class CountSelfStabilizingSourceFilter(CountProtocol):
         Optional mean-field handoff policy (``use_deterministic(p, n)``);
         approved draws become rounded expectations.
     fault_model:
-        Must be ``None`` or null (the count collapse is agent-blind).
+        ``None``, null, or agent-blind-compatible (a uniform 4-letter
+        :class:`~repro.faults.NoiseMisspecification`, possibly
+        composed); the count collapse cannot honor agent-indexed
+        faults.  Under misspecification the schedule stays sized from
+        the assumed ``noise`` while the dynamics run at the true level.
     """
 
     alphabet_size = 4
@@ -77,15 +81,27 @@ class CountSelfStabilizingSourceFilter(CountProtocol):
         handoff=None,
         fault_model=None,
     ) -> None:
-        if fault_model is not None and not fault_model.is_null:
-            raise UnsupportedFeatureError(
-                "CountSelfStabilizingSourceFilter supports "
-                "fault_model=None (or null) only; use "
-                "FastSelfStabilizingSourceFilter for faulted runs"
-            )
         self.config = config
         self.delta = _uniform_delta4(noise)
         self._noise = noise
+        self._dynamics_noise = noise
+        self.dynamics_delta = self.delta
+        if fault_model is not None and not fault_model.is_null:
+            from ..faults import agent_blind_uniform_delta
+
+            effective = agent_blind_uniform_delta(fault_model, self.delta)
+            if effective is None:
+                raise UnsupportedFeatureError(
+                    "CountSelfStabilizingSourceFilter supports "
+                    "fault_model=None, null, or a uniform "
+                    "NoiseMisspecification only (the count collapse is "
+                    "agent-blind); use FastSelfStabilizingSourceFilter "
+                    "for agent-indexed faults"
+                )
+            self.dynamics_delta = float(
+                _uniform_delta4(float(effective))
+            )
+            self._dynamics_noise = self.dynamics_delta
         if schedule is None:
             kwargs = {} if constant is None else {"constant": constant}
             schedule = SSFSchedule.from_config(config, self.delta, **kwargs)
@@ -184,7 +200,7 @@ class CountSelfStabilizingSourceFilter(CountProtocol):
         sched = self.schedule
         if max_rounds is None:
             max_rounds = 20 * sched.epoch_rounds
-        engine = CountPullEngine(self.config, self._noise)
+        engine = CountPullEngine(self.config, self._dynamics_noise)
         return engine.run(
             self,
             max_rounds=max_rounds,

@@ -20,6 +20,8 @@ mean-field ↔ count SF             exact weak probability + fixed-point run
 service cache ↔ recomputation     byte-identical envelopes, identical reports
 net cluster ↔ fast SF             differential: success/weak/rounds agreement
 topology seam ↔ uniform engines   complete-graph bit-identity + EXT4 shape
+adversary search ↔ re-evaluation  planted worst case rediscovered; certified
+                                  frontier bounds confirmed independently
 goldens                           digests of committed reference trajectories
 ================================  ===========================================
 """
@@ -1074,6 +1076,118 @@ def _check_topology(scale: str, budget: FalsePositiveBudget) -> str:
     )
 
 
+def _check_adversary(scale: str, budget: FalsePositiveBudget) -> str:
+    """Adaptive adversary search conformance.
+
+    Three promises: (1) *rediscovery* — a planted known-bad
+    configuration (Byzantine wrong-symbol displays at a fraction the
+    protocol cannot absorb) is found by the search, and the certified
+    frontier point is at least as damaging; (2) *certificates hold* —
+    every frontier point with a non-vacuous Clopper–Pearson lower bound
+    survives an independent fresh-seed exact-binomial re-evaluation,
+    charged to the shared verify :class:`FalsePositiveBudget`; (3)
+    *determinism* — the same seed reproduces the identical frontier.
+    The search itself runs under its own error ledger (its SPRT
+    accept/reject mass only affects which point is found, never the
+    validity of a certificate).
+    """
+    from itertools import islice
+
+    from ..adversary_search import (
+        AdversaryConfig,
+        CandidateEvaluator,
+        FaultConfigSpace,
+        SearchSettings,
+        run_search,
+    )
+    from ..rng import generator_stream
+
+    config = PopulationConfig(n=96, sources=SourceCounts(0, 4), h=6)
+    delta = 0.2
+    planted_fraction = 0.15
+    planted = AdversaryConfig(
+        family="byzantine", fraction=planted_fraction, mode="fixed", symbol=0
+    )
+    settings = SearchSettings(
+        num_candidates=4,
+        rungs=2,
+        base_trials=8,
+        refine_steps=2,
+        cert_trials=30 if scale == "quick" else 80,
+    )
+    budgets = {"byzantine": [planted_fraction], "misspec": [0.02]}
+    frontier = run_search(
+        "sf",
+        config,
+        assumed_delta=delta,
+        budgets=budgets,
+        seed=1234,
+        settings=settings,
+        extra_candidates={"byzantine": [planted]},
+    )
+
+    worst = frontier.worst("byzantine")
+    if worst is None or worst.certified_failure_lower_bound < 0.5:
+        raise ConfigurationError(
+            f"search failed to rediscover the planted Byzantine "
+            f"configuration at fraction {planted_fraction}: worst "
+            f"certified lower bound "
+            f"{worst.certified_failure_lower_bound if worst else None}"
+        )
+
+    # Independent re-evaluation of every non-vacuous certificate.
+    space = FaultConfigSpace(
+        protocol="sf", assumed_delta=delta, families=tuple(budgets)
+    )
+    evaluator = CandidateEvaluator(space, config)
+    trials = 24 if scale == "quick" else 60
+    confirmed = vacuous = 0
+    for index, point in enumerate(frontier.points):
+        if point.certified_failure_lower_bound <= 0.0:
+            vacuous += 1  # nothing is claimed; nothing to confirm
+            continue
+        candidate = AdversaryConfig(**point.config)
+        _, run_one = evaluator.failure_runner(candidate)
+        failures = sum(
+            bool(run_one(generator))
+            for generator in islice(generator_stream(555 + index), trials)
+        )
+        assert_success_probability(
+            failures,
+            trials,
+            point.certified_failure_lower_bound,
+            confidence=1 - 1e-6,
+            context=(
+                f"adversary frontier point {point.family}@{point.budget} "
+                f"re-evaluation"
+            ),
+            budget=budget,
+        )
+        confirmed += 1
+
+    replay = run_search(
+        "sf",
+        config,
+        assumed_delta=delta,
+        budgets=budgets,
+        seed=1234,
+        settings=settings,
+        extra_candidates={"byzantine": [planted]},
+    )
+    if replay.to_dict() != frontier.to_dict():
+        raise ConfigurationError(
+            "adversary search is not deterministic: the same seed "
+            "produced a different frontier"
+        )
+
+    return (
+        f"planted worst case rediscovered (certified >= "
+        f"{worst.certified_failure_lower_bound:.3f}); {confirmed} "
+        f"certificate(s) confirmed on {trials} fresh trials, {vacuous} "
+        f"vacuous; frontier replay identical"
+    )
+
+
 _CHECKS: List[tuple] = [
     ("reference-vs-batched-sf", "exact", _check_reference_vs_batched),
     ("corrupt-vs-corrupt-with-uniforms", "exact", _check_corrupt_equivalence),
@@ -1086,6 +1200,7 @@ _CHECKS: List[tuple] = [
     ("service", "exact", _check_service_cache),
     ("net", "statistical", _check_net),
     ("topology", "statistical", _check_topology),
+    ("adversary", "statistical", _check_adversary),
 ]
 
 

@@ -32,6 +32,8 @@ __all__ = [
     "noise_matrices",
     "ssf_corrupted_states",
     "fault_models",
+    "fault_schedules",
+    "adversary_configs",
     "graph_topologies",
     "net_messages",
 ]
@@ -213,6 +215,72 @@ def fault_models(
     return st.one_of(
         leaf,
         st.builds(lambda a, b: ComposedFaultModel([a, b]), leaf, leaf),
+    )
+
+
+def fault_schedules(
+    max_round: int = 64, *, alphabet_size: int = 2, max_fraction: float = 0.5
+) -> st.SearchStrategy:
+    """Scheduled :class:`~repro.faults.CrashFault` windows.
+
+    Draws crash/recovery rounds covering the boundary geometry the
+    engines must honor: zero-offset crashes, windows ending exactly at
+    a horizon, windows entirely beyond it, and the ``symbol``/
+    ``exclude`` display modes.  The recovery round is always strictly
+    later than the crash round (the model's contract).
+    """
+    from ..faults import CrashFault
+
+    def build(
+        frac: float, mode: str, symbol: int, crash_round: int, length: int
+    ) -> CrashFault:
+        return CrashFault(
+            fraction=frac,
+            mode=mode,
+            symbol=symbol,
+            crash_round=crash_round,
+            recovery_round=crash_round + length,
+        )
+
+    return st.builds(
+        build,
+        st.floats(min_value=0.01, max_value=max_fraction),
+        st.sampled_from(CrashFault.MODES),
+        st.integers(min_value=0, max_value=alphabet_size - 1),
+        st.integers(min_value=0, max_value=max_round),
+        st.integers(min_value=1, max_value=max_round),
+    )
+
+
+def adversary_configs(
+    protocol: str = "sf",
+    families: Optional[Sequence[str]] = None,
+    *,
+    assumed_delta: float = 0.2,
+) -> st.SearchStrategy:
+    """Valid points of an adversary-search :class:`FaultConfigSpace`.
+
+    Draws a family supported by ``protocol`` plus a sampling seed, then
+    delegates to :meth:`FaultConfigSpace.sample` so every generated
+    :class:`~repro.adversary_search.AdversaryConfig` satisfies the
+    space's own invariants (budget ranges, alphabet-confined symbols,
+    valid crash windows) by construction; seeding from the drawn
+    integer keeps shrinking reproducible.
+    """
+    from ..adversary_search import FaultConfigSpace
+
+    space = FaultConfigSpace(
+        protocol=protocol, assumed_delta=assumed_delta, families=families
+    )
+
+    def build(index: int, seed: int):
+        family = space.families[index % len(space.families)]
+        return space.sample(np.random.default_rng(seed), family=family)
+
+    return st.builds(
+        build,
+        st.integers(min_value=0, max_value=len(space.families) - 1),
+        st.integers(min_value=0, max_value=2**31 - 1),
     )
 
 

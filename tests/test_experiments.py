@@ -29,6 +29,7 @@ ALL_IDS = [
     "EXT2",
     "EXT3",
     "EXT4",
+    "EXT5",
 ]
 
 

@@ -435,7 +435,11 @@ class TestExperimentMetadata:
             record["population_seed"]["entropy"],
             spawn_key=tuple(record["population_seed"]["spawn_key"]),
         )
-        original = np.random.SeedSequence(11).spawn(2)[0]
+        # Hierarchy: master -> (loss_root, churn_root) -> per-scenario
+        # (population, run) pairs; the first churn population stream is
+        # the churn root's first child.
+        churn_root = np.random.SeedSequence(11).spawn(2)[1]
+        original = churn_root.spawn(2)[0]
         assert (
             rebuilt.generate_state(4).tolist()
             == original.generate_state(4).tolist()
@@ -449,3 +453,124 @@ class TestExperimentMetadata:
         outcome = get_experiment("EXT3").run(scale="quick", seed=42)
         assert outcome.passed, [c.name for c in outcome.failures]
         assert "byzantine_frontier" in outcome.metadata
+
+class TestCrashBoundarySchedules:
+    """Boundary geometry of scheduled crash windows.
+
+    The edges the engines must get right: a recovery that lands exactly
+    on the horizon (the fault stays active through the final round and
+    no recovery is ever observed), a window entirely beyond the horizon
+    (the run must be bit-identical to ``fault_model=None``), zero-length
+    windows (rejected at construction), and overlapping composed
+    schedules (transition union, left-to-right display order).
+    """
+
+    def test_recovery_at_horizon_active_through_final_round(self):
+        pop = Population(CONFIG, shuffle=False)
+        horizon = 12
+        fault = CrashFault(
+            fraction=0.25, mode="symbol", symbol=1,
+            crash_round=horizon - 3, recovery_round=horizon,
+        )
+        fault.reset(pop, 2, np.random.default_rng(0))
+        honest = np.zeros(CONFIG.n, dtype=np.int64)
+        rng = np.random.default_rng(1)
+        last = fault.transform_displays(horizon - 1, honest, rng)
+        assert (last[fault.agents] == 1).all()
+        # One round past the horizon the fault would release, but the
+        # run never gets there; recovery-scheduled agents stay counted.
+        assert fault.transform_displays(horizon, honest, rng) is honest
+        assert fault.evaluation_mask() is None
+
+    def test_fast_ssf_accepts_recovery_exactly_at_horizon(self):
+        probe = FastSelfStabilizingSourceFilter(CONFIG, 0.1)
+        epoch = probe.schedule.epoch_rounds
+        horizon = 6 * epoch
+        fault = CrashFault(
+            fraction=0.25, mode="symbol", symbol=1,
+            crash_round=4 * epoch, recovery_round=horizon,
+        )
+        result = FastSelfStabilizingSourceFilter(
+            CONFIG, 0.1, fault_model=fault
+        ).run(rng=5, max_rounds=horizon, stop_on_consensus=False)
+        assert result.rounds_executed == horizon
+
+    def test_window_beyond_horizon_is_bit_identical(self):
+        schedule = SFSchedule.from_config(CONFIG, 0.2, m=24)
+        horizon = schedule.total_rounds
+        # Explicit agents: fraction-based selection would draw from the
+        # run's generator at reset (the engine's one-stream seeding
+        # contract) and legitimately shift the sampling stream.
+        dormant = CrashFault(
+            agents=[20, 21, 22], mode="symbol", symbol=1,
+            crash_round=horizon + 1, recovery_round=horizon + 10,
+        )
+        runs = [
+            PullEngine(
+                Population(CONFIG, shuffle=False), NoiseMatrix.uniform(0.2, 2)
+            ).run(
+                SourceFilterProtocol(schedule),
+                max_rounds=horizon,
+                rng=3,
+                fault_model=fault,
+            )
+            for fault in (None, dormant)
+        ]
+        assert np.array_equal(runs[0].final_opinions, runs[1].final_opinions)
+        assert runs[0].converged == runs[1].converged
+        assert runs[0].rounds_executed == runs[1].rounds_executed
+
+    def test_zero_length_windows_rejected(self):
+        with pytest.raises(ConfigurationError, match="recovery_round"):
+            CrashFault(fraction=0.1, crash_round=7, recovery_round=7)
+        with pytest.raises(ConfigurationError, match="recovery_round"):
+            CrashFault(fraction=0.1, crash_round=7, recovery_round=3)
+
+    def test_overlapping_composed_schedules(self):
+        pop = Population(CONFIG, shuffle=False)
+        early = CrashFault(
+            agents=[10, 11, 12], mode="symbol", symbol=1,
+            crash_round=2, recovery_round=8,
+        )
+        late = CrashFault(
+            agents=[12, 13], mode="symbol", symbol=0,
+            crash_round=5, recovery_round=11,
+        )
+        composed = ComposedFaultModel([early, late])
+        composed.reset(pop, 2, np.random.default_rng(0))
+        assert composed.transition_rounds() == (2, 5, 8, 11)
+        assert composed.onset_round == 2
+        honest = np.ones(CONFIG.n, dtype=np.int64)
+        honest[pop.source_indices] = pop.preferences[pop.source_indices]
+        rng = np.random.default_rng(1)
+        # Overlap (rounds 5..7): displays chain left-to-right, so the
+        # later model wins on the shared agent 12.
+        overlap = composed.transform_displays(6, honest.copy(), rng)
+        assert (overlap[[10, 11]] == 1).all()
+        assert (overlap[[12, 13]] == 0).all()
+        # After the first recovery only the late window remains.
+        tail = composed.transform_displays(9, honest.copy(), rng)
+        assert (tail[[10, 11]] == 1).all()
+        assert (tail[[12, 13]] == 0).all()
+
+    def test_recovery_tracker_telemetry_counts_exact(self):
+        sink = MemorySink()
+        tele = Telemetry(sinks=[sink])
+        tracker = RecoveryTracker(onset_round=4, floor=0.1)
+        tracker.observe(2, 0.5)   # pre-onset: ignored entirely
+        tracker.observe(5, 0.45)
+        tracker.observe(7, 0.08)  # first floor entry
+        tracker.observe(9, 0.3)   # re-entry resets the clock
+        tracker.observe(13, 0.1)  # final re-entry (== floor counts)
+        tracker.emit(tele)
+        metrics = {
+            e.name: e.value
+            for e in sink.events
+            if getattr(e, "name", "").startswith("faults.")
+        }
+        assert metrics["faults.runs"] == 1
+        assert metrics["faults.recovered_runs"] == 1
+        assert metrics["faults.onset_round"] == 4.0
+        assert metrics["faults.recovery_rounds"] == 9.0  # 13 - 4
+        assert metrics["faults.worst_wrong_fraction"] == 0.45
+        assert metrics["faults.final_wrong_fraction"] == 0.1

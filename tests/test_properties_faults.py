@@ -120,3 +120,161 @@ class TestFaultContract:
         assert np.array_equal(
             transformed[from_source], original[from_source]
         )
+
+
+class TestComposedAlgebra:
+    """Algebraic invariants of ``ComposedFaultModel``.
+
+    The capability flags and the schedule geometry are set-like
+    (any/all/union/min/max over components), so they must not depend on
+    composition order; composing with the identity must change nothing
+    about the display transform; and faults owning disjoint agent sets
+    must commute exactly on displays.
+    """
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), seed=seeds)
+    def test_flags_and_schedule_are_order_independent(self, data, seed):
+        from repro.faults import ComposedFaultModel
+
+        a = data.draw(fault_models(alphabet_size=2, allow_composed=False))
+        b = data.draw(fault_models(alphabet_size=2, allow_composed=False))
+        forward = ComposedFaultModel([a, b])
+        backward = ComposedFaultModel([b, a])
+        assert forward.is_null == backward.is_null
+        assert (
+            forward.deterministic_displays == backward.deterministic_displays
+        )
+        assert (
+            forward.requires_global_displays
+            == backward.requires_global_displays
+        )
+        assert (
+            forward.quasi_consensus_floor == backward.quasi_consensus_floor
+        )
+        assert forward.onset_round == backward.onset_round
+        assert sorted(forward.transition_rounds()) == sorted(
+            backward.transition_rounds()
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.data(), config=populations, seed=seeds, round_index=rounds
+    )
+    def test_identity_is_neutral_for_displays(
+        self, data, config, seed, round_index
+    ):
+        from repro.faults import ComposedFaultModel, IdentityFaultModel
+
+        model = data.draw(fault_models(alphabet_size=2))
+        composed = ComposedFaultModel([model, IdentityFaultModel()])
+        population_a = _reset(model, config, 2, seed)
+        population_b = _reset(composed, config, 2, seed)
+        honest = _honest_displays(population_a, 2)
+        alone = np.asarray(
+            model.transform_displays(
+                round_index, honest.copy(), np.random.default_rng(seed + 1)
+            )
+        )
+        with_identity = np.asarray(
+            composed.transform_displays(
+                round_index, honest.copy(), np.random.default_rng(seed + 1)
+            )
+        )
+        assert np.array_equal(alone, with_identity)
+        assert composed.is_null == model.is_null
+        assert sorted(composed.transition_rounds()) == sorted(
+            model.transition_rounds()
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        split=st.integers(min_value=4, max_value=28),
+        schedules=st.tuples(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=0, max_value=1),
+            ),
+            st.tuples(
+                st.integers(min_value=0, max_value=8),
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=0, max_value=1),
+            ),
+        ),
+        seed=seeds,
+        round_index=rounds,
+    )
+    def test_disjoint_crashes_commute_on_displays(
+        self, split, schedules, seed, round_index
+    ):
+        from repro.model import PopulationConfig
+        from repro.types import SourceCounts
+        from repro.faults import ComposedFaultModel, CrashFault
+
+        config = PopulationConfig(n=32, sources=SourceCounts(1, 2), h=8)
+        # Non-source agents only (shuffle=False keeps sources first),
+        # split into two disjoint sets.
+        left = list(range(3, 3 + split // 4 + 1))
+        right = list(range(3 + split // 4 + 1, 32))
+        faults = [
+            CrashFault(
+                agents=agents,
+                mode="symbol",
+                symbol=symbol,
+                crash_round=start,
+                recovery_round=start + length,
+            )
+            for agents, (start, length, symbol) in zip(
+                (left, right), schedules
+            )
+        ]
+        forward = ComposedFaultModel(list(faults))
+        backward = ComposedFaultModel(list(reversed(faults)))
+        population = _reset(forward, config, 2, seed)
+        _reset(backward, config, 2, seed)
+        honest = _honest_displays(population, 2)
+        rng_a = np.random.default_rng(seed + 1)
+        rng_b = np.random.default_rng(seed + 1)
+        assert np.array_equal(
+            forward.transform_displays(round_index, honest.copy(), rng_a),
+            backward.transform_displays(round_index, honest.copy(), rng_b),
+        )
+        assert sorted(forward.transition_rounds()) == sorted(
+            backward.transition_rounds()
+        )
+
+
+class TestFaultScheduleStrategy:
+    """`fault_schedules` draws honor the crash window contract."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.data(), config=populations, seed=seeds, round_index=rounds
+    )
+    def test_window_geometry(self, data, config, seed, round_index):
+        from repro.verify.strategies import fault_schedules
+
+        fault = data.draw(fault_schedules(alphabet_size=2))
+        assert fault.recovery_round > fault.crash_round
+        # Round 0 is initial state, not a transition.
+        assert tuple(sorted(fault.transition_rounds())) == tuple(
+            sorted(
+                r
+                for r in {fault.crash_round, fault.recovery_round}
+                if r > 0
+            )
+        )
+        population = _reset(fault, config, 2, seed)
+        honest = _honest_displays(population, 2)
+        transformed = np.asarray(
+            fault.transform_displays(
+                round_index, honest.copy(), np.random.default_rng(seed + 1)
+            )
+        )
+        active = fault.crash_round <= round_index < fault.recovery_round
+        if not active and fault.mode == "symbol":
+            assert np.array_equal(transformed, honest)
+        # Recovery-scheduled crashes never exclude agents from
+        # evaluation: they must re-converge and be counted.
+        assert fault.evaluation_mask() is None

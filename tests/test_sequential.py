@@ -97,3 +97,81 @@ class TestAdaptiveTrials:
             lambda g: engine.run(g).converged, seed=2
         )
         assert decision.decision == "accept"
+
+
+class TestErrorAccounting:
+    """SPRT.spend and the ledger charges of adaptive_trials."""
+
+    def _budget(self, total=0.5):
+        from repro.verify.statistical import FalsePositiveBudget
+
+        return FalsePositiveBudget(total=total)
+
+    def test_spend_charges_alpha_plus_beta_once(self):
+        budget = self._budget()
+        test = SPRT(p0=0.5, p1=0.95, alpha=0.02, beta=0.03)
+        charged = test.spend(budget, label="unit")
+        assert charged == pytest.approx(0.05)
+        assert budget.spent == pytest.approx(0.05)
+        # Idempotent until reset: defensive re-spends charge nothing.
+        assert test.spend(budget, label="unit") == 0.0
+        assert test.spend(budget) == 0.0
+        assert budget.spent == pytest.approx(0.05)
+
+    def test_reset_allows_spending_a_fresh_run(self):
+        budget = self._budget()
+        test = SPRT(p0=0.5, p1=0.95, alpha=0.02, beta=0.03)
+        test.spend(budget)
+        test.reset()
+        assert test.log_ratio == 0.0
+        assert test.spend(budget) == pytest.approx(0.05)
+        assert budget.spent == pytest.approx(0.10)
+
+    def test_spend_label_recorded_in_report(self):
+        budget = self._budget()
+        test = SPRT(p0=0.5, p1=0.95, alpha=0.01, beta=0.01)
+        test.spend(budget, label="frontier:ssf/crash")
+        assert "frontier:ssf/crash" in budget.report()
+
+    def test_adaptive_trials_charges_on_decision(self):
+        budget = self._budget()
+        decision = adaptive_trials(
+            lambda g: True, alpha=0.02, beta=0.01, seed=0, budget=budget
+        )
+        assert decision.decision == "accept"
+        assert budget.spent == pytest.approx(0.03)
+
+    def test_adaptive_trials_charges_on_cap_hit(self):
+        """Truncated runs cannot escape the ledger (decision is None)."""
+        budget = self._budget()
+        decision = adaptive_trials(
+            lambda g: g.random() < 0.75,
+            max_trials=3,
+            alpha=0.02,
+            beta=0.01,
+            seed=1,
+            budget=budget,
+        )
+        # Whatever the outcome, exactly one alpha+beta charge landed.
+        assert decision.trials <= 3
+        assert budget.spent == pytest.approx(0.03)
+
+    def test_adaptive_trials_without_budget_charges_nothing(self):
+        from repro.verify.statistical import GLOBAL_BUDGET
+
+        before = GLOBAL_BUDGET.spent
+        adaptive_trials(lambda g: True, seed=0)
+        assert GLOBAL_BUDGET.spent == before
+
+    def test_strict_budget_overdraft_raises(self):
+        from repro.verify.statistical import (
+            FalsePositiveBudget,
+            StatisticalAssertionError,
+        )
+
+        budget = FalsePositiveBudget(total=0.03, strict=True)
+        test = SPRT(p0=0.5, p1=0.95, alpha=0.02, beta=0.03)
+        with pytest.raises(StatisticalAssertionError):
+            test.spend(budget)
+        # The charge still landed (overdraft detected after recording).
+        assert budget.spent == pytest.approx(0.05)
